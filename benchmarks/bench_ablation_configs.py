@@ -1,0 +1,66 @@
+"""A1 — ZOLC configuration ablation: uZOLC vs ZOLClite vs ZOLCfull.
+
+Quantifies the paper's qualitative claims about its three hardware
+points: uZOLC only reaches innermost loops, ZOLClite drives arbitrary
+*single-entry/exit* nests, and ZOLCfull additionally drives
+multiple-entry/exit structures (shown on the early-exit motion
+estimation kernel).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.machines import ALL_MACHINES, M_UZOLC, M_ZOLC_FULL, M_ZOLC_LITE
+from repro.eval.runner import run_kernel
+from repro.workloads.suite import FIGURE2_BENCHMARKS
+
+
+@pytest.mark.repro
+def test_config_ladder(benchmark, reg):
+    """All five machines across the suite: cycles per configuration."""
+    def measure():
+        table = {}
+        for name in FIGURE2_BENCHMARKS:
+            kernel = reg.get(name)
+            table[name] = {m.name: run_kernel(kernel, m).cycles
+                           for m in ALL_MACHINES}
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    machines = [m.name for m in ALL_MACHINES]
+    print("\nConfiguration ladder (cycles):")
+    print(f"{'benchmark':<12} " + " ".join(f"{m:>10}" for m in machines))
+    for name, row in table.items():
+        print(f"{name:<12} " + " ".join(f"{row[m]:>10}" for m in machines))
+    totals = {m: sum(row[m] for row in table.values()) for m in machines}
+    print(f"{'TOTAL':<12} " + " ".join(f"{totals[m]:>10}" for m in machines))
+    for machine_name, total in totals.items():
+        benchmark.extra_info[f"total_{machine_name}"] = total
+    # Orderings that must hold: each ZOLC tier subsumes the previous,
+    # and both full ZOLC tiers beat both baselines.  uZOLC and XRhrdwil
+    # are *not* ordered in general — uZOLC reaches only innermost loops
+    # while dbne reaches every counted level.
+    assert totals["ZOLCfull"] <= totals["ZOLClite"] <= totals["uZOLC"]
+    assert totals["ZOLClite"] <= totals["XRhrdwil"] <= totals["XRdefault"]
+    assert totals["uZOLC"] < totals["XRdefault"]
+
+
+@pytest.mark.repro
+def test_multi_exit_needs_full(benchmark, reg):
+    """ZOLCfull's exit records on the early-exit ME kernel."""
+    def measure():
+        kernel = reg.get("me_fss_early")
+        return {m.name: run_kernel(kernel, m)
+                for m in (M_UZOLC, M_ZOLC_LITE, M_ZOLC_FULL)}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nme_fss_early (partial-SAD early termination):")
+    for name, result in results.items():
+        print(f"  {name:<10} cycles {result.cycles:>8}  "
+              f"loops driven {result.transformed_loops}")
+        benchmark.extra_info[f"{name}_cycles"] = result.cycles
+        benchmark.extra_info[f"{name}_loops"] = result.transformed_loops
+    assert results["ZOLCfull"].transformed_loops \
+        > results["ZOLClite"].transformed_loops
+    assert results["ZOLCfull"].cycles < results["ZOLClite"].cycles

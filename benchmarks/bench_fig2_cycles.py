@@ -1,0 +1,93 @@
+"""E1/E2 — Figure 2: cycle performance of the 12-benchmark suite.
+
+Regenerates the paper's Figure 2 series: cycle counts for XRdefault,
+XRhrdwil and ZOLClite, the per-benchmark relative cycles, and the
+in-text improvement summaries (paper: hrdwil up to 27.5 %, avg 11.1 %;
+ZOLC up to 48.2 %, avg 26.2 %, min 8.4 %).
+
+Run with::
+
+    pytest benchmarks/bench_fig2_cycles.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import (
+    PAPER_HRDWIL_AVG,
+    PAPER_HRDWIL_MAX,
+    PAPER_ZOLC_AVG,
+    PAPER_ZOLC_MAX,
+    PAPER_ZOLC_MIN,
+    figure2_from_suite,
+    render_figure2,
+)
+from repro.eval.machines import FIGURE2_MACHINES
+from repro.eval.runner import SuiteResult, run_kernel
+from repro.workloads.suite import FIGURE2_BENCHMARKS
+
+_SUITE = SuiteResult()
+
+
+def _measure(kernel_name: str, reg) -> dict[str, int]:
+    kernel = reg.get(kernel_name)
+    cycles = {}
+    for machine in FIGURE2_MACHINES:
+        result = run_kernel(kernel, machine)
+        _SUITE.add(result)
+        cycles[machine.name] = result.cycles
+    return cycles
+
+
+@pytest.mark.repro
+@pytest.mark.parametrize("name", FIGURE2_BENCHMARKS)
+def test_fig2_benchmark(benchmark, reg, name):
+    """Measure one Figure 2 bar group (all three machines)."""
+    cycles = benchmark.pedantic(_measure, args=(name, reg),
+                                rounds=1, iterations=1)
+    default = cycles["XRdefault"]
+    benchmark.extra_info["cycles_XRdefault"] = default
+    benchmark.extra_info["cycles_XRhrdwil"] = cycles["XRhrdwil"]
+    benchmark.extra_info["cycles_ZOLClite"] = cycles["ZOLClite"]
+    benchmark.extra_info["improvement_hrdwil_pct"] = round(
+        100 * (1 - cycles["XRhrdwil"] / default), 1)
+    benchmark.extra_info["improvement_zolc_pct"] = round(
+        100 * (1 - cycles["ZOLClite"] / default), 1)
+    # Shape assertions: ZOLC wins on every benchmark.
+    assert cycles["ZOLClite"] < cycles["XRhrdwil"] <= default
+
+
+@pytest.mark.repro
+def test_fig2_summary(benchmark, reg):
+    """Render the complete figure and check the paper's result shape."""
+    def render() -> str:
+        for name in FIGURE2_BENCHMARKS:
+            if (name, "XRdefault") not in _SUITE.results:
+                _measure(name, reg)
+        return render_figure2(figure2_from_suite(_SUITE))
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    print("\n" + text)
+
+    data = figure2_from_suite(_SUITE)
+    hrdwil = data.hrdwil_summary
+    zolc = data.zolc_summary
+    benchmark.extra_info["hrdwil_max"] = round(hrdwil.maximum, 1)
+    benchmark.extra_info["hrdwil_avg"] = round(hrdwil.average, 1)
+    benchmark.extra_info["zolc_max"] = round(zolc.maximum, 1)
+    benchmark.extra_info["zolc_avg"] = round(zolc.average, 1)
+    benchmark.extra_info["zolc_min"] = round(zolc.minimum, 1)
+    benchmark.extra_info["paper_hrdwil_max"] = PAPER_HRDWIL_MAX
+    benchmark.extra_info["paper_hrdwil_avg"] = PAPER_HRDWIL_AVG
+    benchmark.extra_info["paper_zolc_max"] = PAPER_ZOLC_MAX
+    benchmark.extra_info["paper_zolc_avg"] = PAPER_ZOLC_AVG
+    benchmark.extra_info["paper_zolc_min"] = PAPER_ZOLC_MIN
+
+    # The reproduction bands: same winner, comparable magnitudes.
+    assert 20.0 <= zolc.maximum <= 55.0       # paper: 48.2
+    assert 15.0 <= zolc.average <= 35.0       # paper: 26.2
+    assert 5.0 <= zolc.minimum <= 20.0        # paper: 8.4
+    assert 15.0 <= hrdwil.maximum <= 35.0     # paper: 27.5
+    assert 5.0 <= hrdwil.average <= 20.0      # paper: 11.1
+    assert zolc.average > hrdwil.average

@@ -1,0 +1,63 @@
+"""E3/E4 — ZOLC resource requirements.
+
+Regenerates the paper's in-text resource table: "the requirements in
+storage resources are 30, 258 and 642 storage bytes and in
+combinational area 298, 4056, and 4428 equivalent gates" for uZOLC /
+ZOLClite / ZOLCfull.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CANONICAL_CONFIGS
+from repro.core.costs import equivalent_gates, storage_bytes
+from repro.eval.report import (
+    render_area_breakdown,
+    render_resource_table,
+    render_storage_breakdown,
+)
+from repro.hwmodel.area import PAPER_EQUIVALENT_GATES
+from repro.hwmodel.storage import PAPER_STORAGE_BYTES
+
+
+@pytest.mark.repro
+def test_resource_table(benchmark):
+    """E3 + E4: storage and area vs the paper, exact match required."""
+    def compute():
+        return {config.name: (storage_bytes(config), equivalent_gates(config))
+                for config in CANONICAL_CONFIGS}
+
+    totals = benchmark.pedantic(compute, rounds=5, iterations=10)
+    print("\n" + render_resource_table())
+    print("\n" + render_storage_breakdown())
+    print("\n" + render_area_breakdown())
+    for name, (storage, gates) in totals.items():
+        benchmark.extra_info[f"{name}_storage_bytes"] = storage
+        benchmark.extra_info[f"{name}_gates"] = gates
+        assert storage == PAPER_STORAGE_BYTES[name]
+        assert gates == PAPER_EQUIVALENT_GATES[name]
+
+
+@pytest.mark.repro
+def test_resource_scaling_sweep(benchmark):
+    """Extrapolation: cost vs loop count (model behaviour beyond paper)."""
+    from repro.core.config import ZolcConfig
+
+    def sweep():
+        rows = []
+        for loops in (1, 2, 4, 8, 16):
+            config = ZolcConfig(f"L{loops}", max_loops=loops,
+                                max_task_entries=4 * loops,
+                                entries_per_loop=1, multi_entry_exit=False)
+            rows.append((loops, storage_bytes(config),
+                         equivalent_gates(config)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=5, iterations=10)
+    print("\nZOLC cost scaling (loops, storage B, gates):")
+    for loops, storage, gates in rows:
+        print(f"  {loops:>2} loops: {storage:>5} B  {gates:>6} gates")
+    # Linear scaling in both resources.
+    storages = [s for _, s, _ in rows]
+    assert all(b > a for a, b in zip(storages, storages[1:]))

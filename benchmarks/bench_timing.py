@@ -1,0 +1,35 @@
+"""E5 — cycle-time impact.
+
+Paper §3: "The processor cycle time is not affected due to ZOLC and
+corresponds to about 170 MHz on a 0.13 um ASIC process."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CANONICAL_CONFIGS
+from repro.eval.report import render_timing_report
+from repro.hwmodel.timing import (
+    CPU_CYCLE_NS,
+    affects_cycle_time,
+    timing_slack_ns,
+    zolc_critical_path,
+)
+
+
+@pytest.mark.repro
+def test_cycle_time_unaffected(benchmark):
+    def evaluate():
+        return {config.name: (zolc_critical_path(config).delay_ns,
+                              timing_slack_ns(config))
+                for config in CANONICAL_CONFIGS}
+
+    paths = benchmark.pedantic(evaluate, rounds=5, iterations=10)
+    print("\n" + render_timing_report())
+    for name, (delay, slack) in paths.items():
+        benchmark.extra_info[f"{name}_delay_ns"] = round(delay, 2)
+        benchmark.extra_info[f"{name}_slack_ns"] = round(slack, 2)
+    benchmark.extra_info["cpu_cycle_ns"] = round(CPU_CYCLE_NS, 2)
+    for config in CANONICAL_CONFIGS:
+        assert not affects_cycle_time(config)

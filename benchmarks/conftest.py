@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.suite import registry
+
+
+@pytest.fixture(scope="session")
+def reg():
+    return registry()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro: benchmark reproducing a paper table/figure")

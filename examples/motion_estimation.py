@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Motion estimation under every machine configuration.
+
+The paper's benchmark suite specifically includes "software
+implementations of motion estimation kernels"; this example runs the
+full-search and three-step-search kernels (plus the early-exit
+full-search variant that only ZOLCfull can fully drive) on all five
+machine configurations and prints the Figure 2 style comparison.
+
+Run:  python examples/motion_estimation.py
+"""
+
+from repro.eval.machines import ALL_MACHINES
+from repro.eval.metrics import improvement_percent
+from repro.eval.runner import run_kernel
+from repro.workloads.suite import registry
+
+KERNELS = ("me_fss", "me_tss", "me_fss_early")
+
+
+def main() -> None:
+    reg = registry()
+    for name in KERNELS:
+        kernel = reg.get(name)
+        print(f"\n=== {name}: {kernel.description} ===")
+        baseline_cycles = None
+        for machine in ALL_MACHINES:
+            result = run_kernel(kernel, machine)
+            if baseline_cycles is None:
+                baseline_cycles = result.cycles
+            saved = improvement_percent(result.cycles, baseline_cycles)
+            extras = ""
+            if machine.kind == "zolc":
+                extras = (f"  loops driven {result.transformed_loops}, "
+                          f"switches {result.zolc_task_switches}")
+            print(f"  {machine.name:<10} {result.cycles:>8} cycles "
+                  f"({saved:5.1f} % vs XRdefault){extras}")
+        # The search result itself (the motion vector) is identical on
+        # every machine — the kernel check verified it each run.
+        print("  motion vector verified identical on all machines")
+
+
+if __name__ == "__main__":
+    main()

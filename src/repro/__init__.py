@@ -1,0 +1,35 @@
+"""repro — reproduction of the DATE 2005 ZOLC paper.
+
+"Hardware support for arbitrarily complex loop structures in embedded
+applications", N. Kavvadias and S. Nikolaidis, DATE 2005.
+
+The package provides:
+
+* :mod:`repro.isa` / :mod:`repro.asm` / :mod:`repro.cpu` — the XR32
+  RISC substrate (ISA, assembler, cycle-approximate simulator) standing
+  in for the XiRisc soft core;
+* :mod:`repro.cfg` — control-flow-graph and loop-structure analysis;
+* :mod:`repro.core` — the paper's contribution: the Zero-Overhead Loop
+  Controller (task selection unit, loop parameter tables, index
+  calculation unit, cost model);
+* :mod:`repro.transform` — rewrites that retarget a program to ZOLC or
+  to XiRisc-style branch-decrement hardware loops;
+* :mod:`repro.workloads` — the 12-kernel benchmark suite;
+* :mod:`repro.eval` — machines, runners and the Figure 2 / table
+  reproduction harness;
+* :mod:`repro.hwmodel` — storage / area / timing roll-ups.
+"""
+
+__version__ = "1.0.0"
+
+from repro.asm import Program, assemble
+from repro.cpu import PipelineConfig, Simulator, run_program
+
+__all__ = [
+    "PipelineConfig",
+    "Program",
+    "Simulator",
+    "assemble",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""XR32 two-pass assembler and disassembler."""
+
+from repro.asm.assembler import DATA_BASE, TEXT_BASE, Program, assemble
+from repro.asm.disassembler import (
+    disassemble_program,
+    disassemble_word,
+    format_instruction,
+)
+from repro.asm.errors import AsmError
+
+__all__ = [
+    "AsmError",
+    "DATA_BASE",
+    "Program",
+    "TEXT_BASE",
+    "assemble",
+    "disassemble_program",
+    "disassemble_word",
+    "format_instruction",
+]

@@ -1,0 +1,57 @@
+"""Assembler directives.
+
+Supported directives::
+
+    .text            switch to the text (code) segment
+    .data            switch to the data segment
+    .word  v, ...    emit 32-bit little-endian words (ints or symbols)
+    .half  v, ...    emit 16-bit values
+    .byte  v, ...    emit 8-bit values
+    .space n         emit n zero bytes
+    .align n         align the current segment to 2**n bytes
+    .equ   name, v   define an assembly-time constant
+    .globl name      accepted and ignored (single translation unit)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DIRECTIVES = frozenset(
+    (".text", ".data", ".word", ".half", ".byte", ".space", ".align",
+     ".equ", ".set", ".globl", ".global")
+)
+
+
+@dataclass
+class DataItem:
+    """A data-segment emission, recorded during parsing.
+
+    ``values`` holds raw operand strings; symbol resolution happens in the
+    assembler's fixup pass (so ``.word table`` can reference a label that
+    is defined later).
+    """
+
+    kind: str  # "word" | "half" | "byte" | "space" | "align"
+    values: list[str]
+    line: int
+
+    def size_bytes(self, current_offset: int) -> int:
+        """Bytes this item occupies when placed at ``current_offset``."""
+        if self.kind == "word":
+            return 4 * len(self.values)
+        if self.kind == "half":
+            return 2 * len(self.values)
+        if self.kind == "byte":
+            return len(self.values)
+        if self.kind == "space":
+            return int(self.values[0], 0)
+        if self.kind == "align":
+            alignment = 1 << int(self.values[0], 0)
+            return (-current_offset) % alignment
+        raise ValueError(f"unknown data item kind: {self.kind}")
+
+
+def is_directive(mnemonic: str) -> bool:
+    """Whether a lexed mnemonic token is an assembler directive."""
+    return mnemonic in DIRECTIVES

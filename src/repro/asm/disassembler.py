@@ -1,0 +1,67 @@
+"""Disassembler: instructions / words back to canonical assembly text.
+
+Used for tracing, error messages and the loop-explorer example.  The
+output is re-assemblable for position-independent instructions; branches
+and jumps are rendered with absolute hex targets plus the symbol name
+when a :class:`~repro.asm.assembler.Program` is supplied.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Program
+from repro.isa import Instruction, decode, register_name
+from repro.isa.instructions import SPEC_BY_MNEMONIC
+
+
+def format_instruction(inst: Instruction, program: Program | None = None) -> str:
+    """Render one instruction as assembly text."""
+    spec = SPEC_BY_MNEMONIC[inst.mnemonic]
+    rendered: list[str] = []
+    for slot in spec.syntax:
+        if slot in ("rd", "rs", "rt"):
+            rendered.append(register_name(getattr(inst, slot)))
+        elif slot == "shamt":
+            rendered.append(str(inst.shamt))
+        elif slot == "imm":
+            rendered.append(str(inst.imm))
+        elif slot == "mem":
+            rendered.append(f"{inst.imm}({register_name(inst.rs)})")
+        elif slot == "label":
+            rendered.append(_format_target(inst, program, relative=True))
+        elif slot == "target":
+            rendered.append(_format_target(inst, program, relative=False))
+    if rendered:
+        return f"{inst.mnemonic} " + ", ".join(rendered)
+    return inst.mnemonic
+
+
+def _format_target(inst: Instruction, program: Program | None,
+                   relative: bool) -> str:
+    if inst.address is None:
+        # No address context: show the raw offset / target.
+        return str(inst.imm if relative else inst.target * 4)
+    address = inst.branch_target_address()
+    label = program.label_at(address) if program is not None else None
+    if label:
+        return label
+    return f"{address:#x}"
+
+
+def disassemble_word(word: int, address: int | None = None,
+                     program: Program | None = None) -> str:
+    """Decode and render one encoded instruction word."""
+    inst = decode(word)
+    inst.address = address
+    return format_instruction(inst, program)
+
+
+def disassemble_program(program: Program) -> str:
+    """Render a whole program, one ``address: text`` line per instruction."""
+    lines: list[str] = []
+    for inst in program.instructions:
+        assert inst.address is not None
+        label = program.label_at(inst.address)
+        if label:
+            lines.append(f"{label}:")
+        lines.append(f"  {inst.address:#06x}:  {format_instruction(inst, program)}")
+    return "\n".join(lines)

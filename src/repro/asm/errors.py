@@ -1,0 +1,18 @@
+"""Assembler diagnostics."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """An assembly-source error with line attribution.
+
+    The assembler raises this for every malformed construct: unknown
+    mnemonics, bad operand counts, undefined symbols, out-of-range
+    immediates and misaligned targets.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        self.message = message
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)

@@ -1,0 +1,86 @@
+"""Line-level lexer for XR32 assembly.
+
+The assembler's unit of work is the source *line*.  Each line is split
+into an optional sequence of label definitions, an optional mnemonic or
+directive, and a list of comma-separated operand strings.  Comments start
+with ``#`` or ``;`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.asm.errors import AsmError
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:")
+_COMMENT_RE = re.compile(r"[#;].*$")
+
+
+@dataclass
+class Line:
+    """One lexed source line."""
+
+    number: int
+    labels: list[str] = field(default_factory=list)
+    mnemonic: str | None = None
+    operands: list[str] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.labels and self.mnemonic is None
+
+
+def split_operands(text: str, line_number: int) -> list[str]:
+    """Split an operand string on commas that are outside parentheses."""
+    operands: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise AsmError("unbalanced ')' in operands", line_number)
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise AsmError("unbalanced '(' in operands", line_number)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    if any(not op for op in operands):
+        raise AsmError("empty operand", line_number)
+    return operands
+
+
+def lex_line(raw: str, number: int) -> Line:
+    """Lex one raw source line into a :class:`Line`."""
+    text = _COMMENT_RE.sub("", raw).strip()
+    line = Line(number=number)
+    while True:
+        match = _LABEL_RE.match(text)
+        if not match:
+            break
+        line.labels.append(match.group(1))
+        text = text[match.end():].strip()
+    if not text:
+        return line
+    parts = text.split(None, 1)
+    line.mnemonic = parts[0].lower()
+    if len(parts) > 1:
+        line.operands = split_operands(parts[1], number)
+    return line
+
+
+def lex(source: str) -> list[Line]:
+    """Lex a whole assembly source into non-empty lines."""
+    lines: list[Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        line = lex_line(raw, number)
+        if not line.is_empty():
+            lines.append(line)
+    return lines

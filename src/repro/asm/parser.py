@@ -1,0 +1,143 @@
+"""Parser: lexed lines -> segments of instructions and data items.
+
+The parser tracks the active segment (``.text`` / ``.data``), expands
+pseudo-instructions textually (see :mod:`repro.isa.pseudo`) and collects
+``.equ`` constants.  Symbol values are *not* resolved here — that is the
+assembler's job — so forward references work naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.directives import DataItem, is_directive
+from repro.asm.errors import AsmError
+from repro.asm.lexer import Line, lex
+from repro.isa import SPEC_BY_MNEMONIC
+from repro.isa.pseudo import PseudoError, expand, is_pseudo
+
+
+@dataclass
+class SourceInstruction:
+    """One real (post-expansion) instruction still in textual operand form."""
+
+    mnemonic: str
+    operands: list[str]
+    line: int
+    pseudo_origin: str | None = None
+
+
+@dataclass
+class TextEntry:
+    labels: list[str]
+    instruction: SourceInstruction
+
+
+@dataclass
+class DataEntry:
+    labels: list[str]
+    item: DataItem
+
+
+@dataclass
+class ParsedModule:
+    """Parser output: ordered segment contents plus assembly constants."""
+
+    text: list[TextEntry] = field(default_factory=list)
+    data: list[DataEntry] = field(default_factory=list)
+    constants: dict[str, int] = field(default_factory=dict)
+
+
+def _parse_equ(line: Line, module: ParsedModule) -> None:
+    if len(line.operands) != 2:
+        raise AsmError(".equ expects 'name, value'", line.number)
+    name, literal = line.operands
+    if name in module.constants:
+        raise AsmError(f"duplicate constant {name!r}", line.number)
+    try:
+        module.constants[name] = int(literal, 0)
+    except ValueError as exc:
+        raise AsmError(f".equ value must be an integer literal: {literal!r}",
+                       line.number) from exc
+
+
+def _parse_data_directive(line: Line, pending_labels: list[str],
+                          module: ParsedModule) -> None:
+    kind = line.mnemonic.lstrip(".")  # type: ignore[union-attr]
+    if kind in ("space", "align") and len(line.operands) != 1:
+        raise AsmError(f".{kind} expects one operand", line.number)
+    if kind in ("word", "half", "byte") and not line.operands:
+        raise AsmError(f".{kind} expects at least one value", line.number)
+    item = DataItem(kind=kind, values=list(line.operands), line=line.number)
+    module.data.append(DataEntry(labels=list(pending_labels), item=item))
+    pending_labels.clear()
+
+
+def _parse_instruction(line: Line, pending_labels: list[str],
+                       module: ParsedModule) -> None:
+    mnemonic = line.mnemonic
+    assert mnemonic is not None
+    if is_pseudo(mnemonic):
+        try:
+            expansion = expand(mnemonic, list(line.operands))
+        except PseudoError as exc:
+            raise AsmError(str(exc), line.number) from exc
+        for index, (real_mnemonic, operands) in enumerate(expansion):
+            entry = TextEntry(
+                labels=list(pending_labels) if index == 0 else [],
+                instruction=SourceInstruction(
+                    real_mnemonic, operands, line.number, pseudo_origin=mnemonic),
+            )
+            module.text.append(entry)
+        pending_labels.clear()
+        return
+    if mnemonic not in SPEC_BY_MNEMONIC:
+        raise AsmError(f"unknown mnemonic {mnemonic!r}", line.number)
+    module.text.append(TextEntry(
+        labels=list(pending_labels),
+        instruction=SourceInstruction(mnemonic, list(line.operands), line.number),
+    ))
+    pending_labels.clear()
+
+
+def parse(source: str) -> ParsedModule:
+    """Parse assembly source text into a :class:`ParsedModule`."""
+    module = ParsedModule()
+    segment = "text"
+    pending_text_labels: list[str] = []
+    pending_data_labels: list[str] = []
+
+    for line in lex(source):
+        pending = pending_text_labels if segment == "text" else pending_data_labels
+        pending.extend(line.labels)
+        mnemonic = line.mnemonic
+        if mnemonic is None:
+            continue
+        if is_directive(mnemonic):
+            if mnemonic == ".text":
+                segment = "text"
+            elif mnemonic == ".data":
+                segment = "data"
+            elif mnemonic in (".equ", ".set"):
+                _parse_equ(line, module)
+            elif mnemonic in (".globl", ".global"):
+                continue
+            else:
+                if segment != "data":
+                    raise AsmError(
+                        f"{mnemonic} is only valid in the .data segment", line.number)
+                _parse_data_directive(line, pending_data_labels, module)
+            continue
+        if segment != "text":
+            raise AsmError("instruction outside .text segment", line.number)
+        _parse_instruction(line, pending_text_labels, module)
+
+    if pending_text_labels:
+        raise AsmError(
+            f"label(s) at end of text segment with no instruction: "
+            f"{', '.join(pending_text_labels)}")
+    if pending_data_labels:
+        raise AsmError(
+            f"label(s) at end of data segment with no storage: "
+            f"{', '.join(pending_data_labels)}")
+    return module

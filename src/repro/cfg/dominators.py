@@ -1,0 +1,82 @@
+"""Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm).
+
+Dominators are the backbone of natural-loop detection: an edge
+``tail -> head`` is a back edge iff ``head`` dominates ``tail``.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+class DominatorTree:
+    """Immediate-dominator tree for the reachable part of a CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.idom: dict[int, int] = {}
+        self._rpo_index: dict[int, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        rpo = cfg.reverse_postorder()
+        self._rpo_index = {block_id: i for i, block_id in enumerate(rpo)}
+        entry = cfg.entry_id
+        idom: dict[int, int] = {entry: entry}
+
+        def intersect(a: int, b: int) -> int:
+            index = self._rpo_index
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block_id in rpo:
+                if block_id == entry:
+                    continue
+                preds = [p for p in cfg.blocks[block_id].predecessors
+                         if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(pred, new_idom)
+                if idom.get(block_id) != new_idom:
+                    idom[block_id] = new_idom
+                    changed = True
+        self.idom = idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block ``a`` dominates block ``b`` (reflexive)."""
+        if a == b:
+            return True
+        entry = self.cfg.entry_id
+        node = b
+        while node != entry:
+            node = self.idom.get(node, entry)
+            if node == a:
+                return True
+            if node == entry:
+                break
+        return a == entry
+
+    def dominator_chain(self, block_id: int) -> list[int]:
+        """Blocks dominating ``block_id``, innermost first (inclusive)."""
+        chain = [block_id]
+        entry = self.cfg.entry_id
+        node = block_id
+        while node != entry:
+            node = self.idom.get(node, entry)
+            chain.append(node)
+        return chain
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> DominatorTree:
+    """Convenience constructor."""
+    return DominatorTree(cfg)

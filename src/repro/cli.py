@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    kernels                     list the benchmark suite
+    run KERNEL [-m MACHINE]     run one kernel on one machine
+    compare KERNEL              run one kernel on all five machines
+    figure2                     regenerate Figure 2 (the headline result)
+    resources                   regenerate the storage/area tables (E3/E4)
+    timing                      regenerate the cycle-time report (E5)
+    disasm KERNEL [-m MACHINE]  disassemble a (transformed) kernel
+    explore KERNEL              loop/task structure report
+    sweep {penalty,switch-cost,nesting}   run an ablation sweep
+    tables KERNEL [-m MACHINE]  dump ZOLC tables after a run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm import assemble, disassemble_program
+from repro.eval.figures import figure2, render_figure2
+from repro.eval.machines import ALL_MACHINES, XR_DEFAULT, machine_by_name
+from repro.eval.metrics import improvement_percent
+from repro.eval.report import (
+    render_area_breakdown,
+    render_resource_table,
+    render_storage_breakdown,
+    render_timing_report,
+)
+from repro.eval.runner import run_kernel
+from repro.workloads.suite import registry
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    reg = registry()
+    print(f"{'name':<14} {'category':<10} description")
+    print("-" * 66)
+    for kernel in reg.all():
+        print(f"{kernel.name:<14} {kernel.category:<10} {kernel.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kernel = registry().get(args.kernel)
+    machine = machine_by_name(args.machine)
+    result = run_kernel(kernel, machine)
+    print(f"{kernel.name} on {machine.name}: verified={result.verified}")
+    print(f"  cycles        {result.cycles}")
+    print(f"  instructions  {result.instructions}")
+    print(f"  CPI           {result.cpi:.3f}")
+    if machine.kind == "zolc":
+        print(f"  loops driven  {result.transformed_loops}")
+        print(f"  task switches {result.zolc_task_switches}")
+        print(f"  init instrs   {result.zolc_init_instructions}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    kernel = registry().get(args.kernel)
+    print(f"{kernel.name}: {kernel.description}")
+    baseline = None
+    for machine in ALL_MACHINES:
+        result = run_kernel(kernel, machine)
+        if baseline is None:
+            baseline = result.cycles
+        saved = improvement_percent(result.cycles, baseline)
+        print(f"  {machine.name:<10} {result.cycles:>9} cycles"
+              f"  ({saved:5.1f} % vs XRdefault)")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    print(render_figure2(figure2()))
+    return 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    print(render_resource_table())
+    print()
+    print(render_storage_breakdown())
+    print()
+    print(render_area_breakdown())
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    print(render_timing_report())
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    kernel = registry().get(args.kernel)
+    machine = machine_by_name(args.machine)
+    prepared = machine.prepare(kernel.source)
+    print(f"# {kernel.name} prepared for {machine.name}")
+    print(disassemble_program(prepared.program))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval.ablation import run_sweep
+
+    result = run_sweep(args.sweep)
+    print(result.render())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core.debug import dump_tables
+
+    kernel = registry().get(args.kernel)
+    machine = machine_by_name(args.machine)
+    if machine.kind != "zolc":
+        print("tables requires a ZOLC machine (-m uZOLC/ZOLClite/ZOLCfull)",
+              file=sys.stderr)
+        return 2
+    prepared = machine.prepare(kernel.source)
+    simulator = prepared.make_simulator()
+    simulator.run()
+    print(dump_tables(simulator.zolc))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.cfg import build_cfg, extract_tasks, find_loops
+
+    kernel = registry().get(args.kernel)
+    program = assemble(kernel.source)
+    cfg = build_cfg(program)
+    forest = find_loops(cfg)
+    graph = extract_tasks(cfg, forest)
+    print(f"{kernel.name}: {len(program.instructions)} instructions, "
+          f"{len(cfg.blocks)} blocks, {len(forest.loops)} loops "
+          f"(max depth {forest.max_depth()}), {len(graph.tasks)} tasks")
+    for loop in forest.loops:
+        header = cfg.blocks[loop.header].start
+        print(f"  loop {loop.id}: header {header:#06x} depth {loop.depth}"
+              f" blocks {len(loop.blocks)}"
+              f"{' multi-exit' if loop.is_multi_exit() else ''}")
+    for task in graph.tasks:
+        level = f"loop {task.loop_id}" if task.loop_id is not None else "top"
+        print(f"  task {task.id}: [{task.start:#06x}..{task.end:#06x}]"
+              f" ({level})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZOLC reproduction (Kavvadias & Nikolaidis, DATE 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list benchmarks").set_defaults(
+        func=_cmd_kernels)
+
+    run_parser = sub.add_parser("run", help="run one kernel")
+    run_parser.add_argument("kernel")
+    run_parser.add_argument("-m", "--machine", default=XR_DEFAULT.name)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="run one kernel on all machines")
+    compare_parser.add_argument("kernel")
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    sub.add_parser("figure2", help="regenerate Figure 2").set_defaults(
+        func=_cmd_figure2)
+    sub.add_parser("resources", help="E3/E4 resource tables").set_defaults(
+        func=_cmd_resources)
+    sub.add_parser("timing", help="E5 cycle-time report").set_defaults(
+        func=_cmd_timing)
+
+    disasm_parser = sub.add_parser("disasm", help="disassemble a kernel")
+    disasm_parser.add_argument("kernel")
+    disasm_parser.add_argument("-m", "--machine", default=XR_DEFAULT.name)
+    disasm_parser.set_defaults(func=_cmd_disasm)
+
+    explore_parser = sub.add_parser("explore", help="loop/task structure")
+    explore_parser.add_argument("kernel")
+    explore_parser.set_defaults(func=_cmd_explore)
+
+    sweep_parser = sub.add_parser("sweep", help="run a named ablation sweep")
+    sweep_parser.add_argument("sweep",
+                              choices=("penalty", "switch-cost", "nesting"))
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    tables_parser = sub.add_parser(
+        "tables", help="dump ZOLC tables after running a kernel")
+    tables_parser.add_argument("kernel")
+    tables_parser.add_argument("-m", "--machine", default="ZOLClite")
+    tables_parser.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

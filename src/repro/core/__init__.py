@@ -1,0 +1,56 @@
+"""The paper's contribution: the Zero-Overhead Loop Controller (ZOLC)."""
+
+from repro.core.config import (
+    CANONICAL_CONFIGS,
+    UZOLC,
+    ZOLC_FULL,
+    ZOLC_LITE,
+    ZolcConfig,
+    config_by_name,
+    with_bound_reload,
+)
+from repro.core.controller import ZolcController
+from repro.core.costs import (
+    AreaBreakdown,
+    StorageBreakdown,
+    area_breakdown,
+    equivalent_gates,
+    storage_breakdown,
+    storage_bytes,
+)
+from repro.core.init_seq import (
+    EntryInitSpec,
+    ExitInitSpec,
+    LoopInitSpec,
+    ValueSource,
+    ZolcProgramSpec,
+    emit_init_sequence,
+)
+from repro.core.tables import ZolcTables
+from repro.core.task_select import Decision, TaskSelectionUnit
+
+__all__ = [
+    "AreaBreakdown",
+    "CANONICAL_CONFIGS",
+    "Decision",
+    "EntryInitSpec",
+    "ExitInitSpec",
+    "LoopInitSpec",
+    "StorageBreakdown",
+    "TaskSelectionUnit",
+    "UZOLC",
+    "ValueSource",
+    "ZOLC_FULL",
+    "ZOLC_LITE",
+    "ZolcConfig",
+    "ZolcController",
+    "ZolcProgramSpec",
+    "ZolcTables",
+    "area_breakdown",
+    "config_by_name",
+    "emit_init_sequence",
+    "equivalent_gates",
+    "storage_breakdown",
+    "storage_bytes",
+    "with_bound_reload",
+]

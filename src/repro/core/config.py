@@ -1,0 +1,101 @@
+"""ZOLC hardware configurations.
+
+The paper evaluates three instances (Section 3):
+
+* **uZOLC** — "usable for single loops": one loop, no task-selection
+  LUT, re-armed before each loop entry (like the single hardware loop of
+  contemporary DSPs);
+* **ZOLClite** — 32 task-switching entries, 8-loop structure, but no
+  multiple-entry/exit support;
+* **ZOLCfull** — ZOLClite plus up to 4 entries/exits per loop.
+
+Custom configurations can be constructed for ablation studies; the cost
+model (:mod:`repro.core.costs`) extrapolates storage and gate counts
+from the same parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ZolcConfig:
+    """Parameters of one ZOLC hardware instance."""
+
+    name: str
+    max_loops: int
+    max_task_entries: int
+    entries_per_loop: int          # entry/exit record pairs per loop
+    multi_entry_exit: bool         # ZOLCfull's extra records + muxes
+    has_task_lut: bool = True      # uZOLC has none (single loop)
+    single_shot: bool = False      # uZOLC disarms when its loop expires
+    index_write_ports: int = 2     # architectural index writes per cycle
+    #: Extension beyond the DATE'05 paper (added in the authors' journal
+    #: follow-up): loops whose bound register is recomputed by an
+    #: enclosing loop stay eligible — the transform emits a one-
+    #: instruction ``mtz`` reload of the TRIPS/INITIAL table entries at
+    #: the loop's own preheader.  No extra hardware: the initialization
+    #: write path already exists and tables are readable while armed.
+    bound_reload: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_loops < 1:
+            raise ValueError("max_loops must be >= 1")
+        if self.entries_per_loop < 1:
+            raise ValueError("entries_per_loop must be >= 1")
+        if self.max_task_entries < 0:
+            raise ValueError("max_task_entries must be >= 0")
+        if self.has_task_lut and self.max_task_entries == 0:
+            raise ValueError("a task LUT needs at least one entry")
+        if not self.multi_entry_exit and self.entries_per_loop != 1:
+            raise ValueError(
+                "entries_per_loop > 1 requires multi_entry_exit support")
+
+    @property
+    def max_exit_records(self) -> int:
+        """Total data-dependent exit records across all loops."""
+        if not self.multi_entry_exit:
+            return 0
+        return self.max_loops * self.entries_per_loop
+
+    @property
+    def max_entry_records(self) -> int:
+        """Total side-entry records across all loops."""
+        return self.max_exit_records
+
+
+#: uZOLC — single-loop controller, re-armed per loop entry.
+UZOLC = ZolcConfig(
+    name="uZOLC", max_loops=1, max_task_entries=0, entries_per_loop=1,
+    multi_entry_exit=False, has_task_lut=False, single_shot=True)
+
+#: ZOLClite — arbitrary nests, single entry/exit per loop.
+ZOLC_LITE = ZolcConfig(
+    name="ZOLClite", max_loops=8, max_task_entries=32, entries_per_loop=1,
+    multi_entry_exit=False)
+
+#: ZOLCfull — arbitrary nests with up to 4 entries/exits per loop.
+ZOLC_FULL = ZolcConfig(
+    name="ZOLCfull", max_loops=8, max_task_entries=32, entries_per_loop=4,
+    multi_entry_exit=True)
+
+CANONICAL_CONFIGS: tuple[ZolcConfig, ...] = (UZOLC, ZOLC_LITE, ZOLC_FULL)
+
+
+def with_bound_reload(config: ZolcConfig) -> ZolcConfig:
+    """The same hardware point with the bound-reload extension enabled."""
+    from dataclasses import replace
+
+    if config.bound_reload:
+        return config
+    return replace(config, name=config.name + "+br", bound_reload=True)
+
+
+def config_by_name(name: str) -> ZolcConfig:
+    """Look up one of the canonical configurations by its paper name."""
+    for config in CANONICAL_CONFIGS:
+        if config.name.lower() == name.lower():
+            return config
+    raise KeyError(f"unknown ZOLC configuration {name!r}; "
+                   f"known: {', '.join(c.name for c in CANONICAL_CONFIGS)}")

@@ -1,0 +1,211 @@
+"""The ZOLC controller: initialization and active modes.
+
+This is the top-level behavioural model of the paper's Figure 1 unit.
+It plugs into the simulator through :class:`repro.cpu.ZolcPort`:
+
+* **initialization mode** — ``mtz`` instructions stream table contents
+  in through :meth:`write`; writing 1 to ``CTRL_ARM`` validates the
+  tables and enters active mode (writing the initial index values to
+  the register file, carried by the next retirement's
+  :class:`~repro.cpu.ZolcAction`);
+
+* **active mode** — :meth:`on_retire` watches the instruction stream:
+
+  - a *taken* branch matching an **exit record** resets the abandoned
+    loops' status (multi-exit support, ZOLCfull);
+  - arrival at an **entry record**'s target from outside the loop seeds
+    the loop's progress from its index register (multi-entry support,
+    ZOLCfull);
+  - arrival at a **trigger address** (where a removed latch used to be)
+    runs the task selection unit: loop back (PC redirect + index write)
+    or expire (fall through, possibly cascading into the parent's
+    decision within the same zero-cycle task switch).
+
+Every decision costs **zero cycles** — the redirect happens in PC
+decode, and index writes ride the ZOLC's dedicated register-file write
+path (see DESIGN.md §6 for the modelling assumptions).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ZolcConfig
+from repro.core.index_unit import iterations_from_index
+from repro.core.tables import (
+    CTRL_ARM,
+    CTRL_RESET,
+    CTRL_STATUS,
+    NO_TRIGGER,
+    ZolcTables,
+)
+from repro.core.task_select import TaskSelectionUnit
+from repro.cpu.exceptions import ZolcFaultError
+from repro.cpu.simulator import ZolcAction
+from repro.cpu.state import RegisterFile
+
+
+class ZolcController:
+    """Behavioural ZOLC implementing the simulator's ``ZolcPort``."""
+
+    def __init__(self, config: ZolcConfig,
+                 regs: RegisterFile | None = None):
+        self.config = config
+        self.tables = ZolcTables(config)
+        self.unit = TaskSelectionUnit(self.tables)
+        self.regs = regs  # bound by attach() or at Simulator construction
+        self._armed = False
+        self._pending_writes: list[tuple[int, int]] = []
+        self._watch: dict[int, int] = {}          # trigger pc -> loop id
+        self._exit_by_branch: dict[int, int] = {}  # branch pc -> record id
+        self._entry_by_target: dict[int, int] = {}  # entry pc -> record id
+        # Statistics observable by the evaluation harness.
+        self.task_switches = 0
+        self.exit_events = 0
+        self.entry_events = 0
+        self.arm_count = 0
+
+    # -- ZolcPort ----------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._armed or bool(self._pending_writes)
+
+    def attach(self, regs: RegisterFile) -> None:
+        """Bind the architectural register file (for entry records)."""
+        self.regs = regs
+
+    def write(self, selector: int, value: int) -> None:
+        """Initialization-mode table write (the ``mtz`` instruction)."""
+        if selector == CTRL_RESET:
+            self.tables.reset()
+            self._armed = False
+            self._pending_writes.clear()
+            return
+        if selector == CTRL_ARM:
+            if value & 1:
+                self._arm()
+            else:
+                self._armed = False
+            return
+        if selector == CTRL_STATUS:
+            raise ZolcFaultError("CTRL_STATUS is read-only")
+        self.tables.write(selector, value)
+
+    def read(self, selector: int) -> int:
+        """Table read-back (the ``mfz`` instruction)."""
+        if selector == CTRL_STATUS:
+            return 1 if self._armed else 0
+        if selector in (CTRL_ARM, CTRL_RESET):
+            return 0
+        return self.tables.read(selector)
+
+    def _arm(self) -> None:
+        self.tables.validate()
+        self._check_capacity()
+        self.unit.prepare()
+        self._watch = {}
+        for loop_id in self.tables.valid_loops():
+            trigger = self.tables.loops[loop_id].trigger_pc
+            if trigger != NO_TRIGGER:
+                if trigger in self._watch:
+                    raise ZolcFaultError(
+                        f"loops {self._watch[trigger]} and {loop_id} share "
+                        f"trigger {trigger:#x}; the outer loop must cascade")
+                self._watch[trigger] = loop_id
+        self._exit_by_branch = {
+            rec.branch_pc: i for i, rec in enumerate(self.tables.exits)
+            if rec.valid
+        }
+        self._entry_by_target = {
+            rec.entry_pc: i for i, rec in enumerate(self.tables.entries)
+            if rec.valid
+        }
+        # Index registers take their initial values on arming, so the
+        # first iteration of every loop reads a correct index.
+        self._pending_writes = self.unit.initial_index_writes()
+        self._armed = True
+        self.arm_count += 1
+
+    def _check_capacity(self) -> None:
+        n_loops = len(self.tables.valid_loops())
+        if n_loops > self.config.max_loops:
+            raise ZolcFaultError(
+                f"{n_loops} loops exceed {self.config.name}'s capacity")
+        if self.config.has_task_lut:
+            # One LUT entry per loop-back decision plus one per expiry
+            # continuation (two per loop), plus exits and entries.
+            entries = 2 * n_loops
+            entries += sum(1 for rec in self.tables.exits if rec.valid)
+            entries += sum(1 for rec in self.tables.entries if rec.valid)
+            if entries > self.config.max_task_entries:
+                raise ZolcFaultError(
+                    f"{entries} task entries exceed "
+                    f"{self.config.max_task_entries} in {self.config.name}")
+
+    # -- active mode -------------------------------------------------------
+    def on_retire(self, pc: int, next_pc: int,
+                  taken: bool = False) -> ZolcAction | None:
+        """Observe one retirement; possibly redirect the next fetch.
+
+        ``taken`` reports whether the retiring instruction performed a
+        (taken) control transfer — needed because after latch removal an
+        exit target can collapse onto the branch's fall-through address,
+        making takenness undecidable from addresses alone.
+        """
+        if not self._armed and not self._pending_writes:
+            return None
+        writes: list[tuple[int, int]] = []
+        if self._pending_writes:
+            writes = self._pending_writes
+            self._pending_writes = []
+        if not self._armed:
+            return ZolcAction(None, writes) if writes else None
+
+        # 1. Data-dependent exits (multi-exit loops, ZOLCfull).
+        record_id = self._exit_by_branch.get(pc)
+        if record_id is not None:
+            record = self.tables.exits[record_id]
+            if taken and next_pc == record.target_pc:
+                self.unit.reset_loops(record.reset_mask)
+                self.exit_events += 1
+                return ZolcAction(None, writes) if writes else ZolcAction(None)
+
+        # 2. Side entries (multiple-entry loops, ZOLCfull).
+        record_id = self._entry_by_target.get(next_pc)
+        if record_id is not None and self._is_outside(pc, next_pc):
+            record = self.tables.entries[record_id]
+            loop = self.tables.loops[record.loop]
+            if self.regs is None:
+                raise ZolcFaultError(
+                    "entry records require an attached register file")
+            reg_value = self.regs.read(loop.index_reg)
+            done = iterations_from_index(loop, reg_value)
+            if done >= loop.trips:
+                raise ZolcFaultError(
+                    f"side entry with index past the final iteration "
+                    f"({done} >= {loop.trips})")
+            self.unit.status[record.loop].iterations_done = done
+            self.entry_events += 1
+            return ZolcAction(None, writes) if writes else ZolcAction(None)
+
+        # 3. Trigger addresses: the task-end signal.
+        loop_id = self._watch.get(next_pc)
+        if loop_id is not None:
+            decision = self.unit.decide(loop_id)
+            self.task_switches += 1
+            if self.config.single_shot and decision.next_pc is None:
+                self._armed = False
+            return ZolcAction(decision.next_pc,
+                              writes + decision.index_writes,
+                              is_task_switch=True)
+
+        if writes:
+            return ZolcAction(None, writes)
+        return None
+
+    def _is_outside(self, pc: int, entry_pc: int) -> bool:
+        """Whether ``pc`` lies outside the loop that ``entry_pc`` enters."""
+        record = self.tables.entries[self._entry_by_target[entry_pc]]
+        loop = self.tables.loops[record.loop]
+        # The loop's code span is [body_pc, trigger) for triggered loops;
+        # cascaded loops inherit the innermost trigger below them.
+        end = loop.trigger_pc if loop.trigger_pc != NO_TRIGGER else entry_pc
+        return not loop.body_pc <= pc < end

@@ -1,0 +1,126 @@
+"""ZOLC hardware cost model (storage bytes and equivalent gates).
+
+The paper reports, for uZOLC / ZOLClite / ZOLCfull respectively:
+
+* storage: **30 / 258 / 642 bytes**;
+* combinational area: **298 / 4056 / 4428 equivalent gates**.
+
+Only the totals are published; the component-level decomposition below
+is our model, chosen so that (a) each term corresponds to a named block
+of the paper's Figure 1 architecture and (b) the three published points
+are reproduced *exactly* from the configuration parameters alone.  The
+same formulas extrapolate to custom configurations for ablations.
+
+Storage decomposition (bytes)::
+
+    task LUT            T x 1     (next-task entry per task switch)
+    loop parameter table L x 12   (initial, step, trip count: 3 words)
+    entry/exit records  L x E x 16 (entry record 4 B + exit record 12 B:
+                                    branch PC, target PC, reset mask)
+    status registers    2         (current task id + loop status)
+
+Combinational decomposition (equivalent gates)::
+
+    control FSM         48 (uZOLC) / 136 (with task LUT sequencing)
+    per-loop datapath   L x 250 (32-bit index adder 150 +
+                                 bound comparator 84 + loop control 16)
+    task-selection LUT  T x 60  (LUT addressing + next-task decode)
+    multi-exit unit     L x 42 + 36 (4-way exit-address mux per loop +
+                                     shared exit-condition checker)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZolcConfig
+
+# Storage model constants (bytes).
+TASK_LUT_ENTRY_BYTES = 1
+LOOP_PARAM_BYTES = 12
+ENTRY_RECORD_BYTES = 4
+EXIT_RECORD_BYTES = 12
+STATUS_BYTES = 2
+
+# Combinational model constants (equivalent gates).
+FSM_GATES_SIMPLE = 48
+FSM_GATES_TASK_SEQ = 136
+INDEX_ADDER_GATES = 150
+BOUND_COMPARATOR_GATES = 84
+LOOP_CONTROL_GATES = 16
+LOOP_DATAPATH_GATES = (INDEX_ADDER_GATES + BOUND_COMPARATOR_GATES
+                       + LOOP_CONTROL_GATES)
+TASK_ENTRY_GATES = 60
+EXIT_MUX_GATES_PER_LOOP = 42
+EXIT_CONDITION_CHECKER_GATES = 36
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Per-component storage (bytes)."""
+
+    task_lut: int
+    loop_params: int
+    entry_exit_records: int
+    status: int
+
+    @property
+    def total(self) -> int:
+        return (self.task_lut + self.loop_params
+                + self.entry_exit_records + self.status)
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component combinational area (equivalent gates)."""
+
+    fsm: int
+    loop_datapath: int
+    task_selection: int
+    multi_exit_unit: int
+
+    @property
+    def total(self) -> int:
+        return (self.fsm + self.loop_datapath
+                + self.task_selection + self.multi_exit_unit)
+
+
+def storage_breakdown(config: ZolcConfig) -> StorageBreakdown:
+    """Storage requirement of one ZOLC configuration."""
+    task_lut = (config.max_task_entries * TASK_LUT_ENTRY_BYTES
+                if config.has_task_lut else 0)
+    loop_params = config.max_loops * LOOP_PARAM_BYTES
+    per_pair = ENTRY_RECORD_BYTES + EXIT_RECORD_BYTES
+    entry_exit = config.max_loops * config.entries_per_loop * per_pair
+    return StorageBreakdown(
+        task_lut=task_lut,
+        loop_params=loop_params,
+        entry_exit_records=entry_exit,
+        status=STATUS_BYTES,
+    )
+
+
+def storage_bytes(config: ZolcConfig) -> int:
+    """Total storage bytes (paper: 30 / 258 / 642)."""
+    return storage_breakdown(config).total
+
+
+def area_breakdown(config: ZolcConfig) -> AreaBreakdown:
+    """Combinational area of one ZOLC configuration."""
+    fsm = FSM_GATES_TASK_SEQ if config.has_task_lut else FSM_GATES_SIMPLE
+    loops = config.max_loops * LOOP_DATAPATH_GATES
+    tasks = (config.max_task_entries * TASK_ENTRY_GATES
+             if config.has_task_lut else 0)
+    exits = 0
+    if config.multi_entry_exit:
+        exits = (config.max_loops * EXIT_MUX_GATES_PER_LOOP
+                 + EXIT_CONDITION_CHECKER_GATES)
+    return AreaBreakdown(
+        fsm=fsm, loop_datapath=loops, task_selection=tasks,
+        multi_exit_unit=exits,
+    )
+
+
+def equivalent_gates(config: ZolcConfig) -> int:
+    """Total equivalent gates (paper: 298 / 4056 / 4428)."""
+    return area_breakdown(config).total

@@ -1,0 +1,45 @@
+"""Human-readable dumps of ZOLC controller state (debug tooling)."""
+
+from __future__ import annotations
+
+from repro.core.controller import ZolcController
+from repro.core.tables import NO_PARENT, NO_TRIGGER
+from repro.isa.registers import register_name
+
+
+def dump_tables(controller: ZolcController) -> str:
+    """Render programmed tables + runtime status as text."""
+    lines = [
+        f"ZOLC {controller.config.name}: "
+        f"{'ARMED' if controller.read(2) else 'idle'}, "
+        f"{controller.task_switches} task switch(es), "
+        f"{controller.exit_events} exit(s), "
+        f"{controller.entry_events} entry event(s), "
+        f"armed {controller.arm_count}x",
+    ]
+    for loop_id in controller.tables.valid_loops():
+        record = controller.tables.loops[loop_id]
+        status = controller.unit.status[loop_id]
+        trigger = ("cascade-only" if record.trigger_pc == NO_TRIGGER
+                   else f"{record.trigger_pc:#06x}")
+        parent = ("-" if record.parent == NO_PARENT
+                  else str(record.parent))
+        lines.append(
+            f"  loop {loop_id}: trips={record.trips} "
+            f"initial={record.initial} step={record.step & 0xFFFFFFFF:#x} "
+            f"index={register_name(record.index_reg)} "
+            f"body={record.body_pc:#06x} trigger={trigger} "
+            f"parent={parent}{' cascade' if record.cascade else ''} "
+            f"done={status.iterations_done}")
+    for index, record in enumerate(controller.tables.exits):
+        if record.valid:
+            lines.append(
+                f"  exit {index}: branch={record.branch_pc:#06x} "
+                f"target={record.target_pc:#06x} "
+                f"resets={record.reset_mask:#04b}")
+    for index, record in enumerate(controller.tables.entries):
+        if record.valid:
+            lines.append(
+                f"  entry {index}: target={record.entry_pc:#06x} "
+                f"loop={record.loop}")
+    return "\n".join(lines)

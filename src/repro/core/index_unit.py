@@ -1,0 +1,49 @@
+"""Index calculation unit.
+
+The paper (Section 2, "active" mode, step c): "loop indices are updated
+and written back to the integer register file".  This unit computes the
+architectural index value of a loop from its iteration progress:
+
+    index(k) = initial + k * step      (mod 2**32)
+
+and, for ZOLCfull side entries, inverts the mapping to recover the
+iteration count from a register value.
+
+The hardware unit is an adder per loop (see the cost model's
+``INDEX_ADDER_GATES``); the multiply below is the software shortcut for
+"initial plus step accumulated k times".
+"""
+
+from __future__ import annotations
+
+from repro.core.tables import LoopRecord
+from repro.cpu.exceptions import ZolcFaultError
+from repro.util.bitops import MASK32, to_signed32
+
+
+def index_value(record: LoopRecord, iterations_done: int) -> int:
+    """Architectural index value after ``iterations_done`` iterations."""
+    return (record.initial + iterations_done * record.step) & MASK32
+
+
+def iterations_from_index(record: LoopRecord, reg_value: int) -> int:
+    """Invert :func:`index_value`: recover the iteration count.
+
+    Used by side-entry records (ZOLCfull): entering a loop mid-body, the
+    ZOLC derives the loop's progress from the architectural index
+    register, which the entering code is responsible for setting.
+    """
+    step = to_signed32(record.step)
+    if step == 0:
+        raise ZolcFaultError("side entry into a loop with step 0")
+    delta = to_signed32((reg_value - record.initial) & MASK32)
+    if delta % step:
+        raise ZolcFaultError(
+            f"index register value {reg_value:#x} is not reachable from "
+            f"initial {record.initial:#x} with step {step}")
+    done = delta // step
+    if done < 0:
+        raise ZolcFaultError(
+            f"index register value {reg_value:#x} precedes the loop's "
+            f"initial value")
+    return done

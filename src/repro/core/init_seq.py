@@ -1,0 +1,187 @@
+"""Generation of the ZOLC initialization instruction sequence.
+
+Paper, Section 2: "In 'initialization' mode, the ZOLC storage resources
+are initialized with the known loop bound values and the loop structure
+encoding by a special instruction sequence."
+
+Given a :class:`ZolcProgramSpec` (produced by the ZOLC code transform),
+this module emits that sequence as textual
+:class:`~repro.asm.parser.SourceInstruction` lists ready to be spliced
+into a program: a stream of ``mtz`` writes (with ``at``-staged constants
+where needed) followed by the arming write.  The sequence executes once,
+outside the loop nest, which is why its overhead is "very small"
+(benchmarked by ``bench_init_overhead``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.parser import SourceInstruction
+from repro.core import tables as T
+from repro.isa.registers import register_index
+from repro.util.bitops import fits_signed, fits_unsigned, to_unsigned32
+
+#: Staging register for immediate table values (the assembler temporary).
+STAGING_REG = "at"
+
+
+@dataclass(frozen=True)
+class ValueSource:
+    """Where an initialization value comes from at run time."""
+
+    kind: str               # "imm" | "reg" | "label"
+    value: int | str = 0
+
+    @staticmethod
+    def imm(value: int) -> "ValueSource":
+        return ValueSource("imm", value)
+
+    @staticmethod
+    def reg(name: str) -> "ValueSource":
+        return ValueSource("reg", name)
+
+    @staticmethod
+    def label(name: str) -> "ValueSource":
+        return ValueSource("label", name)
+
+
+@dataclass
+class LoopInitSpec:
+    """Everything needed to program one loop table row."""
+
+    loop_id: int
+    trips: ValueSource
+    initial: ValueSource
+    step: int
+    index_reg: str
+    body_label: str
+    trigger_label: str | None       # None => decided purely by cascade
+    parent: int | None = None
+    cascade: bool = False
+
+
+@dataclass
+class ExitInitSpec:
+    """One exit record (multi-exit loops, ZOLCfull)."""
+
+    record_id: int
+    branch_label: str
+    target_label: str
+    reset_mask: int
+
+
+@dataclass
+class EntryInitSpec:
+    """One entry record (multiple-entry loops, ZOLCfull)."""
+
+    record_id: int
+    entry_label: str
+    loop_id: int
+
+
+@dataclass
+class ZolcProgramSpec:
+    """The complete loop-structure encoding of one program."""
+
+    loops: list[LoopInitSpec] = field(default_factory=list)
+    exits: list[ExitInitSpec] = field(default_factory=list)
+    entries: list[EntryInitSpec] = field(default_factory=list)
+
+
+def _src(mnemonic: str, operands: list[str], line: int = 0) -> SourceInstruction:
+    return SourceInstruction(mnemonic, operands, line, pseudo_origin="zolc-init")
+
+
+def _emit_value(selector: int, source: ValueSource,
+                out: list[SourceInstruction]) -> None:
+    """Emit instructions writing ``source``'s value to ``selector``."""
+    if not fits_unsigned(selector, 16):
+        raise ValueError(f"selector {selector:#x} exceeds 16 bits")
+    if source.kind == "reg":
+        out.append(_src("mtz", [str(source.value), str(selector)]))
+        return
+    if source.kind == "label":
+        # Text addresses fit in 16 bits on our memory map, so a single
+        # ori materialises the PC value.
+        out.append(_src("ori", [STAGING_REG, "zero", f"%lo({source.value})"]))
+        out.append(_src("mtz", [STAGING_REG, str(selector)]))
+        return
+    if source.kind != "imm":
+        raise ValueError(f"unknown value source kind {source.kind!r}")
+    value = int(source.value)
+    if fits_signed(value, 16):
+        out.append(_src("addi", [STAGING_REG, "zero", str(value)]))
+    else:
+        uval = to_unsigned32(value)
+        out.append(_src("lui", [STAGING_REG, str((uval >> 16) & 0xFFFF)]))
+        out.append(_src("ori", [STAGING_REG, STAGING_REG, str(uval & 0xFFFF)]))
+    out.append(_src("mtz", [STAGING_REG, str(selector)]))
+
+
+def emit_loop_init(spec: LoopInitSpec) -> list[SourceInstruction]:
+    """The ``mtz`` stream programming one loop table row."""
+    out: list[SourceInstruction] = []
+    sel = lambda fieldno: T.loop_selector(spec.loop_id, fieldno)
+    _emit_value(sel(T.F_TRIPS), spec.trips, out)
+    _emit_value(sel(T.F_INITIAL), spec.initial, out)
+    _emit_value(sel(T.F_STEP), ValueSource.imm(spec.step), out)
+    _emit_value(sel(T.F_INDEX_REG),
+                ValueSource.imm(register_index(spec.index_reg)), out)
+    _emit_value(sel(T.F_BODY_PC), ValueSource.label(spec.body_label), out)
+    if spec.trigger_label is not None:
+        _emit_value(sel(T.F_TRIGGER_PC),
+                    ValueSource.label(spec.trigger_label), out)
+    if spec.parent is not None:
+        _emit_value(sel(T.F_PARENT), ValueSource.imm(spec.parent), out)
+    flags = T.FLAG_VALID | (T.FLAG_CASCADE if spec.cascade else 0)
+    _emit_value(sel(T.F_FLAGS), ValueSource.imm(flags), out)
+    return out
+
+
+def emit_exit_init(spec: ExitInitSpec) -> list[SourceInstruction]:
+    out: list[SourceInstruction] = []
+    sel = lambda fieldno: T.exit_selector(spec.record_id, fieldno)
+    _emit_value(sel(T.X_BRANCH_PC), ValueSource.label(spec.branch_label), out)
+    _emit_value(sel(T.X_TARGET_PC), ValueSource.label(spec.target_label), out)
+    _emit_value(sel(T.X_RESET_MASK), ValueSource.imm(spec.reset_mask), out)
+    _emit_value(sel(T.X_FLAGS), ValueSource.imm(T.FLAG_VALID), out)
+    return out
+
+
+def emit_entry_init(spec: EntryInitSpec) -> list[SourceInstruction]:
+    out: list[SourceInstruction] = []
+    sel = lambda fieldno: T.entry_selector(spec.record_id, fieldno)
+    _emit_value(sel(T.N_ENTRY_PC), ValueSource.label(spec.entry_label), out)
+    _emit_value(sel(T.N_LOOP), ValueSource.imm(spec.loop_id), out)
+    _emit_value(sel(T.N_FLAGS), ValueSource.imm(T.FLAG_VALID), out)
+    return out
+
+
+def emit_reset() -> list[SourceInstruction]:
+    """Clear all tables (used when re-programming, e.g. uZOLC)."""
+    return [_src("mtz", ["zero", str(T.CTRL_RESET)])]
+
+
+def emit_arm() -> list[SourceInstruction]:
+    """Validate tables and enter active mode."""
+    return [
+        _src("addi", [STAGING_REG, "zero", "1"]),
+        _src("mtz", [STAGING_REG, str(T.CTRL_ARM)]),
+    ]
+
+
+def emit_init_sequence(spec: ZolcProgramSpec,
+                       reset_first: bool = False) -> list[SourceInstruction]:
+    """The full initialization sequence for one program (or region)."""
+    out: list[SourceInstruction] = []
+    if reset_first:
+        out.extend(emit_reset())
+    for loop_spec in spec.loops:
+        out.extend(emit_loop_init(loop_spec))
+    for exit_spec in spec.exits:
+        out.extend(emit_exit_init(exit_spec))
+    for entry_spec in spec.entries:
+        out.extend(emit_entry_init(entry_spec))
+    out.extend(emit_arm())
+    return out

@@ -1,0 +1,253 @@
+"""ZOLC storage resources and the ``mtz``/``mfz`` selector map.
+
+The paper's initialization mode loads "the known loop bound values and
+the loop structure encoding by a special instruction sequence".  Our
+special instruction is ``mtz rt, selector``: the 32-bit value of ``rt``
+is written to the ZOLC table location named by the 16-bit selector.
+``mfz`` reads locations back (used by tests and debug tooling).
+
+Selector layout (16-bit)::
+
+    0x0000  CTRL_ARM      write 1 to arm (enter active mode), 0 to disarm
+    0x0001  CTRL_RESET    write any value to clear all tables
+    0x0002  CTRL_STATUS   read-only: 1 if armed
+
+    0x0100 + 0x10*l + k   loop table, loop l, field k:
+        k=0 TRIPS        iteration count (>= 1)
+        k=1 INITIAL      initial index value
+        k=2 STEP         index step (two's complement)
+        k=3 INDEX_REG    architectural register updated by the index unit
+        k=4 BODY_PC      loop-back target (first body instruction)
+        k=5 TRIGGER_PC   watched address of the (removed) latch;
+                         NO_TRIGGER if this loop is decided by cascade
+        k=6 PARENT       parent loop id, NO_PARENT for outermost
+        k=7 FLAGS        bit0 VALID, bit1 CASCADE (on expiry, the parent
+                         loop's decision runs in the same task switch)
+
+    0x1000 + 4*r + k      exit record r (ZOLCfull):
+        k=0 BRANCH_PC    address of the in-loop exit branch
+        k=1 TARGET_PC    where the taken branch lands (outside the loop)
+        k=2 RESET_MASK   bit l set => loop l's status resets on this exit
+        k=3 FLAGS        bit0 VALID
+
+    0x2000 + 4*r + k      entry record r (ZOLCfull):
+        k=0 ENTRY_PC     side-entry target address inside a loop body
+        k=1 LOOP         loop id entered
+        k=2 FLAGS        bit0 VALID
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ZolcConfig
+from repro.cpu.exceptions import ZolcFaultError
+
+# Control selectors.
+CTRL_ARM = 0x0000
+CTRL_RESET = 0x0001
+CTRL_STATUS = 0x0002
+
+# Loop table.
+LOOP_BASE = 0x0100
+LOOP_STRIDE = 0x10
+F_TRIPS = 0
+F_INITIAL = 1
+F_STEP = 2
+F_INDEX_REG = 3
+F_BODY_PC = 4
+F_TRIGGER_PC = 5
+F_PARENT = 6
+F_FLAGS = 7
+LOOP_FIELD_COUNT = 8
+
+# Exit / entry record tables.
+EXIT_BASE = 0x1000
+ENTRY_BASE = 0x2000
+RECORD_STRIDE = 4
+X_BRANCH_PC = 0
+X_TARGET_PC = 1
+X_RESET_MASK = 2
+X_FLAGS = 3
+N_ENTRY_PC = 0
+N_LOOP = 1
+N_FLAGS = 2
+
+FLAG_VALID = 0x1
+FLAG_CASCADE = 0x2
+
+NO_PARENT = 0xFFFF
+NO_TRIGGER = 0xFFFFFFFF
+
+
+def loop_selector(loop_id: int, fieldno: int) -> int:
+    """Selector for loop table field ``fieldno`` of loop ``loop_id``."""
+    if not 0 <= fieldno < LOOP_FIELD_COUNT:
+        raise ValueError(f"bad loop field {fieldno}")
+    return LOOP_BASE + LOOP_STRIDE * loop_id + fieldno
+
+
+def exit_selector(record_id: int, fieldno: int) -> int:
+    return EXIT_BASE + RECORD_STRIDE * record_id + fieldno
+
+
+def entry_selector(record_id: int, fieldno: int) -> int:
+    return ENTRY_BASE + RECORD_STRIDE * record_id + fieldno
+
+
+@dataclass
+class LoopRecord:
+    """One row of the loop parameter table."""
+
+    trips: int = 0
+    initial: int = 0
+    step: int = 0
+    index_reg: int = 0
+    body_pc: int = 0
+    trigger_pc: int = NO_TRIGGER
+    parent: int = NO_PARENT
+    flags: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.flags & FLAG_VALID)
+
+    @property
+    def cascade(self) -> bool:
+        return bool(self.flags & FLAG_CASCADE)
+
+    _FIELDS = ("trips", "initial", "step", "index_reg",
+               "body_pc", "trigger_pc", "parent", "flags")
+
+    def write_field(self, fieldno: int, value: int) -> None:
+        setattr(self, self._FIELDS[fieldno], value)
+
+    def read_field(self, fieldno: int) -> int:
+        return getattr(self, self._FIELDS[fieldno])
+
+
+@dataclass
+class ExitRecord:
+    """One data-dependent exit registration (ZOLCfull)."""
+
+    branch_pc: int = 0
+    target_pc: int = 0
+    reset_mask: int = 0
+    flags: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.flags & FLAG_VALID)
+
+    _FIELDS = ("branch_pc", "target_pc", "reset_mask", "flags")
+
+    def write_field(self, fieldno: int, value: int) -> None:
+        setattr(self, self._FIELDS[fieldno], value)
+
+    def read_field(self, fieldno: int) -> int:
+        return getattr(self, self._FIELDS[fieldno])
+
+
+@dataclass
+class EntryRecord:
+    """One side-entry registration (ZOLCfull)."""
+
+    entry_pc: int = 0
+    loop: int = 0
+    flags: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.flags & FLAG_VALID)
+
+    _FIELDS = ("entry_pc", "loop", "flags")
+
+    def write_field(self, fieldno: int, value: int) -> None:
+        setattr(self, self._FIELDS[fieldno], value)
+
+    def read_field(self, fieldno: int) -> int:
+        return getattr(self, self._FIELDS[fieldno])
+
+
+@dataclass
+class ZolcTables:
+    """All writable ZOLC state, dimensioned by a configuration."""
+
+    config: ZolcConfig
+    loops: list[LoopRecord] = field(default_factory=list)
+    exits: list[ExitRecord] = field(default_factory=list)
+    entries: list[EntryRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            self.reset()
+
+    def reset(self) -> None:
+        self.loops = [LoopRecord() for _ in range(self.config.max_loops)]
+        self.exits = [ExitRecord() for _ in range(self.config.max_exit_records)]
+        self.entries = [EntryRecord()
+                        for _ in range(self.config.max_entry_records)]
+
+    # -- selector-level access --------------------------------------------
+    def _locate(self, selector: int) -> tuple[object, int]:
+        if LOOP_BASE <= selector < LOOP_BASE + LOOP_STRIDE * self.config.max_loops:
+            offset = selector - LOOP_BASE
+            loop_id, fieldno = divmod(offset, LOOP_STRIDE)
+            if fieldno >= LOOP_FIELD_COUNT:
+                raise ZolcFaultError(f"bad loop field selector {selector:#06x}")
+            return self.loops[loop_id], fieldno
+        if EXIT_BASE <= selector < EXIT_BASE + RECORD_STRIDE * len(self.exits):
+            offset = selector - EXIT_BASE
+            record_id, fieldno = divmod(offset, RECORD_STRIDE)
+            return self.exits[record_id], fieldno
+        if ENTRY_BASE <= selector < ENTRY_BASE + RECORD_STRIDE * len(self.entries):
+            offset = selector - ENTRY_BASE
+            record_id, fieldno = divmod(offset, RECORD_STRIDE)
+            return self.entries[record_id], fieldno
+        raise ZolcFaultError(
+            f"selector {selector:#06x} outside the tables of "
+            f"{self.config.name} (loops={self.config.max_loops}, "
+            f"exit records={len(self.exits)})")
+
+    def write(self, selector: int, value: int) -> None:
+        record, fieldno = self._locate(selector)
+        record.write_field(fieldno, value & 0xFFFFFFFF)  # type: ignore[attr-defined]
+
+    def read(self, selector: int) -> int:
+        record, fieldno = self._locate(selector)
+        return record.read_field(fieldno)  # type: ignore[attr-defined]
+
+    def valid_loops(self) -> list[int]:
+        return [i for i, rec in enumerate(self.loops) if rec.valid]
+
+    def validate(self) -> None:
+        """Consistency-check programmed tables before arming."""
+        for loop_id in self.valid_loops():
+            rec = self.loops[loop_id]
+            if rec.trips < 1:
+                raise ZolcFaultError(
+                    f"loop {loop_id}: trip count {rec.trips} < 1")
+            if rec.parent != NO_PARENT:
+                if rec.parent >= self.config.max_loops:
+                    raise ZolcFaultError(
+                        f"loop {loop_id}: parent {rec.parent} out of range")
+                if not self.loops[rec.parent].valid:
+                    raise ZolcFaultError(
+                        f"loop {loop_id}: parent {rec.parent} is not valid")
+            if rec.cascade and rec.parent == NO_PARENT:
+                raise ZolcFaultError(
+                    f"loop {loop_id}: cascade flag without a parent")
+            if rec.trigger_pc == NO_TRIGGER and not self._is_cascade_source(loop_id):
+                raise ZolcFaultError(
+                    f"loop {loop_id}: no trigger and no cascading child")
+        for record in self.exits:
+            if record.valid and record.reset_mask == 0:
+                raise ZolcFaultError("exit record with empty reset mask")
+
+    def _is_cascade_source(self, loop_id: int) -> bool:
+        """Whether some valid child cascades into ``loop_id``."""
+        for child_id in self.valid_loops():
+            child = self.loops[child_id]
+            if child.parent == loop_id and child.cascade:
+                return True
+        return False

@@ -1,0 +1,139 @@
+"""Task selection unit — the decision logic at every task end.
+
+Paper, Section 2: "On completion of a task, a task end signal is issued
+from PC decode, and an entry is selected from the LUT to address the
+succeeding task and the loop parameter blocks, based on which task has
+completed and the current loop status."
+
+In this behavioural model the "task end signal" is the fetch of a
+*trigger address* (the address where a loop's removed latch used to
+live).  The decision for the innermost loop may **cascade** into its
+parent when the loop expires and no code separates the inner loop's end
+from the parent's latch — this is how "successive last iterations of
+nested loops" complete in a single task switch, generalising the
+perfect-nest-only unit of Talla et al. [2] to arbitrary structures.
+
+The unit is purely combinational in hardware; here it is a pure function
+over the tables plus the per-loop iteration counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.index_unit import index_value
+from repro.core.tables import NO_PARENT, ZolcTables
+from repro.cpu.exceptions import ZolcFaultError
+
+
+@dataclass
+class LoopStatus:
+    """Runtime status of one loop (the paper's "loop status" word)."""
+
+    iterations_done: int = 0
+
+    def reset(self) -> None:
+        self.iterations_done = 0
+
+
+@dataclass
+class Decision:
+    """Outcome of one task-end decision."""
+
+    next_pc: int | None                  # None = fall through to next code
+    index_writes: list[tuple[int, int]] = field(default_factory=list)
+    expired_loops: list[int] = field(default_factory=list)
+    looped_back: int | None = None       # loop id that re-iterates
+
+
+class TaskSelectionUnit:
+    """Combinational next-task selection over programmed tables."""
+
+    def __init__(self, tables: ZolcTables):
+        self.tables = tables
+        self.status: list[LoopStatus] = [
+            LoopStatus() for _ in range(tables.config.max_loops)]
+        self._children: dict[int, list[int]] = {}
+
+    def prepare(self) -> None:
+        """Precompute the loop-children map; call at arm time."""
+        self._children = {i: [] for i in range(len(self.tables.loops))}
+        for loop_id in self.tables.valid_loops():
+            parent = self.tables.loops[loop_id].parent
+            if parent != NO_PARENT:
+                self._children[parent].append(loop_id)
+        for stat in self.status:
+            stat.reset()
+
+    def descendants(self, loop_id: int) -> list[int]:
+        out: list[int] = []
+        worklist = list(self._children.get(loop_id, ()))
+        while worklist:
+            child = worklist.pop()
+            out.append(child)
+            worklist.extend(self._children.get(child, ()))
+        return out
+
+    def initial_index_writes(self) -> list[tuple[int, int]]:
+        """Register writes performed when the controller arms."""
+        writes: list[tuple[int, int]] = []
+        for loop_id in self.tables.valid_loops():
+            record = self.tables.loops[loop_id]
+            writes.append((record.index_reg, record.initial & 0xFFFFFFFF))
+        return writes
+
+    def decide(self, loop_id: int, depth: int = 0) -> Decision:
+        """Run the task-end decision for ``loop_id`` (with cascading)."""
+        if depth > self.tables.config.max_loops:
+            raise ZolcFaultError("cascade cycle in loop tables")
+        record = self.tables.loops[loop_id]
+        if not record.valid:
+            raise ZolcFaultError(f"decision for invalid loop {loop_id}")
+        stat = self.status[loop_id]
+        stat.iterations_done += 1
+        if stat.iterations_done < record.trips:
+            # Loop back: update this loop's index, re-initialise any
+            # descendants that will re-execute.
+            writes = [(record.index_reg,
+                       index_value(record, stat.iterations_done))]
+            for child_id in self.descendants(loop_id):
+                child = self.tables.loops[child_id]
+                if not child.valid:
+                    continue
+                self.status[child_id].reset()
+                writes.append((child.index_reg, child.initial & 0xFFFFFFFF))
+            return Decision(next_pc=record.body_pc, index_writes=writes,
+                            looped_back=loop_id)
+        # Expired: the architectural index register receives its *final*
+        # value (initial + trips*step) — exactly what the software loop
+        # would have left behind, so code reading the counter after the
+        # loop observes identical state.  Re-initialisation for the next
+        # entry happens at the enclosing loop-back (descendant resets)
+        # or at the next arm.  Control then falls through to the code
+        # after the loop, or cascades into the parent's decision.
+        stat.reset()
+        writes = [(record.index_reg, index_value(record, record.trips))]
+        expired = [loop_id]
+        if record.cascade and record.parent != NO_PARENT:
+            inner = self.decide(record.parent, depth + 1)
+            return Decision(
+                next_pc=inner.next_pc,
+                index_writes=writes + inner.index_writes,
+                expired_loops=expired + inner.expired_loops,
+                looped_back=inner.looped_back)
+        return Decision(next_pc=None, index_writes=writes,
+                        expired_loops=expired)
+
+    def reset_loops(self, mask: int) -> None:
+        """Reset the status of every loop whose bit is set in ``mask``.
+
+        Used by exit records: a data-dependent exit abandons the masked
+        loops, whose counters must restart from zero on the next entry.
+        Architectural index registers are deliberately *not* rewritten
+        here — code after a break may read the index (e.g. a search
+        result); registers are re-initialised by the next enclosing
+        loop-back decision.
+        """
+        for loop_id in range(len(self.tables.loops)):
+            if mask & (1 << loop_id):
+                self.status[loop_id].reset()

@@ -1,0 +1,34 @@
+"""Cycle-approximate XR32 CPU simulator (the XiRisc substrate stand-in)."""
+
+from repro.cpu.exceptions import (
+    InvalidFetchError,
+    MemoryAccessError,
+    SimulationError,
+    WatchdogError,
+    ZolcFaultError,
+)
+from repro.cpu.memory import DEFAULT_SIZE, Memory
+from repro.cpu.pipeline import PipelineConfig, TimingModel
+from repro.cpu.simulator import Simulator, ZolcAction, ZolcPort, run_program
+from repro.cpu.state import CpuState, RegisterFile
+from repro.cpu.tracing import Stats, Tracer
+
+__all__ = [
+    "CpuState",
+    "DEFAULT_SIZE",
+    "InvalidFetchError",
+    "Memory",
+    "MemoryAccessError",
+    "PipelineConfig",
+    "RegisterFile",
+    "SimulationError",
+    "Simulator",
+    "Stats",
+    "TimingModel",
+    "Tracer",
+    "WatchdogError",
+    "ZolcAction",
+    "ZolcFaultError",
+    "ZolcPort",
+    "run_program",
+]

@@ -1,0 +1,49 @@
+"""Arithmetic/logic operations with exact 32-bit wrap-around semantics.
+
+All helpers accept and return *unsigned* 32-bit representations (matching
+:class:`~repro.cpu.state.RegisterFile` storage); signedness is applied
+internally where the operation requires it.
+"""
+
+from __future__ import annotations
+
+from repro.util.bitops import MASK32, to_signed32
+
+
+def add32(a: int, b: int) -> int:
+    return (a + b) & MASK32
+
+
+def sub32(a: int, b: int) -> int:
+    return (a - b) & MASK32
+
+
+def mul32_lo(a: int, b: int) -> int:
+    """Low 32 bits of the signed 32x32 product."""
+    return (to_signed32(a) * to_signed32(b)) & MASK32
+
+
+def mul32_hi(a: int, b: int) -> int:
+    """High 32 bits of the signed 32x32 product."""
+    product = to_signed32(a) * to_signed32(b)
+    return (product >> 32) & MASK32
+
+
+def slt(a: int, b: int) -> int:
+    return 1 if to_signed32(a) < to_signed32(b) else 0
+
+
+def sltu(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def sll(value: int, amount: int) -> int:
+    return (value << (amount & 31)) & MASK32
+
+
+def srl(value: int, amount: int) -> int:
+    return (value & MASK32) >> (amount & 31)
+
+
+def sra(value: int, amount: int) -> int:
+    return (to_signed32(value) >> (amount & 31)) & MASK32

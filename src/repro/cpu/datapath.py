@@ -1,0 +1,204 @@
+"""Functional execution of XR32 instructions.
+
+The datapath is purely *functional*: it applies one instruction's
+architectural effects (register/memory writes, PC selection) and reports
+what happened to the timing model via :class:`ExecOutcome`.  Cycle
+accounting lives in :mod:`repro.cpu.pipeline`; ZOLC sequencing lives in
+:mod:`repro.core.controller` and is layered on by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.cpu import alu
+from repro.cpu.exceptions import SimulationError
+from repro.cpu.memory import Memory
+from repro.cpu.state import CpuState
+from repro.isa.instructions import Instruction
+
+
+class ExecOutcome(NamedTuple):
+    """What one instruction did, as seen by the timing model."""
+
+    next_pc: int
+    taken: bool          # non-sequential control transfer occurred
+    load_dest: int | None  # destination register of a load, else None
+
+
+Handler = Callable[[Instruction, CpuState, Memory], ExecOutcome]
+
+
+def _seq(state: CpuState) -> int:
+    return state.pc + 4
+
+
+def _rr(op: Callable[[int, int], int]) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        regs = state.regs
+        regs.write(inst.rd, op(regs.read(inst.rs), regs.read(inst.rt)))
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _shift_imm(op: Callable[[int, int], int]) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        regs = state.regs
+        regs.write(inst.rd, op(regs.read(inst.rt), inst.shamt))
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _shift_reg(op: Callable[[int, int], int]) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        regs = state.regs
+        regs.write(inst.rd, op(regs.read(inst.rt), regs.read(inst.rs) & 31))
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _imm(op: Callable[[int, int], int]) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        regs = state.regs
+        regs.write(inst.rt, op(regs.read(inst.rs), inst.imm & 0xFFFFFFFF))
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _imm_signed(op: Callable[[int, int], int]) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        regs = state.regs
+        regs.write(inst.rt, op(regs.read(inst.rs), inst.imm & 0xFFFFFFFF))
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _load(loader: str, signed: bool | None) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        address = (state.regs.read(inst.rs) + inst.imm) & 0xFFFFFFFF
+        fn = getattr(memory, loader)
+        value = fn(address) if signed is None else fn(address, signed)
+        state.regs.write(inst.rt, value & 0xFFFFFFFF)
+        return ExecOutcome(_seq(state), False, inst.rt if inst.rt else None)
+    return handler
+
+
+def _store(storer: str) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        address = (state.regs.read(inst.rs) + inst.imm) & 0xFFFFFFFF
+        getattr(memory, storer)(address, state.regs.read(inst.rt))
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _branch(cond: Callable[[int, int], bool], uses_rt: bool = True) -> Handler:
+    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+        regs = state.regs
+        lhs = regs.read_signed(inst.rs)
+        rhs = regs.read_signed(inst.rt) if uses_rt else 0
+        if cond(lhs, rhs):
+            return ExecOutcome(state.pc + 4 + 4 * inst.imm, True, None)
+        return ExecOutcome(_seq(state), False, None)
+    return handler
+
+
+def _exec_dbne(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    """XiRisc-style branch-decrement: ``rs -= 1; if rs != 0 goto target``."""
+    regs = state.regs
+    value = (regs.read(inst.rs) - 1) & 0xFFFFFFFF
+    regs.write(inst.rs, value)
+    if value != 0:
+        return ExecOutcome(state.pc + 4 + 4 * inst.imm, True, None)
+    return ExecOutcome(_seq(state), False, None)
+
+
+def _exec_j(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    return ExecOutcome(inst.target * 4, True, None)
+
+
+def _exec_jal(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    state.regs.write(31, state.pc + 4)
+    return ExecOutcome(inst.target * 4, True, None)
+
+
+def _exec_jr(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    return ExecOutcome(state.regs.read(inst.rs), True, None)
+
+
+def _exec_jalr(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    target = state.regs.read(inst.rs)
+    state.regs.write(inst.rd, state.pc + 4)
+    return ExecOutcome(target, True, None)
+
+
+def _exec_lui(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    state.regs.write(inst.rt, (inst.imm & 0xFFFF) << 16)
+    return ExecOutcome(_seq(state), False, None)
+
+
+def _exec_halt(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    state.halted = True
+    return ExecOutcome(state.pc, False, None)
+
+
+def _unplaced_zolc(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    raise SimulationError(
+        f"{inst.mnemonic} executed on a machine without a ZOLC "
+        f"(pc={state.pc:#x}); attach a ZolcController")
+
+
+EXECUTORS: dict[str, Handler] = {
+    "sll": _shift_imm(alu.sll),
+    "srl": _shift_imm(alu.srl),
+    "sra": _shift_imm(alu.sra),
+    "sllv": _shift_reg(alu.sll),
+    "srlv": _shift_reg(alu.srl),
+    "srav": _shift_reg(alu.sra),
+    "jr": _exec_jr,
+    "jalr": _exec_jalr,
+    "mul": _rr(alu.mul32_lo),
+    "mulh": _rr(alu.mul32_hi),
+    "add": _rr(alu.add32),
+    "sub": _rr(alu.sub32),
+    "and": _rr(lambda a, b: a & b),
+    "or": _rr(lambda a, b: a | b),
+    "xor": _rr(lambda a, b: a ^ b),
+    "nor": _rr(lambda a, b: (~(a | b)) & 0xFFFFFFFF),
+    "slt": _rr(alu.slt),
+    "sltu": _rr(alu.sltu),
+    "bltz": _branch(lambda a, b: a < 0, uses_rt=False),
+    "bgez": _branch(lambda a, b: a >= 0, uses_rt=False),
+    "j": _exec_j,
+    "jal": _exec_jal,
+    "beq": _branch(lambda a, b: a == b),
+    "bne": _branch(lambda a, b: a != b),
+    "blez": _branch(lambda a, b: a <= 0, uses_rt=False),
+    "bgtz": _branch(lambda a, b: a > 0, uses_rt=False),
+    "addi": _imm_signed(alu.add32),
+    "slti": _imm(alu.slt),
+    "sltiu": _imm(alu.sltu),
+    "andi": _imm(lambda a, b: a & (b & 0xFFFF)),
+    "ori": _imm(lambda a, b: a | (b & 0xFFFF)),
+    "xori": _imm(lambda a, b: a ^ (b & 0xFFFF)),
+    "lui": _exec_lui,
+    "dbne": _exec_dbne,
+    "mtz": _unplaced_zolc,
+    "mfz": _unplaced_zolc,
+    "lb": _load("load_byte", True),
+    "lh": _load("load_half", True),
+    "lw": _load("load_word", None),
+    "lbu": _load("load_byte", False),
+    "lhu": _load("load_half", False),
+    "sb": _store("store_byte"),
+    "sh": _store("store_half"),
+    "sw": _store("store_word"),
+    "halt": _exec_halt,
+}
+
+
+def execute(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
+    """Execute one instruction's architectural effects."""
+    handler = EXECUTORS.get(inst.mnemonic)
+    if handler is None:
+        raise SimulationError(f"no executor for mnemonic {inst.mnemonic!r}")
+    return handler(inst, state, memory)

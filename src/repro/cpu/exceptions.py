@@ -1,0 +1,31 @@
+"""Simulator exception types."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for runtime simulation failures."""
+
+
+class MemoryAccessError(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+    def __init__(self, message: str, address: int | None = None):
+        self.address = address
+        super().__init__(message)
+
+
+class InvalidFetchError(SimulationError):
+    """PC does not point at an instruction in the text segment."""
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        super().__init__(f"fetch from non-text address {pc:#010x}")
+
+
+class WatchdogError(SimulationError):
+    """The cycle or instruction watchdog expired (likely a hung loop)."""
+
+
+class ZolcFaultError(SimulationError):
+    """Inconsistent ZOLC programming detected at run time."""

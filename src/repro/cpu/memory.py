@@ -1,0 +1,89 @@
+"""Byte-addressable little-endian memory for the XR32 simulator.
+
+A single flat ``bytearray`` covers the whole simulated address space
+(code, data, stack).  Halfword and word accesses must be naturally
+aligned, as on the XiRisc core.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import MemoryAccessError
+from repro.util.bitops import sign_extend, to_unsigned32
+
+DEFAULT_SIZE = 0x0004_0000  # 256 KiB: text + data + stack
+
+
+class Memory:
+    """Flat little-endian memory image."""
+
+    def __init__(self, size: int = DEFAULT_SIZE):
+        if size <= 0 or size % 4:
+            raise ValueError("memory size must be a positive multiple of 4")
+        self.size = size
+        self._bytes = bytearray(size)
+
+    def _check(self, address: int, width: int) -> None:
+        if address < 0 or address + width > self.size:
+            raise MemoryAccessError(
+                f"access of {width} byte(s) at {address:#010x} outside "
+                f"memory of size {self.size:#x}", address)
+        if address % width:
+            raise MemoryAccessError(
+                f"misaligned {width}-byte access at {address:#010x}", address)
+
+    # -- loads -----------------------------------------------------------
+    def load_byte(self, address: int, signed: bool = True) -> int:
+        self._check(address, 1)
+        value = self._bytes[address]
+        return sign_extend(value, 8) if signed else value
+
+    def load_half(self, address: int, signed: bool = True) -> int:
+        self._check(address, 2)
+        value = int.from_bytes(self._bytes[address:address + 2], "little")
+        return sign_extend(value, 16) if signed else value
+
+    def load_word(self, address: int) -> int:
+        """Load a 32-bit word (returned unsigned, 0 .. 2**32-1)."""
+        self._check(address, 4)
+        return int.from_bytes(self._bytes[address:address + 4], "little")
+
+    # -- stores ----------------------------------------------------------
+    def store_byte(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self._bytes[address] = value & 0xFF
+
+    def store_half(self, address: int, value: int) -> None:
+        self._check(address, 2)
+        self._bytes[address:address + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        self._check(address, 4)
+        self._bytes[address:address + 4] = to_unsigned32(value).to_bytes(4, "little")
+
+    # -- bulk helpers ----------------------------------------------------
+    def load_block(self, address: int, length: int) -> bytes:
+        if address < 0 or address + length > self.size:
+            raise MemoryAccessError(
+                f"block read of {length} bytes at {address:#010x} out of range",
+                address)
+        return bytes(self._bytes[address:address + length])
+
+    def store_block(self, address: int, payload: bytes) -> None:
+        if address < 0 or address + len(payload) > self.size:
+            raise MemoryAccessError(
+                f"block write of {len(payload)} bytes at {address:#010x} out of range",
+                address)
+        self._bytes[address:address + len(payload)] = payload
+
+    def load_words(self, address: int, count: int) -> list[int]:
+        """Load ``count`` consecutive unsigned words."""
+        raw = self.load_block(address, 4 * count)
+        return [int.from_bytes(raw[i:i + 4], "little") for i in range(0, 4 * count, 4)]
+
+    def load_words_signed(self, address: int, count: int) -> list[int]:
+        """Load ``count`` consecutive words, sign-interpreted."""
+        return [sign_extend(w, 32) for w in self.load_words(address, count)]
+
+    def store_words(self, address: int, values: list[int]) -> None:
+        payload = b"".join(to_unsigned32(v).to_bytes(4, "little") for v in values)
+        self.store_block(address, payload)

@@ -1,0 +1,158 @@
+"""The XR32 instruction-set simulator.
+
+Ties together the program image, memory, functional datapath, pipeline
+timing model and (optionally) a ZOLC controller.  The controller is
+attached through a narrow protocol so :mod:`repro.cpu` stays independent
+of :mod:`repro.core`:
+
+* ``mtz`` / ``mfz`` instructions route to :meth:`ZolcPort.write` /
+  :meth:`ZolcPort.read` (initialization mode, Section 2 of the paper);
+* after every retired instruction the simulator offers the retirement to
+  :meth:`ZolcPort.on_retire`; in active mode the controller may redirect
+  the next PC (a zero-cycle task switch) and write updated loop index
+  registers back to the integer register file — exactly the "determine
+  the following task / issue a new target PC / indices updated and
+  written back" behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.asm.assembler import Program
+from repro.cpu.datapath import ExecOutcome, execute
+from repro.cpu.exceptions import InvalidFetchError, WatchdogError
+from repro.cpu.memory import DEFAULT_SIZE, Memory
+from repro.cpu.pipeline import PipelineConfig, TimingModel
+from repro.cpu.state import CpuState
+from repro.cpu.tracing import Stats, TraceRecord, Tracer
+from repro.isa.registers import SP_REG
+
+
+class ZolcAction:
+    """A ZOLC decision taken at an instruction retirement."""
+
+    __slots__ = ("next_pc", "index_writes", "is_task_switch")
+
+    def __init__(self, next_pc: int | None,
+                 index_writes: list[tuple[int, int]] | None = None,
+                 is_task_switch: bool = False):
+        self.next_pc = next_pc
+        self.index_writes = index_writes or []
+        self.is_task_switch = is_task_switch
+
+
+@runtime_checkable
+class ZolcPort(Protocol):
+    """What the simulator needs from a ZOLC controller."""
+
+    @property
+    def active(self) -> bool: ...
+
+    def write(self, selector: int, value: int) -> None: ...
+
+    def read(self, selector: int) -> int: ...
+
+    def on_retire(self, pc: int, next_pc: int,
+                  taken: bool = False) -> ZolcAction | None: ...
+
+
+DEFAULT_MAX_STEPS = 20_000_000
+
+
+class Simulator:
+    """Cycle-approximate XR32 simulator with optional ZOLC coprocessor."""
+
+    def __init__(self, program: Program,
+                 pipeline: PipelineConfig | None = None,
+                 memory_size: int = DEFAULT_SIZE,
+                 zolc: ZolcPort | None = None,
+                 tracer: Tracer | None = None):
+        self.program = program
+        self.memory = Memory(memory_size)
+        self.state = CpuState(program.entry_point())
+        self.timing = TimingModel(pipeline or PipelineConfig())
+        self.zolc = zolc
+        self.tracer = tracer
+        self.stats = Stats()
+        self._load_image()
+        self.state.regs.write(SP_REG, memory_size - 16)
+
+    def _load_image(self) -> None:
+        words = self.program.words()
+        if words:
+            self.memory.store_words(self.program.text_base, words)
+        if self.program.data:
+            self.memory.store_block(self.program.data_base, bytes(self.program.data))
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> None:
+        """Fetch, execute and retire one instruction."""
+        state = self.state
+        pc = state.pc
+        inst = self.program.by_address.get(pc)
+        if inst is None:
+            raise InvalidFetchError(pc)
+
+        mnemonic = inst.mnemonic
+        if self.zolc is not None and mnemonic == "mtz":
+            self.zolc.write(inst.imm, state.regs.read(inst.rt))
+            outcome = ExecOutcome(pc + 4, False, None)
+        elif self.zolc is not None and mnemonic == "mfz":
+            state.regs.write(inst.rt, self.zolc.read(inst.imm) & 0xFFFFFFFF)
+            outcome = ExecOutcome(pc + 4, False, None)
+        else:
+            outcome = execute(inst, state, self.memory)
+
+        self.stats.count(inst)
+        self.stats.cycles += self.timing.cycles_for(inst, outcome)
+        if outcome.taken:
+            self.stats.taken_branches += 1
+
+        next_pc = outcome.next_pc
+        redirect: int | None = None
+        if self.zolc is not None and self.zolc.active and not state.halted:
+            action = self.zolc.on_retire(pc, next_pc, taken=outcome.taken)
+            if action is not None:
+                for reg, value in action.index_writes:
+                    state.regs.write(reg, value)
+                    self.stats.zolc_index_writes += 1
+                if action.next_pc is not None:
+                    redirect = action.next_pc
+                    next_pc = redirect
+                if action.is_task_switch:
+                    self.stats.zolc_task_switches += 1
+                    self.stats.cycles += self.timing.zolc_switch()
+
+        if self.tracer is not None:
+            from repro.asm.disassembler import format_instruction
+            self.tracer.record(TraceRecord(
+                pc=pc, text=format_instruction(inst, self.program),
+                cycles_after=self.stats.cycles, zolc_redirect=redirect))
+
+        state.pc = next_pc
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> Stats:
+        """Run until ``halt`` (or raise :class:`WatchdogError`)."""
+        state = self.state
+        steps = 0
+        while not state.halted:
+            if steps >= max_steps:
+                raise WatchdogError(
+                    f"no halt after {max_steps} instructions (pc={state.pc:#x})")
+            self.step()
+            steps += 1
+        self.stats.stall_cycles = self.timing.stall_cycles
+        self.stats.flush_cycles = self.timing.flush_cycles
+        return self.stats
+
+
+def run_program(program: Program, pipeline: PipelineConfig | None = None,
+                zolc: ZolcPort | None = None,
+                memory_size: int = DEFAULT_SIZE,
+                max_steps: int = DEFAULT_MAX_STEPS) -> Simulator:
+    """Assembled program in, finished simulator (with stats) out."""
+    simulator = Simulator(program, pipeline=pipeline, zolc=zolc,
+                          memory_size=memory_size)
+    simulator.run(max_steps=max_steps)
+    return simulator

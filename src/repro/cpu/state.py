@@ -1,0 +1,49 @@
+"""Architectural state: program counter and integer register file."""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_REGISTERS, register_index
+from repro.util.bitops import to_signed32, to_unsigned32
+
+
+class RegisterFile:
+    """The 32-entry XR32 integer register file.
+
+    Values are stored as unsigned 32-bit integers; ``r0`` reads as zero
+    and ignores writes, as on the real core.
+    """
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_REGISTERS
+
+    def read(self, index: int) -> int:
+        return self._regs[index]
+
+    def read_signed(self, index: int) -> int:
+        return to_signed32(self._regs[index])
+
+    def write(self, index: int, value: int) -> None:
+        if index:
+            self._regs[index] = value & 0xFFFFFFFF
+
+    # Name-based access, convenient for tests and examples.
+    def __getitem__(self, name: str | int) -> int:
+        index = name if isinstance(name, int) else register_index(name)
+        return self._regs[index]
+
+    def __setitem__(self, name: str | int, value: int) -> None:
+        index = name if isinstance(name, int) else register_index(name)
+        self.write(index, to_unsigned32(value))
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of all register values."""
+        return tuple(self._regs)
+
+
+class CpuState:
+    """PC + register file + halt latch."""
+
+    def __init__(self, entry_point: int = 0):
+        self.pc = entry_point
+        self.regs = RegisterFile()
+        self.halted = False

@@ -1,0 +1,71 @@
+"""Execution statistics and (optional) instruction tracing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Category, Instruction
+
+
+@dataclass
+class Stats:
+    """Counters accumulated over one simulation run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    taken_branches: int = 0
+    stall_cycles: int = 0
+    flush_cycles: int = 0
+    zolc_task_switches: int = 0
+    zolc_index_writes: int = 0
+    zolc_init_instructions: int = 0
+    by_category: dict[str, int] = field(default_factory=dict)
+
+    def count(self, inst: Instruction) -> None:
+        self.instructions += 1
+        key = inst.category.value
+        self.by_category[key] = self.by_category.get(key, 0) + 1
+        if inst.category is Category.ZOLC:
+            self.zolc_init_instructions += 1
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (inf if nothing retired)."""
+        if not self.instructions:
+            return float("inf")
+        return self.cycles / self.instructions
+
+
+@dataclass
+class TraceRecord:
+    """One retired instruction, for debugging and the examples."""
+
+    pc: int
+    text: str
+    cycles_after: int
+    zolc_redirect: int | None = None
+
+
+class Tracer:
+    """Collects up to ``limit`` trace records (0 disables collection)."""
+
+    def __init__(self, limit: int = 10_000):
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, record: TraceRecord) -> None:
+        if len(self.records) < self.limit:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+
+    def format(self) -> str:
+        lines = [
+            f"{r.pc:#06x}  {r.text:<28}"
+            + (f" -> zolc redirect {r.zolc_redirect:#x}" if r.zolc_redirect is not None else "")
+            for r in self.records
+        ]
+        if self.dropped:
+            lines.append(f"... {self.dropped} record(s) dropped")
+        return "\n".join(lines)

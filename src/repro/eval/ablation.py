@@ -1,0 +1,138 @@
+"""Programmatic ablation sweeps.
+
+The ``benchmarks/bench_ablation_*`` targets print and assert the
+paper-shape claims; this module exposes the same sweeps as a library
+API returning structured data, for notebooks, the CLI ``sweep``
+command, and downstream studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm import assemble
+from repro.core.config import ZOLC_LITE, ZolcConfig
+from repro.cpu.pipeline import PipelineConfig
+from repro.cpu.simulator import run_program
+from repro.eval.machines import M_ZOLC_LITE, XR_DEFAULT, Machine
+from repro.eval.metrics import improvement_percent
+from repro.eval.runner import run_kernel
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+from repro.workloads.kernels.synthetic import nest_kernel
+from repro.workloads.suite import registry
+
+
+@dataclass
+class SweepPoint:
+    """One (parameter value, measurement) pair."""
+
+    parameter: int
+    improvements: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def average(self) -> float:
+        return sum(self.improvements.values()) / len(self.improvements)
+
+
+@dataclass
+class SweepResult:
+    """A named parameter sweep over a kernel subset."""
+
+    name: str
+    parameter_name: str
+    kernel_names: tuple[str, ...]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def averages(self) -> list[tuple[int, float]]:
+        return [(p.parameter, p.average) for p in self.points]
+
+    def render(self) -> str:
+        lines = [f"{self.name} (avg ZOLC improvement vs "
+                 f"{self.parameter_name}):"]
+        for parameter, average in self.averages():
+            lines.append(f"  {self.parameter_name}={parameter}: "
+                         f"{average:5.1f} %")
+        return "\n".join(lines)
+
+
+DEFAULT_SUBSET = ("vec_sum", "dot_product", "crc32", "matmul")
+
+
+def _improvements(kernel_names: tuple[str, ...],
+                  pipeline: PipelineConfig,
+                  zolc_machine: Machine = M_ZOLC_LITE) -> dict[str, float]:
+    reg = registry()
+    out = {}
+    for name in kernel_names:
+        kernel = reg.get(name)
+        base = run_kernel(kernel, XR_DEFAULT, pipeline=pipeline)
+        zolc = run_kernel(kernel, zolc_machine, pipeline=pipeline)
+        out[name] = improvement_percent(zolc.cycles, base.cycles)
+    return out
+
+
+def sweep_branch_penalty(
+        penalties: tuple[int, ...] = (0, 1, 2, 3),
+        kernel_names: tuple[str, ...] = DEFAULT_SUBSET) -> SweepResult:
+    """A3: ZOLC gain as a function of the taken-branch penalty."""
+    result = SweepResult(name="branch-penalty sweep",
+                         parameter_name="penalty",
+                         kernel_names=kernel_names)
+    for penalty in penalties:
+        pipeline = PipelineConfig(branch_penalty=penalty,
+                                  jump_register_penalty=penalty)
+        result.points.append(SweepPoint(
+            parameter=penalty,
+            improvements=_improvements(kernel_names, pipeline)))
+    return result
+
+
+def sweep_switch_cost(
+        costs: tuple[int, ...] = (0, 1, 2, 5),
+        kernel_names: tuple[str, ...] = DEFAULT_SUBSET) -> SweepResult:
+    """A5: gain erosion under a hypothetical slower task switch."""
+    result = SweepResult(name="task-switch-cost sweep",
+                         parameter_name="cycles/switch",
+                         kernel_names=kernel_names)
+    for cost in costs:
+        pipeline = PipelineConfig(zolc_switch_cycles=cost)
+        result.points.append(SweepPoint(
+            parameter=cost,
+            improvements=_improvements(kernel_names, pipeline)))
+    return result
+
+
+def sweep_nesting_depth(
+        depths: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+        trips: int = 4, body_ops: int = 3,
+        config: ZolcConfig = ZOLC_LITE) -> SweepResult:
+    """A4: gain vs nest depth on synthetic perfect nests."""
+    result = SweepResult(name="nesting-depth sweep",
+                         parameter_name="depth",
+                         kernel_names=("synthetic nest",))
+    for depth in depths:
+        kernel = nest_kernel(depth=depth, trips=trips, body_ops=body_ops)
+        baseline = run_program(assemble(kernel.source))
+        sim = rewrite_for_zolc(kernel.source, config).make_simulator()
+        sim.run()
+        kernel.check(sim)
+        gain = improvement_percent(sim.stats.cycles, baseline.stats.cycles)
+        result.points.append(SweepPoint(parameter=depth,
+                                        improvements={"nest": gain}))
+    return result
+
+
+SWEEPS = {
+    "penalty": sweep_branch_penalty,
+    "switch-cost": sweep_switch_cost,
+    "nesting": sweep_nesting_depth,
+}
+
+
+def run_sweep(name: str) -> SweepResult:
+    """Run one named sweep with its default parameters."""
+    try:
+        return SWEEPS[name]()
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; known: "
+                       f"{', '.join(sorted(SWEEPS))}") from None

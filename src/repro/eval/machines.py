@@ -1,0 +1,84 @@
+"""Machine configurations under evaluation.
+
+Mirrors the paper's Section 3: two XiRisc baselines (``XRdefault``,
+``XRhrdwil``) and the three ZOLC-equipped variants.  A machine knows how
+to *prepare* a kernel (apply its code transform) and how to build the
+simulator that runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.assembler import Program, assemble
+from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE, ZolcConfig
+from repro.cpu.pipeline import PipelineConfig
+from repro.cpu.simulator import Simulator
+from repro.transform.hwlp_rewrite import HwlpTransformResult, rewrite_for_hwlp
+from repro.transform.zolc_rewrite import ZolcTransformResult, rewrite_for_zolc
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One processor configuration from the paper's evaluation."""
+
+    name: str
+    kind: str                       # "default" | "hwlp" | "zolc"
+    zolc_config: ZolcConfig | None = None
+
+    def prepare(self, source: str) -> "PreparedKernel":
+        """Apply this machine's code transform to a kernel source."""
+        if self.kind == "default":
+            return PreparedKernel(self, assemble(source))
+        if self.kind == "hwlp":
+            result = rewrite_for_hwlp(source)
+            return PreparedKernel(self, result.program, hwlp=result)
+        if self.kind == "zolc":
+            assert self.zolc_config is not None
+            result = rewrite_for_zolc(source, self.zolc_config)
+            return PreparedKernel(self, result.program, zolc=result)
+        raise ValueError(f"unknown machine kind {self.kind!r}")
+
+
+@dataclass
+class PreparedKernel:
+    """A kernel after machine-specific preparation."""
+
+    machine: Machine
+    program: Program
+    hwlp: HwlpTransformResult | None = None
+    zolc: ZolcTransformResult | None = None
+
+    def make_simulator(self, pipeline: PipelineConfig | None = None) -> Simulator:
+        if self.zolc is not None:
+            return self.zolc.make_simulator(pipeline=pipeline)
+        return Simulator(self.program, pipeline=pipeline)
+
+    @property
+    def transformed_loops(self) -> int:
+        if self.zolc is not None:
+            return self.zolc.transformed_loop_count
+        if self.hwlp is not None:
+            return self.hwlp.converted_count
+        return 0
+
+
+XR_DEFAULT = Machine("XRdefault", "default")
+XR_HRDWIL = Machine("XRhrdwil", "hwlp")
+M_UZOLC = Machine("uZOLC", "zolc", UZOLC)
+M_ZOLC_LITE = Machine("ZOLClite", "zolc", ZOLC_LITE)
+M_ZOLC_FULL = Machine("ZOLCfull", "zolc", ZOLC_FULL)
+
+#: Figure 2 compares ZOLClite against the two XiRisc baselines.
+FIGURE2_MACHINES: tuple[Machine, ...] = (XR_DEFAULT, XR_HRDWIL, M_ZOLC_LITE)
+
+ALL_MACHINES: tuple[Machine, ...] = (
+    XR_DEFAULT, XR_HRDWIL, M_UZOLC, M_ZOLC_LITE, M_ZOLC_FULL)
+
+
+def machine_by_name(name: str) -> Machine:
+    for machine in ALL_MACHINES:
+        if machine.name.lower() == name.lower():
+            return machine
+    raise KeyError(f"unknown machine {name!r}; known: "
+                   f"{', '.join(m.name for m in ALL_MACHINES)}")

@@ -1,0 +1,40 @@
+"""Relative-cycle metrics (the quantities Fig. 2 and §3 report)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def relative_cycles(cycles: int, baseline_cycles: int) -> float:
+    """Cycles normalised to the baseline (XRdefault = 1.0)."""
+    if baseline_cycles <= 0:
+        raise ValueError("baseline cycle count must be positive")
+    return cycles / baseline_cycles
+
+
+def improvement_percent(cycles: int, baseline_cycles: int) -> float:
+    """Cycle reduction vs the baseline, in percent (paper's metric)."""
+    return 100.0 * (1.0 - relative_cycles(cycles, baseline_cycles))
+
+
+@dataclass(frozen=True)
+class ImprovementSummary:
+    """Max / min / average improvement over a benchmark set."""
+
+    maximum: float
+    minimum: float
+    average: float
+
+    def __str__(self) -> str:
+        return (f"max {self.maximum:.1f} %, min {self.minimum:.1f} %, "
+                f"avg {self.average:.1f} %")
+
+
+def summarise(improvements: list[float]) -> ImprovementSummary:
+    if not improvements:
+        raise ValueError("no improvements to summarise")
+    return ImprovementSummary(
+        maximum=max(improvements),
+        minimum=min(improvements),
+        average=sum(improvements) / len(improvements),
+    )

@@ -1,0 +1,90 @@
+"""Text rendering of the resource and timing experiments (E3-E5)."""
+
+from __future__ import annotations
+
+from repro.core.config import CANONICAL_CONFIGS
+from repro.hwmodel.area import canonical_area_reports
+from repro.hwmodel.storage import canonical_storage_reports
+from repro.hwmodel.timing import (
+    CPU_CYCLE_NS,
+    CPU_FREQUENCY_MHZ,
+    timing_slack_ns,
+    zolc_critical_path,
+)
+
+
+def render_resource_table() -> str:
+    """E3 + E4: storage bytes and equivalent gates vs the paper."""
+    storage = {r.config.name: r for r in canonical_storage_reports()}
+    area = {r.config.name: r for r in canonical_area_reports()}
+    lines = [
+        "ZOLC resource requirements (paper §3)",
+        "",
+        f"{'config':<10} {'storage B':>10} {'paper':>7} {'match':>6}"
+        f" {'gates':>7} {'paper':>7} {'match':>6}",
+        "-" * 58,
+    ]
+    for config in CANONICAL_CONFIGS:
+        s = storage[config.name]
+        a = area[config.name]
+        lines.append(
+            f"{config.name:<10} {s.total:>10} {s.paper_value:>7}"
+            f" {'yes' if s.matches_paper else 'NO':>6}"
+            f" {a.total:>7} {a.paper_value:>7}"
+            f" {'yes' if a.matches_paper else 'NO':>6}")
+    lines.append("-" * 58)
+    lines.append("storage = task LUT + loop params + entry/exit records + status")
+    lines.append("gates   = FSM + per-loop datapath + task LUT decode + exit muxes")
+    return "\n".join(lines)
+
+
+def render_storage_breakdown() -> str:
+    """Component-level storage decomposition for the three configs."""
+    lines = [
+        f"{'config':<10} {'task LUT':>9} {'loop par.':>10}"
+        f" {'entry/exit':>11} {'status':>7} {'total':>7}",
+        "-" * 58,
+    ]
+    for report in canonical_storage_reports():
+        b = report.breakdown
+        lines.append(
+            f"{report.config.name:<10} {b.task_lut:>9} {b.loop_params:>10}"
+            f" {b.entry_exit_records:>11} {b.status:>7} {b.total:>7}")
+    return "\n".join(lines)
+
+
+def render_area_breakdown() -> str:
+    """Component-level gate decomposition for the three configs."""
+    lines = [
+        f"{'config':<10} {'FSM':>6} {'loop dp':>8} {'task sel':>9}"
+        f" {'exit unit':>10} {'total':>7}",
+        "-" * 55,
+    ]
+    for report in canonical_area_reports():
+        b = report.breakdown
+        lines.append(
+            f"{report.config.name:<10} {b.fsm:>6} {b.loop_datapath:>8}"
+            f" {b.task_selection:>9} {b.multi_exit_unit:>10} {b.total:>7}")
+    return "\n".join(lines)
+
+
+def render_timing_report() -> str:
+    """E5: ZOLC decision path vs the 170 MHz processor cycle."""
+    lines = [
+        f"CPU: {CPU_FREQUENCY_MHZ:.0f} MHz on the modelled 0.13 um process"
+        f" (cycle {CPU_CYCLE_NS:.2f} ns)",
+        "",
+        f"{'config':<10} {'depth FO4':>10} {'delay ns':>9} {'slack ns':>9}"
+        f" {'cycle-time impact':>18}",
+        "-" * 62,
+    ]
+    for config in CANONICAL_CONFIGS:
+        path = zolc_critical_path(config)
+        slack = timing_slack_ns(config)
+        impact = "none" if slack > 0 else "WOULD SLOW CLOCK"
+        lines.append(
+            f"{config.name:<10} {path.depth:>10} {path.delay_ns:>9.2f}"
+            f" {slack:>9.2f} {impact:>18}")
+    lines.append("-" * 62)
+    lines.append("paper: 'processor cycle time is not affected due to ZOLC'")
+    return "\n".join(lines)

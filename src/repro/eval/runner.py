@@ -1,0 +1,86 @@
+"""Kernel execution and measurement.
+
+Runs a kernel on a machine configuration, *verifies the output against
+the kernel's golden model* (a run whose result is wrong would make the
+cycle count meaningless) and returns the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.pipeline import PipelineConfig
+from repro.cpu.tracing import Stats
+from repro.eval.machines import Machine
+from repro.workloads.api import Kernel
+
+
+@dataclass
+class RunResult:
+    """One (kernel, machine) measurement."""
+
+    kernel_name: str
+    machine_name: str
+    cycles: int
+    instructions: int
+    stats: Stats
+    verified: bool
+    transformed_loops: int
+    zolc_init_instructions: int = 0
+    zolc_task_switches: int = 0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class SuiteResult:
+    """Measurements for a set of kernels across machines."""
+
+    results: dict[tuple[str, str], RunResult] = field(default_factory=dict)
+
+    def get(self, kernel_name: str, machine_name: str) -> RunResult:
+        return self.results[(kernel_name, machine_name)]
+
+    def add(self, result: RunResult) -> None:
+        self.results[(result.kernel_name, result.machine_name)] = result
+
+    def kernels(self) -> list[str]:
+        seen: list[str] = []
+        for kernel_name, _ in self.results:
+            if kernel_name not in seen:
+                seen.append(kernel_name)
+        return seen
+
+
+def run_kernel(kernel: Kernel, machine: Machine,
+               pipeline: PipelineConfig | None = None,
+               max_steps: int = 20_000_000) -> RunResult:
+    """Prepare, simulate and verify one kernel on one machine."""
+    prepared = machine.prepare(kernel.source)
+    simulator = prepared.make_simulator(pipeline=pipeline)
+    simulator.run(max_steps=max_steps)
+    kernel.check(simulator)  # raises KernelCheckError on mismatch
+    stats = simulator.stats
+    return RunResult(
+        kernel_name=kernel.name,
+        machine_name=machine.name,
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        stats=stats,
+        verified=True,
+        transformed_loops=prepared.transformed_loops,
+        zolc_init_instructions=stats.zolc_init_instructions,
+        zolc_task_switches=stats.zolc_task_switches,
+    )
+
+
+def run_suite(kernels: list[Kernel], machines: list[Machine],
+              pipeline: PipelineConfig | None = None) -> SuiteResult:
+    """Run every kernel on every machine."""
+    suite = SuiteResult()
+    for kernel in kernels:
+        for machine in machines:
+            suite.add(run_kernel(kernel, machine, pipeline=pipeline))
+    return suite

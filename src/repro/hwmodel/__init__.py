@@ -1,0 +1,41 @@
+"""Hardware cost roll-ups: storage, area and timing models."""
+
+from repro.hwmodel.area import (
+    AreaReport,
+    PAPER_EQUIVALENT_GATES,
+    area_report,
+    canonical_area_reports,
+)
+from repro.hwmodel.storage import (
+    PAPER_STORAGE_BYTES,
+    StorageReport,
+    canonical_storage_reports,
+    storage_report,
+)
+from repro.hwmodel.timing import (
+    CPU_CYCLE_NS,
+    CPU_FREQUENCY_MHZ,
+    CriticalPath,
+    affects_cycle_time,
+    cpu_critical_path,
+    timing_slack_ns,
+    zolc_critical_path,
+)
+
+__all__ = [
+    "AreaReport",
+    "CPU_CYCLE_NS",
+    "CPU_FREQUENCY_MHZ",
+    "CriticalPath",
+    "PAPER_EQUIVALENT_GATES",
+    "PAPER_STORAGE_BYTES",
+    "StorageReport",
+    "affects_cycle_time",
+    "area_report",
+    "canonical_area_reports",
+    "canonical_storage_reports",
+    "cpu_critical_path",
+    "storage_report",
+    "timing_slack_ns",
+    "zolc_critical_path",
+]

@@ -1,0 +1,38 @@
+"""Combinational-area roll-up across ZOLC configurations (experiment E4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CANONICAL_CONFIGS, ZolcConfig
+from repro.core.costs import AreaBreakdown, area_breakdown
+
+#: Paper §3: combinational area for uZOLC / ZOLClite / ZOLCfull.
+PAPER_EQUIVALENT_GATES = {"uZOLC": 298, "ZOLClite": 4056, "ZOLCfull": 4428}
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    config: ZolcConfig
+    breakdown: AreaBreakdown
+
+    @property
+    def total(self) -> int:
+        return self.breakdown.total
+
+    @property
+    def paper_value(self) -> int | None:
+        return PAPER_EQUIVALENT_GATES.get(self.config.name)
+
+    @property
+    def matches_paper(self) -> bool | None:
+        paper = self.paper_value
+        return None if paper is None else self.total == paper
+
+
+def area_report(config: ZolcConfig) -> AreaReport:
+    return AreaReport(config=config, breakdown=area_breakdown(config))
+
+
+def canonical_area_reports() -> list[AreaReport]:
+    return [area_report(config) for config in CANONICAL_CONFIGS]

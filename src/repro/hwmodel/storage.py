@@ -1,0 +1,38 @@
+"""Storage roll-up across ZOLC configurations (experiment E3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CANONICAL_CONFIGS, ZolcConfig
+from repro.core.costs import StorageBreakdown, storage_breakdown
+
+#: Paper §3: storage requirements for uZOLC / ZOLClite / ZOLCfull.
+PAPER_STORAGE_BYTES = {"uZOLC": 30, "ZOLClite": 258, "ZOLCfull": 642}
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    config: ZolcConfig
+    breakdown: StorageBreakdown
+
+    @property
+    def total(self) -> int:
+        return self.breakdown.total
+
+    @property
+    def paper_value(self) -> int | None:
+        return PAPER_STORAGE_BYTES.get(self.config.name)
+
+    @property
+    def matches_paper(self) -> bool | None:
+        paper = self.paper_value
+        return None if paper is None else self.total == paper
+
+
+def storage_report(config: ZolcConfig) -> StorageReport:
+    return StorageReport(config=config, breakdown=storage_breakdown(config))
+
+
+def canonical_storage_reports() -> list[StorageReport]:
+    return [storage_report(config) for config in CANONICAL_CONFIGS]

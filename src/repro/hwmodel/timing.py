@@ -1,0 +1,76 @@
+"""Cycle-time model (experiment E5).
+
+Paper §3: "The processor cycle time is not affected due to ZOLC and
+corresponds to about 170 MHz on a 0.13 um ASIC process."
+
+We model the claim structurally: the ZOLC's active-mode critical path —
+trigger-address match, task-selection LUT read, next-PC mux and the
+index adder — is a short combinational chain, far shorter than the
+processor's own critical path (register file read + ALU + bypass) that
+sets the 170 MHz clock.  Gate-level depths below are typical standard-
+cell figures for a 0.13 um process (fanout-4 delay ~= 55 ps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZolcConfig
+
+CPU_FREQUENCY_MHZ = 170.0
+CPU_CYCLE_NS = 1000.0 / CPU_FREQUENCY_MHZ   # ~5.88 ns
+
+#: Fanout-4 gate delay on the modelled 0.13 um process, nanoseconds.
+FO4_DELAY_NS = 0.055
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Logic depth (FO4 equivalents) of one path."""
+
+    name: str
+    stages: dict[str, int]
+
+    @property
+    def depth(self) -> int:
+        return sum(self.stages.values())
+
+    @property
+    def delay_ns(self) -> float:
+        return self.depth * FO4_DELAY_NS
+
+
+def zolc_critical_path(config: ZolcConfig) -> CriticalPath:
+    """The active-mode decision path of a ZOLC configuration."""
+    import math
+
+    stages = {
+        # PC comparator against the trigger CAM entries.
+        "trigger_match": 6,
+        # Task-selection LUT read (scales with log2 of entry count).
+        "task_lut_read": max(2, math.ceil(
+            math.log2(max(2, config.max_task_entries)))),
+        # Loop-status check (count comparator) + next-PC mux.
+        "status_and_mux": 8,
+        # 32-bit carry-lookahead index adder (write-back path, parallel
+        # with fetch redirect but counted for the worst case).
+        "index_adder": 11,
+    }
+    return CriticalPath(name=f"{config.name} decision", stages=stages)
+
+
+def cpu_critical_path() -> CriticalPath:
+    """The processor's own cycle-limiting path at 170 MHz."""
+    depth = round(CPU_CYCLE_NS / FO4_DELAY_NS)  # ~107 FO4
+    return CriticalPath(name="CPU (regfile + ALU + bypass)",
+                        stages={"pipeline_stage": depth})
+
+
+def affects_cycle_time(config: ZolcConfig) -> bool:
+    """Whether attaching this ZOLC would stretch the processor clock."""
+    return zolc_critical_path(config).delay_ns >= CPU_CYCLE_NS
+
+
+def timing_slack_ns(config: ZolcConfig) -> float:
+    """Slack between the ZOLC decision path and the CPU cycle."""
+    return CPU_CYCLE_NS - zolc_critical_path(config).delay_ns

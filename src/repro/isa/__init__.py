@@ -1,0 +1,48 @@
+"""XR32 instruction-set architecture: registers, instructions, encoding.
+
+XR32 is the MIPS-like 32-bit RISC ISA this reproduction uses in place of
+the XiRisc soft core described in the paper.  See DESIGN.md §3 for the
+substitution rationale.
+"""
+
+from repro.isa.instructions import (
+    ALL_MNEMONICS,
+    BRANCH_MNEMONICS,
+    Category,
+    Format,
+    Instruction,
+    InstrSpec,
+    JUMP_MNEMONICS,
+    SPEC_BY_MNEMONIC,
+)
+from repro.isa.encoding import EncodingError, decode, decode_program, encode, encode_program
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    UnknownRegisterError,
+    is_register_name,
+    register_index,
+    register_name,
+)
+
+__all__ = [
+    "ALL_MNEMONICS",
+    "ABI_NAMES",
+    "BRANCH_MNEMONICS",
+    "Category",
+    "EncodingError",
+    "Format",
+    "Instruction",
+    "InstrSpec",
+    "JUMP_MNEMONICS",
+    "NUM_REGISTERS",
+    "SPEC_BY_MNEMONIC",
+    "UnknownRegisterError",
+    "decode",
+    "decode_program",
+    "encode",
+    "encode_program",
+    "is_register_name",
+    "register_index",
+    "register_name",
+]

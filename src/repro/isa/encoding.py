@@ -1,0 +1,116 @@
+"""Binary encoding and decoding of XR32 instructions.
+
+Every instruction is a 32-bit word in one of the three classic formats::
+
+    R:  opcode[31:26] rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+    I:  opcode[31:26] rs[25:21] rt[20:16] imm[15:0]
+    J:  opcode[31:26] target[25:0]
+
+The encoder and decoder are exact inverses; a hypothesis round-trip test
+pins this property.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    InstrSpec,
+    OP_REGIMM,
+    OP_SPECIAL,
+    SPEC_BY_FUNCT,
+    SPEC_BY_MNEMONIC,
+    SPEC_BY_OPCODE,
+    SPEC_BY_REGIMM,
+)
+from repro.util.bitops import fits_signed, fits_unsigned, sign_extend
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _imm_field(inst: Instruction, spec: InstrSpec) -> int:
+    """Validate and return the raw 16-bit immediate field."""
+    imm = inst.imm
+    if spec.unsigned_imm:
+        if not fits_unsigned(imm, 16):
+            raise EncodingError(
+                f"{inst.mnemonic}: immediate {imm} out of unsigned 16-bit range")
+        return imm
+    if not fits_signed(imm, 16):
+        raise EncodingError(
+            f"{inst.mnemonic}: immediate {imm} out of signed 16-bit range")
+    return imm & 0xFFFF
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    spec = SPEC_BY_MNEMONIC.get(inst.mnemonic)
+    if spec is None:
+        raise EncodingError(f"unknown mnemonic: {inst.mnemonic!r}")
+    for reg_field in ("rs", "rt", "rd"):
+        value = getattr(inst, reg_field)
+        if not fits_unsigned(value, 5):
+            raise EncodingError(f"{inst.mnemonic}: {reg_field}={value} out of range")
+    if spec.fmt is Format.R:
+        if not fits_unsigned(inst.shamt, 5):
+            raise EncodingError(f"{inst.mnemonic}: shamt={inst.shamt} out of range")
+        assert spec.funct is not None
+        return (
+            (spec.opcode << 26)
+            | (inst.rs << 21)
+            | (inst.rt << 16)
+            | (inst.rd << 11)
+            | (inst.shamt << 6)
+            | spec.funct
+        )
+    if spec.fmt is Format.I:
+        rt = spec.regimm if spec.regimm is not None else inst.rt
+        return (spec.opcode << 26) | (inst.rs << 21) | (rt << 16) | _imm_field(inst, spec)
+    # J format
+    if not fits_unsigned(inst.target, 26):
+        raise EncodingError(f"{inst.mnemonic}: target {inst.target:#x} out of range")
+    return (spec.opcode << 26) | inst.target
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`."""
+    if not fits_unsigned(word, 32):
+        raise EncodingError(f"word {word:#x} is not a 32-bit value")
+    opcode = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm16 = word & 0xFFFF
+    target = word & 0x3FFFFFF
+
+    if opcode == OP_SPECIAL:
+        spec = SPEC_BY_FUNCT.get(funct)
+        if spec is None:
+            raise EncodingError(f"unknown SPECIAL funct {funct:#x} in word {word:#010x}")
+        return Instruction(spec.mnemonic, rs=rs, rt=rt, rd=rd, shamt=shamt)
+    if opcode == OP_REGIMM:
+        spec = SPEC_BY_REGIMM.get(rt)
+        if spec is None:
+            raise EncodingError(f"unknown REGIMM selector {rt:#x} in word {word:#010x}")
+        return Instruction(spec.mnemonic, rs=rs, imm=sign_extend(imm16, 16))
+    spec = SPEC_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise EncodingError(f"unknown opcode {opcode:#x} in word {word:#010x}")
+    if spec.fmt is Format.J:
+        return Instruction(spec.mnemonic, target=target)
+    imm = imm16 if spec.unsigned_imm else sign_extend(imm16, 16)
+    return Instruction(spec.mnemonic, rs=rs, rt=rt, imm=imm)
+
+
+def encode_program(instructions: list[Instruction]) -> list[int]:
+    """Encode a sequence of instructions into words."""
+    return [encode(inst) for inst in instructions]
+
+
+def decode_program(words: list[int]) -> list[Instruction]:
+    """Decode a sequence of words into instructions."""
+    return [decode(word) for word in words]

@@ -1,0 +1,186 @@
+"""Pseudo-instruction expansion for the XR32 assembler.
+
+Pseudo-instructions expand to a *fixed-length* sequence of real
+instructions before addresses are assigned, so the assembler's layout
+pass stays single-shot.  Expansions are expressed textually — a pseudo
+maps ``(mnemonic, operands)`` to a list of real ``(mnemonic, operands)``
+pairs — which keeps them independent of parser internals and trivially
+unit-testable.
+
+Relocation operators ``%hi(sym)`` / ``%lo(sym)`` are emitted by ``la``
+and resolved by the assembler's fixup pass.
+"""
+
+from __future__ import annotations
+
+from repro.util.bitops import fits_signed, fits_unsigned, to_unsigned32
+
+Expansion = list[tuple[str, list[str]]]
+
+# The assembler temporary, reserved for pseudo expansions (as in MIPS o32).
+AT = "at"
+
+
+class PseudoError(ValueError):
+    """Raised for malformed pseudo-instruction operands."""
+
+
+def _expect(operands: list[str], count: int, mnemonic: str) -> None:
+    if len(operands) != count:
+        raise PseudoError(
+            f"{mnemonic} expects {count} operand(s), got {len(operands)}")
+
+
+def _parse_int(text: str, mnemonic: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise PseudoError(f"{mnemonic}: bad integer literal {text!r}") from exc
+
+
+def expand_li(operands: list[str]) -> Expansion:
+    """``li rt, imm32`` — load a 32-bit constant in 1-2 instructions."""
+    _expect(operands, 2, "li")
+    rt, literal = operands
+    value = _parse_int(literal, "li")
+    if fits_signed(value, 16):
+        return [("addi", [rt, "zero", str(value)])]
+    if fits_unsigned(value, 16):
+        return [("ori", [rt, "zero", str(value)])]
+    uval = to_unsigned32(value)
+    hi = (uval >> 16) & 0xFFFF
+    lo = uval & 0xFFFF
+    out: Expansion = [("lui", [rt, str(hi)])]
+    if lo:
+        out.append(("ori", [rt, rt, str(lo)]))
+    else:
+        # Keep the expansion length independent of the low half so layout
+        # never depends on constant values observed later.
+        out.append(("ori", [rt, rt, "0"]))
+    return out
+
+
+def expand_la(operands: list[str]) -> Expansion:
+    """``la rt, symbol`` — materialise a symbol's absolute address."""
+    _expect(operands, 2, "la")
+    rt, symbol = operands
+    return [
+        ("lui", [rt, f"%hi({symbol})"]),
+        ("ori", [rt, rt, f"%lo({symbol})"]),
+    ]
+
+
+def expand_move(operands: list[str]) -> Expansion:
+    _expect(operands, 2, "move")
+    rd, rs = operands
+    return [("or", [rd, rs, "zero"])]
+
+
+def expand_nop(operands: list[str]) -> Expansion:
+    _expect(operands, 0, "nop")
+    return [("sll", ["zero", "zero", "0"])]
+
+
+def expand_b(operands: list[str]) -> Expansion:
+    _expect(operands, 1, "b")
+    return [("beq", ["zero", "zero", operands[0]])]
+
+
+def expand_beqz(operands: list[str]) -> Expansion:
+    _expect(operands, 2, "beqz")
+    rs, label = operands
+    return [("beq", [rs, "zero", label])]
+
+
+def expand_bnez(operands: list[str]) -> Expansion:
+    _expect(operands, 2, "bnez")
+    rs, label = operands
+    return [("bne", [rs, "zero", label])]
+
+
+def _compare_branch(cmp_op: str, swap: bool, branch: str, mnemonic: str,
+                    operands: list[str]) -> Expansion:
+    _expect(operands, 3, mnemonic)
+    rs, rt, label = operands
+    lhs, rhs = (rt, rs) if swap else (rs, rt)
+    return [
+        (cmp_op, [AT, lhs, rhs]),
+        (branch, [AT, "zero", label]),
+    ]
+
+
+def expand_blt(operands: list[str]) -> Expansion:
+    return _compare_branch("slt", False, "bne", "blt", operands)
+
+
+def expand_bgt(operands: list[str]) -> Expansion:
+    return _compare_branch("slt", True, "bne", "bgt", operands)
+
+
+def expand_ble(operands: list[str]) -> Expansion:
+    return _compare_branch("slt", True, "beq", "ble", operands)
+
+
+def expand_bge(operands: list[str]) -> Expansion:
+    return _compare_branch("slt", False, "beq", "bge", operands)
+
+
+def expand_bltu(operands: list[str]) -> Expansion:
+    return _compare_branch("sltu", False, "bne", "bltu", operands)
+
+
+def expand_bgeu(operands: list[str]) -> Expansion:
+    return _compare_branch("sltu", False, "beq", "bgeu", operands)
+
+
+def expand_neg(operands: list[str]) -> Expansion:
+    _expect(operands, 2, "neg")
+    rd, rs = operands
+    return [("sub", [rd, "zero", rs])]
+
+
+def expand_not(operands: list[str]) -> Expansion:
+    _expect(operands, 2, "not")
+    rd, rs = operands
+    return [("nor", [rd, rs, "zero"])]
+
+
+def expand_subi(operands: list[str]) -> Expansion:
+    _expect(operands, 3, "subi")
+    rt, rs, literal = operands
+    value = _parse_int(literal, "subi")
+    return [("addi", [rt, rs, str(-value)])]
+
+
+PSEUDO_EXPANSIONS = {
+    "li": expand_li,
+    "la": expand_la,
+    "move": expand_move,
+    "nop": expand_nop,
+    "b": expand_b,
+    "beqz": expand_beqz,
+    "bnez": expand_bnez,
+    "blt": expand_blt,
+    "bgt": expand_bgt,
+    "ble": expand_ble,
+    "bge": expand_bge,
+    "bltu": expand_bltu,
+    "bgeu": expand_bgeu,
+    "neg": expand_neg,
+    "not": expand_not,
+    "subi": expand_subi,
+}
+
+
+def is_pseudo(mnemonic: str) -> bool:
+    """Whether ``mnemonic`` is a pseudo-instruction."""
+    return mnemonic in PSEUDO_EXPANSIONS
+
+
+def expand(mnemonic: str, operands: list[str]) -> Expansion:
+    """Expand one pseudo-instruction into real (mnemonic, operands) pairs."""
+    try:
+        expander = PSEUDO_EXPANSIONS[mnemonic]
+    except KeyError as exc:
+        raise PseudoError(f"not a pseudo-instruction: {mnemonic!r}") from exc
+    return expander(operands)

@@ -1,0 +1,65 @@
+"""XR32 register file description and ABI names.
+
+XR32 follows the classic 32-register RISC convention (the XiRisc core the
+paper extends is itself a MIPS-like 32-bit RISC).  Register ``r0`` is
+hard-wired to zero.  The ABI aliases follow the familiar o32 layout so the
+hand-written workload kernels read naturally.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+ZERO_REG = 0
+RA_REG = 31
+SP_REG = 29
+
+# Canonical ABI aliases, index -> name.
+ABI_NAMES: tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+# name -> index, accepting both ABI aliases and raw "rN" names.
+_NAME_TO_INDEX: dict[str, int] = {}
+for _i, _name in enumerate(ABI_NAMES):
+    _NAME_TO_INDEX[_name] = _i
+for _i in range(NUM_REGISTERS):
+    _NAME_TO_INDEX[f"r{_i}"] = _i
+
+
+class UnknownRegisterError(ValueError):
+    """Raised when a register name cannot be resolved."""
+
+
+def register_index(name: str) -> int:
+    """Resolve a register name (``$t0``, ``t0``, ``r8``, ``$8``) to its index."""
+    text = name.strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    if text.isdigit():
+        index = int(text)
+        if 0 <= index < NUM_REGISTERS:
+            return index
+        raise UnknownRegisterError(f"register number out of range: {name!r}")
+    index = _NAME_TO_INDEX.get(text)
+    if index is None:
+        raise UnknownRegisterError(f"unknown register: {name!r}")
+    return index
+
+
+def register_name(index: int) -> str:
+    """Return the ABI alias for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise UnknownRegisterError(f"register index out of range: {index}")
+    return ABI_NAMES[index]
+
+
+def is_register_name(text: str) -> bool:
+    """Whether ``text`` resolves to a register without raising."""
+    try:
+        register_index(text)
+    except UnknownRegisterError:
+        return False
+    return True

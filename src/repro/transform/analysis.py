@@ -1,0 +1,107 @@
+"""Lightweight dataflow queries used by the loop rewrites.
+
+These are deliberately conservative: every helper errs on the side of
+"might be used", which can only make a transform *refuse* a loop, never
+break one.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Program
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import NaturalLoop
+from repro.isa.instructions import Instruction
+
+
+def index_of_address(program: Program, address: int) -> int:
+    """Instruction index for a text address."""
+    offset = address - program.text_base
+    if offset % 4 or not 0 <= offset < 4 * len(program.instructions):
+        raise ValueError(f"address {address:#x} is not in the text segment")
+    return offset // 4
+
+
+def loop_instruction_indices(program: Program, cfg: ControlFlowGraph,
+                             loop: NaturalLoop) -> list[int]:
+    """Indices of every instruction inside ``loop``, ascending."""
+    indices: list[int] = []
+    for block_id in loop.blocks:
+        for address in cfg.blocks[block_id].addresses():
+            indices.append(index_of_address(program, address))
+    return sorted(indices)
+
+
+def reg_read_in(program: Program, indices: list[int], reg: int,
+                exclude: frozenset[int] = frozenset()) -> bool:
+    """Whether ``reg`` is read by any instruction at ``indices``."""
+    for index in indices:
+        if index in exclude:
+            continue
+        if reg in program.instructions[index].uses():
+            return True
+    return False
+
+
+def reg_written_in(program: Program, indices: list[int], reg: int,
+                   exclude: frozenset[int] = frozenset()) -> bool:
+    """Whether ``reg`` is written by any instruction at ``indices``."""
+    for index in indices:
+        if index in exclude:
+            continue
+        if reg in program.instructions[index].defs():
+            return True
+    return False
+
+
+def is_dead_at_exits(program: Program, cfg: ControlFlowGraph,
+                     loop: NaturalLoop, reg: int) -> bool:
+    """Whether ``reg`` holds no live value at every loop exit.
+
+    Walks forward from each exit target; a read before a write along any
+    path means the register is live (conservatively including cycles).
+    """
+    for _, exit_block in loop.exit_edges:
+        if not dead_from_block(program, cfg, exit_block, reg):
+            return False
+    return True
+
+
+def dead_from_block(program: Program, cfg: ControlFlowGraph,
+                     start: int, reg: int) -> bool:
+    visited: set[int] = set()
+    worklist = [start]
+    while worklist:
+        block_id = worklist.pop()
+        if block_id in visited:
+            continue
+        visited.add(block_id)
+        verdict = _scan_block(cfg.blocks[block_id].instructions, reg)
+        if verdict == "read":
+            return False
+        if verdict == "written":
+            continue
+        worklist.extend(cfg.blocks[block_id].successors)
+    return True
+
+
+def _scan_block(instructions: list[Instruction], reg: int) -> str:
+    """First event for ``reg`` in a block: 'read', 'written' or 'none'."""
+    for inst in instructions:
+        if reg in inst.uses():
+            return "read"
+        if reg in inst.defs():
+            return "written"
+    return "none"
+
+
+def instructions_between(program: Program, lo: int, hi: int) -> list[Instruction]:
+    """Instructions at indices strictly between ``lo`` and ``hi``."""
+    return program.instructions[lo + 1:hi]
+
+
+def contains_call_or_indirect(program: Program, indices: list[int]) -> bool:
+    """Whether any instruction is a call / indirect jump (untransformable)."""
+    for index in indices:
+        if program.instructions[index].mnemonic in ("jal", "jalr", "jr"):
+            return True
+    return False

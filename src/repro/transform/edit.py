@@ -1,0 +1,73 @@
+"""Shared text-segment editing machinery for the code transforms.
+
+Transforms plan their changes as instruction-index keyed edits over the
+parsed module (whose text entries correspond 1:1 with the baseline
+program's instructions) and apply them in one pass:
+
+* **deletions** remove an entry; its labels forward to the next
+  surviving instruction, so surviving branches keep their meaning;
+* **replacements** swap an entry's instruction in place;
+* **added labels** plant marker labels on an entry (forwarding if the
+  entry is deleted);
+* **insertions** splice new instructions in *before* an entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.parser import SourceInstruction, TextEntry
+
+
+class EditError(ValueError):
+    """An edit plan is inconsistent with the module."""
+
+
+@dataclass
+class EditPlan:
+    """Accumulated edits over a module's text entries."""
+
+    deletions: set[int] = field(default_factory=set)
+    replacements: dict[int, SourceInstruction] = field(default_factory=dict)
+    added_labels: dict[int, list[str]] = field(default_factory=dict)
+    insertions: dict[int, list[SourceInstruction]] = field(default_factory=dict)
+
+    def delete(self, index: int) -> None:
+        self.deletions.add(index)
+
+    def replace(self, index: int, instruction: SourceInstruction) -> None:
+        if index in self.deletions:
+            raise EditError(f"index {index} both deleted and replaced")
+        self.replacements[index] = instruction
+
+    def add_label(self, index: int, label: str) -> None:
+        self.added_labels.setdefault(index, []).append(label)
+
+    def insert_before(self, index: int,
+                      instructions: list[SourceInstruction]) -> None:
+        self.insertions.setdefault(index, []).extend(instructions)
+
+
+def apply_edits(entries: list[TextEntry], plan: EditPlan) -> list[TextEntry]:
+    """Apply an :class:`EditPlan`, returning the new entry list."""
+    overlap = plan.deletions & set(plan.replacements)
+    if overlap:
+        raise EditError(f"indices both deleted and replaced: {sorted(overlap)}")
+    new_entries: list[TextEntry] = []
+    pending: list[str] = []
+    for index, entry in enumerate(entries):
+        for inserted in plan.insertions.get(index, ()):
+            new_entries.append(TextEntry(labels=pending, instruction=inserted))
+            pending = []
+        labels = list(entry.labels) + plan.added_labels.get(index, [])
+        if index in plan.deletions:
+            pending.extend(labels)
+            continue
+        instruction = plan.replacements.get(index, entry.instruction)
+        new_entries.append(TextEntry(labels=pending + labels,
+                                     instruction=instruction))
+        pending = []
+    if pending:
+        raise EditError(
+            f"labels {pending} fell off the end of the text segment")
+    return new_entries

@@ -1,0 +1,28 @@
+"""Small shared helpers: bit manipulation and fixed-point arithmetic."""
+
+from repro.util.bitops import (
+    MASK32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+    fits_signed,
+    fits_unsigned,
+    extract_bits,
+    insert_bits,
+)
+from repro.util.fixedpoint import float_to_q15, q15_to_float, saturate16, saturate32
+
+__all__ = [
+    "MASK32",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+    "fits_signed",
+    "fits_unsigned",
+    "extract_bits",
+    "insert_bits",
+    "float_to_q15",
+    "q15_to_float",
+    "saturate16",
+    "saturate32",
+]

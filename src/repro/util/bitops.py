@@ -1,0 +1,72 @@
+"""Bit-level helpers used by the encoder, decoder and datapath.
+
+All XR32 architectural state is modelled as Python integers constrained to
+32 bits.  Register values are stored *unsigned* (0 .. 2**32-1); signed
+interpretation happens at the point of use via :func:`to_signed32`.
+"""
+
+MASK32 = 0xFFFFFFFF
+MASK16 = 0xFFFF
+MASK8 = 0xFF
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend ``value`` of width ``bits`` to a Python int.
+
+    >>> sign_extend(0xFFFF, 16)
+    -1
+    >>> sign_extend(0x7FFF, 16)
+    32767
+    """
+    if bits <= 0:
+        raise ValueError("bit width must be positive")
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+def to_signed32(value: int) -> int:
+    """Interpret a 32-bit unsigned value as a signed two's-complement int."""
+    return sign_extend(value, 32)
+
+
+def to_unsigned32(value: int) -> int:
+    """Wrap any Python int into the unsigned 32-bit range."""
+    return value & MASK32
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """Whether ``value`` is representable as a signed ``bits``-bit integer."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """Whether ``value`` is representable as an unsigned ``bits``-bit integer."""
+    return 0 <= value <= (1 << bits) - 1
+
+
+def extract_bits(word: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit-field ``word[hi:lo]``.
+
+    >>> hex(extract_bits(0xABCD1234, 31, 24))
+    '0xab'
+    """
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    width = hi - lo + 1
+    return (word >> lo) & ((1 << width) - 1)
+
+
+def insert_bits(word: int, hi: int, lo: int, value: int) -> int:
+    """Return ``word`` with the inclusive field ``[hi:lo]`` replaced by ``value``."""
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    width = hi - lo + 1
+    if not fits_unsigned(value, width):
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask & MASK32) | ((value << lo) & mask)

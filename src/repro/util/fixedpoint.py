@@ -1,0 +1,37 @@
+"""Fixed-point helpers for the DSP workload golden models.
+
+The XR32 kernels operate on integer / Q15 fixed-point data, mirroring how
+the XiRisc validation kernels (FIR, IIR, FFT, DCT) are written for an
+integer-only embedded core.
+"""
+
+Q15_ONE = 1 << 15
+
+
+def float_to_q15(x: float) -> int:
+    """Convert a float in [-1, 1) to a Q15 integer, saturating at the rails."""
+    value = int(round(x * Q15_ONE))
+    return saturate16(value)
+
+
+def q15_to_float(x: int) -> float:
+    """Convert a Q15 integer back to a float."""
+    return float(x) / Q15_ONE
+
+
+def saturate16(value: int) -> int:
+    """Clamp to the signed 16-bit range [-32768, 32767]."""
+    if value > 0x7FFF:
+        return 0x7FFF
+    if value < -0x8000:
+        return -0x8000
+    return value
+
+
+def saturate32(value: int) -> int:
+    """Clamp to the signed 32-bit range."""
+    if value > 0x7FFFFFFF:
+        return 0x7FFFFFFF
+    if value < -0x80000000:
+        return -0x80000000
+    return value

@@ -1,0 +1,19 @@
+"""Benchmark workloads: the 12-kernel suite plus synthetic generators."""
+
+from repro.workloads.api import Kernel, KernelCheckError, KernelRegistry
+from repro.workloads.suite import (
+    FIGURE2_BENCHMARKS,
+    figure2_kernels,
+    kernel,
+    registry,
+)
+
+__all__ = [
+    "FIGURE2_BENCHMARKS",
+    "Kernel",
+    "KernelCheckError",
+    "KernelRegistry",
+    "figure2_kernels",
+    "kernel",
+    "registry",
+]

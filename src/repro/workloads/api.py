@@ -1,0 +1,110 @@
+"""Common benchmark-kernel infrastructure.
+
+A :class:`Kernel` bundles one benchmark: its XR32 assembly source
+(written in the standard loop-overhead idiom, as compiler output for the
+unmodified XiRisc would look), a deterministic input data set embedded
+in the ``.data`` segment, and a *golden check* that reads the simulated
+memory after the run and compares it against a Python/numpy reference
+model.  Every machine configuration must produce bit-identical outputs;
+only the cycle counts differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+
+
+class KernelCheckError(AssertionError):
+    """A kernel's simulated output disagrees with its golden model."""
+
+
+@dataclass
+class Kernel:
+    """One benchmark: source + golden-model output check."""
+
+    name: str
+    description: str
+    source: str
+    check: Callable[[Simulator], None]
+    category: str = "dsp"            # "dsp" | "media" | "control" | "synthetic"
+    notes: str = ""
+    expected_loops: int | None = None  # sanity: loops the CFG should find
+
+
+def rng(kernel_name: str) -> np.random.RandomState:
+    """Deterministic per-kernel random source (collision-resistant)."""
+    import zlib
+
+    seed = zlib.crc32(kernel_name.encode()) % (2**31)
+    return np.random.RandomState(seed)
+
+
+def words(values: Iterable[int], per_line: int = 8) -> str:
+    """Render integers as ``.word`` directive lines."""
+    values = [int(v) for v in values]
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start:start + per_line])
+        lines.append(f"        .word {chunk}")
+    return "\n".join(lines) if lines else "        .word 0"
+
+
+def read_words_signed(sim: Simulator, symbol: str, count: int) -> list[int]:
+    """Read ``count`` signed words at a data symbol."""
+    address = sim.program.symbols[symbol]
+    return sim.memory.load_words_signed(address, count)
+
+
+def read_word_signed(sim: Simulator, symbol: str) -> int:
+    return read_words_signed(sim, symbol, 1)[0]
+
+
+def expect_words(sim: Simulator, symbol: str, expected: Iterable[int],
+                 context: str) -> None:
+    """Assert a memory region equals the golden values."""
+    expected = [to_signed32(int(v) & 0xFFFFFFFF) for v in expected]
+    actual = read_words_signed(sim, symbol, len(expected))
+    if actual != expected:
+        diffs = [(i, a, e) for i, (a, e) in enumerate(zip(actual, expected))
+                 if a != e]
+        head = ", ".join(f"[{i}] got {a} want {e}" for i, a, e in diffs[:5])
+        raise KernelCheckError(
+            f"{context}: {len(diffs)} mismatch(es) at {symbol}: {head}")
+
+
+def expect_word(sim: Simulator, symbol: str, expected: int,
+                context: str) -> None:
+    expect_words(sim, symbol, [expected], context)
+
+
+@dataclass
+class KernelRegistry:
+    """Named collection of kernels (the benchmark suite)."""
+
+    kernels: dict[str, Kernel] = field(default_factory=dict)
+
+    def register(self, kernel: Kernel) -> Kernel:
+        if kernel.name in self.kernels:
+            raise ValueError(f"duplicate kernel {kernel.name!r}")
+        self.kernels[kernel.name] = kernel
+        return kernel
+
+    def get(self, name: str) -> Kernel:
+        try:
+            return self.kernels[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel {name!r}; available: "
+                f"{', '.join(sorted(self.kernels))}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self.kernels)
+
+    def all(self) -> list[Kernel]:
+        return [self.kernels[name] for name in self.names()]

@@ -1,0 +1,22 @@
+"""Individual benchmark kernels (one module per benchmark)."""
+
+from repro.workloads.kernels import (  # noqa: F401
+    bubble_sort,
+    conv2d,
+    crc32,
+    dct8x8,
+    dot_product,
+    fft,
+    fft_classic,
+    fir,
+    histogram,
+    iir_biquad,
+    matmul,
+    me_fss,
+    me_tss,
+    quantize,
+    synthetic,
+    vec_sum,
+    vecmax_early,
+    viterbi,
+)

@@ -1,0 +1,60 @@
+"""bubble_sort — in-place sort with data-dependent swaps (extra kernel).
+
+Fixed-bound formulation (N-1 passes of N-1 comparisons) so both levels
+are counted loops; the swap itself is a data-dependent branch *inside*
+the body, taken or not per comparison.  Demonstrates that ZOLC
+eligibility depends only on the loop-control shape, not on body control
+flow.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+N = 24
+
+
+def _source(data: list[int]) -> str:
+    return f"""
+        .data
+arr:
+{words(data)}
+        .text
+main:
+        li   t0, {N - 1}    # pass down-counter
+pass:
+        la   s0, arr        # comparison walker
+        li   t1, {N - 1}    # comparison down-counter
+cmp:
+        lw   t2, 0(s0)
+        lw   t3, 4(s0)
+        slt  t4, t3, t2
+        beq  t4, zero, noswap
+        sw   t3, 0(s0)
+        sw   t2, 4(s0)
+noswap:
+        addi s0, s0, 4
+        addi t1, t1, -1
+        bne  t1, zero, cmp
+        addi t0, t0, -1
+        bne  t0, zero, pass
+        halt
+"""
+
+
+def build() -> Kernel:
+    data = [int(v) for v in rng("bubble_sort").randint(-500, 500, size=N)]
+    expected = sorted(data)
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "arr", expected, "bubble_sort")
+
+    return Kernel(
+        name="bubble_sort",
+        description=f"in-place bubble sort of {N} words",
+        source=_source(data),
+        check=check,
+        category="control",
+        expected_loops=2,
+    )

@@ -1,0 +1,93 @@
+"""conv2d — 2-D convolution, 3x3 kernel (media processing class).
+
+A four-deep nest (output row, output column, kernel row, kernel
+column).  Deep nests are where the ZOLC's arbitrary-nesting support
+pays off: at the end of each output column, up to three loop decisions
+cascade through a single zero-cycle task switch.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+IN_DIM = 16
+K_DIM = 3
+OUT_DIM = IN_DIM - K_DIM + 1   # 14
+
+
+def _source(image: list[int], kernel: list[int]) -> str:
+    return f"""
+        .data
+img:
+{words(image)}
+kern:
+{words(kernel)}
+out:
+        .space {4 * OUT_DIM * OUT_DIM}
+        .text
+main:
+        la   s0, img        # input row base (output row origin)
+        la   s1, out
+        li   t0, {OUT_DIM}  # oy down-counter
+oyloop:
+        or   s2, s0, zero   # input pixel base for this output column
+        li   t1, {OUT_DIM}  # ox down-counter
+oxloop:
+        or   s3, s2, zero   # kernel-row input pointer
+        la   s4, kern
+        li   t2, {K_DIM}    # ky down-counter
+        li   s5, 0          # acc
+kyloop:
+        or   t3, s3, zero   # kernel-column input pointer
+        li   t4, {K_DIM}    # kx down-counter
+kxloop:
+        lw   t5, 0(t3)
+        lw   t6, 0(s4)
+        mul  t7, t5, t6
+        add  s5, s5, t7
+        addi t3, t3, 4
+        addi s4, s4, 4
+        addi t4, t4, -1
+        bne  t4, zero, kxloop
+        addi s3, s3, {4 * IN_DIM}
+        addi t2, t2, -1
+        bne  t2, zero, kyloop
+        sw   s5, 0(s1)
+        addi s1, s1, 4
+        addi s2, s2, 4
+        addi t1, t1, -1
+        bne  t1, zero, oxloop
+        addi s0, s0, {4 * IN_DIM}
+        addi t0, t0, -1
+        bne  t0, zero, oyloop
+        halt
+"""
+
+
+def build() -> Kernel:
+    source_rng = rng("conv2d")
+    image = [int(v) for v in source_rng.randint(-64, 64, size=IN_DIM * IN_DIM)]
+    kernel = [int(v) for v in source_rng.randint(-8, 8, size=K_DIM * K_DIM)]
+    expected = []
+    for oy in range(OUT_DIM):
+        for ox in range(OUT_DIM):
+            acc = 0
+            for ky in range(K_DIM):
+                for kx in range(K_DIM):
+                    acc += (image[(oy + ky) * IN_DIM + (ox + kx)]
+                            * kernel[ky * K_DIM + kx])
+            expected.append(to_signed32(acc & 0xFFFFFFFF))
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "out", expected, "conv2d")
+
+    return Kernel(
+        name="conv2d",
+        description=f"{IN_DIM}x{IN_DIM} image, {K_DIM}x{K_DIM} kernel",
+        source=_source(image, kernel),
+        check=check,
+        category="media",
+        expected_loops=4,
+    )

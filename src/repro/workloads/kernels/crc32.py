@@ -1,0 +1,81 @@
+"""crc32 — bitwise reflected CRC-32 (control/validation class).
+
+A two-level nest whose inner body *branches* (conditional polynomial
+XOR): the not-taken path jumps straight to the latch.  After the ZOLC
+removes the latch, that jump lands exactly on the loop's trigger
+address — exercising the "jump to latch" path of the task-end
+detection.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_word, rng
+
+MESSAGE_LEN = 64
+POLY = 0xEDB88320
+
+
+def _byte_lines(data: bytes) -> str:
+    lines = []
+    for start in range(0, len(data), 12):
+        chunk = ", ".join(str(b) for b in data[start:start + 12])
+        lines.append(f"        .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _source(message: bytes) -> str:
+    return f"""
+        .data
+msg:
+{_byte_lines(message)}
+        .align 2
+out:    .word 0
+        .text
+main:
+        la   s0, msg
+        li   s1, -1             # crc = 0xFFFFFFFF
+        li   s3, {POLY:#x}      # reflected polynomial
+        li   t0, {MESSAGE_LEN}  # byte down-counter
+byteloop:
+        lbu  t1, 0(s0)
+        xor  s1, s1, t1
+        li   t2, 8              # bit down-counter
+bitloop:
+        andi t3, s1, 1
+        srl  s1, s1, 1
+        beq  t3, zero, skip
+        xor  s1, s1, s3
+skip:
+        addi t2, t2, -1
+        bne  t2, zero, bitloop
+        addi s0, s0, 1
+        addi t0, t0, -1
+        bne  t0, zero, byteloop
+        li   t4, -1
+        xor  s1, s1, t4         # final complement
+        la   t5, out
+        sw   s1, 0(t5)
+        halt
+"""
+
+
+def build() -> Kernel:
+    message = bytes(int(v) for v in rng("crc32").randint(0, 256,
+                                                         size=MESSAGE_LEN))
+    expected = to_signed32(binascii.crc32(message) & 0xFFFFFFFF)
+
+    def check(sim: Simulator) -> None:
+        expect_word(sim, "out", expected, "crc32")
+
+    return Kernel(
+        name="crc32",
+        description=f"bitwise CRC-32 over {MESSAGE_LEN} bytes",
+        source=_source(message),
+        check=check,
+        category="control",
+        expected_loops=2,
+    )

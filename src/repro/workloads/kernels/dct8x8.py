@@ -1,0 +1,143 @@
+"""dct8x8 — two-dimensional 8x8 DCT-II (media processing class).
+
+Separable formulation: ``Y = C · X · C^T`` computed as two sequential
+triple nests with Q13 cosine coefficients and rounding shifts — the
+shape of every JPEG/MPEG encoder front end.  Two independent loop nests
+means two ZOLC regions, each programmed at its own nest preheader.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+DIM = 8
+Q = 13
+ROUND = 1 << (Q - 1)
+
+
+def _cos_matrix() -> list[int]:
+    scale = 1 << Q
+    out = []
+    for i in range(DIM):
+        alpha = math.sqrt(1.0 / DIM) if i == 0 else math.sqrt(2.0 / DIM)
+        for j in range(DIM):
+            value = alpha * math.cos((2 * j + 1) * i * math.pi / (2 * DIM))
+            out.append(int(round(value * scale)))
+    return out
+
+
+def _source(x: list[int]) -> str:
+    c = _cos_matrix()
+    return f"""
+        .data
+X:
+{words(x)}
+C:
+{words(c)}
+tmp:
+        .space {4 * DIM * DIM}
+Y:
+        .space {4 * DIM * DIM}
+        .text
+main:
+        # pass 1: tmp = (C * X + R) >> Q
+        la   s0, C          # C row base
+        la   s3, tmp
+        li   t0, {DIM}      # i down-counter
+p1i:
+        la   s1, X          # X column base
+        li   t1, {DIM}      # j down-counter
+p1j:
+        or   t2, s0, zero   # C walker
+        or   t3, s1, zero   # X walker (stride DIM words)
+        li   t4, {DIM}      # k down-counter
+        li   s5, {ROUND}    # rounding acc
+p1k:
+        lw   t5, 0(t2)
+        lw   t6, 0(t3)
+        mul  t7, t5, t6
+        add  s5, s5, t7
+        addi t2, t2, 4
+        addi t3, t3, {4 * DIM}
+        addi t4, t4, -1
+        bne  t4, zero, p1k
+        sra  s5, s5, {Q}
+        sw   s5, 0(s3)
+        addi s3, s3, 4
+        addi s1, s1, 4
+        addi t1, t1, -1
+        bne  t1, zero, p1j
+        addi s0, s0, {4 * DIM}
+        addi t0, t0, -1
+        bne  t0, zero, p1i
+        # pass 2: Y = (tmp * C^T + R) >> Q
+        la   s0, tmp        # tmp row base
+        la   s3, Y
+        li   t0, {DIM}      # i down-counter
+p2i:
+        la   s1, C          # C row base (transposed access)
+        li   t1, {DIM}      # j down-counter
+p2j:
+        or   t2, s0, zero   # tmp walker
+        or   t3, s1, zero   # C row walker (contiguous)
+        li   t4, {DIM}      # k down-counter
+        li   s5, {ROUND}
+p2k:
+        lw   t5, 0(t2)
+        lw   t6, 0(t3)
+        mul  t7, t5, t6
+        add  s5, s5, t7
+        addi t2, t2, 4
+        addi t3, t3, 4
+        addi t4, t4, -1
+        bne  t4, zero, p2k
+        sra  s5, s5, {Q}
+        sw   s5, 0(s3)
+        addi s3, s3, 4
+        addi s1, s1, {4 * DIM}
+        addi t1, t1, -1
+        bne  t1, zero, p2j
+        addi s0, s0, {4 * DIM}
+        addi t0, t0, -1
+        bne  t0, zero, p2i
+        halt
+"""
+
+
+def _golden(x: list[int]) -> list[int]:
+    c = _cos_matrix()
+    tmp = []
+    for i in range(DIM):
+        for j in range(DIM):
+            acc = ROUND + sum(c[i * DIM + k] * x[k * DIM + j]
+                              for k in range(DIM))
+            tmp.append(to_signed32(acc & 0xFFFFFFFF) >> Q)
+    out = []
+    for i in range(DIM):
+        for j in range(DIM):
+            acc = ROUND + sum(tmp[i * DIM + k] * c[j * DIM + k]
+                              for k in range(DIM))
+            out.append(to_signed32(acc & 0xFFFFFFFF) >> Q)
+    return out
+
+
+def build() -> Kernel:
+    source_rng = rng("dct8x8")
+    x = [int(v) for v in source_rng.randint(-128, 128, size=DIM * DIM)]
+    expected = _golden(x)
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "Y", expected, "dct8x8")
+
+    return Kernel(
+        name="dct8x8",
+        description="8x8 2-D DCT-II via two Q13 matrix passes",
+        source=_source(x),
+        check=check,
+        category="media",
+        expected_loops=6,
+    )

@@ -1,0 +1,61 @@
+"""dot_product — inner product of two vectors (DSP validation class).
+
+Two loads, a MAC and two pointer bumps per element; still dominated by
+loop overhead, so a high-improvement kernel.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_word, rng, words
+
+N = 256
+
+
+def _source(a: list[int], b: list[int]) -> str:
+    return f"""
+        .data
+a:
+{words(a)}
+b:
+{words(b)}
+out:    .word 0
+        .text
+main:
+        la   s0, a
+        la   s1, b
+        li   t0, {N}        # element down-counter
+        li   s2, 0          # accumulator
+loop:
+        lw   t1, 0(s0)
+        lw   t2, 0(s1)
+        mul  t3, t1, t2
+        add  s2, s2, t3
+        addi s0, s0, 4
+        addi s1, s1, 4
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        la   t4, out
+        sw   s2, 0(t4)
+        halt
+"""
+
+
+def build() -> Kernel:
+    source_rng = rng("dot_product")
+    a = [int(v) for v in source_rng.randint(-500, 500, size=N)]
+    b = [int(v) for v in source_rng.randint(-500, 500, size=N)]
+    expected = to_signed32(sum(x * y for x, y in zip(a, b)) & 0xFFFFFFFF)
+
+    def check(sim: Simulator) -> None:
+        expect_word(sim, "out", expected, "dot_product")
+
+    return Kernel(
+        name="dot_product",
+        description=f"inner product of two {N}-element vectors",
+        source=_source(a, b),
+        check=check,
+        category="dsp",
+        expected_loops=1,
+    )

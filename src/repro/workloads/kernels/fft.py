@@ -1,0 +1,200 @@
+"""fft — 64-point radix-2 fixed-point FFT (DSP validation class).
+
+Constant-geometry decimation-in-time formulation: a bit-reversal copy
+loop, then 6 stages of 32 butterflies.  The butterfly loop derives the
+top/bottom/twiddle indices from the *loop index itself* with mask/shift
+arithmetic, so its index register is consumed by the body:
+
+* XRhrdwil can fold the bit-reversal and stage counters into ``dbne``
+  but **not** the butterfly loop (its index is live in the body);
+* the ZOLC drives all three loops — its index calculation unit keeps the
+  butterfly index register updated through the register file.
+
+The butterfly body is large (~40 instructions), so this kernel sits in
+the *low* band of Fig. 2 improvements.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+N = 64
+LOG2N = 6
+HALF_N = N // 2
+Q = 15
+
+
+def _bitrev_table() -> list[int]:
+    out = []
+    for i in range(N):
+        rev = 0
+        for bit in range(LOG2N):
+            if i & (1 << bit):
+                rev |= 1 << (LOG2N - 1 - bit)
+        out.append(rev)
+    return out
+
+
+def _twiddles() -> tuple[list[int], list[int]]:
+    wr, wi = [], []
+    for k in range(HALF_N):
+        angle = 2.0 * math.pi * k / N
+        wr.append(int(round(math.cos(angle) * ((1 << Q) - 1))))
+        wi.append(int(round(-math.sin(angle) * ((1 << Q) - 1))))
+    return wr, wi
+
+
+def _source(xr: list[int], xi: list[int]) -> str:
+    rev = _bitrev_table()
+    wr, wi = _twiddles()
+    return f"""
+        .data
+xr:
+{words(xr)}
+xi:
+{words(xi)}
+rev:
+{words(rev)}
+wr:
+{words(wr)}
+wi:
+{words(wi)}
+yr:
+        .space {4 * N}
+yi:
+        .space {4 * N}
+        .text
+main:
+        la   s0, rev
+        la   a0, yr
+        la   a1, yi
+        la   s6, xr
+        la   s7, xi
+        li   t0, {N}        # bit-reversal down-counter
+brloop:
+        lw   t1, 0(s0)
+        sll  t1, t1, 2
+        add  t2, s6, t1
+        lw   t3, 0(t2)
+        add  t4, s7, t1
+        lw   t5, 0(t4)
+        sw   t3, 0(a0)
+        sw   t5, 0(a1)
+        addi s0, s0, 4
+        addi a0, a0, 4
+        addi a1, a1, 4
+        addi t0, t0, -1
+        bne  t0, zero, brloop
+        la   s1, yr
+        la   s2, yi
+        la   k0, wr
+        la   k1, wi
+        li   s3, 1          # half
+        li   s4, 0          # half - 1 (mask)
+        li   s5, {LOG2N - 1} # twiddle shift
+        li   t0, {LOG2N}    # stage down-counter
+stage:
+        li   t1, 0          # butterfly index i (used by the body)
+bfly:
+        and  t2, t1, s4     # j = i & (half-1)
+        sub  t3, t1, t2
+        sll  t3, t3, 1      # group base = (i-j)*2
+        add  t4, t3, t2     # top index
+        add  t5, t4, s3     # bottom index
+        sll  t4, t4, 2
+        sll  t5, t5, 2
+        add  t6, s1, t4     # &yr[top]
+        add  t7, s2, t4     # &yi[top]
+        add  s6, s1, t5     # &yr[bot]
+        add  s7, s2, t5     # &yi[bot]
+        sllv t8, t2, s5     # twiddle index k = j << shift
+        sll  t8, t8, 2
+        add  t9, k0, t8
+        lw   t9, 0(t9)      # wr[k]
+        add  t8, k1, t8
+        lw   t8, 0(t8)      # wi[k]
+        lw   v0, 0(t6)      # ar
+        lw   v1, 0(t7)      # ai
+        lw   a0, 0(s6)      # br
+        lw   a1, 0(s7)      # bi
+        mul  a2, t9, a0
+        mul  a3, t8, a1
+        sub  a2, a2, a3
+        sra  a2, a2, {Q}    # tr
+        mul  a3, t9, a1
+        mul  t9, t8, a0
+        add  a3, a3, t9
+        sra  a3, a3, {Q}    # ti
+        add  t8, v0, a2
+        sra  t8, t8, 1
+        sw   t8, 0(t6)
+        add  t8, v1, a3
+        sra  t8, t8, 1
+        sw   t8, 0(t7)
+        sub  t8, v0, a2
+        sra  t8, t8, 1
+        sw   t8, 0(s6)
+        sub  t8, v1, a3
+        sra  t8, t8, 1
+        sw   t8, 0(s7)
+        addi t1, t1, 1
+        slti at, t1, {HALF_N}
+        bne  at, zero, bfly
+        sll  s3, s3, 1      # half *= 2
+        addi s4, s3, -1     # mask = half-1
+        addi s5, s5, -1     # twiddle shift -= 1
+        addi t0, t0, -1
+        bne  t0, zero, stage
+        halt
+"""
+
+
+def _golden(xr: list[int], xi: list[int]) -> tuple[list[int], list[int]]:
+    rev = _bitrev_table()
+    wr_tab, wi_tab = _twiddles()
+    yr = [xr[rev[i]] for i in range(N)]
+    yi = [xi[rev[i]] for i in range(N)]
+    half = 1
+    shift = LOG2N - 1
+    for _stage in range(LOG2N):
+        for i in range(HALF_N):
+            j = i & (half - 1)
+            top = ((i - j) << 1) + j
+            bot = top + half
+            k = j << shift
+            wr, wi = wr_tab[k], wi_tab[k]
+            ar, ai = yr[top], yi[top]
+            br, bi = yr[bot], yi[bot]
+            tr = to_signed32((wr * br - wi * bi) & 0xFFFFFFFF) >> Q
+            ti = to_signed32((wr * bi + wi * br) & 0xFFFFFFFF) >> Q
+            yr[top] = to_signed32(((ar + tr) & 0xFFFFFFFF)) >> 1
+            yi[top] = to_signed32(((ai + ti) & 0xFFFFFFFF)) >> 1
+            yr[bot] = to_signed32(((ar - tr) & 0xFFFFFFFF)) >> 1
+            yi[bot] = to_signed32(((ai - ti) & 0xFFFFFFFF)) >> 1
+        half <<= 1
+        shift -= 1
+    return yr, yi
+
+
+def build() -> Kernel:
+    source_rng = rng("fft")
+    xr = [int(v) for v in source_rng.randint(-2048, 2048, size=N)]
+    xi = [int(v) for v in source_rng.randint(-2048, 2048, size=N)]
+    expected_r, expected_i = _golden(xr, xi)
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "yr", expected_r, "fft real")
+        expect_words(sim, "yi", expected_i, "fft imag")
+
+    return Kernel(
+        name="fft",
+        description=f"{N}-point radix-2 DIT fixed-point FFT",
+        source=_source(xr, xi),
+        check=check,
+        category="dsp",
+        expected_loops=3,
+    )

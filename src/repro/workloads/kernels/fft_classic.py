@@ -1,0 +1,160 @@
+"""fft_classic — textbook radix-2 DIT FFT with nest-varying bounds.
+
+The classic triple-loop formulation: per stage, the *group* count halves
+and the *butterflies-per-group* count doubles — both inner-loop bounds
+are rewritten by the stage loop.  Under one-shot table initialization
+(plain ZOLClite) those two loops must stay in software; with the
+**bound-reload extension** (``ZolcConfig.bound_reload``) a one-``mtz``
+reload at each loop entry keeps the tables fresh and the ZOLC drives
+all four loops.
+
+Numerically identical to :mod:`repro.workloads.kernels.fft` (same
+butterflies in a different order within each stage), so it shares that
+kernel's golden model and input data.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_words, rng, words
+from repro.workloads.kernels.fft import (
+    HALF_N,
+    LOG2N,
+    N,
+    Q,
+    _bitrev_table,
+    _golden,
+    _twiddles,
+)
+
+
+def _source(xr: list[int], xi: list[int]) -> str:
+    rev = _bitrev_table()
+    wr, wi = _twiddles()
+    return f"""
+        .data
+xr:
+{words(xr)}
+xi:
+{words(xi)}
+rev:
+{words(rev)}
+wr:
+{words(wr)}
+wi:
+{words(wi)}
+yr:
+        .space {4 * N}
+yi:
+        .space {4 * N}
+        .text
+main:
+        la   s0, rev
+        la   a0, yr
+        la   a1, yi
+        la   s6, xr
+        la   s7, xi
+        li   t0, {N}        # bit-reversal down-counter
+brloop:
+        lw   t1, 0(s0)
+        sll  t1, t1, 2
+        add  t2, s6, t1
+        lw   t3, 0(t2)
+        add  t4, s7, t1
+        lw   t5, 0(t4)
+        sw   t3, 0(a0)
+        sw   t5, 0(a1)
+        addi s0, s0, 4
+        addi a0, a0, 4
+        addi a1, a1, 4
+        addi t0, t0, -1
+        bne  t0, zero, brloop
+        la   s1, yr
+        la   s2, yi
+        la   k0, wr
+        la   k1, wi
+        li   s7, 1          # butterflies per group (doubles per stage)
+        li   s6, 4          # half, in bytes
+        li   s4, {HALF_N}   # groups per stage (halves per stage)
+        li   t0, {LOG2N}    # stage down-counter
+stage:
+        or   v0, s1, zero   # group walker, real
+        or   v1, s2, zero   # group walker, imag
+        sll  s5, s4, 2      # twiddle stride in bytes
+        or   t1, s4, zero   # group down-counter (bound varies per stage)
+gloop:
+        or   t3, v0, zero   # top real walker
+        or   t4, v1, zero   # top imag walker
+        add  t5, t3, s6     # bottom real walker
+        add  t6, t4, s6     # bottom imag walker
+        or   t7, k0, zero   # twiddle real walker
+        or   t8, k1, zero   # twiddle imag walker
+        or   t2, s7, zero   # butterfly down-counter (varies per stage)
+kloop:
+        lw   t9, 0(t7)      # wr
+        lw   a0, 0(t8)      # wi
+        lw   a1, 0(t5)      # br
+        lw   a2, 0(t6)      # bi
+        mul  a3, t9, a1
+        mul  at, a0, a2
+        sub  a3, a3, at
+        sra  a3, a3, {Q}    # tr
+        mul  t9, t9, a2
+        mul  a0, a0, a1
+        add  t9, t9, a0
+        sra  t9, t9, {Q}    # ti
+        lw   a1, 0(t3)      # ar
+        lw   a2, 0(t4)      # ai
+        add  a0, a1, a3
+        sra  a0, a0, 1
+        sw   a0, 0(t3)
+        sub  a0, a1, a3
+        sra  a0, a0, 1
+        sw   a0, 0(t5)
+        add  a0, a2, t9
+        sra  a0, a0, 1
+        sw   a0, 0(t4)
+        sub  a0, a2, t9
+        sra  a0, a0, 1
+        sw   a0, 0(t6)
+        addi t3, t3, 4
+        addi t4, t4, 4
+        addi t5, t5, 4
+        addi t6, t6, 4
+        add  t7, t7, s5
+        add  t8, t8, s5
+        addi t2, t2, -1
+        bne  t2, zero, kloop
+        add  v0, v0, s6     # next group: advance by 2*half bytes
+        add  v0, v0, s6
+        add  v1, v1, s6
+        add  v1, v1, s6
+        addi t1, t1, -1
+        bne  t1, zero, gloop
+        sll  s7, s7, 1      # butterflies per group *= 2
+        sll  s6, s6, 1      # half bytes *= 2
+        srl  s4, s4, 1      # groups /= 2
+        addi t0, t0, -1
+        bne  t0, zero, stage
+        halt
+"""
+
+
+def build() -> Kernel:
+    source_rng = rng("fft")   # same data as the constant-geometry kernel
+    xr = [int(v) for v in source_rng.randint(-2048, 2048, size=N)]
+    xi = [int(v) for v in source_rng.randint(-2048, 2048, size=N)]
+    expected_r, expected_i = _golden(xr, xi)
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "yr", expected_r, "fft_classic real")
+        expect_words(sim, "yi", expected_i, "fft_classic imag")
+
+    return Kernel(
+        name="fft_classic",
+        description=f"{N}-point radix-2 DIT FFT, classic varying-bound loops",
+        source=_source(xr, xi),
+        check=check,
+        category="dsp",
+        expected_loops=4,
+    )

@@ -1,0 +1,76 @@
+"""fir — direct-form FIR filter (XiRisc validation suite class).
+
+``y[n] = sum_k h[k] * x[n+k]`` — a two-level nest: the outer loop walks
+output samples, the inner loop runs the tap MAC.  Both levels use the
+standard loop-overhead idiom with pure down-counters, so the ZOLC takes
+over the whole nest and XRhrdwil folds both counters into ``dbne``.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+TAPS = 16
+OUTPUTS = 64
+INPUT_LEN = OUTPUTS + TAPS
+
+
+def _source(x: list[int], h: list[int]) -> str:
+    return f"""
+        .data
+x:
+{words(x)}
+h:
+{words(h)}
+y:
+        .space {4 * OUTPUTS}
+        .text
+main:
+        la   s0, x          # x[n] window base
+        la   s2, y
+        li   t0, {OUTPUTS}  # output down-counter
+outer:
+        or   t1, s0, zero   # xp = &x[n]
+        la   t2, h          # hp
+        li   t3, {TAPS}     # tap down-counter
+        li   s3, 0          # acc
+inner:
+        lw   t4, 0(t1)
+        lw   t5, 0(t2)
+        mul  t6, t4, t5
+        add  s3, s3, t6
+        addi t1, t1, 4
+        addi t2, t2, 4
+        addi t3, t3, -1
+        bne  t3, zero, inner
+        sw   s3, 0(s2)
+        addi s2, s2, 4
+        addi s0, s0, 4
+        addi t0, t0, -1
+        bne  t0, zero, outer
+        halt
+"""
+
+
+def build() -> Kernel:
+    source_rng = rng("fir")
+    x = [int(v) for v in source_rng.randint(-128, 128, size=INPUT_LEN)]
+    h = [int(v) for v in source_rng.randint(-64, 64, size=TAPS)]
+    expected = [
+        to_signed32(sum(h[k] * x[n + k] for k in range(TAPS)) & 0xFFFFFFFF)
+        for n in range(OUTPUTS)
+    ]
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "y", expected, "fir")
+
+    return Kernel(
+        name="fir",
+        description=f"{TAPS}-tap FIR over {OUTPUTS} samples",
+        source=_source(x, h),
+        check=check,
+        category="dsp",
+        expected_loops=2,
+    )

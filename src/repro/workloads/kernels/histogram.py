@@ -1,0 +1,71 @@
+"""histogram — 16-bin byte histogram (extra validation-suite kernel).
+
+A single loop whose body performs a read-modify-write on a memory bin —
+the classic pattern whose load-use interlock makes the body slower than
+its instruction count suggests, leaving a mid-range fraction for loop
+overhead.  Not part of the 12 Figure 2 benchmarks; used by the extended
+tests and ablations.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_words, rng
+
+N = 128
+BINS = 16
+
+
+def _byte_lines(data: list[int]) -> str:
+    lines = []
+    for start in range(0, len(data), 12):
+        chunk = ", ".join(str(b) for b in data[start:start + 12])
+        lines.append(f"        .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _source(data: list[int]) -> str:
+    return f"""
+        .data
+samples:
+{_byte_lines(data)}
+        .align 2
+hist:
+        .space {4 * BINS}
+        .text
+main:
+        la   s0, samples
+        la   s1, hist
+        li   t0, {N}        # sample down-counter
+loop:
+        lbu  t1, 0(s0)
+        srl  t1, t1, 4      # bin = value >> 4
+        sll  t1, t1, 2
+        add  t2, s1, t1
+        lw   t3, 0(t2)
+        addi t3, t3, 1
+        sw   t3, 0(t2)
+        addi s0, s0, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+
+
+def build() -> Kernel:
+    data = [int(v) for v in rng("histogram").randint(0, 256, size=N)]
+    expected = [0] * BINS
+    for value in data:
+        expected[value >> 4] += 1
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "hist", expected, "histogram")
+
+    return Kernel(
+        name="histogram",
+        description=f"{BINS}-bin histogram of {N} bytes",
+        source=_source(data),
+        check=check,
+        category="control",
+        expected_loops=1,
+    )

@@ -1,0 +1,82 @@
+"""matmul — dense integer matrix multiply (validation suite class).
+
+A classic triple nest.  All three levels use pure down-counters with
+pointer walks, so XRhrdwil folds all three into ``dbne`` and the ZOLC
+removes the overhead of all three plus the counter initialisations —
+including the single-cycle cascade when the k and j loops expire
+together.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+N = 12
+
+
+def _source(a: list[int], b: list[int]) -> str:
+    return f"""
+        .data
+A:
+{words(a)}
+B:
+{words(b)}
+C:
+        .space {4 * N * N}
+        .text
+main:
+        la   s0, A          # A row base
+        la   s3, C
+        li   t0, {N}        # i down-counter
+iloop:
+        la   s1, B          # B column base
+        li   t1, {N}        # j down-counter
+jloop:
+        or   t2, s0, zero   # A walker
+        or   t3, s1, zero   # B walker (stride N words)
+        li   t4, {N}        # k down-counter
+        li   s5, 0          # acc
+kloop:
+        lw   t5, 0(t2)
+        lw   t6, 0(t3)
+        mul  t7, t5, t6
+        add  s5, s5, t7
+        addi t2, t2, 4
+        addi t3, t3, {4 * N}
+        addi t4, t4, -1
+        bne  t4, zero, kloop
+        sw   s5, 0(s3)
+        addi s3, s3, 4
+        addi s1, s1, 4
+        addi t1, t1, -1
+        bne  t1, zero, jloop
+        addi s0, s0, {4 * N}
+        addi t0, t0, -1
+        bne  t0, zero, iloop
+        halt
+"""
+
+
+def build() -> Kernel:
+    source_rng = rng("matmul")
+    a = [int(v) for v in source_rng.randint(-50, 50, size=N * N)]
+    b = [int(v) for v in source_rng.randint(-50, 50, size=N * N)]
+    expected = []
+    for i in range(N):
+        for j in range(N):
+            acc = sum(a[i * N + k] * b[k * N + j] for k in range(N))
+            expected.append(to_signed32(acc & 0xFFFFFFFF))
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "C", expected, "matmul")
+
+    return Kernel(
+        name="matmul",
+        description=f"{N}x{N} integer matrix multiply",
+        source=_source(a, b),
+        check=check,
+        category="dsp",
+        expected_loops=3,
+    )

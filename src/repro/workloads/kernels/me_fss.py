@@ -1,0 +1,169 @@
+"""me_fss — full-search block-matching motion estimation.
+
+The paper's benchmark suite includes "software implementations of
+motion estimation kernels"; this is the canonical one: a 4-deep nest
+(candidate row, candidate column, block row, block column) computing an
+8x8 SAD at every position of a +/-4 search window.  The two outer loop
+indices are *live* (they become the motion vector), so XRhrdwil cannot
+fold them — but the ZOLC's index calculation unit keeps them
+architecturally visible while removing all four loops' overhead.
+
+``build_early_exit()`` produces the variant with partial-SAD early
+termination (a data-dependent break out of the block-row loop), which
+only ZOLCfull's exit records can drive — the A1 ablation.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_word, rng
+
+REF_DIM = 16
+BLOCK = 8
+POSITIONS = REF_DIM - BLOCK + 1   # 9 (offsets -4..+4 around the centre)
+
+
+def _byte_lines(data: list[int]) -> str:
+    lines = []
+    for start in range(0, len(data), 12):
+        chunk = ", ".join(str(b) for b in data[start:start + 12])
+        lines.append(f"        .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _source(ref: list[int], cur: list[int], early_exit: bool) -> str:
+    early = ""
+    if early_exit:
+        # Partial-SAD termination: once the accumulated SAD for this
+        # candidate exceeds the current best, abandon the block-row loop.
+        early = """
+        slt  t4, s4, s1
+        beq  t4, zero, abandon  # partial SAD already >= best: break
+"""
+    abandon_label = "abandon:\n" if early_exit else ""
+    return f"""
+        .data
+ref:
+{_byte_lines(ref)}
+cur:
+{_byte_lines(cur)}
+        .align 2
+best:   .word 0
+bestdy: .word 0
+bestdx: .word 0
+        .text
+main:
+        la   s0, ref        # candidate row base
+        la   s7, cur
+        li   s1, 0x7FFFFFFF # best SAD
+        li   s5, 0          # best dy
+        li   s6, 0          # best dx
+        li   t0, 0          # dy (live: becomes the motion vector)
+dyloop:
+        li   t1, 0          # dx (live)
+dxloop:
+        add  a1, s0, t1     # candidate top-left
+        or   a0, s7, zero   # current block walker
+        li   s4, 0          # sad
+        li   t2, {BLOCK}    # block row down-counter
+rowloop:
+        li   t3, {BLOCK}    # block column down-counter
+colloop:
+        lbu  t4, 0(a0)
+        lbu  t5, 0(a1)
+        sub  t6, t4, t5
+        bgez t6, posok
+        sub  t6, zero, t6
+posok:
+        add  s4, s4, t6
+        addi a0, a0, 1
+        addi a1, a1, 1
+        addi t3, t3, -1
+        bne  t3, zero, colloop
+        addi a1, a1, {REF_DIM - BLOCK}
+{early}        addi t2, t2, -1
+        bne  t2, zero, rowloop
+{abandon_label}        slt  t4, s4, s1
+        beq  t4, zero, notbest
+        or   s1, s4, zero
+        or   s5, t0, zero
+        or   s6, t1, zero
+notbest:
+        addi t1, t1, 1
+        slti at, t1, {POSITIONS}
+        bne  at, zero, dxloop
+        addi s0, s0, {REF_DIM}
+        addi t0, t0, 1
+        slti at, t0, {POSITIONS}
+        bne  at, zero, dyloop
+        la   t5, best
+        sw   s1, 0(t5)
+        la   t5, bestdy
+        sw   s5, 0(t5)
+        la   t5, bestdx
+        sw   s6, 0(t5)
+        halt
+"""
+
+
+def _golden(ref: list[int], cur: list[int],
+            early_exit: bool) -> tuple[int, int, int]:
+    best, best_dy, best_dx = 0x7FFFFFFF, 0, 0
+    for dy in range(POSITIONS):
+        for dx in range(POSITIONS):
+            sad = 0
+            abandoned = False
+            for r in range(BLOCK):
+                for c in range(BLOCK):
+                    sad += abs(cur[r * BLOCK + c]
+                               - ref[(dy + r) * REF_DIM + (dx + c)])
+                # The assembly checks the partial SAD after *every* row
+                # (including the last); a non-improving candidate jumps
+                # past the best-update.
+                if early_exit and sad >= best:
+                    abandoned = True
+                    break
+            if early_exit:
+                if not abandoned:   # implies sad < best
+                    best, best_dy, best_dx = sad, dy, dx
+            elif sad < best:
+                best, best_dy, best_dx = sad, dy, dx
+    return best, best_dy, best_dx
+
+
+def _build(early_exit: bool) -> Kernel:
+    source_rng = rng("me_fss")
+    ref = [int(v) for v in source_rng.randint(0, 256,
+                                              size=REF_DIM * REF_DIM)]
+    cur = [int(v) for v in source_rng.randint(0, 256, size=BLOCK * BLOCK)]
+    # Plant a close match so the search has a meaningful optimum.
+    for r in range(BLOCK):
+        for c in range(BLOCK):
+            ref[(2 + r) * REF_DIM + (5 + c)] = max(
+                0, min(255, cur[r * BLOCK + c] + int(source_rng.randint(-2, 3))))
+    best, best_dy, best_dx = _golden(ref, cur, early_exit)
+
+    def check(sim: Simulator) -> None:
+        suffix = "_early" if early_exit else ""
+        expect_word(sim, "best", best, f"me_fss{suffix} best")
+        expect_word(sim, "bestdy", best_dy, f"me_fss{suffix} dy")
+        expect_word(sim, "bestdx", best_dx, f"me_fss{suffix} dx")
+
+    name = "me_fss_early" if early_exit else "me_fss"
+    return Kernel(
+        name=name,
+        description=("full-search 8x8 motion estimation, +/-4 window"
+                     + (" with partial-SAD early exit" if early_exit else "")),
+        source=_source(ref, cur, early_exit),
+        check=check,
+        category="media",
+        expected_loops=4,
+    )
+
+
+def build() -> Kernel:
+    return _build(early_exit=False)
+
+
+def build_early_exit() -> Kernel:
+    return _build(early_exit=True)

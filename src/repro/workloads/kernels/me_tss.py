@@ -1,0 +1,166 @@
+"""me_tss — three-step-search block-matching motion estimation.
+
+The second motion-estimation kernel the paper cites.  Control flow is
+genuinely irregular: a step loop whose search radius halves each
+iteration, a 9-candidate loop driven by an offset table with *bounds
+checks that skip candidates* (forward jumps into the latch), and the
+8x8 SAD double loop inside.  All loop bounds are still compile-time
+constants, so ZOLClite drives the entire 4-deep structure even though
+the body is full of data-dependent branches — the "arbitrarily complex
+loop structures" of the paper's title.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_word, rng
+
+REF_DIM = 16
+BLOCK = 8
+MAX_POS = REF_DIM - BLOCK      # inclusive coordinate bound (8)
+STEPS = 3                      # radii 4, 2, 1
+OFFSETS = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 0),
+           (0, 1), (1, -1), (1, 0), (1, 1)]
+
+
+def _byte_lines(data: list[int]) -> str:
+    lines = []
+    for start in range(0, len(data), 12):
+        chunk = ", ".join(str(b) for b in data[start:start + 12])
+        lines.append(f"        .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _source(ref: list[int], cur: list[int]) -> str:
+    offs = ", ".join(f"{oy}, {ox}" for oy, ox in OFFSETS)
+    return f"""
+        .data
+ref:
+{_byte_lines(ref)}
+cur:
+{_byte_lines(cur)}
+        .align 2
+offs:   .word {offs}
+best:   .word 0
+besty:  .word 0
+bestx:  .word 0
+        .text
+main:
+        la   s0, ref
+        la   s7, cur
+        li   s1, 0x7FFFFFFF # best SAD
+        li   s2, {MAX_POS // 2}  # centre y
+        li   s3, {MAX_POS // 2}  # centre x
+        li   s4, 2          # log2(step): 4, 2, 1
+        li   v1, {MAX_POS // 2}  # best y (centre fallback)
+        li   a2, {MAX_POS // 2}  # best x
+        li   t0, {STEPS}    # step down-counter
+steploop:
+        la   s5, offs       # offset table walker
+        li   t1, 9          # candidate down-counter
+candloop:
+        lw   t2, 0(s5)      # oy
+        lw   t3, 4(s5)      # ox
+        sllv t2, t2, s4     # oy * step
+        sllv t3, t3, s4
+        add  t2, t2, s2     # candidate y
+        add  t3, t3, s3     # candidate x
+        slti t4, t2, 0
+        bne  t4, zero, candnext
+        slti t4, t2, {MAX_POS + 1}
+        beq  t4, zero, candnext
+        slti t4, t3, 0
+        bne  t4, zero, candnext
+        slti t4, t3, {MAX_POS + 1}
+        beq  t4, zero, candnext
+        sll  t5, t2, 4      # y * REF_DIM
+        add  t5, t5, t3
+        add  a1, s0, t5     # candidate top-left
+        or   a0, s7, zero
+        li   s6, 0          # sad
+        li   t6, {BLOCK}    # block row down-counter
+trow:
+        li   t7, {BLOCK}    # block column down-counter
+tcol:
+        lbu  t8, 0(a0)
+        lbu  t9, 0(a1)
+        sub  v0, t8, t9
+        bgez v0, tpos
+        sub  v0, zero, v0
+tpos:
+        add  s6, s6, v0
+        addi a0, a0, 1
+        addi a1, a1, 1
+        addi t7, t7, -1
+        bne  t7, zero, tcol
+        addi a1, a1, {REF_DIM - BLOCK}
+        addi t6, t6, -1
+        bne  t6, zero, trow
+        slt  t4, s6, s1
+        beq  t4, zero, candnext
+        or   s1, s6, zero
+        or   v1, t2, zero   # best y
+        or   a2, t3, zero   # best x
+candnext:
+        addi s5, s5, 8
+        addi t1, t1, -1
+        bne  t1, zero, candloop
+        or   s2, v1, zero   # recentre on the best position
+        or   s3, a2, zero
+        addi s4, s4, -1     # step >>= 1
+        addi t0, t0, -1
+        bne  t0, zero, steploop
+        la   t5, best
+        sw   s1, 0(t5)
+        la   t5, besty
+        sw   v1, 0(t5)
+        la   t5, bestx
+        sw   a2, 0(t5)
+        halt
+"""
+
+
+def _golden(ref: list[int], cur: list[int]) -> tuple[int, int, int]:
+    best = 0x7FFFFFFF
+    cy = cx = MAX_POS // 2
+    best_y, best_x = cy, cx
+    for shift in (2, 1, 0):
+        step = 1 << shift
+        for oy, ox in OFFSETS:
+            y = cy + oy * step
+            x = cx + ox * step
+            if not (0 <= y <= MAX_POS and 0 <= x <= MAX_POS):
+                continue
+            sad = sum(
+                abs(cur[r * BLOCK + c] - ref[(y + r) * REF_DIM + (x + c)])
+                for r in range(BLOCK) for c in range(BLOCK))
+            if sad < best:
+                best, best_y, best_x = sad, y, x
+        cy, cx = best_y, best_x
+    return best, best_y, best_x
+
+
+def build() -> Kernel:
+    source_rng = rng("me_tss")
+    ref = [int(v) for v in source_rng.randint(0, 256,
+                                              size=REF_DIM * REF_DIM)]
+    cur = [int(v) for v in source_rng.randint(0, 256, size=BLOCK * BLOCK)]
+    for r in range(BLOCK):
+        for c in range(BLOCK):
+            ref[(6 + r) * REF_DIM + (1 + c)] = max(
+                0, min(255, cur[r * BLOCK + c] + int(source_rng.randint(-2, 3))))
+    best, best_y, best_x = _golden(ref, cur)
+
+    def check(sim: Simulator) -> None:
+        expect_word(sim, "best", best, "me_tss best")
+        expect_word(sim, "besty", best_y, "me_tss y")
+        expect_word(sim, "bestx", best_x, "me_tss x")
+
+    return Kernel(
+        name="me_tss",
+        description="three-step-search 8x8 motion estimation",
+        source=_source(ref, cur),
+        check=check,
+        category="media",
+        expected_loops=4,
+    )

@@ -1,0 +1,79 @@
+"""quantize — coefficient quantisation with saturation (media class).
+
+One loop whose body multiplies by a reciprocal table, rounds, shifts and
+*branch-clamps* to +/-255 — the quantiser stage that follows the DCT in
+every block-based video encoder.  The clamp branches make the per-
+iteration cycle count data-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+N = 64
+Q = 14
+ROUND = 1 << (Q - 1)
+LIMIT = 255
+
+
+def _source(coef: list[int], recip: list[int]) -> str:
+    return f"""
+        .data
+coef:
+{words(coef)}
+recip:
+{words(recip)}
+qout:
+        .space {4 * N}
+        .text
+main:
+        la   s0, coef
+        la   s1, recip
+        la   s2, qout
+        li   t0, {N}        # coefficient down-counter
+loop:
+        lw   t1, 0(s0)
+        lw   t2, 0(s1)
+        mul  t3, t1, t2
+        addi t3, t3, {ROUND}
+        sra  t3, t3, {Q}
+        slti t4, t3, {LIMIT + 1}
+        bne  t4, zero, nohi
+        li   t3, {LIMIT}
+nohi:
+        slti t4, t3, {-LIMIT}
+        beq  t4, zero, nolo
+        li   t3, {-LIMIT}
+nolo:
+        sw   t3, 0(s2)
+        addi s0, s0, 4
+        addi s1, s1, 4
+        addi s2, s2, 4
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+
+
+def build() -> Kernel:
+    source_rng = rng("quantize")
+    coef = [int(v) for v in source_rng.randint(-4096, 4096, size=N)]
+    recip = [int((1 << Q) // q) for q in source_rng.randint(1, 33, size=N)]
+    expected = []
+    for x, r in zip(coef, recip):
+        value = (x * r + ROUND) >> Q
+        value = max(-LIMIT, min(LIMIT, value))
+        expected.append(value)
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "qout", expected, "quantize")
+
+    return Kernel(
+        name="quantize",
+        description=f"quantise {N} coefficients with saturation",
+        source=_source(coef, recip),
+        check=check,
+        category="media",
+        expected_loops=1,
+    )

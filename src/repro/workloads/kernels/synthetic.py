@@ -1,0 +1,119 @@
+"""Synthetic kernels for ablation studies and controller stress tests.
+
+* :func:`nest_kernel` — a parameterised perfect loop nest (depth x trips
+  x body size) with a checksum golden model; drives the A4
+  nesting-depth ablation and capacity/shedding tests;
+* :func:`multi_entry_kernel` — a loop reachable both through its
+  preheader and through a side entry that pre-seeds the index register;
+  exercises ZOLCfull's entry records end to end.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_word
+
+MAX_DEPTH = 8
+_COUNTER_REGS = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"]
+
+
+def nest_kernel(depth: int, trips: int, body_ops: int) -> Kernel:
+    """A perfect ``depth``-deep nest of ``trips``-iteration loops.
+
+    The innermost body is ``body_ops`` dependent-free ALU instructions
+    accumulating into ``s1``; the final value is the checksum.
+    """
+    if not 1 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth must be 1..{MAX_DEPTH}")
+    if trips < 1:
+        raise ValueError("trips must be >= 1")
+    if body_ops < 1:
+        raise ValueError("body_ops must be >= 1")
+    lines = [
+        "        .data",
+        "out:    .word 0",
+        "        .text",
+        "main:",
+        "        li   s1, 0",
+    ]
+    for level in range(depth):
+        reg = _COUNTER_REGS[level]
+        lines.append(f"        li   {reg}, {trips}")
+        lines.append(f"L{level}:")
+    for op in range(body_ops):
+        lines.append(f"        addi s1, s1, {op + 1}")
+    for level in reversed(range(depth)):
+        reg = _COUNTER_REGS[level]
+        lines.append(f"        addi {reg}, {reg}, -1")
+        lines.append(f"        bne  {reg}, zero, L{level}")
+    lines.extend([
+        "        la   t8, out",
+        "        sw   s1, 0(t8)",
+        "        halt",
+    ])
+    total_iterations = trips ** depth
+    expected = total_iterations * body_ops * (body_ops + 1) // 2
+
+    def check(sim: Simulator) -> None:
+        expect_word(sim, "out", expected,
+                    f"nest(depth={depth}, trips={trips}, body={body_ops})")
+
+    return Kernel(
+        name=f"nest_d{depth}_t{trips}_b{body_ops}",
+        description=(f"synthetic perfect nest: depth {depth}, "
+                     f"{trips} trips/level, {body_ops}-op body"),
+        source="\n".join(lines) + "\n",
+        check=check,
+        category="synthetic",
+        expected_loops=depth,
+    )
+
+
+def multi_entry_kernel(use_side_entry: bool) -> Kernel:
+    """A loop with a preheader entry *and* a side entry.
+
+    When ``flag`` is non-zero, the program sets the index register to 5
+    and jumps straight at the loop header, skipping the preheader: the
+    loop must run iterations 5..11 only.  ZOLCfull registers the side
+    entry; configurations without entry records leave the loop in
+    software.
+    """
+    flag = 1 if use_side_entry else 0
+    trips = 12
+    start = 5 if use_side_entry else 0
+    expected = sum(range(start, trips))
+    source = f"""
+        .data
+flag:   .word {flag}
+out:    .word 0
+        .text
+main:
+        la   t9, flag
+        lw   t1, 0(t9)
+        beq  t1, zero, normal
+        li   t0, 5          # side entry: pre-seed the index register
+        j    loop
+normal:
+        li   t0, 0          # preheader initialisation
+loop:
+        add  s1, s1, t0
+        addi t0, t0, 1
+        slti at, t0, {trips}
+        bne  at, zero, loop
+        la   t8, out
+        sw   s1, 0(t8)
+        halt
+"""
+
+    def check(sim: Simulator) -> None:
+        expect_word(sim, "out", expected,
+                    f"multi_entry(side={use_side_entry})")
+
+    return Kernel(
+        name=f"multi_entry_{'side' if use_side_entry else 'main'}",
+        description="loop with preheader + side entry (entry records)",
+        source=source,
+        check=check,
+        category="synthetic",
+        expected_loops=1,
+    )

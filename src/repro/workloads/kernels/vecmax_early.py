@@ -1,0 +1,80 @@
+"""vecmax_early — threshold search with early exit (extra kernel).
+
+Scans a vector for the first element at or above a threshold, breaking
+out of the loop when found.  Two behaviours matter for the ZOLC:
+
+* the early exit needs ZOLCfull's exit records (ZOLClite leaves the
+  loop in software);
+* the loop *index is read after the loop* — both after a break (the
+  found position) and after normal expiry (== N, "not found") — which
+  is only correct because the controller writes the software-equivalent
+  final index value at expiry (see ``repro.core.task_select``).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.workloads.api import Kernel, expect_word, rng, words
+
+N = 96
+THRESHOLD = 900
+
+
+def _source(data: list[int]) -> str:
+    return f"""
+        .data
+x:
+{words(data)}
+found_at: .word 0
+        .text
+main:
+        la   s0, x
+        li   s2, {THRESHOLD}
+        li   t0, 0          # index (live after the loop!)
+loop:
+        sll  t1, t0, 2
+        add  t1, s0, t1
+        lw   t2, 0(t1)
+        slt  t3, t2, s2
+        beq  t3, zero, found    # x[i] >= threshold: break
+        addi t0, t0, 1
+        slti at, t0, {N}
+        bne  at, zero, loop
+found:
+        la   t4, found_at
+        sw   t0, 0(t4)          # break position, or N if never found
+        halt
+"""
+
+
+def _golden(data: list[int]) -> int:
+    for index, value in enumerate(data):
+        if value >= THRESHOLD:
+            return index
+    return N
+
+
+def build(plant_hit: bool = True) -> Kernel:
+    source_rng = rng("vecmax_early")
+    data = [int(v) for v in source_rng.randint(0, 800, size=N)]
+    if plant_hit:
+        data[61] = 950   # guarantee a mid-vector hit
+    expected = _golden(data)
+
+    def check(sim: Simulator) -> None:
+        expect_word(sim, "found_at", expected,
+                    f"vecmax_early(hit={plant_hit})")
+
+    return Kernel(
+        name="vecmax_early" if plant_hit else "vecmax_early_miss",
+        description=("first element >= threshold, early-exit loop"
+                     + ("" if plant_hit else " (no hit: full scan)")),
+        source=_source(data),
+        check=check,
+        category="control",
+        expected_loops=1,
+    )
+
+
+def build_miss() -> Kernel:
+    return build(plant_hit=False)

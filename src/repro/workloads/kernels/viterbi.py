@@ -1,0 +1,121 @@
+"""viterbi — 4-state Viterbi add-compare-select (extra DSP kernel).
+
+The classic communications kernel: per trellis step, each state's new
+path metric is the minimum over its two predecessors of (path metric +
+branch cost).  The inner compare-select branches every iteration and
+the state loop has only 4 trips — short enough that uZOLC's
+profitability check leaves it in software while ZOLClite (one-time
+init) still takes the whole nest.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.simulator import Simulator
+from repro.util.bitops import to_signed32
+from repro.workloads.api import Kernel, expect_words, rng, words
+
+STATES = 4
+STEPS = 32
+
+# Predecessors of state s in a K=3 convolutional trellis.
+PREDECESSORS = [((2 * s) % STATES, (2 * s + 1) % STATES)
+                for s in range(STATES)]
+
+
+def _source(costs: list[int]) -> str:
+    trans = []
+    for s in range(STATES):
+        p0, p1 = PREDECESSORS[s]
+        trans.extend((4 * p0, 4 * p1))   # byte offsets into the pm array
+    return f"""
+        .data
+costs:
+{words(costs)}
+trans:  .word {', '.join(str(v) for v in trans)}
+pm_a:   .space {4 * STATES}
+pm_b:   .space {4 * STATES}
+pm_out: .space {4 * STATES}
+        .text
+main:
+        la   s0, costs      # per-step cost walker
+        la   s1, pm_a       # current path metrics
+        la   s2, pm_b       # next path metrics
+        li   t0, {STEPS}    # trellis-step down-counter
+step:
+        la   s3, trans      # predecessor-offset walker
+        or   s4, s2, zero   # new-metric walker
+        or   s5, s0, zero   # this step's cost walker
+        li   t1, {STATES}   # state down-counter
+state:
+        lw   t2, 0(s3)      # offset of predecessor 0
+        lw   t3, 4(s3)      # offset of predecessor 1
+        add  t2, s1, t2
+        lw   t2, 0(t2)      # pm[p0]
+        add  t3, s1, t3
+        lw   t3, 0(t3)      # pm[p1]
+        lw   t4, 0(s5)      # cost via p0
+        lw   t5, 4(s5)      # cost via p1
+        add  t2, t2, t4
+        add  t3, t3, t5
+        slt  t6, t3, t2
+        beq  t6, zero, keep0
+        or   t2, t3, zero   # select the smaller metric
+keep0:
+        sw   t2, 0(s4)
+        addi s3, s3, 8
+        addi s4, s4, 4
+        addi s5, s5, 8
+        addi t1, t1, -1
+        bne  t1, zero, state
+        # swap current/next metric banks
+        or   t7, s1, zero
+        or   s1, s2, zero
+        or   s2, t7, zero
+        addi s0, s0, {4 * 2 * STATES}
+        addi t0, t0, -1
+        bne  t0, zero, step
+        # export the final metrics
+        la   s6, pm_out
+        li   t1, {STATES}
+copy:
+        lw   t2, 0(s1)
+        sw   t2, 0(s6)
+        addi s1, s1, 4
+        addi s6, s6, 4
+        addi t1, t1, -1
+        bne  t1, zero, copy
+        halt
+"""
+
+
+def _golden(costs: list[int]) -> list[int]:
+    pm = [0] * STATES
+    for t in range(STEPS):
+        new = [0] * STATES
+        for s in range(STATES):
+            p0, p1 = PREDECESSORS[s]
+            c0 = costs[t * 2 * STATES + 2 * s]
+            c1 = costs[t * 2 * STATES + 2 * s + 1]
+            m0 = pm[p0] + c0
+            m1 = pm[p1] + c1
+            new[s] = m1 if m1 < m0 else m0
+        pm = new
+    return [to_signed32(v & 0xFFFFFFFF) for v in pm]
+
+
+def build() -> Kernel:
+    costs = [int(v) for v in rng("viterbi").randint(0, 64,
+                                                    size=STEPS * 2 * STATES)]
+    expected = _golden(costs)
+
+    def check(sim: Simulator) -> None:
+        expect_words(sim, "pm_out", expected, "viterbi")
+
+    return Kernel(
+        name="viterbi",
+        description=f"{STATES}-state Viterbi ACS over {STEPS} trellis steps",
+        source=_source(costs),
+        check=check,
+        category="dsp",
+        expected_loops=3,
+    )

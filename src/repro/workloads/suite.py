@@ -1,0 +1,82 @@
+"""The benchmark suite.
+
+Twelve benchmarks, mirroring the paper's "set of 12 benchmark
+applications, collected from the XiRisc validation suite and software
+implementations of motion estimation kernels" (§3).  The original suite
+is not public; DESIGN.md §3 documents the substitution.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.api import Kernel, KernelRegistry
+from repro.workloads.kernels import (
+    bubble_sort,
+    conv2d,
+    crc32,
+    dct8x8,
+    dot_product,
+    fft,
+    fft_classic,
+    fir,
+    histogram,
+    iir_biquad,
+    matmul,
+    me_fss,
+    me_tss,
+    quantize,
+    vec_sum,
+    vecmax_early,
+    viterbi,
+)
+
+#: The 12 benchmarks of Figure 2, in presentation order.
+FIGURE2_BENCHMARKS: tuple[str, ...] = (
+    "vec_sum", "dot_product", "fir", "iir_biquad", "matmul", "conv2d",
+    "fft", "dct8x8", "crc32", "quantize", "me_fss", "me_tss",
+)
+
+_BUILDERS = (
+    vec_sum.build,
+    dot_product.build,
+    fir.build,
+    iir_biquad.build,
+    matmul.build,
+    conv2d.build,
+    fft.build,
+    dct8x8.build,
+    crc32.build,
+    quantize.build,
+    me_fss.build,
+    me_fss.build_early_exit,
+    me_tss.build,
+    histogram.build,
+    vecmax_early.build,
+    vecmax_early.build_miss,
+    viterbi.build,
+    bubble_sort.build,
+    fft_classic.build,
+)
+
+_REGISTRY: KernelRegistry | None = None
+
+
+def registry() -> KernelRegistry:
+    """The (lazily built, cached) kernel registry."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        reg = KernelRegistry()
+        for builder in _BUILDERS:
+            reg.register(builder())
+        _REGISTRY = reg
+    return _REGISTRY
+
+
+def kernel(name: str) -> Kernel:
+    """Look up one kernel by name."""
+    return registry().get(name)
+
+
+def figure2_kernels() -> list[Kernel]:
+    """The 12 benchmarks of Figure 2, in order."""
+    reg = registry()
+    return [reg.get(name) for name in FIGURE2_BENCHMARKS]

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.suite import figure2_kernels, registry
+
+
+@pytest.fixture(scope="session")
+def kernel_registry():
+    """The benchmark registry (built once per session)."""
+    return registry()
+
+
+@pytest.fixture(scope="session")
+def fig2_kernels():
+    """The 12 Figure 2 benchmarks."""
+    return figure2_kernels()
+
+
+NESTED_SUM_SRC = """
+        .data
+result: .word 0
+        .text
+main:
+        li   s0, 0
+        li   t0, 0
+outer:
+        li   t1, 0
+inner:
+        mul  t2, t0, t1
+        add  s0, s0, t2
+        addi t1, t1, 1
+        slti at, t1, 12
+        bne  at, zero, inner
+        addi t0, t0, 1
+        slti at, t0, 8
+        bne  at, zero, outer
+        la   t3, result
+        sw   s0, 0(t3)
+        halt
+"""
+
+NESTED_SUM_EXPECTED = sum(i * j for i in range(8) for j in range(12))
+
+
+@pytest.fixture()
+def nested_sum_source():
+    """A canonical two-level up-counting nest used across transform tests."""
+    return NESTED_SUM_SRC
+
+
+@pytest.fixture()
+def nested_sum_expected():
+    return NESTED_SUM_EXPECTED

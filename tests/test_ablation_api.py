@@ -1,0 +1,95 @@
+"""Tests for the programmatic ablation API and the debug table dump."""
+
+import pytest
+
+from repro.core.config import ZOLC_LITE
+from repro.core.debug import dump_tables
+from repro.eval.ablation import (
+    SweepResult,
+    run_sweep,
+    sweep_branch_penalty,
+    sweep_nesting_depth,
+    sweep_switch_cost,
+)
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+
+
+class TestSweeps:
+    def test_branch_penalty_monotone(self):
+        result = sweep_branch_penalty(penalties=(0, 2),
+                                      kernel_names=("vec_sum",))
+        averages = [a for _, a in result.averages()]
+        assert averages[1] > averages[0]
+        assert result.kernel_names == ("vec_sum",)
+
+    def test_switch_cost_erodes(self):
+        result = sweep_switch_cost(costs=(0, 5),
+                                   kernel_names=("vec_sum",))
+        averages = dict(result.averages())
+        assert averages[5] < averages[0]
+
+    def test_nesting_depth_grows(self):
+        result = sweep_nesting_depth(depths=(2, 4), trips=4, body_ops=2)
+        averages = dict(result.averages())
+        assert averages[4] > averages[2]
+
+    def test_render_contains_points(self):
+        result = sweep_nesting_depth(depths=(2,), trips=3, body_ops=2)
+        text = result.render()
+        assert "depth=2" in text and "%" in text
+
+    def test_run_sweep_by_name(self):
+        result = run_sweep("nesting")
+        assert isinstance(result, SweepResult)
+        assert len(result.points) == 6
+
+    def test_unknown_sweep(self):
+        with pytest.raises(KeyError):
+            run_sweep("bogus")
+
+
+class TestDumpTables:
+    def _controller_after_run(self):
+        source = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 4
+loop:   addi s0, s0, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        la   t1, out
+        sw   s0, 0(t1)
+        halt
+"""
+        result = rewrite_for_zolc(source, ZOLC_LITE)
+        sim = result.make_simulator()
+        sim.run()
+        return sim.zolc
+
+    def test_dump_mentions_loop_parameters(self):
+        text = dump_tables(self._controller_after_run())
+        assert "trips=4" in text
+        assert "index=t0" in text
+        assert "task switch(es)" in text
+
+    def test_dump_shows_armed_state(self):
+        text = dump_tables(self._controller_after_run())
+        assert "ARMED" in text
+
+
+class TestCliIntegration:
+    def test_tables_command(self, capsys):
+        from repro.cli import main
+        assert main(["tables", "vec_sum"]) == 0
+        out = capsys.readouterr().out
+        assert "trips=256" in out
+
+    def test_tables_rejects_non_zolc_machine(self, capsys):
+        from repro.cli import main
+        assert main(["tables", "vec_sum", "-m", "XRdefault"]) == 2
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "nesting"]) == 0
+        assert "depth=6" in capsys.readouterr().out

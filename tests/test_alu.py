@@ -1,0 +1,86 @@
+"""Unit + property tests for the ALU operations."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu import alu
+from repro.util.bitops import MASK32, to_signed32
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert alu.add32(0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu.sub32(0, 1) == 0xFFFFFFFF
+
+    def test_mul_low(self):
+        assert alu.mul32_lo(3, 5) == 15
+
+    def test_mul_low_signed(self):
+        assert to_signed32(alu.mul32_lo(0xFFFFFFFF, 7)) == -7  # -1 * 7
+
+    def test_mul_high_positive(self):
+        assert alu.mul32_hi(0x40000000, 4) == 1
+
+    def test_mul_high_negative(self):
+        # -1 * 1 = -1 -> high word is all ones
+        assert alu.mul32_hi(0xFFFFFFFF, 1) == 0xFFFFFFFF
+
+    @given(u32, u32)
+    def test_add_matches_python(self, a, b):
+        assert alu.add32(a, b) == (a + b) & MASK32
+
+    @given(u32, u32)
+    def test_mul_parts_recombine(self, a, b):
+        product = to_signed32(a) * to_signed32(b)
+        recombined = (alu.mul32_hi(a, b) << 32) | alu.mul32_lo(a, b)
+        assert to_signed32(recombined & MASK32) | (recombined >> 32) << 32 \
+            or True  # recombination checked below precisely
+        assert recombined == product & 0xFFFFFFFFFFFFFFFF
+
+
+class TestComparisons:
+    def test_slt_signed(self):
+        assert alu.slt(0xFFFFFFFF, 0) == 1  # -1 < 0
+        assert alu.slt(0, 0xFFFFFFFF) == 0
+
+    def test_sltu_unsigned(self):
+        assert alu.sltu(0xFFFFFFFF, 0) == 0
+        assert alu.sltu(0, 0xFFFFFFFF) == 1
+
+    @given(u32, u32)
+    def test_slt_matches_signed_compare(self, a, b):
+        assert alu.slt(a, b) == (1 if to_signed32(a) < to_signed32(b) else 0)
+
+    @given(u32, u32)
+    def test_sltu_matches_unsigned_compare(self, a, b):
+        assert alu.sltu(a, b) == (1 if a < b else 0)
+
+
+class TestShifts:
+    def test_sll(self):
+        assert alu.sll(1, 31) == 0x80000000
+
+    def test_sll_drops_overflow(self):
+        assert alu.sll(0xFFFFFFFF, 4) == 0xFFFFFFF0
+
+    def test_srl_zero_fills(self):
+        assert alu.srl(0x80000000, 31) == 1
+
+    def test_sra_sign_fills(self):
+        assert alu.sra(0x80000000, 31) == 0xFFFFFFFF
+
+    def test_shift_amount_masked(self):
+        assert alu.sll(1, 33) == alu.sll(1, 1)
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_sra_matches_floor_division(self, value, amount):
+        expected = to_signed32(value) >> amount
+        assert to_signed32(alu.sra(value, amount)) == expected
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_srl_matches_unsigned_shift(self, value, amount):
+        assert alu.srl(value, amount) == value >> amount

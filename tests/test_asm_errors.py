@@ -1,0 +1,73 @@
+"""Assembler negative-path coverage: every malformed construct diagnosed."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+
+
+BAD_SOURCES = {
+    "unknown mnemonic": "frobnicate t0, t1\n",
+    "too few operands": "add t0, t1\n",
+    "too many operands": "add t0, t1, t2, t3\n",
+    "register in shamt slot": "sll t0, t1, t2\n",
+    "unknown register": "add q9, t1, t2\n",
+    "bad memory operand": "lw t0, t1\n",
+    "undefined branch target": "bne t0, zero, nowhere\n",
+    "undefined jump target": "j missing\n",
+    "imm overflow signed": "addi t0, t0, 100000\n",
+    "imm negative for unsigned op": "ori t0, t0, -5\n",
+    "duplicate label": "x: nop\nx: halt\n",
+    "dangling label": "nop\nend:\n",
+    "data directive in text": ".word 5\n",
+    "instruction in data": ".data\nadd t0, t1, t2\n",
+    "byte out of range": ".data\nb: .byte 999\n.text\nnop\n",
+    "unbalanced paren": "lw t0, 4(sp\n",
+    "empty operand": "add t0, , t2\n",
+    "bad equ value": ".equ N, banana\nnop\n",
+}
+
+
+@pytest.mark.parametrize("description", sorted(BAD_SOURCES))
+def test_malformed_source_raises(description):
+    with pytest.raises(AsmError):
+        assemble(BAD_SOURCES[description])
+
+
+def test_error_message_names_the_problem():
+    with pytest.raises(AsmError) as err:
+        assemble("nop\nadd t0, t1\n")
+    message = str(err.value)
+    assert "line 2" in message
+    assert "expected 3 operand" in message
+
+
+def test_branch_alignment_check():
+    # An .equ constant that is not word aligned cannot be a branch target.
+    with pytest.raises(AsmError) as err:
+        assemble(".equ SPOT, 2\nbne t0, zero, SPOT\n")
+    assert "aligned" in str(err.value)
+
+
+def test_jump_alignment_check():
+    with pytest.raises(AsmError):
+        assemble(".equ SPOT, 6\nj SPOT\n")
+
+
+def test_good_program_with_all_operand_kinds():
+    """A positive control exercising every operand slot kind at once."""
+    program = assemble("""
+        .equ OFF, 8
+        .data
+tbl:    .word 1, 2
+        .text
+main:   la   t0, tbl
+        lw   t1, OFF(t0)
+        sll  t2, t1, 3
+        srav t3, t2, t1
+        bgez t3, fwd
+        j    main
+fwd:    jal  sub
+        halt
+sub:    jr   ra
+""")
+    assert len(program.instructions) > 0

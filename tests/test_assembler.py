@@ -1,0 +1,158 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm.assembler import DATA_BASE, TEXT_BASE, assemble
+from repro.asm.errors import AsmError
+
+
+class TestLayout:
+    def test_sequential_addresses(self):
+        program = assemble("nop\nnop\nnop\n")
+        assert [i.address for i in program.instructions] == [0, 4, 8]
+
+    def test_text_base_applied(self):
+        program = assemble("nop\n", text_base=0x400)
+        assert program.instructions[0].address == 0x400
+
+    def test_entry_point_defaults_to_text_base(self):
+        assert assemble("nop\n").entry_point() == TEXT_BASE
+
+    def test_entry_point_uses_main(self):
+        program = assemble("nop\nmain: nop\n")
+        assert program.entry_point() == 4
+
+    def test_by_address_lookup(self):
+        program = assemble("nop\nadd t0, t1, t2\n")
+        assert program.by_address[4].mnemonic == "add"
+
+    def test_text_end(self):
+        assert assemble("nop\nnop\n").text_end == 8
+
+
+class TestSymbols:
+    def test_label_address(self):
+        program = assemble("nop\nloop: nop\n")
+        assert program.symbols["loop"] == 4
+
+    def test_data_label_address(self):
+        program = assemble(".data\nx: .word 7\ny: .word 8\n.text\nnop\n")
+        assert program.symbols["x"] == DATA_BASE
+        assert program.symbols["y"] == DATA_BASE + 4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("x: nop\nx: nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("j nowhere\n")
+
+    def test_equ_usable_as_immediate(self):
+        program = assemble(".equ N, 12\naddi t0, zero, N\n")
+        assert program.instructions[0].imm == 12
+
+    def test_label_at(self):
+        program = assemble("nop\nspot: nop\n")
+        assert program.label_at(4) == "spot"
+        assert program.label_at(0) is None
+
+
+class TestBranches:
+    def test_backward_branch_offset(self):
+        program = assemble("loop: nop\nbne t0, zero, loop\n")
+        branch = program.instructions[1]
+        assert branch.imm == -2  # target 0, pc+4 = 8, delta -8 bytes
+        assert branch.branch_target_address() == 0
+
+    def test_forward_branch_offset(self):
+        program = assemble("beq t0, zero, skip\nnop\nskip: nop\n")
+        assert program.instructions[0].branch_target_address() == 8
+
+    def test_jump_target_encoding(self):
+        program = assemble("j end\nnop\nend: halt\n")
+        assert program.instructions[0].target == 2  # byte 8 / 4
+
+    def test_branch_out_of_range(self):
+        body = "nop\n" * 40000
+        with pytest.raises(AsmError):
+            assemble(f"loop: {body}bne t0, zero, loop\n")
+
+
+class TestMemoryOperands:
+    def test_offset_and_register(self):
+        program = assemble("lw t0, 8(sp)\n")
+        inst = program.instructions[0]
+        assert inst.imm == 8
+        assert inst.rs == 29
+
+    def test_missing_offset_defaults_zero(self):
+        assert assemble("lw t0, (sp)\n").instructions[0].imm == 0
+
+    def test_negative_offset(self):
+        assert assemble("lw t0, -4(sp)\n").instructions[0].imm == -4
+
+    def test_symbolic_offset(self):
+        program = assemble(".equ OFF, 16\nlw t0, OFF(sp)\n")
+        assert program.instructions[0].imm == 16
+
+    def test_bad_mem_syntax(self):
+        with pytest.raises(AsmError):
+            assemble("lw t0, sp\n")
+
+    def test_oversized_offset(self):
+        with pytest.raises(AsmError):
+            assemble("lw t0, 70000(sp)\n")
+
+
+class TestRelocations:
+    def test_hi_lo_split(self):
+        program = assemble(".data\nx: .word 1\n.text\nla t0, x\n")
+        lui, ori = program.instructions
+        address = program.symbols["x"]
+        assert lui.imm == (address >> 16) & 0xFFFF
+        assert ori.imm == address & 0xFFFF
+
+    def test_lo_of_text_symbol(self):
+        program = assemble("nop\nspot: nop\nori t0, zero, %lo(spot)\n")
+        assert program.instructions[2].imm == 4
+
+
+class TestDataEmission:
+    def test_word_little_endian(self):
+        program = assemble(".data\nx: .word 0x11223344\n.text\nnop\n")
+        assert bytes(program.data[:4]) == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_negative_word(self):
+        program = assemble(".data\nx: .word -1\n.text\nnop\n")
+        assert bytes(program.data[:4]) == b"\xff\xff\xff\xff"
+
+    def test_half_and_byte(self):
+        program = assemble(".data\nx: .half 0x1234\ny: .byte 7\n.text\nnop\n")
+        assert bytes(program.data[:3]) == bytes([0x34, 0x12, 7])
+
+    def test_space_zeroed(self):
+        program = assemble(".data\nx: .space 8\n.text\nnop\n")
+        assert bytes(program.data) == bytes(8)
+
+    def test_align(self):
+        program = assemble(
+            ".data\na: .byte 1\n.align 2\nb: .word 5\n.text\nnop\n")
+        assert program.symbols["b"] == DATA_BASE + 4
+
+    def test_word_can_hold_symbol(self):
+        program = assemble(".data\nx: .word 1\nptr: .word x\n.text\nnop\n")
+        stored = int.from_bytes(bytes(program.data[4:8]), "little")
+        assert stored == program.symbols["x"]
+
+    def test_out_of_range_byte(self):
+        with pytest.raises(AsmError):
+            assemble(".data\nx: .byte 300\n.text\nnop\n")
+
+
+class TestWords:
+    def test_words_roundtrip_through_encoder(self):
+        program = assemble("add t0, t1, t2\nlw s0, 4(sp)\nhalt\n")
+        words = program.words()
+        assert len(words) == 3
+        assert all(0 <= w < 2**32 for w in words)

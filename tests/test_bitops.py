@@ -1,0 +1,105 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    MASK32,
+    extract_bits,
+    fits_signed,
+    fits_unsigned,
+    insert_bits,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+
+class TestSignExtend:
+    def test_positive_16(self):
+        assert sign_extend(0x7FFF, 16) == 32767
+
+    def test_negative_16(self):
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_negative_8(self):
+        assert sign_extend(0x80, 8) == -128
+
+    def test_zero(self):
+        assert sign_extend(0, 32) == 0
+
+    def test_masks_upper_bits(self):
+        assert sign_extend(0x1_0001, 16) == 1
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_roundtrip_16(self, value):
+        assert sign_extend(value & 0xFFFF, 16) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_roundtrip_32(self, value):
+        assert sign_extend(value & MASK32, 32) == value
+
+
+class TestSigned32:
+    def test_minus_one(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+
+    def test_min_int(self):
+        assert to_signed32(0x80000000) == -(2**31)
+
+    def test_max_int(self):
+        assert to_signed32(0x7FFFFFFF) == 2**31 - 1
+
+    @given(st.integers())
+    def test_to_unsigned_range(self, value):
+        assert 0 <= to_unsigned32(value) <= MASK32
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed32(to_unsigned32(value)) == value
+
+
+class TestFits:
+    def test_signed_16_bounds(self):
+        assert fits_signed(32767, 16)
+        assert fits_signed(-32768, 16)
+        assert not fits_signed(32768, 16)
+        assert not fits_signed(-32769, 16)
+
+    def test_unsigned_16_bounds(self):
+        assert fits_unsigned(0, 16)
+        assert fits_unsigned(65535, 16)
+        assert not fits_unsigned(-1, 16)
+        assert not fits_unsigned(65536, 16)
+
+
+class TestBitFields:
+    def test_extract_top_byte(self):
+        assert extract_bits(0xABCD1234, 31, 24) == 0xAB
+
+    def test_extract_low_bit(self):
+        assert extract_bits(0b1011, 0, 0) == 1
+
+    def test_extract_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            extract_bits(0, 3, 5)
+
+    def test_insert_replaces_field(self):
+        assert insert_bits(0xFFFFFFFF, 15, 8, 0) == 0xFFFF00FF
+
+    def test_insert_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            insert_bits(0, 3, 0, 16)
+
+    @given(st.integers(min_value=0, max_value=MASK32),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    def test_insert_extract_roundtrip(self, word, a, b):
+        hi, lo = max(a, b), min(a, b)
+        value = extract_bits(word, hi, lo)
+        assert insert_bits(word, hi, lo, value) == word

@@ -1,0 +1,39 @@
+"""Table-driven exhaustive branch-condition semantics."""
+
+import pytest
+
+from repro.cpu.datapath import execute
+from repro.cpu.memory import Memory
+from repro.cpu.state import CpuState
+from repro.isa.instructions import Instruction
+
+# (mnemonic, uses rt) -> python predicate over signed operands
+PREDICATES = {
+    "beq": (True, lambda a, b: a == b),
+    "bne": (True, lambda a, b: a != b),
+    "blez": (False, lambda a, b: a <= 0),
+    "bgtz": (False, lambda a, b: a > 0),
+    "bltz": (False, lambda a, b: a < 0),
+    "bgez": (False, lambda a, b: a >= 0),
+}
+
+VALUES = [-(2**31), -7, -1, 0, 1, 7, 2**31 - 1]
+
+
+@pytest.mark.parametrize("mnemonic", sorted(PREDICATES))
+@pytest.mark.parametrize("a", VALUES)
+@pytest.mark.parametrize("b", VALUES)
+def test_branch_taken_matches_predicate(mnemonic, a, b):
+    uses_rt, predicate = PREDICATES[mnemonic]
+    state = CpuState(entry_point=0x100)
+    memory = Memory(size=1024)
+    state.regs["t0"] = a
+    state.regs["t1"] = b
+    inst = Instruction(mnemonic, rs=8, rt=9 if uses_rt else 0, imm=4)
+    outcome = execute(inst, state, memory)
+    expected = predicate(a, b)
+    assert outcome.taken == expected
+    if expected:
+        assert outcome.next_pc == 0x100 + 4 + 16
+    else:
+        assert outcome.next_pc == 0x104

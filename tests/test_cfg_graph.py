@@ -1,0 +1,120 @@
+"""Unit tests for basic-block / CFG construction."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cfg import build_cfg
+
+SIMPLE_LOOP = """
+main:   li   t0, 4
+loop:   addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+
+DIAMOND = """
+main:   beq  t0, zero, right
+left:   addi t1, zero, 1
+        j    join
+right:  addi t1, zero, 2
+join:   halt
+"""
+
+
+class TestBlocks:
+    def test_simple_loop_blocks(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        # main / loop / halt
+        assert len(cfg.blocks) == 3
+
+    def test_block_boundaries_at_targets(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        starts = sorted(b.start for b in cfg.blocks.values())
+        assert starts == [0, 4, 12]
+
+    def test_block_at_address(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        assert cfg.block_at(8).start == 4
+
+    def test_terminator(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        assert cfg.block_at(4).terminator.mnemonic == "bne"
+
+    def test_end_address(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        block = cfg.block_at(4)
+        assert block.end == 8
+        assert list(block.addresses()) == [4, 8]
+
+
+class TestEdges:
+    def test_loop_edges(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        loop_block = cfg.block_at(4)
+        assert sorted(loop_block.successors) == sorted(
+            [loop_block.id, cfg.block_at(12).id])
+
+    def test_diamond_edges(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        entry = cfg.block_at(0)
+        left = cfg.block_at(4)
+        right = cfg.block_at(12)
+        join = cfg.block_at(16)
+        assert set(entry.successors) == {left.id, right.id}
+        assert left.successors == [join.id]
+        assert right.successors == [join.id]
+        assert set(join.predecessors) == {left.id, right.id}
+
+    def test_halt_has_no_successors(self):
+        cfg = build_cfg(assemble(SIMPLE_LOOP))
+        assert cfg.block_at(12).successors == []
+
+    def test_jr_has_no_static_successors(self):
+        cfg = build_cfg(assemble("jr ra\nhalt\n"))
+        assert cfg.block_at(0).successors == []
+
+    def test_jal_falls_through(self):
+        cfg = build_cfg(assemble("jal sub\nhalt\nsub: jr ra\n"))
+        entry = cfg.block_at(0)
+        assert cfg.block_at(4).id in entry.successors
+
+
+class TestTraversals:
+    def test_reachable_ids(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert len(cfg.reachable_ids()) == 4
+
+    def test_unreachable_excluded(self):
+        cfg = build_cfg(assemble("j end\ndead: nop\nend: halt\n"))
+        reachable = cfg.reachable_ids()
+        dead_id = cfg.block_at(4).id
+        assert dead_id not in reachable
+
+    def test_reverse_postorder_entry_first(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == cfg.entry_id
+
+    def test_reverse_postorder_respects_dependencies(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        rpo = cfg.reverse_postorder()
+        join = cfg.block_at(16).id
+        left = cfg.block_at(4).id
+        assert rpo.index(left) < rpo.index(join)
+
+    def test_to_networkx(self):
+        graph = build_cfg(assemble(DIAMOND)).to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+
+
+class TestEdgeCases:
+    def test_empty_program_rejected(self):
+        import pytest as _pytest
+        from repro.asm.assembler import Program
+        with _pytest.raises(ValueError):
+            build_cfg(Program(instructions=[]))
+
+    def test_entry_at_main(self):
+        cfg = build_cfg(assemble("nop\nmain: halt\n"))
+        assert cfg.blocks[cfg.entry_id].start == 4

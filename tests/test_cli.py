@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKernels:
+    def test_lists_suite(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "vec_sum" in out
+        assert "me_tss" in out
+
+
+class TestRun:
+    def test_default_machine(self, capsys):
+        assert main(["run", "vec_sum"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert "cycles" in out
+
+    def test_zolc_machine_extras(self, capsys):
+        assert main(["run", "vec_sum", "-m", "ZOLClite"]) == 0
+        out = capsys.readouterr().out
+        assert "task switches" in out
+        assert "loops driven" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_machine(self, capsys):
+        assert main(["run", "vec_sum", "-m", "nope"]) == 2
+
+
+class TestCompare:
+    def test_all_machines_listed(self, capsys):
+        assert main(["compare", "quantize"]) == 0
+        out = capsys.readouterr().out
+        for name in ("XRdefault", "XRhrdwil", "uZOLC", "ZOLClite",
+                     "ZOLCfull"):
+            assert name in out
+
+
+class TestReports:
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "258" in out and "4428" in out
+
+    def test_timing(self, capsys):
+        assert main(["timing"]) == 0
+        assert "170 MHz" in capsys.readouterr().out
+
+
+class TestDisasm:
+    def test_baseline(self, capsys):
+        assert main(["disasm", "vec_sum"]) == 0
+        out = capsys.readouterr().out
+        assert "bne" in out
+
+    def test_zolc_transformed(self, capsys):
+        assert main(["disasm", "vec_sum", "-m", "ZOLClite"]) == 0
+        out = capsys.readouterr().out
+        assert "mtz" in out
+        assert "bne" not in out
+
+
+class TestExplore:
+    def test_structure_report(self, capsys):
+        assert main(["explore", "matmul"]) == 0
+        out = capsys.readouterr().out
+        assert "3 loops" in out
+        assert "task" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,228 @@
+"""Unit tests for functional instruction execution."""
+
+import pytest
+
+from repro.cpu.datapath import execute
+from repro.cpu.exceptions import SimulationError
+from repro.cpu.memory import Memory
+from repro.cpu.state import CpuState
+from repro.isa.instructions import Instruction
+
+
+@pytest.fixture()
+def ctx():
+    state = CpuState(entry_point=0x100)
+    memory = Memory(size=4096)
+    return state, memory
+
+
+def run(state, memory, inst):
+    return execute(inst, state, memory)
+
+
+class TestAluOps:
+    def test_add(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 3
+        state.regs["t1"] = 4
+        out = run(state, memory, Instruction("add", rd=10, rs=8, rt=9))
+        assert state.regs["t2"] == 7
+        assert out.next_pc == 0x104
+        assert not out.taken
+
+    def test_sub_wraps(self, ctx):
+        state, memory = ctx
+        state.regs["t1"] = 5
+        run(state, memory, Instruction("sub", rd=8, rs=0, rt=9))
+        assert state.regs.read_signed(8) == -5
+
+    def test_addi_sign_extended(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 10
+        run(state, memory, Instruction("addi", rt=9, rs=8, imm=-3))
+        assert state.regs["t1"] == 7
+
+    def test_slti_signed(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0xFFFFFFFF  # -1
+        run(state, memory, Instruction("slti", rt=9, rs=8, imm=0))
+        assert state.regs["t1"] == 1
+
+    def test_andi_zero_extended(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0xFFFF_00FF
+        run(state, memory, Instruction("andi", rt=9, rs=8, imm=0xFFFF))
+        assert state.regs["t1"] == 0x00FF
+
+    def test_lui(self, ctx):
+        state, memory = ctx
+        run(state, memory, Instruction("lui", rt=8, imm=0x1234))
+        assert state.regs["t0"] == 0x12340000
+
+    def test_nor(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0x0F0F0F0F
+        run(state, memory, Instruction("nor", rd=9, rs=8, rt=0))
+        assert state.regs["t1"] == 0xF0F0F0F0
+
+    def test_zero_register_immutable(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 7
+        run(state, memory, Instruction("add", rd=0, rs=8, rt=8))
+        assert state.regs["zero"] == 0
+
+
+class TestShifts:
+    def test_sll_imm(self, ctx):
+        state, memory = ctx
+        state.regs["t1"] = 1
+        run(state, memory, Instruction("sll", rd=8, rt=9, shamt=4))
+        assert state.regs["t0"] == 16
+
+    def test_srav_by_register(self, ctx):
+        state, memory = ctx
+        state.regs["t1"] = 0x80000000
+        state.regs["t2"] = 31
+        run(state, memory, Instruction("srav", rd=8, rt=9, rs=10))
+        assert state.regs["t0"] == 0xFFFFFFFF
+
+
+class TestLoadsStores:
+    def test_lw_sw(self, ctx):
+        state, memory = ctx
+        state.regs["sp"] = 256
+        state.regs["t0"] = 0xCAFEBABE
+        run(state, memory, Instruction("sw", rt=8, rs=29, imm=8))
+        out = run(state, memory, Instruction("lw", rt=9, rs=29, imm=8))
+        assert state.regs["t1"] == 0xCAFEBABE
+        assert out.load_dest == 9
+
+    def test_lb_sign_extends(self, ctx):
+        state, memory = ctx
+        memory.store_byte(100, 0xFF)
+        state.regs["t0"] = 100
+        run(state, memory, Instruction("lb", rt=9, rs=8, imm=0))
+        assert state.regs.read_signed(9) == -1
+
+    def test_lbu_zero_extends(self, ctx):
+        state, memory = ctx
+        memory.store_byte(100, 0xFF)
+        state.regs["t0"] = 100
+        run(state, memory, Instruction("lbu", rt=9, rs=8, imm=0))
+        assert state.regs["t1"] == 255
+
+    def test_store_has_no_load_dest(self, ctx):
+        state, memory = ctx
+        state.regs["sp"] = 64
+        out = run(state, memory, Instruction("sw", rt=8, rs=29, imm=0))
+        assert out.load_dest is None
+
+    def test_load_to_zero_has_no_interlock(self, ctx):
+        state, memory = ctx
+        state.regs["sp"] = 64
+        out = run(state, memory, Instruction("lw", rt=0, rs=29, imm=0))
+        assert out.load_dest is None
+
+
+class TestBranches:
+    def test_bne_taken(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 1
+        out = run(state, memory, Instruction("bne", rs=8, rt=0, imm=-4))
+        assert out.taken
+        assert out.next_pc == 0x100 + 4 - 16
+
+    def test_bne_not_taken(self, ctx):
+        state, memory = ctx
+        out = run(state, memory, Instruction("bne", rs=8, rt=0, imm=-4))
+        assert not out.taken
+        assert out.next_pc == 0x104
+
+    def test_beq_signed_comparison(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0xFFFFFFFF
+        state.regs["t1"] = 0xFFFFFFFF
+        out = run(state, memory, Instruction("beq", rs=8, rt=9, imm=2))
+        assert out.taken
+
+    def test_bltz(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0x80000000
+        out = run(state, memory, Instruction("bltz", rs=8, imm=1))
+        assert out.taken
+
+    def test_bgez_on_zero(self, ctx):
+        state, memory = ctx
+        out = run(state, memory, Instruction("bgez", rs=8, imm=1))
+        assert out.taken
+
+    def test_blez_bgtz(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 5
+        assert run(state, memory, Instruction("bgtz", rs=8, imm=1)).taken
+        assert not run(state, memory, Instruction("blez", rs=8, imm=1)).taken
+
+
+class TestDbne:
+    def test_taken_while_nonzero(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 3
+        out = run(state, memory, Instruction("dbne", rs=8, imm=-2))
+        assert state.regs["t0"] == 2
+        assert out.taken
+
+    def test_falls_through_at_zero(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 1
+        out = run(state, memory, Instruction("dbne", rs=8, imm=-2))
+        assert state.regs["t0"] == 0
+        assert not out.taken
+
+    def test_wraps_from_zero(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0
+        out = run(state, memory, Instruction("dbne", rs=8, imm=-2))
+        assert state.regs["t0"] == 0xFFFFFFFF
+        assert out.taken
+
+
+class TestJumps:
+    def test_j(self, ctx):
+        state, memory = ctx
+        out = run(state, memory, Instruction("j", target=0x80 // 4))
+        assert out.next_pc == 0x80
+        assert out.taken
+
+    def test_jal_links(self, ctx):
+        state, memory = ctx
+        run(state, memory, Instruction("jal", target=0x80 // 4))
+        assert state.regs["ra"] == 0x104
+
+    def test_jr(self, ctx):
+        state, memory = ctx
+        state.regs["ra"] = 0x200
+        out = run(state, memory, Instruction("jr", rs=31))
+        assert out.next_pc == 0x200
+
+    def test_jalr(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0x300
+        run(state, memory, Instruction("jalr", rd=31, rs=8))
+        assert state.regs["ra"] == 0x104
+
+
+class TestSystem:
+    def test_halt_sets_flag(self, ctx):
+        state, memory = ctx
+        run(state, memory, Instruction("halt"))
+        assert state.halted
+
+    def test_mtz_without_zolc_raises(self, ctx):
+        state, memory = ctx
+        with pytest.raises(SimulationError):
+            run(state, memory, Instruction("mtz", rt=8, imm=0x100))
+
+    def test_unknown_mnemonic_raises(self, ctx):
+        state, memory = ctx
+        with pytest.raises(SimulationError):
+            run(state, memory, Instruction("halt2"))

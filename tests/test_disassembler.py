@@ -1,0 +1,67 @@
+"""Unit tests for the disassembler."""
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import (
+    disassemble_program,
+    disassemble_word,
+    format_instruction,
+)
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction
+
+
+class TestFormat:
+    def test_rr(self):
+        assert format_instruction(Instruction("add", rd=8, rs=9, rt=10)) == \
+            "add t0, t1, t2"
+
+    def test_imm(self):
+        assert format_instruction(Instruction("addi", rt=8, rs=0, imm=-3)) == \
+            "addi t0, zero, -3"
+
+    def test_mem(self):
+        assert format_instruction(Instruction("lw", rt=8, rs=29, imm=16)) == \
+            "lw t0, 16(sp)"
+
+    def test_shift(self):
+        assert format_instruction(Instruction("sll", rd=8, rt=9, shamt=2)) == \
+            "sll t0, t1, 2"
+
+    def test_halt_no_operands(self):
+        assert format_instruction(Instruction("halt")) == "halt"
+
+    def test_branch_without_address_shows_offset(self):
+        assert format_instruction(Instruction("bne", rs=8, rt=0, imm=-2)) == \
+            "bne t0, zero, -2"
+
+    def test_branch_with_address_shows_target(self):
+        inst = Instruction("bne", rs=8, rt=0, imm=-2, address=8)
+        assert format_instruction(inst) == "bne t0, zero, 0x4"
+
+    def test_branch_with_program_shows_label(self):
+        program = assemble("loop: nop\nbne t0, zero, loop\n")
+        text = format_instruction(program.instructions[1], program)
+        assert text == "bne t0, zero, loop"
+
+
+class TestDisassembleWord:
+    def test_round_trip_text(self):
+        word = encode(Instruction("xor", rd=2, rs=3, rt=4))
+        assert disassemble_word(word) == "xor v0, v1, a0"
+
+
+class TestDisassembleProgram:
+    def test_includes_labels_and_addresses(self):
+        program = assemble("main: nop\nloop: addi t0, t0, -1\n"
+                           "bne t0, zero, loop\nhalt\n")
+        text = disassemble_program(program)
+        assert "main:" in text
+        assert "loop:" in text
+        assert "0x0000" in text
+        assert "bne t0, zero, loop" in text
+
+    def test_every_instruction_rendered(self):
+        program = assemble("nop\nnop\nhalt\n")
+        body_lines = [l for l in disassemble_program(program).splitlines()
+                      if l.startswith("  0x")]
+        assert len(body_lines) == 3

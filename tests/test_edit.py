@@ -1,0 +1,123 @@
+"""Unit tests for the shared module-edit machinery."""
+
+import pytest
+
+from repro.asm.parser import SourceInstruction, TextEntry, parse
+from repro.transform.edit import EditError, EditPlan, apply_edits
+
+
+def entries_from(source):
+    return parse(source).text
+
+
+def si(mnemonic, *operands):
+    return SourceInstruction(mnemonic, list(operands), 0)
+
+
+class TestDeletion:
+    def test_delete_removes_entry(self):
+        entries = entries_from("nop\nadd t0, t1, t2\nhalt\n")
+        plan = EditPlan()
+        plan.delete(1)
+        out = apply_edits(entries, plan)
+        assert [e.instruction.mnemonic for e in out] == ["sll", "halt"]
+
+    def test_deleted_labels_forward(self):
+        entries = entries_from("nop\nmark: add t0, t1, t2\nhalt\n")
+        plan = EditPlan()
+        plan.delete(1)
+        out = apply_edits(entries, plan)
+        assert out[1].labels == ["mark"]
+        assert out[1].instruction.mnemonic == "halt"
+
+    def test_chain_of_deletions_forwards_all_labels(self):
+        entries = entries_from("a: nop\nb: nop\nc: nop\nhalt\n")
+        plan = EditPlan()
+        plan.delete(0)
+        plan.delete(1)
+        plan.delete(2)
+        out = apply_edits(entries, plan)
+        assert out[0].labels == ["a", "b", "c"]
+
+    def test_labels_off_end_rejected(self):
+        entries = entries_from("nop\nend: halt\n")
+        plan = EditPlan()
+        plan.delete(1)
+        with pytest.raises(EditError):
+            apply_edits(entries, plan)
+
+
+class TestReplacement:
+    def test_replace_swaps_instruction(self):
+        entries = entries_from("loop: addi t0, t0, -1\nbne t0, zero, loop\nhalt\n")
+        plan = EditPlan()
+        plan.replace(1, si("dbne", "t0", "loop"))
+        out = apply_edits(entries, plan)
+        assert out[1].instruction.mnemonic == "dbne"
+
+    def test_replace_keeps_labels(self):
+        entries = entries_from("spot: nop\nhalt\n")
+        plan = EditPlan()
+        plan.replace(0, si("add", "t0", "t1", "t2"))
+        out = apply_edits(entries, plan)
+        assert out[0].labels == ["spot"]
+
+    def test_delete_and_replace_conflict(self):
+        plan = EditPlan()
+        plan.delete(1)
+        with pytest.raises(EditError):
+            plan.replace(1, si("nop"))
+
+    def test_conflict_detected_at_apply(self):
+        entries = entries_from("nop\nhalt\n")
+        plan = EditPlan()
+        plan.replacements[0] = si("nop")
+        plan.deletions.add(0)
+        with pytest.raises(EditError):
+            apply_edits(entries, plan)
+
+
+class TestLabelsAndInsertions:
+    def test_added_label(self):
+        entries = entries_from("nop\nhalt\n")
+        plan = EditPlan()
+        plan.add_label(1, "__marker")
+        out = apply_edits(entries, plan)
+        assert out[1].labels == ["__marker"]
+
+    def test_added_label_on_deleted_entry_forwards(self):
+        entries = entries_from("nop\nadd t0, t1, t2\nhalt\n")
+        plan = EditPlan()
+        plan.add_label(1, "__trig")
+        plan.delete(1)
+        out = apply_edits(entries, plan)
+        assert out[1].labels == ["__trig"]
+
+    def test_insert_before(self):
+        entries = entries_from("nop\nhalt\n")
+        plan = EditPlan()
+        plan.insert_before(1, [si("addi", "t0", "zero", "1"),
+                               si("mtz", "t0", "0")])
+        out = apply_edits(entries, plan)
+        assert [e.instruction.mnemonic for e in out] == \
+            ["sll", "addi", "mtz", "halt"]
+
+    def test_pending_labels_attach_to_insertion(self):
+        entries = entries_from("nop\nkilled: add t0, t1, t2\nhalt\n")
+        plan = EditPlan()
+        plan.delete(1)
+        plan.insert_before(2, [si("nop")])
+        out = apply_edits(entries, plan)
+        # The deleted entry's label lands on the inserted instruction,
+        # which occupies the same address.
+        assert out[1].labels == ["killed"]
+        assert out[1].instruction.mnemonic == "nop"
+
+    def test_insertion_labels_do_not_leak(self):
+        entries = entries_from("a: nop\nb: halt\n")
+        plan = EditPlan()
+        plan.insert_before(1, [si("nop")])
+        out = apply_edits(entries, plan)
+        assert out[0].labels == ["a"]
+        assert out[1].labels == []
+        assert out[2].labels == ["b"]

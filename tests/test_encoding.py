@@ -1,0 +1,140 @@
+"""Unit + property tests for binary encoding/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instructions import (
+    ALL_MNEMONICS,
+    Format,
+    Instruction,
+    SPEC_BY_MNEMONIC,
+)
+
+
+class TestEncodeBasics:
+    def test_add(self):
+        word = encode(Instruction("add", rd=3, rs=1, rt=2))
+        assert word == (1 << 21) | (2 << 16) | (3 << 11) | 0x20
+
+    def test_addi_negative_imm(self):
+        word = encode(Instruction("addi", rt=8, rs=8, imm=-1))
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_lui_unsigned_imm(self):
+        word = encode(Instruction("lui", rt=1, imm=0xEDB8))
+        assert word & 0xFFFF == 0xEDB8
+
+    def test_j_target(self):
+        word = encode(Instruction("j", target=0x12345))
+        assert word & 0x3FFFFFF == 0x12345
+
+    def test_halt(self):
+        assert (encode(Instruction("halt")) >> 26) == 0x3F
+
+
+class TestEncodeErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("frobnicate"))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=32, rs=0, rt=0))
+
+    def test_signed_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rt=1, rs=1, imm=40000))
+
+    def test_unsigned_imm_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("ori", rt=1, rs=1, imm=-1))
+
+    def test_shamt_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("sll", rd=1, rt=1, shamt=32))
+
+    def test_target_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("j", target=1 << 26))
+
+
+class TestDecodeBasics:
+    def test_decode_add(self):
+        inst = decode(encode(Instruction("add", rd=3, rs=1, rt=2)))
+        assert (inst.mnemonic, inst.rd, inst.rs, inst.rt) == ("add", 3, 1, 2)
+
+    def test_decode_sign_extends_imm(self):
+        inst = decode(encode(Instruction("beq", rs=1, rt=2, imm=-5)))
+        assert inst.imm == -5
+
+    def test_decode_regimm(self):
+        inst = decode(encode(Instruction("bltz", rs=7, imm=3)))
+        assert inst.mnemonic == "bltz"
+        assert inst.rs == 7
+        assert inst.imm == 3
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0x3A << 26)
+
+    def test_unknown_funct(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F)  # SPECIAL with funct 0x3F
+
+    def test_unknown_regimm_selector(self):
+        with pytest.raises(EncodingError):
+            decode((0x01 << 26) | (0x1F << 16))
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+
+def _instruction_strategy():
+    """Random well-formed instructions for the round-trip property."""
+    regs = st.integers(min_value=0, max_value=31)
+    shamts = st.integers(min_value=0, max_value=31)
+    simm = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+    uimm = st.integers(min_value=0, max_value=2**16 - 1)
+    targets = st.integers(min_value=0, max_value=2**26 - 1)
+
+    def build(mnemonic, rs, rt, rd, shamt, s_imm, u_imm, target):
+        spec = SPEC_BY_MNEMONIC[mnemonic]
+        inst = Instruction(mnemonic)
+        if spec.fmt is Format.R:
+            inst.rs, inst.rt, inst.rd, inst.shamt = rs, rt, rd, shamt
+        elif spec.fmt is Format.J:
+            inst.target = target
+        else:
+            inst.rs = rs
+            if spec.regimm is None:
+                inst.rt = rt
+            inst.imm = u_imm if spec.unsigned_imm else s_imm
+        return inst
+
+    return st.builds(build, st.sampled_from(ALL_MNEMONICS), regs, regs, regs,
+                     shamts, simm, uimm, targets)
+
+
+class TestRoundTrip:
+    @given(_instruction_strategy())
+    def test_encode_decode_identity(self, inst):
+        decoded = decode(encode(inst))
+        assert decoded.mnemonic == inst.mnemonic
+        spec = SPEC_BY_MNEMONIC[inst.mnemonic]
+        if spec.fmt is Format.R:
+            assert (decoded.rs, decoded.rt, decoded.rd, decoded.shamt) == \
+                (inst.rs, inst.rt, inst.rd, inst.shamt)
+        elif spec.fmt is Format.J:
+            assert decoded.target == inst.target
+        else:
+            assert decoded.rs == inst.rs
+            assert decoded.imm == inst.imm
+            if spec.regimm is None:
+                assert decoded.rt == inst.rt
+
+    @given(_instruction_strategy())
+    def test_encoded_word_is_32_bit(self, inst):
+        assert 0 <= encode(inst) < 2**32

@@ -1,0 +1,103 @@
+"""Unit tests for the evaluation harness: metrics, runner, figures."""
+
+import pytest
+
+from repro.eval.figures import Figure2Data, Figure2Row, figure2_from_suite, render_figure2
+from repro.eval.machines import FIGURE2_MACHINES, M_ZOLC_LITE, XR_DEFAULT, XR_HRDWIL
+from repro.eval.metrics import (
+    improvement_percent,
+    relative_cycles,
+    summarise,
+)
+from repro.eval.runner import RunResult, SuiteResult, run_kernel, run_suite
+from repro.workloads.suite import registry
+
+
+class TestMetrics:
+    def test_relative_cycles(self):
+        assert relative_cycles(50, 100) == pytest.approx(0.5)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(75, 100) == pytest.approx(25.0)
+
+    def test_no_improvement(self):
+        assert improvement_percent(100, 100) == pytest.approx(0.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_cycles(10, 0)
+
+    def test_summary(self):
+        summary = summarise([10.0, 20.0, 30.0])
+        assert summary.maximum == 30.0
+        assert summary.minimum == 10.0
+        assert summary.average == pytest.approx(20.0)
+        assert "max 30.0" in str(summary)
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestRunner:
+    def test_run_kernel_verifies(self):
+        kernel = registry().get("vec_sum")
+        result = run_kernel(kernel, XR_DEFAULT)
+        assert result.verified
+        assert result.cycles > result.instructions  # penalties exist
+        assert result.machine_name == "XRdefault"
+        assert result.cpi > 1.0
+
+    def test_run_suite_collects_all(self):
+        kernels = [registry().get("vec_sum"), registry().get("quantize")]
+        suite = run_suite(kernels, [XR_DEFAULT, M_ZOLC_LITE])
+        assert len(suite.results) == 4
+        assert suite.kernels() == ["vec_sum", "quantize"]
+        assert suite.get("vec_sum", "ZOLClite").cycles \
+            < suite.get("vec_sum", "XRdefault").cycles
+
+
+class TestFigure2Assembly:
+    def _fake_suite(self):
+        suite = SuiteResult()
+        for name, cycles in (("a", (100, 90, 70)), ("b", (200, 170, 120))):
+            for machine, value in zip(("XRdefault", "XRhrdwil", "ZOLClite"),
+                                      cycles):
+                suite.add(RunResult(
+                    kernel_name=name, machine_name=machine, cycles=value,
+                    instructions=value, stats=None, verified=True,
+                    transformed_loops=1))
+        return suite
+
+    def test_rows_and_summaries(self):
+        data = figure2_from_suite(self._fake_suite())
+        assert len(data.rows) == 2
+        row_a = data.rows[0]
+        assert row_a.improvement_hrdwil == pytest.approx(10.0)
+        assert row_a.improvement_zolc == pytest.approx(30.0)
+        assert data.zolc_summary.maximum == pytest.approx(40.0)
+        assert data.hrdwil_summary.average == pytest.approx(12.5)
+
+    def test_relative_values(self):
+        data = figure2_from_suite(self._fake_suite())
+        assert data.rows[1].rel_zolc == pytest.approx(0.6)
+
+    def test_render_contains_all_rows(self):
+        text = render_figure2(figure2_from_suite(self._fake_suite()))
+        assert "Figure 2" in text
+        assert " a " in text or "a  " in text
+        assert "paper: max 48.2" in text
+        assert "#" in text  # bars
+
+
+class TestFigure2MachinesConstant:
+    def test_three_machines(self):
+        names = [m.name for m in FIGURE2_MACHINES]
+        assert names == ["XRdefault", "XRhrdwil", "ZOLClite"]
+
+    def test_prepared_kernel_counts_loops(self):
+        kernel = registry().get("matmul")
+        prepared = XR_HRDWIL.prepare(kernel.source)
+        assert prepared.transformed_loops == 1  # innermost k-loop only
+        prepared_default = XR_DEFAULT.prepare(kernel.source)
+        assert prepared_default.transformed_loops == 0

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion and verifies."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys=capsys)
+        assert "ZOLClite (zero-overhead loop controller)" in out
+        assert "result = 383" in out
+        assert "% saved" in out
+
+    def test_custom_kernel(self, capsys):
+        out = _run("custom_kernel.py", capsys=capsys)
+        assert "verified against the Python golden model" in out
+
+    def test_loop_explorer_default(self, capsys):
+        out = _run("loop_explorer.py", capsys=capsys)
+        assert "loop nesting forest" in out
+        assert "transform plans" in out
+
+    def test_loop_explorer_other_kernel(self, capsys):
+        out = _run("loop_explorer.py", argv=["conv2d"], capsys=capsys)
+        assert "conv2d" in out
+        assert "depth 4" in out
+
+    @pytest.mark.slow
+    def test_motion_estimation(self, capsys):
+        out = _run("motion_estimation.py", capsys=capsys)
+        assert "me_fss" in out and "me_tss" in out and "me_fss_early" in out
+        assert "verified identical on all machines" in out

@@ -1,0 +1,142 @@
+"""Tests for the extra (non-Figure-2) kernels."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ZOLC_FULL, ZOLC_LITE
+from repro.cpu.simulator import run_program
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+from repro.workloads.suite import registry
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return registry()
+
+
+class TestHistogram:
+    def test_baseline(self, reg):
+        kernel = reg.get("histogram")
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    def test_zolc(self, reg):
+        kernel = reg.get("histogram")
+        result = rewrite_for_zolc(kernel.source, ZOLC_LITE)
+        assert result.transformed_loop_count == 1
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_bins_sum_to_sample_count(self, reg):
+        kernel = reg.get("histogram")
+        sim = run_program(assemble(kernel.source))
+        bins = sim.memory.load_words(sim.program.symbols["hist"], 16)
+        assert sum(bins) == 128
+
+
+class TestVecmaxEarly:
+    """Post-loop index reads: the sharpest test of expiry semantics."""
+
+    @pytest.mark.parametrize("name", ["vecmax_early", "vecmax_early_miss"])
+    def test_baseline(self, reg, name):
+        kernel = reg.get(name)
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    def test_lite_rejects_early_exit(self, reg):
+        kernel = reg.get("vecmax_early")
+        result = rewrite_for_zolc(kernel.source, ZOLC_LITE)
+        assert result.transformed_loop_count == 0
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_full_break_value_readable(self, reg):
+        # After a break the index register holds the break-time value.
+        kernel = reg.get("vecmax_early")
+        result = rewrite_for_zolc(kernel.source, ZOLC_FULL)
+        assert result.transformed_loop_count == 1
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+        assert sim.zolc.exit_events == 1
+
+    def test_full_expiry_value_matches_software(self, reg):
+        # The no-hit variant runs the loop to expiry; the code then reads
+        # the index register expecting N — the software-final value.
+        kernel = reg.get("vecmax_early_miss")
+        result = rewrite_for_zolc(kernel.source, ZOLC_FULL)
+        assert result.transformed_loop_count == 1
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+        assert sim.memory.load_word(sim.program.symbols["found_at"]) == 96
+
+    def test_full_faster_on_both_paths(self, reg):
+        for name in ("vecmax_early", "vecmax_early_miss"):
+            kernel = reg.get(name)
+            base = run_program(assemble(kernel.source)).stats.cycles
+            sim = rewrite_for_zolc(kernel.source, ZOLC_FULL).make_simulator()
+            sim.run()
+            assert sim.stats.cycles < base
+
+
+class TestPostLoopCounterReads:
+    """Counter registers read after loops must match software exactly."""
+
+    def test_down_counter_after_loop(self):
+        source = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 9
+loop:   addi s0, s0, 2
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        la   t1, out
+        sw   t0, 0(t1)      # software leaves 0
+        halt
+"""
+        baseline = run_program(assemble(source))
+        sim = rewrite_for_zolc(source, ZOLC_LITE).make_simulator()
+        sim.run()
+        assert sim.state.regs["t0"] == baseline.state.regs["t0"] == 0
+
+    def test_up_counter_after_loop(self):
+        source = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 0
+loop:   addi s0, s0, 2
+        addi t0, t0, 1
+        slti at, t0, 13
+        bne  at, zero, loop
+        la   t1, out
+        sw   t0, 0(t1)      # software leaves 13
+        halt
+"""
+        baseline = run_program(assemble(source))
+        sim = rewrite_for_zolc(source, ZOLC_LITE).make_simulator()
+        sim.run()
+        assert sim.state.regs["t0"] == baseline.state.regs["t0"] == 13
+
+    def test_strided_counter_after_loop(self):
+        source = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 0
+loop:   addi s0, s0, 1
+        addi t0, t0, 4
+        slti at, t0, 33
+        bne  at, zero, loop
+        la   t1, out
+        sw   t0, 0(t1)      # software leaves 36 (first value >= 33)
+        halt
+"""
+        baseline = run_program(assemble(source))
+        sim = rewrite_for_zolc(source, ZOLC_LITE).make_simulator()
+        sim.run()
+        assert sim.state.regs["t0"] == baseline.state.regs["t0"] == 36

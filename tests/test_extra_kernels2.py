@@ -1,0 +1,83 @@
+"""Tests for the viterbi and bubble_sort extra kernels."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE
+from repro.cpu.simulator import run_program
+from repro.transform.hwlp_rewrite import rewrite_for_hwlp
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+from repro.workloads.suite import registry
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return registry()
+
+
+class TestViterbi:
+    def test_baseline(self, reg):
+        kernel = reg.get("viterbi")
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    def test_lite_drives_all_three_loops(self, reg):
+        kernel = reg.get("viterbi")
+        result = rewrite_for_zolc(kernel.source, ZOLC_LITE)
+        assert result.transformed_loop_count == 3
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_uzolc_profitability_leaves_short_state_loop(self, reg):
+        # The 4-trip state loop can't amortise per-entry init: uZOLC
+        # declines, and the program runs unchanged.
+        kernel = reg.get("viterbi")
+        result = rewrite_for_zolc(kernel.source, UZOLC)
+        assert result.transformed_loop_count == 0
+        assert any("amortise" in r for r in result.plan.rejected.values())
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_select_branch_keeps_working(self, reg):
+        # The ACS select is a body branch; ensure both select outcomes
+        # survive the transform (metrics would be wrong otherwise —
+        # already covered by check, but assert the cycle gain too).
+        kernel = reg.get("viterbi")
+        base = run_program(assemble(kernel.source)).stats.cycles
+        sim = rewrite_for_zolc(kernel.source, ZOLC_LITE).make_simulator()
+        sim.run()
+        assert sim.stats.cycles < base
+
+
+class TestBubbleSort:
+    def test_baseline_sorts(self, reg):
+        kernel = reg.get("bubble_sort")
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    @pytest.mark.parametrize("config", [UZOLC, ZOLC_LITE, ZOLC_FULL])
+    def test_sorted_under_every_config(self, reg, config):
+        kernel = reg.get("bubble_sort")
+        result = rewrite_for_zolc(kernel.source, config)
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_hwlp_converts_inner(self, reg):
+        kernel = reg.get("bubble_sort")
+        result = rewrite_for_hwlp(kernel.source)
+        assert result.converted_count == 1
+        sim = run_program(result.program)
+        kernel.check(sim)
+
+    def test_lite_takes_both_levels(self, reg):
+        kernel = reg.get("bubble_sort")
+        result = rewrite_for_zolc(kernel.source, ZOLC_LITE)
+        assert result.transformed_loop_count == 2
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+        base = run_program(assemble(kernel.source)).stats.cycles
+        assert sim.stats.cycles < base

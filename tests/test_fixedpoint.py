@@ -1,0 +1,53 @@
+"""Unit tests for repro.util.fixedpoint."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fixedpoint import (
+    float_to_q15,
+    q15_to_float,
+    saturate16,
+    saturate32,
+)
+
+
+class TestQ15:
+    def test_one_half(self):
+        assert float_to_q15(0.5) == 16384
+
+    def test_negative_one(self):
+        assert float_to_q15(-1.0) == -32768
+
+    def test_positive_saturation(self):
+        assert float_to_q15(2.0) == 32767
+
+    def test_negative_saturation(self):
+        assert float_to_q15(-2.0) == -32768
+
+    def test_roundtrip_is_close(self):
+        for value in (-0.75, -0.1, 0.0, 0.33, 0.9):
+            assert abs(q15_to_float(float_to_q15(value)) - value) < 1e-4
+
+    @given(st.floats(min_value=-0.999, max_value=0.999))
+    def test_roundtrip_error_bounded(self, value):
+        assert abs(q15_to_float(float_to_q15(value)) - value) <= 2.0 / 32768
+
+
+class TestSaturate:
+    def test_saturate16_rails(self):
+        assert saturate16(40000) == 32767
+        assert saturate16(-40000) == -32768
+        assert saturate16(123) == 123
+
+    def test_saturate32_rails(self):
+        assert saturate32(2**40) == 2**31 - 1
+        assert saturate32(-(2**40)) == -(2**31)
+        assert saturate32(-5) == -5
+
+    @given(st.integers())
+    def test_saturate16_in_range(self, value):
+        assert -32768 <= saturate16(value) <= 32767
+
+    @given(st.integers(min_value=-32768, max_value=32767))
+    def test_saturate16_identity_in_range(self, value):
+        assert saturate16(value) == value

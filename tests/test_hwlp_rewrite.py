@@ -1,0 +1,149 @@
+"""Unit + integration tests for the XRhrdwil (dbne) transform."""
+
+from repro.asm import assemble
+from repro.cpu.simulator import run_program
+from repro.transform.hwlp_rewrite import rewrite_for_hwlp
+
+DOWN_COUNT = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 10
+        li   s0, 0
+loop:   addi s0, s0, 3
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        la   t1, out
+        sw   s0, 0(t1)
+        halt
+"""
+
+UP_COUNT_UNUSED = """
+main:   li   t0, 0
+        li   s0, 0
+loop:   addi s0, s0, 3
+        addi t0, t0, 1
+        slti at, t0, 10
+        bne  at, zero, loop
+        halt
+"""
+
+UP_COUNT_USED = """
+main:   li   t0, 0
+        li   s0, 0
+loop:   add  s0, s0, t0
+        addi t0, t0, 1
+        slti at, t0, 10
+        bne  at, zero, loop
+        halt
+"""
+
+
+class TestDownCount:
+    def test_converted(self):
+        result = rewrite_for_hwlp(DOWN_COUNT)
+        assert result.converted_count == 1
+        mnemonics = [i.mnemonic for i in result.program.instructions]
+        assert "dbne" in mnemonics
+        assert "bne" not in mnemonics
+
+    def test_semantics_preserved(self):
+        result = rewrite_for_hwlp(DOWN_COUNT)
+        sim = run_program(result.program)
+        assert sim.state.regs["s0"] == 30
+
+    def test_one_instruction_saved_per_iteration(self):
+        baseline = run_program(assemble(DOWN_COUNT))
+        converted = run_program(rewrite_for_hwlp(DOWN_COUNT).program)
+        assert baseline.stats.instructions - converted.stats.instructions == 10
+
+    def test_step_minus_2_skipped(self):
+        source = DOWN_COUNT.replace("addi t0, t0, -1", "addi t0, t0, -2")
+        result = rewrite_for_hwlp(source)
+        assert result.converted_count == 0
+        assert any("-1" in r for r in result.skipped_loops.values())
+
+
+class TestUpCountReversal:
+    def test_unused_index_reversed(self):
+        result = rewrite_for_hwlp(UP_COUNT_UNUSED)
+        assert result.converted_count == 1
+        sim = run_program(result.program)
+        assert sim.state.regs["s0"] == 30
+
+    def test_compare_removed(self):
+        result = rewrite_for_hwlp(UP_COUNT_UNUSED)
+        mnemonics = [i.mnemonic for i in result.program.instructions]
+        assert "slti" not in mnemonics
+
+    def test_used_index_skipped(self):
+        result = rewrite_for_hwlp(UP_COUNT_USED)
+        assert result.converted_count == 0
+        assert any("consumed" in r for r in result.skipped_loops.values())
+        sim = run_program(result.program)
+        assert sim.state.regs["s0"] == 45  # unchanged semantics
+
+    def test_register_bound_reversal(self):
+        source = """
+main:   li   s6, 10
+        li   t0, 0
+        li   s0, 0
+loop:   addi s0, s0, 3
+        addi t0, t0, 1
+        slt  at, t0, s6
+        bne  at, zero, loop
+        halt
+"""
+        result = rewrite_for_hwlp(source)
+        assert result.converted_count == 1
+        sim = run_program(result.program)
+        assert sim.state.regs["s0"] == 30
+
+
+class TestNest:
+    NEST = """
+main:   li   t0, 3
+outer:  li   t1, 4
+inner:  addi s0, s0, 1
+        addi t1, t1, -1
+        bne  t1, zero, inner
+        addi t0, t0, -1
+        bne  t0, zero, outer
+        halt
+"""
+
+    def test_default_converts_innermost_only(self):
+        result = rewrite_for_hwlp(self.NEST)
+        assert result.converted_count == 1
+        assert any("hardware loop level" in r
+                   for r in result.skipped_loops.values())
+        sim = run_program(result.program)
+        assert sim.state.regs["s0"] == 12
+
+    def test_multi_level_option_converts_all(self):
+        result = rewrite_for_hwlp(self.NEST, innermost_only=False)
+        assert result.converted_count == 2
+        sim = run_program(result.program)
+        assert sim.state.regs["s0"] == 12
+
+    def test_multi_exit_loop_skipped(self):
+        source = """
+main:   li   t0, 20
+loop:   addi s0, s0, 1
+        beq  s0, s1, out
+        addi t0, t0, -1
+        bne  t0, zero, loop
+out:    halt
+"""
+        result = rewrite_for_hwlp(source)
+        assert result.converted_count == 0
+        assert any("multi-exit" in r for r in result.skipped_loops.values())
+
+
+class TestTiming:
+    def test_dbne_loop_back_has_no_flush(self):
+        result = rewrite_for_hwlp(DOWN_COUNT)
+        sim = run_program(result.program)
+        # only the la/halt path remains flush-free; dbne taken 9 times
+        # with hwloop_penalty=0 adds nothing.
+        assert sim.stats.flush_cycles == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the hardware model (E3/E4/E5 roll-ups)."""
+
+import pytest
+
+from repro.core.config import CANONICAL_CONFIGS, UZOLC, ZOLC_FULL, ZOLC_LITE
+from repro.eval.report import (
+    render_area_breakdown,
+    render_resource_table,
+    render_storage_breakdown,
+    render_timing_report,
+)
+from repro.hwmodel.area import PAPER_EQUIVALENT_GATES, canonical_area_reports
+from repro.hwmodel.storage import PAPER_STORAGE_BYTES, canonical_storage_reports
+from repro.hwmodel.timing import (
+    CPU_CYCLE_NS,
+    affects_cycle_time,
+    cpu_critical_path,
+    timing_slack_ns,
+    zolc_critical_path,
+)
+
+
+class TestStorageReports:
+    def test_all_match_paper(self):
+        for report in canonical_storage_reports():
+            assert report.matches_paper, report.config.name
+
+    def test_paper_constants(self):
+        assert PAPER_STORAGE_BYTES == {
+            "uZOLC": 30, "ZOLClite": 258, "ZOLCfull": 642}
+
+    def test_unknown_config_has_no_paper_value(self):
+        from repro.core.config import ZolcConfig
+        from repro.hwmodel.storage import storage_report
+        custom = ZolcConfig("custom", max_loops=2, max_task_entries=8,
+                            entries_per_loop=1, multi_entry_exit=False)
+        report = storage_report(custom)
+        assert report.paper_value is None
+        assert report.matches_paper is None
+
+
+class TestAreaReports:
+    def test_all_match_paper(self):
+        for report in canonical_area_reports():
+            assert report.matches_paper, report.config.name
+
+    def test_paper_constants(self):
+        assert PAPER_EQUIVALENT_GATES == {
+            "uZOLC": 298, "ZOLClite": 4056, "ZOLCfull": 4428}
+
+
+class TestTiming:
+    def test_no_config_affects_cycle_time(self):
+        # E5: "The processor cycle time is not affected due to ZOLC."
+        for config in CANONICAL_CONFIGS:
+            assert not affects_cycle_time(config)
+
+    def test_positive_slack_everywhere(self):
+        for config in CANONICAL_CONFIGS:
+            assert timing_slack_ns(config) > 0
+
+    def test_zolc_path_well_under_half_cycle(self):
+        for config in CANONICAL_CONFIGS:
+            assert zolc_critical_path(config).delay_ns < CPU_CYCLE_NS / 2
+
+    def test_cpu_path_defines_cycle(self):
+        path = cpu_critical_path()
+        assert path.delay_ns == pytest.approx(CPU_CYCLE_NS, rel=0.02)
+
+    def test_bigger_lut_deepens_path(self):
+        assert zolc_critical_path(ZOLC_FULL).depth \
+            >= zolc_critical_path(UZOLC).depth
+
+
+class TestRenderers:
+    def test_resource_table_shows_matches(self):
+        text = render_resource_table()
+        assert "uZOLC" in text and "ZOLCfull" in text
+        assert text.count("yes") == 6
+        assert "NO" not in text.replace("ZOLC", "")
+
+    def test_storage_breakdown_totals(self):
+        text = render_storage_breakdown()
+        assert "258" in text and "642" in text and "30" in text
+
+    def test_area_breakdown_totals(self):
+        text = render_area_breakdown()
+        assert "4056" in text and "4428" in text and "298" in text
+
+    def test_timing_report(self):
+        text = render_timing_report()
+        assert "170 MHz" in text
+        assert "none" in text
+        assert "WOULD SLOW CLOCK" not in text

@@ -1,0 +1,72 @@
+"""Unit + property tests for the index calculation unit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.index_unit import index_value, iterations_from_index
+from repro.core.tables import LoopRecord
+from repro.cpu.exceptions import ZolcFaultError
+from repro.util.bitops import to_unsigned32
+
+
+def record(initial=0, step=1):
+    return LoopRecord(trips=100, initial=to_unsigned32(initial),
+                      step=to_unsigned32(step))
+
+
+class TestIndexValue:
+    def test_up_count(self):
+        rec = record(0, 1)
+        assert [index_value(rec, k) for k in range(4)] == [0, 1, 2, 3]
+
+    def test_down_count(self):
+        rec = record(10, -1)
+        assert index_value(rec, 3) == 7
+
+    def test_stride_4(self):
+        rec = record(0x100, 4)
+        assert index_value(rec, 5) == 0x114
+
+    def test_wraps_32_bits(self):
+        rec = record(0xFFFFFFFF, 1)
+        assert index_value(rec, 1) == 0
+
+    def test_negative_step_wrap(self):
+        rec = record(0, -1)
+        assert index_value(rec, 1) == 0xFFFFFFFF
+
+
+class TestIterationsFromIndex:
+    def test_recovers_up_count(self):
+        rec = record(0, 1)
+        assert iterations_from_index(rec, 5) == 5
+
+    def test_recovers_down_count(self):
+        rec = record(10, -1)
+        assert iterations_from_index(rec, 7) == 3
+
+    def test_recovers_strided(self):
+        rec = record(0x100, 4)
+        assert iterations_from_index(rec, 0x114) == 5
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ZolcFaultError):
+            iterations_from_index(record(0, 0), 5)
+
+    def test_rejects_unreachable_value(self):
+        with pytest.raises(ZolcFaultError):
+            iterations_from_index(record(0, 2), 5)
+
+    def test_rejects_pre_initial_value(self):
+        rec = record(4, 1)
+        with pytest.raises(ZolcFaultError):
+            iterations_from_index(rec, 2)
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.sampled_from([-8, -4, -2, -1, 1, 2, 4, 8]),
+           st.integers(min_value=0, max_value=500))
+    def test_roundtrip(self, initial, step, done):
+        rec = record(initial, step)
+        value = index_value(rec, done)
+        assert iterations_from_index(rec, value) == done

@@ -1,0 +1,158 @@
+"""Unit tests for initialization-sequence generation.
+
+The emitted stream is validated two ways: structurally (instruction
+kinds and selectors) and semantically — a generated sequence is spliced
+into a real program, simulated, and the controller tables inspected.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core import tables as T
+from repro.core.config import ZOLC_FULL
+from repro.core.controller import ZolcController
+from repro.core.init_seq import (
+    EntryInitSpec,
+    ExitInitSpec,
+    LoopInitSpec,
+    ValueSource,
+    ZolcProgramSpec,
+    emit_arm,
+    emit_init_sequence,
+    emit_loop_init,
+    emit_reset,
+)
+from repro.cpu.simulator import Simulator
+
+
+def loop_spec(**overrides):
+    base = dict(loop_id=0, trips=ValueSource.imm(8),
+                initial=ValueSource.imm(0), step=1, index_reg="t1",
+                body_label="body", trigger_label="trig",
+                parent=None, cascade=False)
+    base.update(overrides)
+    return LoopInitSpec(**base)
+
+
+class TestEmission:
+    def test_small_imm_uses_addi(self):
+        out = emit_loop_init(loop_spec())
+        assert out[0].mnemonic == "addi"
+        assert out[1].mnemonic == "mtz"
+        assert out[1].operands == ["at", str(T.loop_selector(0, T.F_TRIPS))]
+
+    def test_large_imm_uses_lui_ori(self):
+        out = emit_loop_init(loop_spec(trips=ValueSource.imm(1 << 20)))
+        mnemonics = [s.mnemonic for s in out[:3]]
+        assert mnemonics == ["lui", "ori", "mtz"]
+
+    def test_reg_source_writes_directly(self):
+        out = emit_loop_init(loop_spec(trips=ValueSource.reg("s0")))
+        assert out[0].mnemonic == "mtz"
+        assert out[0].operands[0] == "s0"
+
+    def test_label_source_uses_lo_reloc(self):
+        out = emit_loop_init(loop_spec())
+        body_writes = [s for s in out if s.mnemonic == "ori"
+                       and "%lo(body)" in s.operands]
+        assert body_writes
+
+    def test_trigger_omitted_for_cascaded_loop(self):
+        out = emit_loop_init(loop_spec(trigger_label=None))
+        trigger_sel = str(T.loop_selector(0, T.F_TRIGGER_PC))
+        assert not any(s.mnemonic == "mtz" and s.operands[1] == trigger_sel
+                       for s in out)
+
+    def test_parent_written_when_present(self):
+        out = emit_loop_init(loop_spec(parent=2, cascade=True))
+        parent_sel = str(T.loop_selector(0, T.F_PARENT))
+        assert any(s.mnemonic == "mtz" and s.operands[1] == parent_sel
+                   for s in out)
+
+    def test_arm_writes_one(self):
+        out = emit_arm()
+        assert [s.mnemonic for s in out] == ["addi", "mtz"]
+        assert out[1].operands == ["at", str(T.CTRL_ARM)]
+
+    def test_reset_is_single_mtz(self):
+        out = emit_reset()
+        assert len(out) == 1
+        assert out[0].operands == ["zero", str(T.CTRL_RESET)]
+
+    def test_full_sequence_ends_with_arm(self):
+        spec = ZolcProgramSpec(loops=[loop_spec()])
+        out = emit_init_sequence(spec, reset_first=True)
+        assert out[0].mnemonic == "mtz"                   # reset
+        assert out[-1].operands[1] == str(T.CTRL_ARM)      # arm
+
+    def test_bad_selector_rejected(self):
+        with pytest.raises(ValueError):
+            from repro.core.init_seq import _emit_value
+            _emit_value(1 << 16, ValueSource.imm(0), [])
+
+    def test_unknown_source_kind_rejected(self):
+        from repro.core.init_seq import _emit_value
+        with pytest.raises(ValueError):
+            _emit_value(0x100, ValueSource("bogus", 0), [])
+
+
+class TestEndToEnd:
+    def _run_init(self, spec):
+        """Splice an init sequence into a program and execute it."""
+        body = "\n".join(
+            f"        {s.mnemonic} " + ", ".join(s.operands)
+            for s in emit_init_sequence(spec, reset_first=True))
+        source = f"""
+main:
+        li   s0, 77
+{body}
+body:   nop
+trig:   halt
+"""
+        program = assemble(source)
+        controller = ZolcController(ZOLC_FULL)
+        sim = Simulator(program, zolc=controller)
+        controller.attach(sim.state.regs)
+        sim.run()
+        return controller, program, sim
+
+    def test_tables_programmed(self):
+        spec = ZolcProgramSpec(loops=[loop_spec(trips=ValueSource.imm(4),
+                                                step=2)])
+        # trips=4 means the trigger fires, so make body/trigger unreachable
+        # by using a 1-trip loop instead: simpler, the nop isn't a trigger.
+        spec.loops[0].trips = ValueSource.imm(1)
+        controller, program, sim = self._run_init(spec)
+        record = controller.tables.loops[0]
+        assert record.valid
+        assert record.trips == 1
+        assert record.step == 2
+        assert record.body_pc == program.symbols["body"]
+        assert record.trigger_pc == program.symbols["trig"]
+
+    def test_reg_valued_trips(self):
+        spec = ZolcProgramSpec(loops=[loop_spec(trips=ValueSource.reg("s0"))])
+        controller, program, sim = self._run_init(spec)
+        # s0 held 77 when the mtz executed... but the trigger fires at
+        # halt; trips=77 means loop-back to body forever. Avoid by making
+        # the trigger label distinct from any executed fall-through: here
+        # the 'trig' halt IS the trigger, so the controller redirects.
+        # Instead just inspect the table value.
+        assert controller.tables.loops[0].trips == 77
+
+    def test_exit_and_entry_records_programmed(self):
+        spec = ZolcProgramSpec(
+            loops=[loop_spec(trips=ValueSource.imm(1))],
+            exits=[ExitInitSpec(record_id=0, branch_label="body",
+                                target_label="trig", reset_mask=0b1)],
+            entries=[EntryInitSpec(record_id=0, entry_label="body",
+                                   loop_id=0)],
+        )
+        controller, program, sim = self._run_init(spec)
+        exit_rec = controller.tables.exits[0]
+        assert exit_rec.valid
+        assert exit_rec.branch_pc == program.symbols["body"]
+        assert exit_rec.reset_mask == 1
+        entry_rec = controller.tables.entries[0]
+        assert entry_rec.valid
+        assert entry_rec.entry_pc == program.symbols["body"]

@@ -1,0 +1,135 @@
+"""Unit tests for the instruction set specification table."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALL_MNEMONICS,
+    BRANCH_MNEMONICS,
+    Category,
+    Format,
+    Instruction,
+    JUMP_MNEMONICS,
+    OP_REGIMM,
+    OP_SPECIAL,
+    SPEC_BY_FUNCT,
+    SPEC_BY_MNEMONIC,
+    SPEC_BY_OPCODE,
+    SPEC_BY_REGIMM,
+)
+
+
+class TestSpecTable:
+    def test_every_mnemonic_has_spec(self):
+        for mnemonic in ALL_MNEMONICS:
+            assert SPEC_BY_MNEMONIC[mnemonic].mnemonic == mnemonic
+
+    def test_opcode_uniqueness(self):
+        non_special = [s for s in SPEC_BY_MNEMONIC.values()
+                       if s.opcode not in (OP_SPECIAL, OP_REGIMM)]
+        opcodes = [s.opcode for s in non_special]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_funct_uniqueness(self):
+        functs = [s.funct for s in SPEC_BY_MNEMONIC.values()
+                  if s.opcode == OP_SPECIAL]
+        assert len(functs) == len(set(functs))
+
+    def test_special_specs_indexed_by_funct(self):
+        for funct, spec in SPEC_BY_FUNCT.items():
+            assert spec.funct == funct
+            assert spec.opcode == OP_SPECIAL
+
+    def test_regimm_specs(self):
+        assert SPEC_BY_REGIMM[0x00].mnemonic == "bltz"
+        assert SPEC_BY_REGIMM[0x01].mnemonic == "bgez"
+
+    def test_dbne_present(self):
+        spec = SPEC_BY_MNEMONIC["dbne"]
+        assert spec.category is Category.BRANCH
+        assert spec.fmt is Format.I
+
+    def test_zolc_instructions_present(self):
+        assert SPEC_BY_MNEMONIC["mtz"].category is Category.ZOLC
+        assert SPEC_BY_MNEMONIC["mfz"].category is Category.ZOLC
+
+    def test_branch_set(self):
+        assert "bne" in BRANCH_MNEMONICS
+        assert "dbne" in BRANCH_MNEMONICS
+        assert "j" not in BRANCH_MNEMONICS
+
+    def test_jump_set(self):
+        assert JUMP_MNEMONICS == frozenset(("j", "jal"))
+
+    def test_opcode_table_excludes_special(self):
+        assert OP_SPECIAL not in SPEC_BY_OPCODE
+        assert OP_REGIMM not in SPEC_BY_OPCODE
+
+
+class TestDefsUses:
+    def test_add_defs_rd(self):
+        inst = Instruction("add", rd=5, rs=6, rt=7)
+        assert inst.defs() == frozenset({5})
+        assert inst.uses() == frozenset({6, 7})
+
+    def test_addi_defs_rt(self):
+        inst = Instruction("addi", rt=9, rs=10, imm=4)
+        assert inst.defs() == frozenset({9})
+        assert inst.uses() == frozenset({10})
+
+    def test_zero_register_excluded(self):
+        inst = Instruction("add", rd=0, rs=0, rt=3)
+        assert inst.defs() == frozenset()
+        assert inst.uses() == frozenset({3})
+
+    def test_store_uses_both(self):
+        inst = Instruction("sw", rt=4, rs=29, imm=8)
+        assert inst.uses() == frozenset({4, 29})
+        assert inst.defs() == frozenset()
+
+    def test_load_defs_rt_uses_rs(self):
+        inst = Instruction("lw", rt=4, rs=29, imm=8)
+        assert inst.defs() == frozenset({4})
+        assert inst.uses() == frozenset({29})
+
+    def test_jal_defs_ra(self):
+        inst = Instruction("jal", target=0x100)
+        assert inst.defs() == frozenset({31})
+
+    def test_dbne_reads_and_writes_rs(self):
+        inst = Instruction("dbne", rs=8, imm=-3)
+        assert inst.defs() == frozenset({8})
+        assert inst.uses() == frozenset({8})
+
+
+class TestControlFlowPredicates:
+    def test_branch(self):
+        assert Instruction("bne", rs=1, rt=2, imm=-1).is_branch()
+        assert Instruction("bne", rs=1, rt=2, imm=-1).is_control_flow()
+
+    def test_jump(self):
+        assert Instruction("j", target=4).is_jump()
+        assert not Instruction("j", target=4).is_branch()
+
+    def test_halt_is_control_flow(self):
+        assert Instruction("halt").is_control_flow()
+
+    def test_alu_is_not(self):
+        assert not Instruction("add", rd=1, rs=2, rt=3).is_control_flow()
+
+
+class TestBranchTargets:
+    def test_branch_target(self):
+        inst = Instruction("bne", rs=1, rt=0, imm=-2, address=0x100)
+        assert inst.branch_target_address() == 0x100 + 4 - 8
+
+    def test_jump_target(self):
+        inst = Instruction("j", target=0x40 // 4, address=0x10)
+        assert inst.branch_target_address() == 0x40
+
+    def test_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction("bne", rs=1, rt=0, imm=1).branch_target_address()
+
+    def test_non_control_flow_raises(self):
+        with pytest.raises(ValueError):
+            Instruction("add", address=0).branch_target_address()

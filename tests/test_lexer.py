@@ -1,0 +1,79 @@
+"""Unit tests for the assembly lexer."""
+
+import pytest
+
+from repro.asm.errors import AsmError
+from repro.asm.lexer import lex, lex_line, split_operands
+
+
+class TestLexLine:
+    def test_plain_instruction(self):
+        line = lex_line("add t0, t1, t2", 1)
+        assert line.mnemonic == "add"
+        assert line.operands == ["t0", "t1", "t2"]
+
+    def test_label_and_instruction(self):
+        line = lex_line("loop: addi t0, t0, -1", 3)
+        assert line.labels == ["loop"]
+        assert line.mnemonic == "addi"
+
+    def test_multiple_labels(self):
+        line = lex_line("a: b: nop", 1)
+        assert line.labels == ["a", "b"]
+
+    def test_label_only(self):
+        line = lex_line("target:", 1)
+        assert line.labels == ["target"]
+        assert line.mnemonic is None
+
+    def test_comment_hash(self):
+        line = lex_line("add t0, t1, t2  # comment, with, commas", 1)
+        assert line.operands == ["t0", "t1", "t2"]
+
+    def test_comment_semicolon(self):
+        line = lex_line("nop ; trailing", 1)
+        assert line.mnemonic == "nop"
+
+    def test_empty_line(self):
+        assert lex_line("   ", 1).is_empty()
+
+    def test_comment_only_line(self):
+        assert lex_line("# nothing here", 1).is_empty()
+
+    def test_mnemonic_lowercased(self):
+        assert lex_line("ADD t0, t1, t2", 1).mnemonic == "add"
+
+    def test_directive(self):
+        line = lex_line(".word 1, 2, 3", 1)
+        assert line.mnemonic == ".word"
+        assert line.operands == ["1", "2", "3"]
+
+
+class TestSplitOperands:
+    def test_memory_operand_kept_whole(self):
+        assert split_operands("t0, 4(sp)", 1) == ["t0", "4(sp)"]
+
+    def test_reloc_operand(self):
+        assert split_operands("t0, t0, %lo(sym)", 1) == ["t0", "t0", "%lo(sym)"]
+
+    def test_unbalanced_open(self):
+        with pytest.raises(AsmError):
+            split_operands("t0, 4(sp", 1)
+
+    def test_unbalanced_close(self):
+        with pytest.raises(AsmError):
+            split_operands("t0, 4)sp(", 1)
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(AsmError):
+            split_operands("t0, , t1", 1)
+
+
+class TestLex:
+    def test_skips_blank_lines(self):
+        lines = lex("add t0, t1, t2\n\n\nnop\n")
+        assert [l.mnemonic for l in lines] == ["add", "nop"]
+
+    def test_line_numbers_preserved(self):
+        lines = lex("\n\nadd t0, t1, t2\n")
+        assert lines[0].number == 3

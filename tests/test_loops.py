@@ -1,0 +1,160 @@
+"""Unit tests for natural-loop detection and the nesting forest."""
+
+from repro.asm import assemble
+from repro.cfg import build_cfg, find_loops
+
+SINGLE = """
+main:   li   t0, 4
+loop:   addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+
+NESTED3 = """
+main:   li   t0, 2
+l0:     li   t1, 2
+l1:     li   t2, 2
+l2:     addi t2, t2, -1
+        bne  t2, zero, l2
+        addi t1, t1, -1
+        bne  t1, zero, l1
+        addi t0, t0, -1
+        bne  t0, zero, l0
+        halt
+"""
+
+SIBLINGS = """
+main:   li   t0, 3
+a:      addi t0, t0, -1
+        bne  t0, zero, a
+        li   t1, 3
+b:      addi t1, t1, -1
+        bne  t1, zero, b
+        halt
+"""
+
+MULTI_EXIT = """
+main:   li   t0, 8
+loop:   addi t0, t0, -1
+        beq  t0, t1, escape
+        bne  t0, zero, loop
+after:  halt
+escape: halt
+"""
+
+
+class TestDetection:
+    def test_single_loop_found(self):
+        forest = find_loops(build_cfg(assemble(SINGLE)))
+        assert len(forest.loops) == 1
+        assert forest.loops[0].depth == 1
+
+    def test_header_and_latch(self):
+        cfg = build_cfg(assemble(SINGLE))
+        forest = find_loops(cfg)
+        loop = forest.loops[0]
+        assert cfg.blocks[loop.header].start == 4
+        assert loop.latches == [loop.header]  # single-block loop
+
+    def test_three_level_nest(self):
+        forest = find_loops(build_cfg(assemble(NESTED3)))
+        assert len(forest.loops) == 3
+        assert sorted(lp.depth for lp in forest.loops) == [1, 2, 3]
+
+    def test_nest_parentage(self):
+        forest = find_loops(build_cfg(assemble(NESTED3)))
+        by_depth = {lp.depth: lp for lp in forest.loops}
+        assert by_depth[3].parent == by_depth[2].id
+        assert by_depth[2].parent == by_depth[1].id
+        assert by_depth[1].parent is None
+
+    def test_innermost_flag(self):
+        forest = find_loops(build_cfg(assemble(NESTED3)))
+        innermost = [lp for lp in forest.loops if lp.is_innermost()]
+        assert len(innermost) == 1
+        assert innermost[0].depth == 3
+
+    def test_siblings_independent(self):
+        forest = find_loops(build_cfg(assemble(SIBLINGS)))
+        assert len(forest.loops) == 2
+        assert all(lp.parent is None for lp in forest.loops)
+
+    def test_loops_ordered_by_address(self):
+        cfg = build_cfg(assemble(SIBLINGS))
+        forest = find_loops(cfg)
+        headers = [cfg.blocks[lp.header].start for lp in forest.loops]
+        assert headers == sorted(headers)
+
+    def test_no_loops_in_straight_line(self):
+        forest = find_loops(build_cfg(assemble("nop\nnop\nhalt\n")))
+        assert forest.loops == []
+        assert forest.max_depth() == 0
+
+
+class TestQueries:
+    def test_innermost_loop_of_block(self):
+        cfg = build_cfg(assemble(NESTED3))
+        forest = find_loops(cfg)
+        inner_block = cfg.block_id_at(12)  # the l2 header block
+        loop = forest.innermost_loop_of(inner_block)
+        assert loop is not None and loop.depth == 3
+
+    def test_loop_of_address(self):
+        cfg = build_cfg(assemble(NESTED3))
+        forest = find_loops(cfg)
+        assert forest.loop_of_address(12).depth == 3
+        assert forest.loop_of_address(0) is None
+
+    def test_roots(self):
+        forest = find_loops(build_cfg(assemble(NESTED3)))
+        assert len(forest.roots()) == 1
+        assert forest.roots()[0].depth == 1
+
+    def test_descendants_and_ancestors(self):
+        forest = find_loops(build_cfg(assemble(NESTED3)))
+        root = forest.roots()[0]
+        descendants = forest.descendants(root)
+        assert len(descendants) == 2
+        deepest = max(forest.loops, key=lambda lp: lp.depth)
+        ancestors = forest.ancestors(deepest)
+        assert [a.depth for a in ancestors] == [2, 1]
+
+    def test_max_depth(self):
+        assert find_loops(build_cfg(assemble(NESTED3))).max_depth() == 3
+
+
+class TestExits:
+    def test_single_exit(self):
+        forest = find_loops(build_cfg(assemble(SINGLE)))
+        loop = forest.loops[0]
+        assert len(loop.exit_edges) == 1
+        assert not loop.is_multi_exit()
+
+    def test_multi_exit_detected(self):
+        forest = find_loops(build_cfg(assemble(MULTI_EXIT)))
+        loop = forest.loops[0]
+        assert loop.is_multi_exit()
+        assert len(loop.exit_targets()) == 2
+
+    def test_contains_address(self):
+        cfg = build_cfg(assemble(SINGLE))
+        forest = find_loops(cfg)
+        loop = forest.loops[0]
+        assert forest.contains_address(loop, 4)
+        assert not forest.contains_address(loop, 0)
+
+
+class TestIrreducible:
+    def test_side_entry_recorded_as_irreducible(self):
+        source = """
+main:   bne  t0, zero, side
+        li   t1, 3
+loop:   addi t1, t1, -1
+        nop
+body:   bne  t1, zero, loop
+        halt
+side:   j    body
+"""
+        forest = find_loops(build_cfg(assemble(source)))
+        # The jump into the loop body makes the back edge irreducible.
+        assert forest.irreducible_edges

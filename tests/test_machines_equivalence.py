@@ -1,0 +1,107 @@
+"""Cross-machine integration: the central correctness claim.
+
+For every benchmark and every machine configuration the *architectural
+result* must be identical (the transforms only remove overhead), and
+cycle counts must be ordered: ZOLClite never loses to XRhrdwil, which
+never loses to XRdefault.
+"""
+
+import pytest
+
+from repro.eval.machines import (
+    ALL_MACHINES,
+    M_UZOLC,
+    M_ZOLC_FULL,
+    M_ZOLC_LITE,
+    XR_DEFAULT,
+    XR_HRDWIL,
+    machine_by_name,
+)
+from repro.eval.runner import run_kernel
+from repro.workloads.suite import FIGURE2_BENCHMARKS, registry
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return registry()
+
+
+@pytest.fixture(scope="module")
+def measurements(reg):
+    """Run all Figure 2 kernels on all five machines, once."""
+    out = {}
+    for name in FIGURE2_BENCHMARKS:
+        kernel = reg.get(name)
+        for machine in ALL_MACHINES:
+            out[(name, machine.name)] = run_kernel(kernel, machine)
+    return out
+
+
+@pytest.mark.parametrize("name", FIGURE2_BENCHMARKS)
+class TestPerKernel:
+    def test_all_machines_verified(self, measurements, name):
+        for machine in ALL_MACHINES:
+            assert measurements[(name, machine.name)].verified
+
+    def test_hrdwil_not_slower_than_default(self, measurements, name):
+        assert measurements[(name, "XRhrdwil")].cycles \
+            <= measurements[(name, "XRdefault")].cycles
+
+    def test_zolclite_not_slower_than_default(self, measurements, name):
+        assert measurements[(name, "ZOLClite")].cycles \
+            < measurements[(name, "XRdefault")].cycles
+
+    def test_zolclite_beats_uzolc_or_ties(self, measurements, name):
+        assert measurements[(name, "ZOLClite")].cycles \
+            <= measurements[(name, "uZOLC")].cycles
+
+    def test_zolcfull_not_slower_than_lite(self, measurements, name):
+        # On single-exit workloads full == lite; on multi-exit workloads
+        # full can only help.
+        assert measurements[(name, "ZOLCfull")].cycles \
+            <= measurements[(name, "ZOLClite")].cycles
+
+    def test_zolc_machines_execute_fewer_instructions(self, measurements,
+                                                      name):
+        assert measurements[(name, "ZOLClite")].instructions \
+            < measurements[(name, "XRdefault")].instructions
+
+
+class TestAggregate:
+    def test_zolc_transforms_loops_everywhere(self, measurements):
+        for name in FIGURE2_BENCHMARKS:
+            assert measurements[(name, "ZOLClite")].transformed_loops >= 1
+
+    def test_task_switches_happen(self, measurements):
+        for name in FIGURE2_BENCHMARKS:
+            assert measurements[(name, "ZOLClite")].zolc_task_switches > 0
+
+    def test_init_overhead_is_small(self, measurements):
+        # "The initialization of ZOLC presents only a very small cycle
+        # overhead since it occurs outside of loop nests."
+        for name in FIGURE2_BENCHMARKS:
+            result = measurements[(name, "ZOLClite")]
+            assert result.zolc_init_instructions / result.instructions < 0.05
+
+
+class TestMachineLookup:
+    def test_by_name(self):
+        assert machine_by_name("xrdefault") is XR_DEFAULT
+        assert machine_by_name("XRhrdwil") is XR_HRDWIL
+        assert machine_by_name("zolclite") is M_ZOLC_LITE
+        assert machine_by_name("uzolc") is M_UZOLC
+        assert machine_by_name("ZOLCfull") is M_ZOLC_FULL
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            machine_by_name("pentium")
+
+
+class TestEarlyExitAblation:
+    def test_full_beats_lite_on_early_exit_kernel(self, reg):
+        kernel = reg.get("me_fss_early")
+        lite = run_kernel(kernel, M_ZOLC_LITE)
+        full = run_kernel(kernel, M_ZOLC_FULL)
+        assert full.verified and lite.verified
+        assert full.cycles < lite.cycles
+        assert full.transformed_loops > lite.transformed_loops

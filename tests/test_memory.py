@@ -1,0 +1,110 @@
+"""Unit + property tests for the simulator memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.exceptions import MemoryAccessError
+from repro.cpu.memory import Memory
+
+
+@pytest.fixture()
+def mem():
+    return Memory(size=4096)
+
+
+class TestWord:
+    def test_roundtrip(self, mem):
+        mem.store_word(100, 0xDEADBEEF)
+        assert mem.load_word(100) == 0xDEADBEEF
+
+    def test_little_endian(self, mem):
+        mem.store_word(0, 0x11223344)
+        assert mem.load_byte(0, signed=False) == 0x44
+        assert mem.load_byte(3, signed=False) == 0x11
+
+    def test_negative_value_wraps(self, mem):
+        mem.store_word(8, -1)
+        assert mem.load_word(8) == 0xFFFFFFFF
+
+    def test_misaligned_rejected(self, mem):
+        with pytest.raises(MemoryAccessError):
+            mem.load_word(2)
+        with pytest.raises(MemoryAccessError):
+            mem.store_word(6, 0)
+
+    def test_out_of_range(self, mem):
+        with pytest.raises(MemoryAccessError):
+            mem.load_word(4096)
+        with pytest.raises(MemoryAccessError):
+            mem.load_word(-4)
+
+
+class TestHalfAndByte:
+    def test_half_signed(self, mem):
+        mem.store_half(10, 0x8000)
+        assert mem.load_half(10) == -32768
+        assert mem.load_half(10, signed=False) == 0x8000
+
+    def test_byte_signed(self, mem):
+        mem.store_byte(5, 0xFF)
+        assert mem.load_byte(5) == -1
+        assert mem.load_byte(5, signed=False) == 255
+
+    def test_half_misaligned(self, mem):
+        with pytest.raises(MemoryAccessError):
+            mem.load_half(3)
+
+    def test_store_truncates(self, mem):
+        mem.store_byte(0, 0x1FF)
+        assert mem.load_byte(0, signed=False) == 0xFF
+
+
+class TestBlocks:
+    def test_block_roundtrip(self, mem):
+        mem.store_block(64, b"hello world")
+        assert mem.load_block(64, 11) == b"hello world"
+
+    def test_block_out_of_range(self, mem):
+        with pytest.raises(MemoryAccessError):
+            mem.store_block(4090, b"too big here")
+
+    def test_words_roundtrip(self, mem):
+        values = [1, 2**31, 0xFFFFFFFF, 0]
+        mem.store_words(0, values)
+        assert mem.load_words(0, 4) == values
+
+    def test_words_signed(self, mem):
+        mem.store_words(0, [0xFFFFFFFF, 5])
+        assert mem.load_words_signed(0, 2) == [-1, 5]
+
+
+class TestConstruction:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Memory(size=0)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            Memory(size=10)
+
+    def test_initially_zero(self, mem):
+        assert mem.load_word(0) == 0
+        assert mem.load_word(4092) == 0
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=1020),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_word_store_load_identity(self, offset, value):
+        mem = Memory(size=1024)
+        address = offset & ~3
+        mem.store_word(address, value)
+        assert mem.load_word(address) == value
+
+    @given(st.binary(min_size=0, max_size=64),
+           st.integers(min_value=0, max_value=960))
+    def test_block_identity(self, payload, address):
+        mem = Memory(size=1024)
+        mem.store_block(address, payload)
+        assert mem.load_block(address, len(payload)) == payload

@@ -1,0 +1,67 @@
+"""End-to-end tests for multiple-entry loop support (ZOLCfull)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE
+from repro.cpu.simulator import run_program
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+from repro.workloads.kernels.synthetic import multi_entry_kernel
+
+
+class TestBaseline:
+    @pytest.mark.parametrize("side", [False, True])
+    def test_untransformed_kernel_correct(self, side):
+        kernel = multi_entry_kernel(use_side_entry=side)
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+
+class TestZolcFull:
+    @pytest.mark.parametrize("side", [False, True])
+    def test_transformed_kernel_correct(self, side):
+        kernel = multi_entry_kernel(use_side_entry=side)
+        result = rewrite_for_zolc(kernel.source, ZOLC_FULL)
+        assert result.transformed_loop_count == 1
+        assert len(result.specs[0].entries) == 1
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_side_entry_event_counted(self):
+        kernel = multi_entry_kernel(use_side_entry=True)
+        result = rewrite_for_zolc(kernel.source, ZOLC_FULL)
+        sim = result.make_simulator()
+        sim.run()
+        assert sim.zolc.entry_events >= 1
+
+    def test_side_path_still_faster_than_baseline(self):
+        kernel = multi_entry_kernel(use_side_entry=True)
+        baseline = run_program(assemble(kernel.source))
+        result = rewrite_for_zolc(kernel.source, ZOLC_FULL)
+        sim = result.make_simulator()
+        sim.run()
+        assert sim.stats.cycles < baseline.stats.cycles
+
+    def test_init_dominates_both_entries(self):
+        # The initialization block must execute before the side-entry
+        # jump: the controller must be armed when the jump lands.
+        kernel = multi_entry_kernel(use_side_entry=True)
+        result = rewrite_for_zolc(kernel.source, ZOLC_FULL)
+        sim = result.make_simulator()
+        sim.run()
+        assert sim.zolc.arm_count == 1
+        assert sim.zolc.task_switches > 0
+
+
+class TestLiteAndUzolcRejection:
+    @pytest.mark.parametrize("config", [ZOLC_LITE, UZOLC])
+    def test_side_entry_loop_left_in_software(self, config):
+        kernel = multi_entry_kernel(use_side_entry=True)
+        result = rewrite_for_zolc(kernel.source, config)
+        assert result.transformed_loop_count == 0
+        assert any("side" in r.lower() or "entrie" in r.lower()
+                   for r in result.plan.rejected.values())
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)

@@ -1,0 +1,100 @@
+"""Unit tests for the assembly parser."""
+
+import pytest
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import parse
+
+
+class TestSegments:
+    def test_default_segment_is_text(self):
+        module = parse("nop\n")
+        assert len(module.text) == 1
+
+    def test_data_segment(self):
+        module = parse(".data\nx: .word 1, 2\n.text\nnop\n")
+        assert len(module.data) == 1
+        assert module.data[0].labels == ["x"]
+        assert module.data[0].item.kind == "word"
+
+    def test_data_directive_outside_data_rejected(self):
+        with pytest.raises(AsmError):
+            parse(".word 1\n")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AsmError):
+            parse(".data\nadd t0, t1, t2\n")
+
+
+class TestLabels:
+    def test_label_attaches_to_next_instruction(self):
+        module = parse("loop:\n  nop\n")
+        assert module.text[0].labels == ["loop"]
+
+    def test_dangling_text_label_rejected(self):
+        with pytest.raises(AsmError):
+            parse("nop\nend:\n")
+
+    def test_dangling_data_label_rejected(self):
+        with pytest.raises(AsmError):
+            parse(".data\nx:\n")
+
+    def test_pseudo_labels_attach_to_first_expansion(self):
+        module = parse("go: li t0, 0x12345678\n")
+        assert module.text[0].labels == ["go"]
+        assert module.text[1].labels == []
+
+
+class TestPseudoExpansion:
+    def test_li_expands(self):
+        module = parse("li t0, 5\n")
+        assert module.text[0].instruction.mnemonic == "addi"
+        assert module.text[0].instruction.pseudo_origin == "li"
+
+    def test_la_expands_to_two(self):
+        module = parse("la t0, sym\n")
+        assert [e.instruction.mnemonic for e in module.text] == ["lui", "ori"]
+
+    def test_nop_expands_to_sll(self):
+        module = parse("nop\n")
+        inst = module.text[0].instruction
+        assert inst.mnemonic == "sll"
+        assert inst.operands == ["zero", "zero", "0"]
+
+    def test_bad_pseudo_operands(self):
+        with pytest.raises(AsmError):
+            parse("li t0\n")
+
+
+class TestConstants:
+    def test_equ(self):
+        module = parse(".equ N, 64\nnop\n")
+        assert module.constants["N"] == 64
+
+    def test_equ_hex(self):
+        module = parse(".equ MASK, 0xFF\nnop\n")
+        assert module.constants["MASK"] == 255
+
+    def test_duplicate_equ_rejected(self):
+        with pytest.raises(AsmError):
+            parse(".equ N, 1\n.equ N, 2\nnop\n")
+
+    def test_equ_requires_literal(self):
+        with pytest.raises(AsmError):
+            parse(".equ N, other\nnop\n")
+
+    def test_globl_ignored(self):
+        module = parse(".globl main\nmain: nop\n")
+        assert module.text[0].labels == ["main"]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError) as err:
+            parse("frobnicate t0\n")
+        assert "frobnicate" in str(err.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as err:
+            parse("nop\nnop\nbogus\n")
+        assert err.value.line == 3

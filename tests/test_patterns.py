@@ -1,0 +1,309 @@
+"""Unit tests for loop-overhead pattern recognition."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cfg import build_cfg, find_loops
+from repro.transform.patterns import (
+    PatternError,
+    match_all_loops,
+    match_loop,
+)
+
+
+def match_first(source):
+    program = assemble(source)
+    cfg = build_cfg(program)
+    forest = find_loops(cfg)
+    assert forest.loops, "test source must contain a loop"
+    return match_loop(program, cfg, forest, forest.loops[0]), program
+
+
+class TestDownCount:
+    SOURCE = """
+main:   li   t0, 16
+loop:   add  s0, s0, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+
+    def test_style_and_registers(self):
+        pattern, program = match_first(self.SOURCE)
+        assert pattern.style == "down_count"
+        assert pattern.index_reg == 8
+        assert pattern.step == -1
+
+    def test_trips_from_imm_init(self):
+        pattern, _ = match_first(self.SOURCE)
+        assert pattern.trips.kind == "imm"
+        assert pattern.trips.value == 16
+        assert pattern.initial.value == 16
+
+    def test_init_deletable(self):
+        pattern, _ = match_first(self.SOURCE)
+        assert pattern.init_indices == [0]
+        assert not pattern.initial_from_self
+
+    def test_deleted_indices(self):
+        pattern, _ = match_first(self.SOURCE)
+        assert pattern.deleted_indices == frozenset({0, 2, 3})
+
+    def test_down_count_by_2(self):
+        source = self.SOURCE.replace("addi t0, t0, -1", "addi t0, t0, -2")
+        pattern, _ = match_first(source)
+        assert pattern.trips.value == 8
+
+    def test_non_multiple_initial_rejected(self):
+        source = """
+main:   li   t0, 7
+loop:   add  s0, s0, t0
+        addi t0, t0, -2
+        bne  t0, zero, loop
+        halt
+"""
+        with pytest.raises(PatternError):
+            match_first(source)
+
+    def test_register_initial(self):
+        source = """
+main:   move t0, s7
+loop:   add  s0, s0, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+        pattern, _ = match_first(source)
+        assert pattern.trips.kind == "reg"
+        assert pattern.trips.value == 23  # s7
+
+    def test_register_initial_needs_unit_step(self):
+        source = """
+main:   move t0, s7
+loop:   add  s0, s0, t0
+        addi t0, t0, -2
+        bne  t0, zero, loop
+        halt
+"""
+        with pytest.raises(PatternError):
+            match_first(source)
+
+
+class TestUpCountSlt:
+    SOURCE = """
+main:   li   t0, 0
+loop:   add  s0, s0, t0
+        addi t0, t0, 1
+        slti at, t0, 10
+        bne  at, zero, loop
+        halt
+"""
+
+    def test_style(self):
+        pattern, _ = match_first(self.SOURCE)
+        assert pattern.style == "up_count_slt"
+        assert pattern.trips.value == 10
+        assert pattern.compare_index is not None
+
+    def test_nonzero_initial(self):
+        source = self.SOURCE.replace("li   t0, 0", "li   t0, 4")
+        pattern, _ = match_first(source)
+        assert pattern.trips.value == 6
+
+    def test_step_2_ceiling(self):
+        source = self.SOURCE.replace("addi t0, t0, 1", "addi t0, t0, 2") \
+                            .replace("slti at, t0, 10", "slti at, t0, 9")
+        pattern, _ = match_first(source)
+        assert pattern.trips.value == 5  # ceil(9/2)
+
+    def test_register_bound(self):
+        source = self.SOURCE.replace("slti at, t0, 10", "slt  at, t0, s6")
+        pattern, _ = match_first(source)
+        assert pattern.trips.kind == "reg"
+        assert pattern.trips.value == 22  # s6
+
+    def test_register_bound_needs_zero_initial(self):
+        source = self.SOURCE.replace("slti at, t0, 10", "slt  at, t0, s6") \
+                            .replace("li   t0, 0", "li   t0, 2")
+        with pytest.raises(PatternError):
+            match_first(source)
+
+    def test_temp_live_after_latch_rejected(self):
+        source = """
+main:   li   t0, 0
+loop:   add  s0, s0, t0
+        addi t0, t0, 1
+        slti at, t0, 10
+        bne  at, zero, loop
+        add  s1, s1, at
+        halt
+"""
+        with pytest.raises(PatternError):
+            match_first(source)
+
+    def test_bound_written_in_loop_rejected(self):
+        source = """
+main:   li   t0, 0
+loop:   addi s6, s6, 1
+        addi t0, t0, 1
+        slt  at, t0, s6
+        bne  at, zero, loop
+        halt
+"""
+        with pytest.raises(PatternError):
+            match_first(source)
+
+
+class TestUpCountNe:
+    SOURCE = """
+main:   li   t0, 0
+        li   s6, 24
+loop:   add  s0, s0, t0
+        addi t0, t0, 1
+        bne  t0, s6, loop
+        halt
+"""
+
+    def test_style(self):
+        pattern, _ = match_first(self.SOURCE)
+        assert pattern.style == "up_count_ne"
+        assert pattern.trips.kind == "reg"
+
+
+class TestRejections:
+    def test_two_latches(self):
+        source = """
+main:   li   t0, 8
+loop:   addi t0, t0, -1
+        beq  t0, s0, back
+        bne  t0, zero, loop
+        halt
+back:   bne  t0, zero, loop
+        halt
+"""
+        program = assemble(source)
+        cfg = build_cfg(program)
+        forest = find_loops(cfg)
+        with pytest.raises(PatternError, match="latches"):
+            match_loop(program, cfg, forest, forest.loops[0])
+
+    def test_call_in_loop(self):
+        source = """
+main:   li   t0, 8
+loop:   jal  helper
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+helper: jr   ra
+"""
+        with pytest.raises(PatternError, match="call"):
+            match_first(source)
+
+    def test_beq_latch_rejected(self):
+        source = """
+main:   li   t0, 8
+loop:   addi t0, t0, -1
+        beq  t0, zero, out
+        j    loop
+out:    halt
+"""
+        program = assemble(source)
+        cfg = build_cfg(program)
+        forest = find_loops(cfg)
+        with pytest.raises(PatternError):
+            match_loop(program, cfg, forest, forest.loops[0])
+
+    def test_empty_body_rejected(self):
+        source = """
+main:   li   t0, 8
+loop:   addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+"""
+        with pytest.raises(PatternError, match="empty"):
+            match_first(source)
+
+    def test_clean_gap_violation(self):
+        source = """
+main:   li   t0, 8
+loop:   add  s0, s0, t0
+        addi t0, t0, -1
+        add  s1, t0, t0
+        bne  t0, zero, loop
+        halt
+"""
+        with pytest.raises(PatternError):
+            match_first(source)
+
+    def test_outside_jump_to_trigger_rejected(self):
+        source = """
+main:   beq  s0, zero, after
+        li   t0, 8
+loop:   add  s0, s0, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+after:  halt
+"""
+        with pytest.raises(PatternError, match="trigger"):
+            match_first(source)
+
+
+class TestExitBranches:
+    SOURCE = """
+main:   li   t0, 8
+loop:   add  s0, s0, t0
+        beq  s0, s1, escape
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+escape: halt
+"""
+
+    def test_exit_branch_found(self):
+        pattern, program = match_first(self.SOURCE)
+        assert len(pattern.exit_branches) == 1
+        exit_branch = pattern.exit_branches[0]
+        assert exit_branch.target_address == program.symbols["escape"]
+        assert exit_branch.exited_loop_ids == [0]
+
+    def test_two_level_exit(self):
+        source = """
+main:   li   t0, 4
+outer:  li   t1, 4
+inner:  add  s0, s0, t1
+        beq  s0, s1, escape
+        addi t1, t1, -1
+        bne  t1, zero, inner
+        addi t0, t0, -1
+        bne  t0, zero, outer
+        halt
+escape: halt
+"""
+        program = assemble(source)
+        cfg = build_cfg(program)
+        forest = find_loops(cfg)
+        patterns, failures = match_all_loops(program, cfg, forest)
+        inner = next(p for p in patterns.values() if p.loop.depth == 2)
+        assert len(inner.exit_branches) == 1
+        assert sorted(inner.exit_branches[0].exited_loop_ids) == [0, 1]
+
+
+class TestMatchAll:
+    def test_mixed_results(self):
+        source = """
+main:   li   t0, 4
+good:   add  s0, s0, t0
+        addi t0, t0, -1
+        bne  t0, zero, good
+        li   t1, 7
+bad:    add  s0, s0, t1
+        addi t1, t1, -2
+        bne  t1, zero, bad
+        halt
+"""
+        program = assemble(source)
+        cfg = build_cfg(program)
+        forest = find_loops(cfg)
+        patterns, failures = match_all_loops(program, cfg, forest)
+        assert len(patterns) == 1
+        assert len(failures) == 1

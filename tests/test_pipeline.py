@@ -1,0 +1,137 @@
+"""Unit tests for the pipeline timing model."""
+
+import pytest
+
+from repro.cpu.datapath import ExecOutcome
+from repro.cpu.pipeline import PipelineConfig, TimingModel
+from repro.isa.instructions import Instruction
+
+
+def seq(pc=0):
+    return ExecOutcome(pc + 4, False, None)
+
+
+def taken(target=0):
+    return ExecOutcome(target, True, None)
+
+
+def load(dest, pc=0):
+    return ExecOutcome(pc + 4, False, dest)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PipelineConfig()
+        assert config.branch_penalty == 1
+        assert config.hwloop_penalty == 0
+        assert config.load_use_stall == 1
+        assert config.zolc_switch_cycles == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(branch_penalty=-1)
+        with pytest.raises(ValueError):
+            PipelineConfig(zolc_switch_cycles=-2)
+
+
+class TestBaseCycles:
+    def test_alu_one_cycle(self):
+        model = TimingModel(PipelineConfig())
+        inst = Instruction("add", rd=1, rs=2, rt=3)
+        assert model.cycles_for(inst, seq()) == 1
+
+    def test_untaken_branch_one_cycle(self):
+        model = TimingModel(PipelineConfig())
+        inst = Instruction("bne", rs=1, rt=0, imm=-1)
+        assert model.cycles_for(inst, seq()) == 1
+
+
+class TestBranchPenalty:
+    def test_taken_branch(self):
+        model = TimingModel(PipelineConfig(branch_penalty=2))
+        inst = Instruction("bne", rs=1, rt=0, imm=-1)
+        assert model.cycles_for(inst, taken()) == 3
+        assert model.flush_cycles == 2
+
+    def test_jump_register_penalty(self):
+        model = TimingModel(PipelineConfig(jump_register_penalty=3))
+        inst = Instruction("jr", rs=31)
+        assert model.cycles_for(inst, taken()) == 4
+
+    def test_dbne_uses_hwloop_penalty(self):
+        model = TimingModel(PipelineConfig(branch_penalty=2, hwloop_penalty=0))
+        inst = Instruction("dbne", rs=8, imm=-1)
+        assert model.cycles_for(inst, taken()) == 1
+
+    def test_dbne_untaken_no_penalty(self):
+        model = TimingModel(PipelineConfig(hwloop_penalty=5))
+        inst = Instruction("dbne", rs=8, imm=-1)
+        assert model.cycles_for(inst, seq()) == 1
+
+
+class TestLoadUseInterlock:
+    def test_stall_on_immediate_use(self):
+        model = TimingModel(PipelineConfig())
+        lw = Instruction("lw", rt=8, rs=29, imm=0)
+        use = Instruction("add", rd=9, rs=8, rt=0)
+        assert model.cycles_for(lw, load(8)) == 1
+        assert model.cycles_for(use, seq(4)) == 2
+        assert model.stall_cycles == 1
+
+    def test_no_stall_with_gap(self):
+        model = TimingModel(PipelineConfig())
+        lw = Instruction("lw", rt=8, rs=29, imm=0)
+        other = Instruction("add", rd=10, rs=11, rt=12)
+        use = Instruction("add", rd=9, rs=8, rt=0)
+        model.cycles_for(lw, load(8))
+        assert model.cycles_for(other, seq(4)) == 1
+        assert model.cycles_for(use, seq(8)) == 1
+
+    def test_no_stall_on_unrelated_register(self):
+        model = TimingModel(PipelineConfig())
+        lw = Instruction("lw", rt=8, rs=29, imm=0)
+        use = Instruction("add", rd=9, rs=10, rt=11)
+        model.cycles_for(lw, load(8))
+        assert model.cycles_for(use, seq(4)) == 1
+
+    def test_store_address_use_stalls(self):
+        model = TimingModel(PipelineConfig())
+        lw = Instruction("lw", rt=8, rs=29, imm=0)
+        sw = Instruction("sw", rt=8, rs=29, imm=4)  # stores loaded value
+        model.cycles_for(lw, load(8))
+        assert model.cycles_for(sw, seq(4)) == 2
+
+    def test_zolc_switch_clears_interlock(self):
+        model = TimingModel(PipelineConfig())
+        lw = Instruction("lw", rt=8, rs=29, imm=0)
+        use = Instruction("add", rd=9, rs=8, rt=0)
+        model.cycles_for(lw, load(8))
+        assert model.zolc_switch() == 0
+        assert model.cycles_for(use, seq(4)) == 1
+
+
+class TestMul:
+    def test_extra_mul_cycles(self):
+        model = TimingModel(PipelineConfig(mul_extra_cycles=2))
+        inst = Instruction("mul", rd=1, rs=2, rt=3)
+        assert model.cycles_for(inst, seq()) == 3
+
+
+class TestZolcSwitch:
+    def test_default_zero(self):
+        model = TimingModel(PipelineConfig())
+        assert model.zolc_switch() == 0
+
+    def test_configurable_cost(self):
+        model = TimingModel(PipelineConfig(zolc_switch_cycles=2))
+        assert model.zolc_switch() == 2
+
+
+class TestReset:
+    def test_reset_clears_counters(self):
+        model = TimingModel(PipelineConfig())
+        inst = Instruction("bne", rs=1, rt=0, imm=-1)
+        model.cycles_for(inst, taken())
+        model.reset()
+        assert model.flush_cycles == 0
+        assert model.stall_cycles == 0

@@ -1,0 +1,102 @@
+"""Unit tests for pseudo-instruction expansion."""
+
+import pytest
+
+from repro.isa.pseudo import PseudoError, expand, is_pseudo
+
+
+class TestLi:
+    def test_small_positive(self):
+        assert expand("li", ["t0", "42"]) == [("addi", ["t0", "zero", "42"])]
+
+    def test_small_negative(self):
+        assert expand("li", ["t0", "-7"]) == [("addi", ["t0", "zero", "-7"])]
+
+    def test_unsigned_16bit(self):
+        assert expand("li", ["t0", "0xEDB8"]) == [("ori", ["t0", "zero", "60856"])]
+
+    def test_large_value_two_instructions(self):
+        out = expand("li", ["t0", "0x12345678"])
+        assert out == [("lui", ["t0", "4660"]), ("ori", ["t0", "t0", "22136"])]
+
+    def test_large_negative(self):
+        out = expand("li", ["t0", "-2147483648"])
+        assert out == [("lui", ["t0", "32768"]), ("ori", ["t0", "t0", "0"])]
+
+    def test_expansion_length_is_value_independent_above_16_bits(self):
+        assert len(expand("li", ["t0", "0x10000"])) == 2
+        assert len(expand("li", ["t0", "0x1FFFF"])) == 2
+
+    def test_bad_literal(self):
+        with pytest.raises(PseudoError):
+            expand("li", ["t0", "forty-two"])
+
+    def test_wrong_arity(self):
+        with pytest.raises(PseudoError):
+            expand("li", ["t0"])
+
+
+class TestLa:
+    def test_emits_hi_lo_pair(self):
+        out = expand("la", ["s0", "table"])
+        assert out == [
+            ("lui", ["s0", "%hi(table)"]),
+            ("ori", ["s0", "s0", "%lo(table)"]),
+        ]
+
+
+class TestBranches:
+    def test_b(self):
+        assert expand("b", ["loop"]) == [("beq", ["zero", "zero", "loop"])]
+
+    def test_beqz(self):
+        assert expand("beqz", ["t0", "done"]) == [("beq", ["t0", "zero", "done"])]
+
+    def test_bnez(self):
+        assert expand("bnez", ["t0", "loop"]) == [("bne", ["t0", "zero", "loop"])]
+
+    def test_blt_uses_at(self):
+        out = expand("blt", ["t0", "t1", "loop"])
+        assert out == [("slt", ["at", "t0", "t1"]),
+                       ("bne", ["at", "zero", "loop"])]
+
+    def test_bge_inverts(self):
+        out = expand("bge", ["t0", "t1", "loop"])
+        assert out == [("slt", ["at", "t0", "t1"]),
+                       ("beq", ["at", "zero", "loop"])]
+
+    def test_bgt_swaps(self):
+        out = expand("bgt", ["t0", "t1", "loop"])
+        assert out[0] == ("slt", ["at", "t1", "t0"])
+
+    def test_bltu_unsigned(self):
+        out = expand("bltu", ["t0", "t1", "loop"])
+        assert out[0][0] == "sltu"
+
+
+class TestSimple:
+    def test_move(self):
+        assert expand("move", ["t0", "t1"]) == [("or", ["t0", "t1", "zero"])]
+
+    def test_nop(self):
+        assert expand("nop", []) == [("sll", ["zero", "zero", "0"])]
+
+    def test_neg(self):
+        assert expand("neg", ["t0", "t1"]) == [("sub", ["t0", "zero", "t1"])]
+
+    def test_not(self):
+        assert expand("not", ["t0", "t1"]) == [("nor", ["t0", "t1", "zero"])]
+
+    def test_subi(self):
+        assert expand("subi", ["t0", "t1", "5"]) == [("addi", ["t0", "t1", "-5"])]
+
+
+class TestRegistry:
+    def test_is_pseudo(self):
+        assert is_pseudo("li")
+        assert is_pseudo("move")
+        assert not is_pseudo("add")
+
+    def test_expand_rejects_real_instruction(self):
+        with pytest.raises(PseudoError):
+            expand("add", ["t0", "t1", "t2"])

@@ -1,0 +1,72 @@
+"""Unit tests for the XR32 register naming."""
+
+import pytest
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    UnknownRegisterError,
+    is_register_name,
+    register_index,
+    register_name,
+)
+
+
+class TestRegisterIndex:
+    def test_abi_names_resolve(self):
+        for index, name in enumerate(ABI_NAMES):
+            assert register_index(name) == index
+
+    def test_raw_names_resolve(self):
+        for index in range(NUM_REGISTERS):
+            assert register_index(f"r{index}") == index
+
+    def test_dollar_prefix(self):
+        assert register_index("$t0") == 8
+        assert register_index("$zero") == 0
+
+    def test_numeric(self):
+        assert register_index("$31") == 31
+        assert register_index("17") == 17
+
+    def test_case_insensitive(self):
+        assert register_index("SP") == 29
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownRegisterError):
+            register_index("bogus")
+
+    def test_out_of_range_number(self):
+        with pytest.raises(UnknownRegisterError):
+            register_index("$32")
+
+
+class TestRegisterName:
+    def test_roundtrip(self):
+        for index in range(NUM_REGISTERS):
+            assert register_index(register_name(index)) == index
+
+    def test_out_of_range(self):
+        with pytest.raises(UnknownRegisterError):
+            register_name(32)
+
+    def test_is_register_name(self):
+        assert is_register_name("t0")
+        assert is_register_name("$v1")
+        assert not is_register_name("loop")
+        assert not is_register_name("123x")
+
+
+class TestConventions:
+    def test_zero_is_register_0(self):
+        assert register_index("zero") == 0
+
+    def test_ra_is_register_31(self):
+        assert register_index("ra") == 31
+
+    def test_sp_is_register_29(self):
+        assert register_index("sp") == 29
+
+    def test_abi_table_has_32_unique_names(self):
+        assert len(ABI_NAMES) == 32
+        assert len(set(ABI_NAMES)) == 32

@@ -1,0 +1,50 @@
+"""Unit tests for architectural state (register file, CPU state)."""
+
+from repro.cpu.state import CpuState, RegisterFile
+
+
+class TestRegisterFile:
+    def test_zero_register_reads_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_write_masks_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(5, 1 << 40)
+        assert regs.read(5) == 0
+
+    def test_read_signed(self):
+        regs = RegisterFile()
+        regs.write(5, 0xFFFFFFFF)
+        assert regs.read_signed(5) == -1
+        assert regs.read(5) == 0xFFFFFFFF
+
+    def test_name_based_access(self):
+        regs = RegisterFile()
+        regs["t0"] = -3
+        assert regs["t0"] == 0xFFFFFFFD
+        assert regs[8] == 0xFFFFFFFD
+        regs["$sp"] = 0x1000
+        assert regs["sp"] == 0x1000
+
+    def test_name_write_to_zero_ignored(self):
+        regs = RegisterFile()
+        regs["zero"] = 77
+        assert regs["zero"] == 0
+
+    def test_snapshot_immutable_copy(self):
+        regs = RegisterFile()
+        regs.write(3, 9)
+        snap = regs.snapshot()
+        regs.write(3, 10)
+        assert snap[3] == 9
+        assert len(snap) == 32
+
+
+class TestCpuState:
+    def test_initial_state(self):
+        state = CpuState(entry_point=0x40)
+        assert state.pc == 0x40
+        assert not state.halted
+        assert state.regs.read(29) == 0

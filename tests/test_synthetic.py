@@ -1,0 +1,74 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import ZOLC_LITE
+from repro.cpu.simulator import run_program
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+from repro.workloads.kernels.synthetic import multi_entry_kernel, nest_kernel
+
+
+class TestNestKernel:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 6, 8])
+    def test_baseline_checksum(self, depth):
+        kernel = nest_kernel(depth=depth, trips=2, body_ops=3)
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_zolc_checksum(self, depth):
+        kernel = nest_kernel(depth=depth, trips=3, body_ops=2)
+        result = rewrite_for_zolc(kernel.source, ZOLC_LITE)
+        assert result.transformed_loop_count == depth
+        sim = result.make_simulator()
+        sim.run()
+        kernel.check(sim)
+
+    def test_expected_loops_metadata(self):
+        kernel = nest_kernel(depth=3, trips=2, body_ops=1)
+        from repro.cfg import build_cfg, find_loops
+        forest = find_loops(build_cfg(assemble(kernel.source)))
+        assert len(forest.loops) == kernel.expected_loops == 3
+
+    def test_checksum_formula(self):
+        # depth 2, trips 3, body 4: 9 iterations x (1+2+3+4)
+        kernel = nest_kernel(depth=2, trips=3, body_ops=4)
+        sim = run_program(assemble(kernel.source))
+        out = sim.memory.load_word(sim.program.symbols["out"])
+        assert out == 9 * 10
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            nest_kernel(depth=0, trips=2, body_ops=1)
+        with pytest.raises(ValueError):
+            nest_kernel(depth=9, trips=2, body_ops=1)
+
+    def test_trips_validation(self):
+        with pytest.raises(ValueError):
+            nest_kernel(depth=1, trips=0, body_ops=1)
+        with pytest.raises(ValueError):
+            nest_kernel(depth=1, trips=2, body_ops=0)
+
+    def test_gain_grows_with_depth(self):
+        """Deeper nests leave more overhead for the ZOLC to remove."""
+        improvements = []
+        for depth in (1, 2, 3):
+            kernel = nest_kernel(depth=depth, trips=4, body_ops=2)
+            base = run_program(assemble(kernel.source)).stats.cycles
+            sim = rewrite_for_zolc(kernel.source, ZOLC_LITE).make_simulator()
+            sim.run()
+            improvements.append(1 - sim.stats.cycles / base)
+        assert improvements[0] < improvements[1] < improvements[2]
+
+
+class TestMultiEntryKernel:
+    def test_flag_controls_entry_path(self):
+        main = multi_entry_kernel(use_side_entry=False)
+        side = multi_entry_kernel(use_side_entry=True)
+        sim_main = run_program(assemble(main.source))
+        sim_side = run_program(assemble(side.source))
+        out_main = sim_main.memory.load_word(sim_main.program.symbols["out"])
+        out_side = sim_side.memory.load_word(sim_side.program.symbols["out"])
+        assert out_main == sum(range(12))
+        assert out_side == sum(range(5, 12))

@@ -1,0 +1,77 @@
+"""Tracer integration with ZOLC redirects, and mfz read-back in-program."""
+
+from repro.core import tables as T
+from repro.core.config import ZOLC_LITE
+from repro.cpu.simulator import Simulator
+from repro.cpu.tracing import Tracer
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+
+LOOP = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 3
+        li   s0, 0
+loop:   addi s0, s0, 5
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        la   t1, out
+        sw   s0, 0(t1)
+        halt
+"""
+
+
+class TestTracerWithZolc:
+    def test_redirects_recorded(self):
+        result = rewrite_for_zolc(LOOP, ZOLC_LITE)
+        tracer = Tracer(limit=1000)
+        controller = result.make_controller()
+        sim = Simulator(result.program, zolc=controller, tracer=tracer)
+        controller.attach(sim.state.regs)
+        sim.run()
+        redirects = [r for r in tracer.records if r.zolc_redirect is not None]
+        assert len(redirects) == 2  # two loop-backs for three trips
+        body_pc = result.program.symbols["__zolc_body_0_0"]
+        assert all(r.zolc_redirect == body_pc for r in redirects)
+
+    def test_trace_format_mentions_redirect(self):
+        result = rewrite_for_zolc(LOOP, ZOLC_LITE)
+        tracer = Tracer(limit=1000)
+        controller = result.make_controller()
+        sim = Simulator(result.program, zolc=controller, tracer=tracer)
+        controller.attach(sim.state.regs)
+        sim.run()
+        assert "zolc redirect" in tracer.format()
+
+
+class TestMfzInProgram:
+    def test_program_reads_back_its_own_tables(self):
+        """A program can inspect the ZOLC through mfz (debug flow)."""
+        trips_sel = T.loop_selector(0, T.F_TRIPS)
+        status_sel = T.CTRL_STATUS
+        source = f"""
+        .data
+seen_trips:  .word 0
+seen_status: .word 0
+        .text
+main:
+        li   at, 7
+        mtz  at, {trips_sel}
+        mfz  t0, {trips_sel}
+        la   t1, seen_trips
+        sw   t0, 0(t1)
+        mfz  t2, {status_sel}
+        la   t1, seen_status
+        sw   t2, 0(t1)
+        halt
+"""
+        from repro.asm import assemble
+        from repro.core.controller import ZolcController
+
+        program = assemble(source)
+        controller = ZolcController(ZOLC_LITE)
+        sim = Simulator(program, zolc=controller)
+        controller.attach(sim.state.regs)
+        sim.run()
+        assert sim.memory.load_word(program.symbols["seen_trips"]) == 7
+        assert sim.memory.load_word(program.symbols["seen_status"]) == 0

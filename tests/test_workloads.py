@@ -1,0 +1,78 @@
+"""Per-kernel validation: every benchmark assembles, runs and verifies.
+
+These are the ground-truth tests for the workload suite: the baseline
+(XRdefault) run of every kernel must reproduce its golden model
+bit-exactly, and the loop analysis must see the loop structure the
+kernel was designed to exercise.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cfg import build_cfg, find_loops
+from repro.cpu.simulator import run_program
+from repro.workloads.suite import FIGURE2_BENCHMARKS, registry
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return registry()
+
+
+@pytest.mark.parametrize("name", FIGURE2_BENCHMARKS)
+class TestFigure2Kernels:
+    def test_baseline_matches_golden(self, reg, name):
+        kernel = reg.get(name)
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    def test_expected_loop_count(self, reg, name):
+        kernel = reg.get(name)
+        forest = find_loops(build_cfg(assemble(kernel.source)))
+        assert len(forest.loops) == kernel.expected_loops
+
+    def test_deterministic_build(self, reg, name):
+        from repro.workloads import suite
+        rebuilt = [b for b in suite._BUILDERS
+                   if b().name == name]
+        assert rebuilt, f"no builder produced {name}"
+        assert rebuilt[0]().source == reg.get(name).source
+
+
+class TestSuiteShape:
+    def test_twelve_figure2_benchmarks(self):
+        assert len(FIGURE2_BENCHMARKS) == 12
+
+    def test_motion_estimation_kernels_present(self):
+        # The paper calls out "software implementations of motion
+        # estimation kernels" explicitly.
+        assert "me_fss" in FIGURE2_BENCHMARKS
+        assert "me_tss" in FIGURE2_BENCHMARKS
+
+    def test_registry_contains_early_exit_variant(self, reg):
+        kernel = reg.get("me_fss_early")
+        sim = run_program(assemble(kernel.source))
+        kernel.check(sim)
+
+    def test_unknown_kernel_raises(self, reg):
+        with pytest.raises(KeyError):
+            reg.get("bogus_kernel")
+
+    def test_names_sorted(self, reg):
+        assert reg.names() == sorted(reg.names())
+
+    def test_all_kernels_have_descriptions(self, reg):
+        for kernel in reg.all():
+            assert kernel.description
+            assert kernel.category in ("dsp", "media", "control", "synthetic")
+
+
+class TestKernelChecksCatchCorruption:
+    def test_check_fails_on_wrong_memory(self, reg):
+        from repro.workloads.api import KernelCheckError
+        kernel = reg.get("vec_sum")
+        sim = run_program(assemble(kernel.source))
+        address = sim.program.symbols["out"]
+        sim.memory.store_word(address, 12345678)
+        with pytest.raises(KernelCheckError):
+            kernel.check(sim)

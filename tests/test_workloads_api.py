@@ -1,0 +1,88 @@
+"""Unit tests for the workload API helpers."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu.simulator import run_program
+from repro.workloads.api import (
+    Kernel,
+    KernelCheckError,
+    KernelRegistry,
+    expect_word,
+    expect_words,
+    read_word_signed,
+    read_words_signed,
+    rng,
+    words,
+)
+
+
+class TestRng:
+    def test_deterministic_per_name(self):
+        a = rng("fir").randint(0, 100, size=8)
+        b = rng("fir").randint(0, 100, size=8)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        a = list(rng("fir").randint(0, 1000, size=16))
+        b = list(rng("fft").randint(0, 1000, size=16))
+        assert a != b
+
+
+class TestWords:
+    def test_renders_chunks(self):
+        text = words(range(10), per_line=4)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].strip() == ".word 0, 1, 2, 3"
+
+    def test_empty_gets_placeholder(self):
+        assert ".word 0" in words([])
+
+    def test_roundtrips_through_assembler(self):
+        source = f".data\nx:\n{words([1, -2, 3])}\n.text\nnop\nhalt\n"
+        program = assemble(source)
+        sim = run_program(program)
+        assert read_words_signed(sim, "x", 3) == [1, -2, 3]
+
+
+class TestExpectations:
+    def _sim(self):
+        return run_program(assemble(
+            ".data\nx: .word 5, -6\n.text\nnop\nhalt\n"))
+
+    def test_expect_words_passes(self):
+        expect_words(self._sim(), "x", [5, -6], "ctx")
+
+    def test_expect_words_fails_with_context(self):
+        with pytest.raises(KernelCheckError) as err:
+            expect_words(self._sim(), "x", [5, 7], "my-kernel")
+        assert "my-kernel" in str(err.value)
+        assert "got -6 want 7" in str(err.value)
+
+    def test_expect_word(self):
+        expect_word(self._sim(), "x", 5, "ctx")
+        assert read_word_signed(self._sim(), "x") == 5
+
+    def test_wraparound_values_normalised(self):
+        sim = run_program(assemble(
+            ".data\nx: .word -1\n.text\nnop\nhalt\n"))
+        expect_words(sim, "x", [0xFFFFFFFF], "wrap")  # same bits
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        reg = KernelRegistry()
+        kernel = Kernel(name="k", description="d", source="halt\n",
+                        check=lambda sim: None)
+        reg.register(kernel)
+        with pytest.raises(ValueError):
+            reg.register(kernel)
+
+    def test_get_unknown_lists_available(self):
+        reg = KernelRegistry()
+        reg.register(Kernel(name="only", description="d", source="halt\n",
+                            check=lambda sim: None))
+        with pytest.raises(KeyError) as err:
+            reg.get("other")
+        assert "only" in str(err.value)

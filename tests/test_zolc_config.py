@@ -1,0 +1,76 @@
+"""Unit tests for ZOLC configuration records."""
+
+import pytest
+
+from repro.core.config import (
+    CANONICAL_CONFIGS,
+    UZOLC,
+    ZOLC_FULL,
+    ZOLC_LITE,
+    ZolcConfig,
+    config_by_name,
+)
+
+
+class TestCanonicalConfigs:
+    def test_paper_parameters_full(self):
+        # "ZOLCfull refers to a ZOLC supporting 32 task switching entries,
+        #  and 8-loop structure with up to 4 entries/exits per loop."
+        assert ZOLC_FULL.max_task_entries == 32
+        assert ZOLC_FULL.max_loops == 8
+        assert ZOLC_FULL.entries_per_loop == 4
+        assert ZOLC_FULL.multi_entry_exit
+
+    def test_paper_parameters_lite(self):
+        # "ZOLClite lacks support for multiple-entry/exit"
+        assert ZOLC_LITE.max_loops == 8
+        assert ZOLC_LITE.max_task_entries == 32
+        assert not ZOLC_LITE.multi_entry_exit
+
+    def test_paper_parameters_uzolc(self):
+        # "uZOLC, is usable for single loops"
+        assert UZOLC.max_loops == 1
+        assert UZOLC.single_shot
+        assert not UZOLC.has_task_lut
+
+    def test_exit_record_counts(self):
+        assert UZOLC.max_exit_records == 0
+        assert ZOLC_LITE.max_exit_records == 0
+        assert ZOLC_FULL.max_exit_records == 32
+
+    def test_three_canonical_configs(self):
+        assert len(CANONICAL_CONFIGS) == 3
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert config_by_name("ZOLCfull") is ZOLC_FULL
+        assert config_by_name("zolclite") is ZOLC_LITE
+        assert config_by_name("UZOLC") is UZOLC
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            config_by_name("ZOLCmega")
+
+
+class TestValidation:
+    def test_rejects_zero_loops(self):
+        with pytest.raises(ValueError):
+            ZolcConfig("bad", max_loops=0, max_task_entries=4,
+                       entries_per_loop=1, multi_entry_exit=False)
+
+    def test_rejects_lut_without_entries(self):
+        with pytest.raises(ValueError):
+            ZolcConfig("bad", max_loops=2, max_task_entries=0,
+                       entries_per_loop=1, multi_entry_exit=False,
+                       has_task_lut=True)
+
+    def test_rejects_multi_records_without_support(self):
+        with pytest.raises(ValueError):
+            ZolcConfig("bad", max_loops=2, max_task_entries=8,
+                       entries_per_loop=2, multi_entry_exit=False)
+
+    def test_custom_config_allowed(self):
+        config = ZolcConfig("mini", max_loops=2, max_task_entries=8,
+                            entries_per_loop=1, multi_entry_exit=False)
+        assert config.max_loops == 2

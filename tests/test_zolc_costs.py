@@ -1,0 +1,82 @@
+"""E3/E4: the cost model must reproduce the paper's published numbers.
+
+Paper §3: "the requirements in storage resources are 30, 258 and 642
+storage bytes and in combinational area 298, 4056, and 4428 equivalent
+gates, respectively" for uZOLC, ZOLClite and ZOLCfull.
+"""
+
+from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE, ZolcConfig
+from repro.core.costs import (
+    area_breakdown,
+    equivalent_gates,
+    storage_breakdown,
+    storage_bytes,
+)
+
+
+class TestPaperStorageNumbers:
+    def test_uzolc_30_bytes(self):
+        assert storage_bytes(UZOLC) == 30
+
+    def test_lite_258_bytes(self):
+        assert storage_bytes(ZOLC_LITE) == 258
+
+    def test_full_642_bytes(self):
+        assert storage_bytes(ZOLC_FULL) == 642
+
+
+class TestPaperAreaNumbers:
+    def test_uzolc_298_gates(self):
+        assert equivalent_gates(UZOLC) == 298
+
+    def test_lite_4056_gates(self):
+        assert equivalent_gates(ZOLC_LITE) == 4056
+
+    def test_full_4428_gates(self):
+        assert equivalent_gates(ZOLC_FULL) == 4428
+
+
+class TestBreakdownConsistency:
+    def test_storage_components_sum(self):
+        for config in (UZOLC, ZOLC_LITE, ZOLC_FULL):
+            breakdown = storage_breakdown(config)
+            assert breakdown.total == storage_bytes(config)
+
+    def test_area_components_sum(self):
+        for config in (UZOLC, ZOLC_LITE, ZOLC_FULL):
+            breakdown = area_breakdown(config)
+            assert breakdown.total == equivalent_gates(config)
+
+    def test_uzolc_has_no_task_lut_storage(self):
+        assert storage_breakdown(UZOLC).task_lut == 0
+        assert area_breakdown(UZOLC).task_selection == 0
+
+    def test_lite_has_no_exit_unit(self):
+        assert area_breakdown(ZOLC_LITE).multi_exit_unit == 0
+
+    def test_full_exit_unit_delta(self):
+        # ZOLCfull - ZOLClite = the multi-entry/exit machinery only.
+        assert (equivalent_gates(ZOLC_FULL) - equivalent_gates(ZOLC_LITE)
+                == area_breakdown(ZOLC_FULL).multi_exit_unit)
+        assert (storage_bytes(ZOLC_FULL) - storage_bytes(ZOLC_LITE)
+                == storage_breakdown(ZOLC_FULL).entry_exit_records
+                - storage_breakdown(ZOLC_LITE).entry_exit_records)
+
+
+class TestExtrapolation:
+    def test_storage_scales_with_loops(self):
+        small = ZolcConfig("s", max_loops=4, max_task_entries=32,
+                           entries_per_loop=1, multi_entry_exit=False)
+        assert storage_bytes(small) == storage_bytes(ZOLC_LITE) - 4 * (12 + 16)
+
+    def test_area_scales_with_task_entries(self):
+        big = ZolcConfig("b", max_loops=8, max_task_entries=64,
+                         entries_per_loop=1, multi_entry_exit=False)
+        assert (equivalent_gates(big) - equivalent_gates(ZOLC_LITE)
+                == 32 * 60)
+
+    def test_monotone_in_entries_per_loop(self):
+        e2 = ZolcConfig("e2", max_loops=8, max_task_entries=32,
+                        entries_per_loop=2, multi_entry_exit=True)
+        assert storage_bytes(ZOLC_LITE) < storage_bytes(e2) \
+            < storage_bytes(ZOLC_FULL)

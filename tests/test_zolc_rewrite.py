@@ -1,0 +1,212 @@
+"""Unit + integration tests for the ZOLC code transform."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE
+from repro.cpu.simulator import run_program
+from repro.transform.zolc_rewrite import rewrite_for_zolc
+
+SINGLE = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 10
+        li   s0, 0
+loop:   add  s0, s0, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        la   t1, out
+        sw   s0, 0(t1)
+        halt
+"""
+SINGLE_EXPECTED = sum(range(1, 11))
+
+
+def run_zolc(source, config):
+    result = rewrite_for_zolc(source, config)
+    sim = result.make_simulator()
+    sim.run()
+    return result, sim
+
+
+class TestSingleLoop:
+    def test_result_matches_baseline(self):
+        result, sim = run_zolc(SINGLE, ZOLC_LITE)
+        assert sim.state.regs["s0"] == SINGLE_EXPECTED
+        out = sim.memory.load_word(sim.program.symbols["out"])
+        assert out == SINGLE_EXPECTED
+
+    def test_overhead_instructions_removed(self):
+        result, _ = run_zolc(SINGLE, ZOLC_LITE)
+        baseline = assemble(SINGLE)
+        # init + update + branch deleted; init sequence added.
+        assert result.removed_instruction_count == 3
+        mnemonics = [i.mnemonic for i in result.program.instructions]
+        assert "bne" not in mnemonics
+
+    def test_cycles_reduced(self):
+        result, sim = run_zolc(SINGLE, ZOLC_LITE)
+        baseline_sim = run_program(assemble(SINGLE))
+        assert sim.stats.cycles < baseline_sim.stats.cycles
+
+    def test_index_register_visible_in_body(self):
+        # s0 accumulates t0 values 10..1, proving the ZOLC keeps the
+        # architectural index register up to date every iteration.
+        _, sim = run_zolc(SINGLE, ZOLC_LITE)
+        assert sim.state.regs["s0"] == SINGLE_EXPECTED
+
+    def test_task_switch_statistics(self):
+        _, sim = run_zolc(SINGLE, ZOLC_LITE)
+        assert sim.stats.zolc_task_switches == 10  # 9 loop-backs + expiry
+
+    def test_init_instruction_count_recorded(self):
+        result, _ = run_zolc(SINGLE, ZOLC_LITE)
+        assert result.init_instruction_count > 0
+        assert result.transformed_loop_count == 1
+
+    def test_specs_describe_the_loop(self):
+        result, _ = run_zolc(SINGLE, ZOLC_LITE)
+        assert len(result.specs) == 1
+        spec = result.specs[0].loops[0]
+        assert spec.step == -1
+        assert spec.trips.value == 10
+
+
+class TestNest(object):
+    def test_nested_result_correct(self, nested_sum_source,
+                                   nested_sum_expected):
+        result, sim = run_zolc(nested_sum_source, ZOLC_LITE)
+        assert sim.state.regs["s0"] == nested_sum_expected
+        assert result.transformed_loop_count == 2
+
+    def test_nested_faster_than_uzolc(self, nested_sum_source):
+        _, lite_sim = run_zolc(nested_sum_source, ZOLC_LITE)
+        _, uzolc_sim = run_zolc(nested_sum_source, UZOLC)
+        assert lite_sim.stats.cycles < uzolc_sim.stats.cycles
+
+    def test_rejected_loops_keep_their_code(self, nested_sum_source):
+        result, sim = run_zolc(nested_sum_source, UZOLC)
+        # the outer loop stays in software: its bne survives
+        mnemonics = [i.mnemonic for i in result.program.instructions]
+        assert "bne" in mnemonics
+
+
+class TestPerfectNestCascade:
+    SOURCE = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 5
+outer:  li   t1, 7
+inner:  addi s0, s0, 1
+        addi t1, t1, -1
+        bne  t1, zero, inner
+        addi t0, t0, -1
+        bne  t0, zero, outer
+        la   t2, out
+        sw   s0, 0(t2)
+        halt
+"""
+
+    def test_cascade_counts_all_iterations(self):
+        result, sim = run_zolc(self.SOURCE, ZOLC_LITE)
+        assert sim.state.regs["s0"] == 35
+
+    def test_outer_has_no_trigger(self):
+        result, _ = run_zolc(self.SOURCE, ZOLC_LITE)
+        spec = result.specs[0]
+        outer_spec = next(s for s in spec.loops if s.parent is None)
+        inner_spec = next(s for s in spec.loops if s.parent is not None)
+        assert outer_spec.trigger_label is None
+        assert inner_spec.cascade
+
+    def test_deep_nest_all_levels(self):
+        from repro.workloads.kernels.synthetic import nest_kernel
+        kernel = nest_kernel(depth=5, trips=3, body_ops=2)
+        result, sim = run_zolc(kernel.source, ZOLC_LITE)
+        assert result.transformed_loop_count == 5
+        kernel.check(sim)
+
+
+class TestMultiExit:
+    SOURCE = """
+        .data
+out:    .word 0
+        .text
+main:   li   t0, 20
+        li   s1, 12
+loop:   addi s0, s0, 1
+        beq  s0, s1, escape
+        addi t0, t0, -1
+        bne  t0, zero, loop
+escape: la   t2, out
+        sw   s0, 0(t2)
+        halt
+"""
+
+    def test_lite_leaves_loop_alone(self):
+        result, sim = run_zolc(self.SOURCE, ZOLC_LITE)
+        assert result.transformed_loop_count == 0
+        assert sim.state.regs["s0"] == 12
+
+    def test_full_transforms_and_exits_correctly(self):
+        result, sim = run_zolc(self.SOURCE, ZOLC_FULL)
+        assert result.transformed_loop_count == 1
+        assert len(result.specs[0].exits) == 1
+        assert sim.state.regs["s0"] == 12
+
+    def test_full_without_break_runs_out(self):
+        # s1 unreachable -> loop runs its full 20 trips
+        source = self.SOURCE.replace("li   s1, 12", "li   s1, 50")
+        result, sim = run_zolc(source, ZOLC_FULL)
+        assert sim.state.regs["s0"] == 20
+
+
+class TestReexecution:
+    SOURCE = """
+        .data
+out:    .word 0
+        .text
+main:   li   s2, 3
+again:  li   t0, 8
+loop:   addi s0, s0, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        addi s2, s2, -1
+        bne  s2, zero, again
+        la   t2, out
+        sw   s0, 0(t2)
+        halt
+"""
+
+    def test_nested_reentry(self):
+        # outer loop 'again' also matches; both transform under lite
+        result, sim = run_zolc(self.SOURCE, ZOLC_LITE)
+        assert sim.state.regs["s0"] == 24
+
+    def test_uzolc_rearms_each_entry(self):
+        result, sim = run_zolc(self.SOURCE, UZOLC)
+        assert sim.state.regs["s0"] == 24
+        controller = sim.zolc
+        assert controller.arm_count == 3
+
+
+class TestProgramHygiene:
+    def test_data_segment_preserved(self):
+        result, _ = run_zolc(SINGLE, ZOLC_LITE)
+        assert result.program.symbols["out"] >= result.program.data_base
+
+    def test_no_transform_for_straight_line(self):
+        source = "main: li t0, 1\nhalt\n"
+        result = rewrite_for_zolc(source, ZOLC_LITE)
+        assert result.transformed_loop_count == 0
+        sim = result.make_simulator()
+        sim.run()
+        assert sim.state.regs["t0"] == 1
+
+    def test_marker_labels_present(self):
+        result, _ = run_zolc(SINGLE, ZOLC_LITE)
+        labels = [s for s in result.program.symbols if s.startswith("__zolc")]
+        assert any("body" in s for s in labels)
+        assert any("trig" in s for s in labels)

@@ -1,0 +1,145 @@
+"""Unit tests for the ZOLC tables and selector map."""
+
+import pytest
+
+from repro.core import tables as T
+from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE
+from repro.core.tables import ZolcTables
+from repro.cpu.exceptions import ZolcFaultError
+
+
+@pytest.fixture()
+def full():
+    return ZolcTables(ZOLC_FULL)
+
+
+@pytest.fixture()
+def lite():
+    return ZolcTables(ZOLC_LITE)
+
+
+class TestSelectors:
+    def test_loop_selector_layout(self):
+        assert T.loop_selector(0, T.F_TRIPS) == 0x100
+        assert T.loop_selector(1, T.F_TRIPS) == 0x110
+        assert T.loop_selector(2, T.F_FLAGS) == 0x127
+
+    def test_loop_selector_bad_field(self):
+        with pytest.raises(ValueError):
+            T.loop_selector(0, 8)
+
+    def test_exit_selector_layout(self):
+        assert T.exit_selector(0, T.X_BRANCH_PC) == 0x1000
+        assert T.exit_selector(3, T.X_FLAGS) == 0x1000 + 12 + 3
+
+    def test_entry_selector_layout(self):
+        assert T.entry_selector(1, T.N_LOOP) == 0x2005
+
+
+class TestWriteRead:
+    def test_loop_field_roundtrip(self, full):
+        sel = T.loop_selector(2, T.F_TRIPS)
+        full.write(sel, 100)
+        assert full.read(sel) == 100
+        assert full.loops[2].trips == 100
+
+    def test_all_loop_fields(self, full):
+        for fieldno in range(T.LOOP_FIELD_COUNT):
+            sel = T.loop_selector(1, fieldno)
+            full.write(sel, fieldno + 7)
+            assert full.read(sel) == fieldno + 7
+
+    def test_exit_record_roundtrip(self, full):
+        sel = T.exit_selector(5, T.X_TARGET_PC)
+        full.write(sel, 0x44)
+        assert full.read(sel) == 0x44
+        assert full.exits[5].target_pc == 0x44
+
+    def test_entry_record_roundtrip(self, full):
+        sel = T.entry_selector(2, T.N_ENTRY_PC)
+        full.write(sel, 0x88)
+        assert full.entries[2].entry_pc == 0x88
+
+    def test_value_masked_to_32_bits(self, full):
+        full.write(T.loop_selector(0, T.F_INITIAL), 1 << 35)
+        assert full.read(T.loop_selector(0, T.F_INITIAL)) == 0
+
+    def test_out_of_range_loop_rejected(self, lite):
+        with pytest.raises(ZolcFaultError):
+            lite.write(T.loop_selector(8, T.F_TRIPS), 1)
+
+    def test_exit_records_absent_on_lite(self, lite):
+        with pytest.raises(ZolcFaultError):
+            lite.write(T.exit_selector(0, T.X_BRANCH_PC), 1)
+
+    def test_uzolc_single_loop(self):
+        tables = ZolcTables(UZOLC)
+        tables.write(T.loop_selector(0, T.F_TRIPS), 5)
+        with pytest.raises(ZolcFaultError):
+            tables.write(T.loop_selector(1, T.F_TRIPS), 5)
+
+
+class TestRecordFlags:
+    def test_valid_flag(self, full):
+        full.write(T.loop_selector(0, T.F_FLAGS), T.FLAG_VALID)
+        assert full.loops[0].valid
+        assert full.valid_loops() == [0]
+
+    def test_cascade_flag(self, full):
+        full.write(T.loop_selector(0, T.F_FLAGS),
+                   T.FLAG_VALID | T.FLAG_CASCADE)
+        assert full.loops[0].cascade
+
+    def test_reset_clears(self, full):
+        full.write(T.loop_selector(0, T.F_FLAGS), T.FLAG_VALID)
+        full.reset()
+        assert full.valid_loops() == []
+        assert full.loops[0].trigger_pc == T.NO_TRIGGER
+
+
+def _valid_loop(tables, loop_id, trips=4, trigger=0x40, parent=T.NO_PARENT,
+                cascade=False):
+    base = lambda f: T.loop_selector(loop_id, f)
+    tables.write(base(T.F_TRIPS), trips)
+    tables.write(base(T.F_BODY_PC), 0x10)
+    tables.write(base(T.F_TRIGGER_PC), trigger)
+    tables.write(base(T.F_PARENT), parent)
+    flags = T.FLAG_VALID | (T.FLAG_CASCADE if cascade else 0)
+    tables.write(base(T.F_FLAGS), flags)
+
+
+class TestValidation:
+    def test_valid_single_loop_passes(self, full):
+        _valid_loop(full, 0)
+        full.validate()
+
+    def test_zero_trips_rejected(self, full):
+        _valid_loop(full, 0, trips=0)
+        with pytest.raises(ZolcFaultError):
+            full.validate()
+
+    def test_cascade_without_parent_rejected(self, full):
+        _valid_loop(full, 0, cascade=True)
+        with pytest.raises(ZolcFaultError):
+            full.validate()
+
+    def test_invalid_parent_rejected(self, full):
+        _valid_loop(full, 0, parent=3)
+        with pytest.raises(ZolcFaultError):
+            full.validate()
+
+    def test_no_trigger_without_cascading_child_rejected(self, full):
+        _valid_loop(full, 0, trigger=T.NO_TRIGGER)
+        with pytest.raises(ZolcFaultError):
+            full.validate()
+
+    def test_cascaded_parent_without_trigger_passes(self, full):
+        _valid_loop(full, 0, trigger=T.NO_TRIGGER)           # parent
+        _valid_loop(full, 1, trigger=0x40, parent=0, cascade=True)
+        full.validate()
+
+    def test_exit_record_with_empty_mask_rejected(self, full):
+        _valid_loop(full, 0)
+        full.write(T.exit_selector(0, T.X_FLAGS), T.FLAG_VALID)
+        with pytest.raises(ZolcFaultError):
+            full.validate()
