@@ -5,7 +5,7 @@ Commands::
     kernels                     list the benchmark suite
     run KERNEL [-m MACHINE]     run one kernel on one machine
     compare KERNEL              run one kernel on all five machines
-    figure2                     regenerate Figure 2 (the headline result)
+    figure2 [-j N]              regenerate Figure 2 (the headline result)
     resources                   regenerate the storage/area tables (E3/E4)
     timing                      regenerate the cycle-time report (E5)
     disasm KERNEL [-m MACHINE]  disassemble a (transformed) kernel
@@ -72,7 +72,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    print(render_figure2(figure2()))
+    print(render_figure2(figure2(jobs=args.jobs)))
     return 0
 
 
@@ -146,6 +146,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -165,8 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("kernel")
     compare_parser.set_defaults(func=_cmd_compare)
 
-    sub.add_parser("figure2", help="regenerate Figure 2").set_defaults(
-        func=_cmd_figure2)
+    figure2_parser = sub.add_parser("figure2", help="regenerate Figure 2")
+    figure2_parser.add_argument(
+        "-j", "--jobs", type=_jobs_count, default=None, metavar="N",
+        help="run the suite on N worker processes (0 = one per CPU)")
+    figure2_parser.set_defaults(func=_cmd_figure2)
     sub.add_parser("resources", help="E3/E4 resource tables").set_defaults(
         func=_cmd_resources)
     sub.add_parser("timing", help="E5 cycle-time report").set_defaults(

@@ -7,6 +7,7 @@ from repro.cpu.exceptions import (
     WatchdogError,
     ZolcFaultError,
 )
+from repro.cpu.engine import PredecodedProgram, predecode
 from repro.cpu.memory import DEFAULT_SIZE, Memory
 from repro.cpu.pipeline import PipelineConfig, TimingModel
 from repro.cpu.simulator import Simulator, ZolcAction, ZolcPort, run_program
@@ -20,6 +21,7 @@ __all__ = [
     "Memory",
     "MemoryAccessError",
     "PipelineConfig",
+    "PredecodedProgram",
     "RegisterFile",
     "SimulationError",
     "Simulator",
@@ -30,5 +32,6 @@ __all__ = [
     "ZolcAction",
     "ZolcFaultError",
     "ZolcPort",
+    "predecode",
     "run_program",
 ]

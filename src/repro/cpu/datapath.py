@@ -58,14 +58,15 @@ def _shift_reg(op: Callable[[int, int], int]) -> Handler:
 
 
 def _imm(op: Callable[[int, int], int]) -> Handler:
-    def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
-        regs = state.regs
-        regs.write(inst.rt, op(regs.read(inst.rs), inst.imm & 0xFFFFFFFF))
-        return ExecOutcome(_seq(state), False, None)
-    return handler
+    """I-format ALU handler.
 
-
-def _imm_signed(op: Callable[[int, int], int]) -> Handler:
+    The assembler stores the *semantic* (signed) immediate; masking it to
+    32 bits here is exactly two's-complement sign extension onto the
+    datapath, so ``addi``/``slti`` see the sign-extended value and
+    ``sltiu`` compares against it unsigned (MIPS semantics).  The logical
+    forms (``andi``/``ori``/``xori``) zero-extend by masking to 16 bits
+    inside their ``op``.
+    """
     def handler(inst: Instruction, state: CpuState, memory: Memory) -> ExecOutcome:
         regs = state.regs
         regs.write(inst.rt, op(regs.read(inst.rs), inst.imm & 0xFFFFFFFF))
@@ -174,7 +175,7 @@ EXECUTORS: dict[str, Handler] = {
     "bne": _branch(lambda a, b: a != b),
     "blez": _branch(lambda a, b: a <= 0, uses_rt=False),
     "bgtz": _branch(lambda a, b: a > 0, uses_rt=False),
-    "addi": _imm_signed(alu.add32),
+    "addi": _imm(alu.add32),
     "slti": _imm(alu.slt),
     "sltiu": _imm(alu.sltu),
     "andi": _imm(lambda a, b: a & (b & 0xFFFF)),

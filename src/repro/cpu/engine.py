@@ -1,0 +1,418 @@
+"""Predecoded fast execution engine for the XR32 simulator.
+
+The straight interpreter (:meth:`Simulator.step`) pays, on every retired
+instruction, for a ``by_address`` dict probe, an ``EXECUTORS`` dict
+probe, mnemonic string compares for ``mtz``/``mfz``, an ``ExecOutcome``
+allocation, a ``frozenset`` rebuild in ``Instruction.uses()`` and
+several attribute chases through the timing model.  All of that is
+static per instruction, so it can be paid **once at load time**: this
+module predecodes the program into a dense array (indexed by
+``(pc - text_base) >> 2``) of bound handler closures that capture the
+decoded operands, plus per-slot timing metadata (base cycles, taken
+penalty, register-use set, load destination).  A fused
+fetch/execute/retire loop then runs over the array with every hot
+attribute hoisted into a local.
+
+The technique is the classic predecode-then-dispatch idiom of fast
+interpreters (cf. the PyPy JIT backends, which predecode once into
+per-instruction dispatch structures and then run a tight loop); here it
+is applied interpreter-style, with no code generation.
+
+Handler protocol: each closure takes the current ``pc`` and returns
+
+* ``None``      — sequential retirement (``next_pc = pc + 4``, not taken);
+* an ``int``    — a taken control transfer to that address;
+* ``HALT``      — the ``halt`` instruction retired (``next_pc = pc``).
+
+Architectural side effects (register/memory writes) happen inside the
+closure through bound methods captured at predecode time.  Timing and
+statistics stay in the run loop, driven by the static per-slot metadata,
+so the engine retires *identical* (pc, regs, cycles, stats) sequences to
+the legacy ``step()`` interpreter — a property pinned down by the
+differential tests in ``tests/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+from repro.cpu import alu
+from repro.cpu.exceptions import (
+    InvalidFetchError,
+    SimulationError,
+    WatchdogError,
+)
+from repro.isa.instructions import Category, Instruction
+from repro.util.bitops import MASK32, to_signed32
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.simulator import Simulator
+
+#: Sentinel returned by the predecoded ``halt`` handler.
+HALT = object()
+
+#: A predecoded handler: ``fn(pc) -> None | int | HALT``.
+OpFn = Callable[[int], object]
+
+
+class OpMeta(NamedTuple):
+    """Cold per-slot metadata, only touched when aggregating statistics."""
+
+    category_key: str
+    is_zolc_init: bool
+
+
+class PredecodedProgram(NamedTuple):
+    """Dense handler array plus parallel cold metadata."""
+
+    #: hot per-slot records: (fn, base_cycles, uses, load_dest, taken_penalty)
+    ops: list[tuple[OpFn, int, frozenset[int], int | None, int]]
+    metas: list[OpMeta]
+
+
+_RR_OPS: dict[str, Callable[[int, int], int]] = {
+    "add": alu.add32,
+    "sub": alu.sub32,
+    "mul": alu.mul32_lo,
+    "mulh": alu.mul32_hi,
+    "slt": alu.slt,
+    "sltu": alu.sltu,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nor": lambda a, b: (~(a | b)) & MASK32,
+}
+
+_SHIFT_OPS: dict[str, Callable[[int, int], int]] = {
+    "sll": alu.sll, "srl": alu.srl, "sra": alu.sra,
+    "sllv": alu.sll, "srlv": alu.srl, "srav": alu.sra,
+}
+
+_LOADERS = {
+    "lb": ("load_byte", True),
+    "lh": ("load_half", True),
+    "lw": ("load_word", None),
+    "lbu": ("load_byte", False),
+    "lhu": ("load_half", False),
+}
+
+_STORERS = {"sb": "store_byte", "sh": "store_half", "sw": "store_word"}
+
+
+def _predecode_fn(inst: Instruction, address: int, sim: "Simulator") -> OpFn:
+    """Bind one instruction into a handler closure.
+
+    Operand fields, ALU callables, bound register-file / memory methods
+    and absolute branch targets are all captured as default arguments so
+    the per-step call touches only locals.
+    """
+    state = sim.state
+    regs = state.regs
+    memory = sim.memory
+    zolc = sim.zolc
+    read = regs.read
+    write = regs.write
+    read_signed = regs.read_signed
+    m = inst.mnemonic
+    rs, rt, rd = inst.rs, inst.rt, inst.rd
+
+    if m in _RR_OPS:
+        def fn(pc, write=write, read=read, op=_RR_OPS[m], rd=rd, rs=rs, rt=rt):
+            write(rd, op(read(rs), read(rt)))
+            return None
+        return fn
+
+    if m in ("sll", "srl", "sra"):
+        def fn(pc, write=write, read=read, op=_SHIFT_OPS[m],
+               rd=rd, rt=rt, shamt=inst.shamt):
+            write(rd, op(read(rt), shamt))
+            return None
+        return fn
+
+    if m in ("sllv", "srlv", "srav"):
+        def fn(pc, write=write, read=read, op=_SHIFT_OPS[m],
+               rd=rd, rs=rs, rt=rt):
+            write(rd, op(read(rt), read(rs) & 31))
+            return None
+        return fn
+
+    if m in ("addi", "slti", "sltiu", "andi", "ori", "xori", "lui"):
+        # The semantic immediate sign-extends onto the 32-bit datapath;
+        # masking here (once) makes that explicit for all three signed
+        # immediate forms, while the logical forms use the low 16 bits.
+        imm32 = inst.imm & MASK32
+        imm16 = inst.imm & 0xFFFF
+        if m == "addi":
+            def fn(pc, write=write, read=read, rt=rt, rs=rs, imm32=imm32):
+                write(rt, (read(rs) + imm32) & MASK32)
+                return None
+        elif m == "slti":
+            simm = to_signed32(imm32)
+            def fn(pc, write=write, read_signed=read_signed,
+                   rt=rt, rs=rs, simm=simm):
+                write(rt, 1 if read_signed(rs) < simm else 0)
+                return None
+        elif m == "sltiu":
+            def fn(pc, write=write, read=read, rt=rt, rs=rs, imm32=imm32):
+                write(rt, 1 if read(rs) < imm32 else 0)
+                return None
+        elif m == "andi":
+            def fn(pc, write=write, read=read, rt=rt, rs=rs, imm16=imm16):
+                write(rt, read(rs) & imm16)
+                return None
+        elif m == "ori":
+            def fn(pc, write=write, read=read, rt=rt, rs=rs, imm16=imm16):
+                write(rt, read(rs) | imm16)
+                return None
+        elif m == "xori":
+            def fn(pc, write=write, read=read, rt=rt, rs=rs, imm16=imm16):
+                write(rt, read(rs) ^ imm16)
+                return None
+        else:  # lui
+            value = imm16 << 16
+            def fn(pc, write=write, rt=rt, value=value):
+                write(rt, value)
+                return None
+        return fn
+
+    if m in _LOADERS:
+        loader, signed = _LOADERS[m]
+        load = getattr(memory, loader)
+        if signed is None:
+            def fn(pc, write=write, read=read, load=load,
+                   rt=rt, rs=rs, imm=inst.imm):
+                write(rt, load((read(rs) + imm) & MASK32) & MASK32)
+                return None
+        else:
+            def fn(pc, write=write, read=read, load=load,
+                   rt=rt, rs=rs, imm=inst.imm, signed=signed):
+                write(rt, load((read(rs) + imm) & MASK32, signed) & MASK32)
+                return None
+        return fn
+
+    if m in _STORERS:
+        store = getattr(memory, _STORERS[m])
+        def fn(pc, read=read, store=store, rt=rt, rs=rs, imm=inst.imm):
+            store((read(rs) + imm) & MASK32, read(rt))
+            return None
+        return fn
+
+    if inst.is_branch() and m != "dbne":
+        target = address + 4 + 4 * inst.imm
+        if m == "beq":
+            def fn(pc, read=read, rs=rs, rt=rt, target=target):
+                return target if read(rs) == read(rt) else None
+        elif m == "bne":
+            def fn(pc, read=read, rs=rs, rt=rt, target=target):
+                return target if read(rs) != read(rt) else None
+        elif m == "blez":
+            def fn(pc, read_signed=read_signed, rs=rs, target=target):
+                return target if read_signed(rs) <= 0 else None
+        elif m == "bgtz":
+            def fn(pc, read_signed=read_signed, rs=rs, target=target):
+                return target if read_signed(rs) > 0 else None
+        elif m == "bltz":
+            def fn(pc, read_signed=read_signed, rs=rs, target=target):
+                return target if read_signed(rs) < 0 else None
+        elif m == "bgez":
+            def fn(pc, read_signed=read_signed, rs=rs, target=target):
+                return target if read_signed(rs) >= 0 else None
+        else:
+            raise SimulationError(f"no predecoder for branch {m!r}")
+        return fn
+
+    if m == "dbne":
+        target = address + 4 + 4 * inst.imm
+        def fn(pc, read=read, write=write, rs=rs, target=target):
+            value = (read(rs) - 1) & MASK32
+            write(rs, value)
+            return target if value else None
+        return fn
+
+    if m == "j":
+        def fn(pc, target=inst.target * 4):
+            return target
+        return fn
+
+    if m == "jal":
+        def fn(pc, write=write, target=inst.target * 4, link=address + 4):
+            write(31, link)
+            return target
+        return fn
+
+    if m == "jr":
+        def fn(pc, read=read, rs=rs):
+            return read(rs)
+        return fn
+
+    if m == "jalr":
+        def fn(pc, read=read, write=write, rd=rd, rs=rs, link=address + 4):
+            target = read(rs)
+            write(rd, link)
+            return target
+        return fn
+
+    if m == "halt":
+        def fn(pc, state=state):
+            state.halted = True
+            return HALT
+        return fn
+
+    if m in ("mtz", "mfz"):
+        if zolc is None:
+            def fn(pc, m=m):
+                raise SimulationError(
+                    f"{m} executed on a machine without a ZOLC "
+                    f"(pc={pc:#x}); attach a ZolcController")
+        elif m == "mtz":
+            def fn(pc, zwrite=zolc.write, read=read, sel=inst.imm, rt=rt):
+                zwrite(sel, read(rt))
+                return None
+        else:
+            def fn(pc, write=write, zread=zolc.read, sel=inst.imm, rt=rt):
+                write(rt, zread(sel) & MASK32)
+                return None
+        return fn
+
+    raise SimulationError(f"no predecoder for mnemonic {m!r}")
+
+
+def predecode(sim: "Simulator") -> PredecodedProgram | None:
+    """Predecode a simulator's program into a dense handler array.
+
+    Returns ``None`` when the text image is not a dense run of words
+    starting at ``text_base`` (never produced by the assembler, but the
+    caller falls back to the stepped interpreter rather than guessing).
+    """
+    program = sim.program
+    config = sim.timing.config
+    base = program.text_base
+    ops: list[tuple[OpFn, int, frozenset[int], int | None, int]] = []
+    metas: list[OpMeta] = []
+    for i, inst in enumerate(program.instructions):
+        address = base + 4 * i
+        if inst.address != address:
+            return None
+        category = inst.category
+        base_cycles = 1
+        if category is Category.MUL:
+            base_cycles += config.mul_extra_cycles
+        if inst.mnemonic == "dbne":
+            taken_penalty = config.hwloop_penalty
+        elif inst.mnemonic in ("jr", "jalr"):
+            taken_penalty = config.jump_register_penalty
+        else:
+            taken_penalty = config.branch_penalty
+        load_dest = inst.rt if category is Category.LOAD and inst.rt else None
+        ops.append((_predecode_fn(inst, address, sim), base_cycles,
+                    inst.uses(), load_dest, taken_penalty))
+        metas.append(OpMeta(category.value, category is Category.ZOLC))
+    return PredecodedProgram(ops, metas)
+
+
+def run_fast(sim: "Simulator", max_steps: int,
+             predecoded: PredecodedProgram) -> None:
+    """Fused fetch/execute/retire loop over the predecoded program.
+
+    Accumulates cycles and counters in locals and syncs them back to
+    ``sim.stats`` / ``sim.timing`` on *every* exit path (halt, watchdog,
+    fetch/memory/ZOLC faults), so post-mortem state matches the stepped
+    interpreter exactly.
+    """
+    state = sim.state
+    timing = sim.timing
+    stats = sim.stats
+    zolc = sim.zolc
+    ops = predecoded.ops
+    metas = predecoded.metas
+
+    base = sim.program.text_base
+    limit = 4 * len(ops)
+    load_use = timing.config.load_use_stall
+    zolc_switch_extra = timing.config.zolc_switch_cycles
+
+    pc = state.pc
+    pending = timing._pending_load_dest
+    cycles = stats.cycles
+    stall = timing.stall_cycles
+    flush = timing.flush_cycles
+    taken_branches = stats.taken_branches
+    index_writes = 0
+    task_switches = 0
+    retired = [0] * len(ops)
+    steps = 0
+    halted = state.halted
+
+    try:
+        while not halted:
+            if steps >= max_steps:
+                raise WatchdogError(
+                    f"no halt after {max_steps} instructions (pc={pc:#x})")
+            offset = pc - base
+            if offset < 0 or offset >= limit or offset & 3:
+                raise InvalidFetchError(pc)
+            idx = offset >> 2
+            fn, base_cycles, uses, load_dest, taken_penalty = ops[idx]
+            res = fn(pc)
+            steps += 1
+            retired[idx] += 1
+            cycles += base_cycles
+            if pending is not None and pending in uses:
+                cycles += load_use
+                stall += load_use
+            if res is None:
+                next_pc = pc + 4
+                taken = False
+            elif res is HALT:
+                halted = True
+                next_pc = pc
+                taken = False
+            else:
+                next_pc = res
+                taken = True
+                taken_branches += 1
+                cycles += taken_penalty
+                flush += taken_penalty
+            pending = load_dest
+            if zolc is not None and not halted and zolc.active:
+                action = zolc.on_retire(pc, next_pc, taken=taken)
+                if action is not None:
+                    writes = action.index_writes
+                    if writes:
+                        write = state.regs.write
+                        for reg, value in writes:
+                            write(reg, value)
+                        index_writes += len(writes)
+                    if action.next_pc is not None:
+                        next_pc = action.next_pc
+                        # Any PC redirect crosses a fetch boundary: the
+                        # load-use pairing cannot survive it.
+                        pending = None
+                    if action.is_task_switch:
+                        task_switches += 1
+                        pending = None
+                        cycles += zolc_switch_extra
+                # A port may halt the machine from on_retire; observe it
+                # like the stepped loop's `while not state.halted` does.
+                halted = state.halted
+            pc = next_pc
+    finally:
+        state.pc = pc
+        timing._pending_load_dest = pending
+        timing.stall_cycles = stall
+        timing.flush_cycles = flush
+        stats.cycles = cycles
+        stats.taken_branches = taken_branches
+        stats.instructions += steps
+        stats.stall_cycles = stall
+        stats.flush_cycles = flush
+        stats.zolc_index_writes += index_writes
+        stats.zolc_task_switches += task_switches
+        by_category = stats.by_category
+        for idx, count in enumerate(retired):
+            if count:
+                meta = metas[idx]
+                key = meta.category_key
+                by_category[key] = by_category.get(key, 0) + count
+                if meta.is_zolc_init:
+                    stats.zolc_init_instructions += count

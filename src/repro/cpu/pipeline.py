@@ -85,9 +85,17 @@ class TimingModel:
         self._pending_load_dest = outcome.load_dest
         return cycles
 
+    def clear_load_pairing(self) -> None:
+        """Invalidate the pending load-use pairing.
+
+        Any PC redirect (task switch or not) crosses a fetch boundary, so
+        a load's consumer can never issue back-to-back with it.
+        """
+        self._pending_load_dest = None
+
     def zolc_switch(self) -> int:
         """Cycles consumed by a ZOLC task switch (zero per the paper)."""
         # A task switch redirects fetch combinationally; it also
         # invalidates any pending load-use pairing across the boundary.
-        self._pending_load_dest = None
+        self.clear_load_pairing()
         return self.config.zolc_switch_cycles

@@ -20,8 +20,14 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from repro.asm.assembler import Program
+from repro.asm.disassembler import format_instruction
 from repro.cpu.datapath import ExecOutcome, execute
-from repro.cpu.exceptions import InvalidFetchError, WatchdogError
+from repro.cpu.engine import PredecodedProgram, predecode, run_fast
+from repro.cpu.exceptions import (
+    InvalidFetchError,
+    SimulationError,
+    WatchdogError,
+)
 from repro.cpu.memory import DEFAULT_SIZE, Memory
 from repro.cpu.pipeline import PipelineConfig, TimingModel
 from repro.cpu.state import CpuState
@@ -75,6 +81,12 @@ class Simulator:
         self.zolc = zolc
         self.tracer = tracer
         self.stats = Stats()
+        # Predecoded fast-engine program: built lazily on the first
+        # `run()`; False caches "predecode unavailable, use step()".
+        # Rebuilt if the ZOLC port is swapped after construction.
+        self._predecoded: PredecodedProgram | None | bool = None
+        self._predecoded_zolc: ZolcPort | None = zolc
+        self._predecode_failure: str | None = None
         self._load_image()
         self.state.regs.write(SP_REG, memory_size - 16)
 
@@ -87,7 +99,12 @@ class Simulator:
 
     # -- execution --------------------------------------------------------
     def step(self) -> None:
-        """Fetch, execute and retire one instruction."""
+        """Fetch, execute and retire one instruction (slow-path API).
+
+        `run()` uses the predecoded fast engine; `step()` remains the
+        single-instruction interface for debuggers and tests, and the
+        fallback for traced runs.  Both retire identical sequences.
+        """
         state = self.state
         pc = state.pc
         inst = self.program.by_address.get(pc)
@@ -120,30 +137,88 @@ class Simulator:
                 if action.next_pc is not None:
                     redirect = action.next_pc
                     next_pc = redirect
+                    # A redirect crosses a fetch boundary even when it is
+                    # not a task switch; the load-use pairing dies with it.
+                    self.timing.clear_load_pairing()
                 if action.is_task_switch:
                     self.stats.zolc_task_switches += 1
                     self.stats.cycles += self.timing.zolc_switch()
 
+        self.stats.stall_cycles = self.timing.stall_cycles
+        self.stats.flush_cycles = self.timing.flush_cycles
+
         if self.tracer is not None:
-            from repro.asm.disassembler import format_instruction
             self.tracer.record(TraceRecord(
                 pc=pc, text=format_instruction(inst, self.program),
                 cycles_after=self.stats.cycles, zolc_redirect=redirect))
 
         state.pc = next_pc
 
-    def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> Stats:
-        """Run until ``halt`` (or raise :class:`WatchdogError`)."""
+    def _ensure_predecoded(self) -> PredecodedProgram | bool:
+        if self._predecoded_zolc is not self.zolc:
+            # The predecoded mtz/mfz closures bind the ZOLC port; a
+            # reassigned port invalidates them.
+            self._predecoded = None
+        if self._predecoded is None:
+            try:
+                built = predecode(self)
+                if built is None:
+                    self._predecode_failure = "non-dense text image"
+            except SimulationError as exc:
+                # A mnemonic the predecoder does not cover: fall back to
+                # the stepped interpreter rather than guessing.
+                built = None
+                self._predecode_failure = str(exc)
+            self._predecoded = built if built is not None else False
+            self._predecoded_zolc = self.zolc
+        return self._predecoded
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS,
+            engine: str = "auto") -> Stats:
+        """Run until ``halt`` (or raise :class:`WatchdogError`).
+
+        ``engine`` selects the execution strategy: ``"auto"`` (default)
+        uses the predecoded fast engine unless a tracer is attached,
+        ``"fast"`` forces it, ``"step"`` forces the legacy
+        one-instruction-at-a-time interpreter.
+        """
+        if engine not in ("auto", "fast", "step"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if engine == "fast" and self.tracer is not None:
+            raise ValueError(
+                "the fast engine does not record traces; detach the "
+                "tracer or use engine='step'")
+        use_fast = engine == "fast" or (engine == "auto"
+                                        and self.tracer is None)
+        if use_fast:
+            predecoded = self._ensure_predecoded()
+            if predecoded is False:
+                if engine == "fast":
+                    raise ValueError(
+                        "program cannot be predecoded: "
+                        f"{self._predecode_failure}")
+                use_fast = False
+            else:
+                run_fast(self, max_steps, predecoded)
+                return self.stats
+        return self._run_stepped(max_steps)
+
+    def _run_stepped(self, max_steps: int) -> Stats:
         state = self.state
         steps = 0
-        while not state.halted:
-            if steps >= max_steps:
-                raise WatchdogError(
-                    f"no halt after {max_steps} instructions (pc={state.pc:#x})")
-            self.step()
-            steps += 1
-        self.stats.stall_cycles = self.timing.stall_cycles
-        self.stats.flush_cycles = self.timing.flush_cycles
+        try:
+            while not state.halted:
+                if steps >= max_steps:
+                    raise WatchdogError(
+                        f"no halt after {max_steps} instructions "
+                        f"(pc={state.pc:#x})")
+                self.step()
+                steps += 1
+        finally:
+            # Counters must be coherent on every exit path, not only
+            # after a clean halt (a WatchdogError used to leave them 0).
+            self.stats.stall_cycles = self.timing.stall_cycles
+            self.stats.flush_cycles = self.timing.flush_cycles
         return self.stats
 
 

@@ -62,7 +62,9 @@ class Tracer:
 
     def format(self) -> str:
         lines = [
-            f"{r.pc:#06x}  {r.text:<28}"
+            # Fixed 10-char PC field (0x + 8 hex digits) so columns stay
+            # aligned for addresses at or above 0x10000.
+            f"{r.pc:#010x}  {r.text:<28}"
             + (f" -> zolc redirect {r.zolc_redirect:#x}" if r.zolc_redirect is not None else "")
             for r in self.records
         ]

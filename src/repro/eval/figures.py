@@ -83,10 +83,14 @@ def figure2_from_suite(suite: SuiteResult) -> Figure2Data:
     return data
 
 
-def figure2(pipeline: PipelineConfig | None = None) -> Figure2Data:
-    """Run the 12-benchmark suite on the three Figure 2 machines."""
+def figure2(pipeline: PipelineConfig | None = None,
+            jobs: int | None = None) -> Figure2Data:
+    """Run the 12-benchmark suite on the three Figure 2 machines.
+
+    ``jobs`` is forwarded to :func:`run_suite` (process-pool fan-out).
+    """
     suite = run_suite(figure2_kernels(), list(FIGURE2_MACHINES),
-                      pipeline=pipeline)
+                      pipeline=pipeline, jobs=jobs)
     return figure2_from_suite(suite)
 
 

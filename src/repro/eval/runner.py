@@ -3,15 +3,25 @@
 Runs a kernel on a machine configuration, *verifies the output against
 the kernel's golden model* (a run whose result is wrong would make the
 cycle count meaningless) and returns the measurement.
+
+:func:`run_suite` can fan the (kernel, machine) grid out over a process
+pool (``jobs``): every pair is an independent simulation, so the suite
+is embarrassingly parallel.  Workers resolve kernels and machines *by
+name* from the registry (``Kernel.check`` golden models are closures and
+do not pickle); results come back in deterministic grid order regardless
+of completion order.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cpu.pipeline import PipelineConfig
+from repro.cpu.simulator import DEFAULT_MAX_STEPS
 from repro.cpu.tracing import Stats
-from repro.eval.machines import Machine
+from repro.eval.machines import Machine, machine_by_name
 from repro.workloads.api import Kernel
 
 
@@ -56,7 +66,7 @@ class SuiteResult:
 
 def run_kernel(kernel: Kernel, machine: Machine,
                pipeline: PipelineConfig | None = None,
-               max_steps: int = 20_000_000) -> RunResult:
+               max_steps: int = DEFAULT_MAX_STEPS) -> RunResult:
     """Prepare, simulate and verify one kernel on one machine."""
     prepared = machine.prepare(kernel.source)
     simulator = prepared.make_simulator(pipeline=pipeline)
@@ -76,11 +86,62 @@ def run_kernel(kernel: Kernel, machine: Machine,
     )
 
 
+def _run_pair_by_name(task: tuple[str, str, PipelineConfig | None, int]
+                      ) -> RunResult:
+    """Process-pool worker: resolve by name and run one pair."""
+    kernel_name, machine_name, pipeline, max_steps = task
+    from repro.workloads.suite import registry
+
+    kernel = registry().get(kernel_name)
+    machine = machine_by_name(machine_name)
+    return run_kernel(kernel, machine, pipeline=pipeline, max_steps=max_steps)
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:  # one worker per CPU
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _names_resolvable(kernels: list[Kernel], machines: list[Machine]) -> bool:
+    """Whether every pair can be re-resolved by name in a worker."""
+    from repro.workloads.suite import registry
+
+    reg = registry()
+    if any(reg.kernels.get(k.name) is not k for k in kernels):
+        return False
+    try:
+        return all(machine_by_name(m.name) is m for m in machines)
+    except KeyError:
+        return False
+
+
 def run_suite(kernels: list[Kernel], machines: list[Machine],
-              pipeline: PipelineConfig | None = None) -> SuiteResult:
-    """Run every kernel on every machine."""
+              pipeline: PipelineConfig | None = None,
+              jobs: int | None = None,
+              max_steps: int = DEFAULT_MAX_STEPS) -> SuiteResult:
+    """Run every kernel on every machine.
+
+    ``jobs`` selects the parallelism: ``None``/1 runs in-process, ``n``
+    uses ``n`` worker processes, ``0`` uses one per CPU (negative values
+    are rejected).  Ad-hoc kernels or machines that are not registry
+    members cannot be shipped to workers and always run in-process.
+    """
+    jobs = _resolve_jobs(jobs)
+    pairs = [(kernel, machine) for kernel in kernels for machine in machines]
     suite = SuiteResult()
-    for kernel in kernels:
-        for machine in machines:
-            suite.add(run_kernel(kernel, machine, pipeline=pipeline))
+    if jobs > 1 and len(pairs) > 1 and _names_resolvable(kernels, machines):
+        tasks = [(kernel.name, machine.name, pipeline, max_steps)
+                 for kernel, machine in pairs]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            for result in pool.map(_run_pair_by_name, tasks):
+                suite.add(result)
+        return suite
+    for kernel, machine in pairs:
+        suite.add(run_kernel(kernel, machine, pipeline=pipeline,
+                             max_steps=max_steps))
     return suite

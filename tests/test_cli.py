@@ -34,6 +34,24 @@ class TestRun:
         assert main(["run", "vec_sum", "-m", "nope"]) == 2
 
 
+class TestFigure2Jobs:
+    def test_jobs_flag_parsed(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["figure2", "-j", "2"])
+        assert args.jobs == 2
+
+    def test_jobs_defaults_to_serial(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["figure2"])
+        assert args.jobs is None
+
+    def test_negative_jobs_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure2", "-j", "-3"])
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+
 class TestCompare:
     def test_all_machines_listed(self, capsys):
         assert main(["compare", "quantize"]) == 0

@@ -72,6 +72,41 @@ class TestAluOps:
         assert state.regs["zero"] == 0
 
 
+class TestNegativeImmediates:
+    """Sign extension of the semantic immediate onto the 32-bit datapath.
+
+    The signed and "unsigned" I-format handlers were once separate,
+    byte-identical functions; these pin the actual MIPS semantics for
+    negative immediates through the single collapsed handler.
+    """
+
+    def test_addi_negative_wraps_through_zero(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 2
+        run(state, memory, Instruction("addi", rt=9, rs=8, imm=-5))
+        assert state.regs.read_signed(9) == -3
+        assert state.regs["t1"] == 0xFFFFFFFD
+
+    def test_slti_negative_immediate_is_signed(self, ctx):
+        state, memory = ctx
+        state.regs["t0"] = 0xFFFFFFF6  # -10
+        run(state, memory, Instruction("slti", rt=9, rs=8, imm=-5))
+        assert state.regs["t1"] == 1   # -10 < -5
+        run(state, memory, Instruction("slti", rt=9, rs=8, imm=-20))
+        assert state.regs["t1"] == 0   # -10 >= -20
+
+    def test_sltiu_compares_sign_extended_unsigned(self, ctx):
+        state, memory = ctx
+        # MIPS sltiu: imm sign-extends, then compares unsigned, so -1
+        # becomes 0xFFFFFFFF — almost everything is below it.
+        state.regs["t0"] = 5
+        run(state, memory, Instruction("sltiu", rt=9, rs=8, imm=-1))
+        assert state.regs["t1"] == 1
+        state.regs["t0"] = 0xFFFFFFFF
+        run(state, memory, Instruction("sltiu", rt=9, rs=8, imm=-1))
+        assert state.regs["t1"] == 0
+
+
 class TestShifts:
     def test_sll_imm(self, ctx):
         state, memory = ctx

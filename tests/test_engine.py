@@ -1,0 +1,233 @@
+"""Differential tests: predecoded fast engine vs the legacy interpreter.
+
+The fast engine must retire *identical* (pc, regs, cycles, stats)
+sequences to ``step()`` — that invariant is what makes the engine a pure
+optimisation.  We check it three ways: final-state equivalence across
+the full kernel suite on every machine (ZOLC and non-ZOLC), lockstep
+per-retirement equivalence on representative kernels, and a hypothesis
+sweep over random ALU programs.
+"""
+
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.cpu import Simulator, WatchdogError
+from repro.cpu.engine import predecode
+from repro.eval.machines import ALL_MACHINES
+from repro.workloads.suite import registry
+
+from test_differential import _alu_instruction, _render
+
+
+def _state_tuple(sim):
+    return (sim.state.pc, sim.state.halted, sim.state.regs.snapshot(),
+            asdict(sim.stats), sim.timing.stall_cycles,
+            sim.timing.flush_cycles, sim.timing._pending_load_dest)
+
+
+def _run_pair(prepared, max_steps=20_000_000):
+    fast = prepared.make_simulator()
+    fast.run(max_steps=max_steps, engine="fast")
+    slow = prepared.make_simulator()
+    slow.run(max_steps=max_steps, engine="step")
+    return fast, slow
+
+
+class TestSuiteEquivalence:
+    @pytest.mark.parametrize("machine", ALL_MACHINES, ids=lambda m: m.name)
+    def test_full_suite_matches_step_engine(self, kernel_registry, machine):
+        """Every kernel retires to the same final state on both engines."""
+        for kernel in kernel_registry.all():
+            prepared = machine.prepare(kernel.source)
+            fast, slow = _run_pair(prepared)
+            assert _state_tuple(fast) == _state_tuple(slow), \
+                f"{kernel.name} on {machine.name} diverged"
+            kernel.check(fast)  # the golden model holds on the fast engine
+
+
+class TestLockstepEquivalence:
+    """Per-retirement equivalence, via the watchdog's single-step trick.
+
+    ``run(max_steps=1)`` executes exactly one instruction before the
+    watchdog fires, and the fast engine syncs all counters on every exit
+    path — so catching :class:`WatchdogError` yields a legal retire-by-
+    retire observation of the fast loop.
+    """
+
+    @pytest.mark.parametrize("machine_name", ["XRdefault", "ZOLClite"])
+    def test_retire_sequences_identical(self, kernel_registry, machine_name):
+        machine = next(m for m in ALL_MACHINES if m.name == machine_name)
+        prepared = machine.prepare(kernel_registry.get("vec_sum").source)
+        fast = prepared.make_simulator()
+        slow = prepared.make_simulator()
+        for retirement in range(50_000):
+            if slow.state.halted:
+                break
+            slow.step()
+            if slow.state.halted:
+                fast.run(max_steps=1, engine="fast")  # halt retires cleanly
+            else:
+                with pytest.raises(WatchdogError):
+                    fast.run(max_steps=1, engine="fast")
+            assert _state_tuple(fast) == _state_tuple(slow), \
+                f"diverged at retirement {retirement}"
+        else:
+            pytest.fail("kernel did not halt")
+        assert fast.state.halted and slow.state.halted
+
+
+class TestRandomPrograms:
+    @settings(max_examples=40, deadline=None)
+    @given(spec=st.lists(_alu_instruction(), min_size=1, max_size=24),
+           seeds=st.lists(st.integers(min_value=-(2**31),
+                                      max_value=2**31 - 1),
+                          min_size=4, max_size=4))
+    def test_engines_agree_on_random_alu_programs(self, spec, seeds):
+        source = _render(spec, seeds)
+        fast = Simulator(assemble(source))
+        fast.run(engine="fast")
+        slow = Simulator(assemble(source))
+        slow.run(engine="step")
+        assert _state_tuple(fast) == _state_tuple(slow)
+
+
+class TestEngineSelection:
+    def test_auto_uses_fast_and_caches_predecode(self):
+        sim = Simulator(assemble("li t0, 3\nhalt\n"))
+        sim.run()
+        assert sim._predecoded is not None and sim._predecoded is not False
+        assert sim.state.regs["t0"] == 3
+
+    def test_tracer_falls_back_to_step(self):
+        from repro.cpu import Tracer
+        tracer = Tracer(limit=10)
+        sim = Simulator(assemble("li t0, 3\nhalt\n"), tracer=tracer)
+        sim.run()
+        assert len(tracer.records) == 2
+
+    def test_forced_fast_with_tracer_rejected(self):
+        from repro.cpu import Tracer
+        sim = Simulator(assemble("halt\n"), tracer=Tracer(limit=10))
+        with pytest.raises(ValueError, match="does not record traces"):
+            sim.run(engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        sim = Simulator(assemble("halt\n"))
+        with pytest.raises(ValueError):
+            sim.run(engine="turbo")
+
+    def test_predecode_covers_whole_text(self):
+        sim = Simulator(assemble("li t0, 1\nli t1, 2\nhalt\n"))
+        predecoded = predecode(sim)
+        assert predecoded is not None
+        assert len(predecoded.ops) == len(sim.program.instructions)
+
+    def test_predecoder_covers_every_executor_mnemonic(self):
+        """The fast engine's tables must track datapath.EXECUTORS.
+
+        A gap would silently demote programs using the missing mnemonic
+        to the stepped interpreter; this pins the two op tables together.
+        """
+        from repro.cpu.datapath import EXECUTORS
+        from repro.cpu.engine import _predecode_fn
+        from repro.isa.instructions import Instruction
+
+        sim = Simulator(assemble("halt\n"))
+        for mnemonic in EXECUTORS:
+            fn = _predecode_fn(Instruction(mnemonic, address=0), 0, sim)
+            assert callable(fn), mnemonic
+
+    def test_predecode_gap_falls_back_to_step(self, monkeypatch):
+        # A mnemonic the predecoder does not cover must degrade to the
+        # stepped interpreter under engine="auto", not blow up run().
+        import repro.cpu.simulator as simulator_module
+        from repro.cpu import SimulationError
+
+        def boom(sim):
+            raise SimulationError("no predecoder for mnemonic 'frobnicate'")
+
+        monkeypatch.setattr(simulator_module, "predecode", boom)
+        sim = Simulator(assemble("li t0, 9\nhalt\n"))
+        sim.run()
+        assert sim._predecoded is False
+        assert sim.state.regs["t0"] == 9
+
+    def test_zolc_swap_invalidates_predecode_cache(self):
+        sim = Simulator(assemble("li t0, 1\nhalt\n"))
+        sim.run()
+        first = sim._predecoded
+        assert first is not False
+
+        class _InertPort:
+            active = False
+
+            def write(self, selector, value): ...
+            def read(self, selector): return 0
+            def on_retire(self, pc, next_pc, taken=False): return None
+
+        sim.zolc = _InertPort()
+        assert sim._ensure_predecoded() is not first
+
+
+class _HaltingPort:
+    """ZolcPort that halts the machine externally after N retirements."""
+
+    def __init__(self, after):
+        self.after = after
+        self.seen = 0
+        self.active = True
+        self.state = None
+
+    def write(self, selector, value): ...
+    def read(self, selector): return 0
+
+    def on_retire(self, pc, next_pc, taken=False):
+        self.seen += 1
+        if self.seen >= self.after:
+            self.state.halted = True
+        return None
+
+
+class TestExternalHalt:
+    @pytest.mark.parametrize("engine", ["fast", "step"])
+    def test_port_halting_from_on_retire_stops_both_engines(self, engine):
+        source = "li t0, 100\nloop: addi t0, t0, -1\nbne t0, zero, loop\nhalt\n"
+        port = _HaltingPort(after=5)
+        sim = Simulator(assemble(source), zolc=port)
+        port.state = sim.state
+        sim.run(max_steps=1000, engine=engine)
+        assert sim.state.halted
+        assert sim.stats.instructions == 5
+
+
+class TestFaultPaths:
+    def test_watchdog_message_and_state_synced(self):
+        source = "li t0, 5\nloop: addi t0, t0, -1\nbne t0, zero, loop\nhalt\n"
+        fast = Simulator(assemble(source))
+        slow = Simulator(assemble(source))
+        with pytest.raises(WatchdogError):
+            fast.run(max_steps=7, engine="fast")
+        with pytest.raises(WatchdogError):
+            slow.run(max_steps=7, engine="step")
+        assert _state_tuple(fast) == _state_tuple(slow)
+
+    def test_invalid_fetch_matches(self):
+        from repro.cpu import InvalidFetchError
+        source = "j 0x200\nhalt\n"
+        fast = Simulator(assemble(source))
+        slow = Simulator(assemble(source))
+        with pytest.raises(InvalidFetchError):
+            fast.run(engine="fast")
+        with pytest.raises(InvalidFetchError):
+            slow.run(engine="step")
+        assert _state_tuple(fast) == _state_tuple(slow)
+
+    def test_unplaced_zolc_instruction_raises(self):
+        from repro.cpu import SimulationError
+        sim = Simulator(assemble("mtz t0, 4\nhalt\n"))
+        with pytest.raises(SimulationError, match="without a ZOLC"):
+            sim.run(engine="fast")

@@ -87,6 +87,92 @@ class TestErrors:
             sim.run(max_steps=100)
 
 
+STALLING_LOOP = (".data\nx: .word 5\n.text\n"
+                 "lui  t0, 1\n"            # t0 = 0x10000 = &x
+                 "loop: lw t1, 0(t0)\n"
+                 "add  t2, t1, t1\n"       # load-use stall every iteration
+                 "j    loop\n"
+                 "halt\n")
+
+
+class TestCounterSyncOnEveryExit:
+    """stall/flush counters must be coherent however the run ends."""
+
+    @pytest.mark.parametrize("engine", ["fast", "step"])
+    def test_watchdog_exit_syncs_counters(self, engine):
+        sim = Simulator(assemble(STALLING_LOOP))
+        with pytest.raises(WatchdogError):
+            sim.run(max_steps=31, engine=engine)
+        # 10 completed iterations: one load-use stall and one taken-jump
+        # flush each.
+        assert sim.stats.stall_cycles == 10
+        assert sim.stats.flush_cycles == 10
+        assert sim.stats.cycles == 31 + 10 + 10
+
+    def test_step_callers_see_live_counters(self):
+        sim = Simulator(assemble(STALLING_LOOP))
+        for _ in range(3):  # lui, lw, add -> one stall charged
+            sim.step()
+        assert sim.stats.stall_cycles == 1
+        assert sim.stats.stall_cycles == sim.timing.stall_cycles
+
+    def test_clean_halt_unchanged(self):
+        sim = run_program(assemble("nop\nhalt\n"))
+        assert sim.stats.stall_cycles == 0
+        assert sim.stats.flush_cycles == 0
+
+
+class _RedirectingPort:
+    """Minimal ZolcPort that redirects one retirement, no task switch."""
+
+    def __init__(self, at_pc, to_pc):
+        self.at_pc = at_pc
+        self.to_pc = to_pc
+        self.active = True
+
+    def write(self, selector, value):
+        raise AssertionError("unused")
+
+    def read(self, selector):
+        raise AssertionError("unused")
+
+    def on_retire(self, pc, next_pc, taken=False):
+        from repro.cpu import ZolcAction
+        if pc == self.at_pc:
+            return ZolcAction(self.to_pc, is_task_switch=False)
+        return None
+
+
+class TestRedirectClearsLoadPairing:
+    """A PC redirect that is not a task switch must still invalidate the
+    pending load-use pairing: the redirected fetch cannot consume the
+    load back-to-back."""
+
+    SOURCE = (".data\nx: .word 7\n.text\n"
+              "lui  t0, 1\n"
+              "lw   t1, 0(t0)\n"
+              "add  t2, t1, t1\n"
+              "halt\n")
+
+    @pytest.mark.parametrize("engine", ["fast", "step"])
+    def test_no_phantom_stall_across_redirect(self, engine):
+        # Redirect at the lw retirement (pc 0x4) to the add (0x8): same
+        # successor address, but now across a redirected fetch boundary.
+        sim = Simulator(assemble(self.SOURCE),
+                        zolc=_RedirectingPort(at_pc=0x4, to_pc=0x8))
+        sim.run(engine=engine)
+        assert sim.state.regs["t2"] == 14
+        assert sim.stats.stall_cycles == 0
+        assert sim.stats.cycles == 4
+
+    @pytest.mark.parametrize("engine", ["fast", "step"])
+    def test_stall_still_charged_without_redirect(self, engine):
+        sim = Simulator(assemble(self.SOURCE))
+        sim.run(engine=engine)
+        assert sim.stats.stall_cycles == 1
+        assert sim.stats.cycles == 5
+
+
 class TestCategoryStats:
     def test_categories_counted(self):
         sim = run_program(assemble(
@@ -118,3 +204,12 @@ class TestTracer:
         assert len(tracer.records) == 1
         assert tracer.dropped == 2
         assert "dropped" in tracer.format()
+
+    def test_trace_columns_align_above_64k(self):
+        from repro.cpu.tracing import TraceRecord, Tracer
+        tracer = Tracer()
+        tracer.record(TraceRecord(pc=0x0040, text="nop", cycles_after=1))
+        tracer.record(TraceRecord(pc=0x12340, text="halt", cycles_after=2))
+        low, high = tracer.format().splitlines()
+        assert low.index("nop") == high.index("halt")
+        assert high.startswith("0x00012340")
