@@ -6,18 +6,25 @@ Commands::
     run KERNEL [-m MACHINE]     run one kernel on one machine
     compare KERNEL              run one kernel on all five machines
     figure2 [-j N]              regenerate Figure 2 (the headline result)
+    experiment PLAN             run a declarative plan file (JSON/TOML)
     resources                   regenerate the storage/area tables (E3/E4)
     timing                      regenerate the cycle-time report (E5)
     disasm KERNEL [-m MACHINE]  disassemble a (transformed) kernel
     explore KERNEL              loop/task structure report
     sweep {penalty,switch-cost,nesting}   run an ablation sweep
     tables KERNEL [-m MACHINE]  dump ZOLC tables after a run
+
+``run``, ``compare``, ``figure2``, ``sweep`` and ``experiment`` accept
+``--json`` (machine-readable stdout) and ``--out FILE`` (write the JSON
+payload to a file, keeping the human-readable report on stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.asm import assemble, disassemble_program
 from repro.eval.figures import figure2, render_figure2
@@ -30,7 +37,26 @@ from repro.eval.report import (
     render_timing_report,
 )
 from repro.eval.runner import run_kernel
+from repro.workloads.api import KernelCheckError
 from repro.workloads.suite import registry
+
+
+def _emit(args: argparse.Namespace, payload: dict, text: str) -> None:
+    """Honour ``--json`` / ``--out`` for one command's result."""
+    out = getattr(args, "out", None)
+    if out:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2))
+    else:
+        print(text)
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as JSON instead of text")
+    parser.add_argument("-o", "--out", metavar="FILE", default=None,
+                        help="also write the JSON result to FILE")
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
@@ -46,33 +72,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kernel = registry().get(args.kernel)
     machine = machine_by_name(args.machine)
     result = run_kernel(kernel, machine)
-    print(f"{kernel.name} on {machine.name}: verified={result.verified}")
-    print(f"  cycles        {result.cycles}")
-    print(f"  instructions  {result.instructions}")
-    print(f"  CPI           {result.cpi:.3f}")
+    lines = [f"{kernel.name} on {machine.name}: verified={result.verified}",
+             f"  cycles        {result.cycles}",
+             f"  instructions  {result.instructions}",
+             f"  CPI           {result.cpi:.3f}"]
     if machine.kind == "zolc":
-        print(f"  loops driven  {result.transformed_loops}")
-        print(f"  task switches {result.zolc_task_switches}")
-        print(f"  init instrs   {result.zolc_init_instructions}")
+        lines.append(f"  loops driven  {result.transformed_loops}")
+        lines.append(f"  task switches {result.zolc_task_switches}")
+        lines.append(f"  init instrs   {result.zolc_init_instructions}")
+    _emit(args, result.record(), "\n".join(lines))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     kernel = registry().get(args.kernel)
-    print(f"{kernel.name}: {kernel.description}")
+    lines = [f"{kernel.name}: {kernel.description}"]
+    records = []
     baseline = None
     for machine in ALL_MACHINES:
         result = run_kernel(kernel, machine)
         if baseline is None:
             baseline = result.cycles
         saved = improvement_percent(result.cycles, baseline)
-        print(f"  {machine.name:<10} {result.cycles:>9} cycles"
-              f"  ({saved:5.1f} % vs XRdefault)")
+        record = result.record()
+        record["improvement_percent"] = round(saved, 4)
+        records.append(record)
+        lines.append(f"  {machine.name:<10} {result.cycles:>9} cycles"
+                     f"  ({saved:5.1f} % vs XRdefault)")
+    _emit(args, {"kernel": kernel.name, "records": records},
+          "\n".join(lines))
     return 0
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    print(render_figure2(figure2(jobs=args.jobs)))
+    data = figure2(jobs=args.jobs)
+    _emit(args, data.to_dict(), render_figure2(data))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_plan
+
+    store = None if args.no_cache else args.store
+    backend = args.backend
+    if backend == "serial" and args.jobs is not None and args.jobs != 1:
+        backend = "process"  # asking for workers implies the process backend
+    result = run_plan(args.plan, backend=backend, jobs=args.jobs,
+                      store=store)
+    _emit(args, result.to_dict(), result.render())
     return 0
 
 
@@ -103,7 +150,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.eval.ablation import run_sweep
 
     result = run_sweep(args.sweep)
-    print(result.render())
+    _emit(args, result.to_dict(), result.render())
     return 0
 
 
@@ -165,18 +212,40 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one kernel")
     run_parser.add_argument("kernel")
     run_parser.add_argument("-m", "--machine", default=XR_DEFAULT.name)
+    _add_output_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare",
                                     help="run one kernel on all machines")
     compare_parser.add_argument("kernel")
+    _add_output_flags(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     figure2_parser = sub.add_parser("figure2", help="regenerate Figure 2")
     figure2_parser.add_argument(
         "-j", "--jobs", type=_jobs_count, default=None, metavar="N",
         help="run the suite on N worker processes (0 = one per CPU)")
+    _add_output_flags(figure2_parser)
     figure2_parser.set_defaults(func=_cmd_figure2)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="run a declarative plan file (JSON/TOML)")
+    experiment_parser.add_argument("plan", help="path to PLAN.{json,toml}")
+    experiment_parser.add_argument(
+        "-b", "--backend", choices=("serial", "process"), default="serial",
+        help="execution backend (default: serial; --jobs implies process)")
+    experiment_parser.add_argument(
+        "-j", "--jobs", type=_jobs_count, default=None, metavar="N",
+        help="process-backend workers (0 = one per CPU)")
+    experiment_parser.add_argument(
+        "--store", default="results", metavar="DIR",
+        help="result-store directory (default: results)")
+    experiment_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-simulate every cell, bypassing the result store")
+    _add_output_flags(experiment_parser)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
     sub.add_parser("resources", help="E3/E4 resource tables").set_defaults(
         func=_cmd_resources)
     sub.add_parser("timing", help="E5 cycle-time report").set_defaults(
@@ -194,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser("sweep", help="run a named ablation sweep")
     sweep_parser.add_argument("sweep",
                               choices=("penalty", "switch-cost", "nesting"))
+    _add_output_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     tables_parser = sub.add_parser(
@@ -210,9 +280,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KernelCheckError as exc:
+        print(f"error: golden check failed: {exc}", file=sys.stderr)
+        return 1
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

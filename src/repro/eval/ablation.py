@@ -4,22 +4,26 @@ The ``benchmarks/bench_ablation_*`` targets print and assert the
 paper-shape claims; this module exposes the same sweeps as a library
 API returning structured data, for notebooks, the CLI ``sweep``
 command, and downstream studies.
+
+The pipeline-parameter sweeps are thin consumers of the unified
+experiment API: each builds an :class:`ExperimentSpec` with a sweep
+axis and folds the tidy records into a :class:`SweepResult`.  The
+nesting-depth sweep measures *ad-hoc synthetic kernels* (generated per
+depth, not registry members), so it keeps its bespoke driver.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.asm import assemble
 from repro.core.config import ZOLC_LITE, ZolcConfig
-from repro.cpu.pipeline import PipelineConfig
 from repro.cpu.simulator import run_program
-from repro.eval.machines import M_ZOLC_LITE, XR_DEFAULT, Machine
+from repro.eval.machines import M_ZOLC_LITE, XR_DEFAULT, MachineSpec
 from repro.eval.metrics import improvement_percent
-from repro.eval.runner import run_kernel
 from repro.transform.zolc_rewrite import rewrite_for_zolc
 from repro.workloads.kernels.synthetic import nest_kernel
-from repro.workloads.suite import registry
 
 
 @dataclass
@@ -54,52 +58,81 @@ class SweepResult:
                          f"{average:5.1f} %")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "parameter": self.parameter_name,
+            "kernels": list(self.kernel_names),
+            "points": [{
+                "parameter": point.parameter,
+                "improvements_percent": {k: round(v, 4) for k, v
+                                         in point.improvements.items()},
+                "average_percent": round(point.average, 4),
+            } for point in self.points],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
 
 DEFAULT_SUBSET = ("vec_sum", "dot_product", "crc32", "matmul")
 
 
-def _improvements(kernel_names: tuple[str, ...],
-                  pipeline: PipelineConfig,
-                  zolc_machine: Machine = M_ZOLC_LITE) -> dict[str, float]:
-    reg = registry()
-    out = {}
-    for name in kernel_names:
-        kernel = reg.get(name)
-        base = run_kernel(kernel, XR_DEFAULT, pipeline=pipeline)
-        zolc = run_kernel(kernel, zolc_machine, pipeline=pipeline)
-        out[name] = improvement_percent(zolc.cycles, base.cycles)
-    return out
+def _axis_sweep(name: str, axis_name: str, axis_fields: tuple[str, ...],
+                values: tuple[int, ...], kernel_names: tuple[str, ...],
+                zolc_machine: MachineSpec, parameter_name: str,
+                store=None) -> SweepResult:
+    """Run one pipeline-axis sweep through the experiment API."""
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.spec import ExperimentSpec, SweepAxis
+
+    spec = ExperimentSpec(
+        name=name,
+        kernels=kernel_names,
+        machines=(XR_DEFAULT, zolc_machine),
+        sweep=(SweepAxis(name=axis_name, values=values,
+                         fields=axis_fields),),
+    )
+    experiment = run_experiment(spec, store=store)
+    result = SweepResult(name=name, parameter_name=parameter_name,
+                         kernel_names=kernel_names)
+    for value in values:
+        improvements = {}
+        for kernel in kernel_names:
+            base = experiment.get(kernel, XR_DEFAULT.name,
+                                  **{axis_name: value})
+            zolc = experiment.get(kernel, zolc_machine.name,
+                                  **{axis_name: value})
+            improvements[kernel] = improvement_percent(zolc["cycles"],
+                                                       base["cycles"])
+        result.points.append(SweepPoint(parameter=value,
+                                        improvements=improvements))
+    return result
 
 
 def sweep_branch_penalty(
         penalties: tuple[int, ...] = (0, 1, 2, 3),
-        kernel_names: tuple[str, ...] = DEFAULT_SUBSET) -> SweepResult:
+        kernel_names: tuple[str, ...] = DEFAULT_SUBSET,
+        store=None) -> SweepResult:
     """A3: ZOLC gain as a function of the taken-branch penalty."""
-    result = SweepResult(name="branch-penalty sweep",
-                         parameter_name="penalty",
-                         kernel_names=kernel_names)
-    for penalty in penalties:
-        pipeline = PipelineConfig(branch_penalty=penalty,
-                                  jump_register_penalty=penalty)
-        result.points.append(SweepPoint(
-            parameter=penalty,
-            improvements=_improvements(kernel_names, pipeline)))
-    return result
+    return _axis_sweep(
+        name="branch-penalty sweep", axis_name="penalty",
+        axis_fields=("branch_penalty", "jump_register_penalty"),
+        values=penalties, kernel_names=kernel_names,
+        zolc_machine=M_ZOLC_LITE, parameter_name="penalty", store=store)
 
 
 def sweep_switch_cost(
         costs: tuple[int, ...] = (0, 1, 2, 5),
-        kernel_names: tuple[str, ...] = DEFAULT_SUBSET) -> SweepResult:
+        kernel_names: tuple[str, ...] = DEFAULT_SUBSET,
+        store=None) -> SweepResult:
     """A5: gain erosion under a hypothetical slower task switch."""
-    result = SweepResult(name="task-switch-cost sweep",
-                         parameter_name="cycles/switch",
-                         kernel_names=kernel_names)
-    for cost in costs:
-        pipeline = PipelineConfig(zolc_switch_cycles=cost)
-        result.points.append(SweepPoint(
-            parameter=cost,
-            improvements=_improvements(kernel_names, pipeline)))
-    return result
+    return _axis_sweep(
+        name="task-switch-cost sweep", axis_name="switch_cost",
+        axis_fields=("zolc_switch_cycles",),
+        values=costs, kernel_names=kernel_names,
+        zolc_machine=M_ZOLC_LITE, parameter_name="cycles/switch",
+        store=store)
 
 
 def sweep_nesting_depth(

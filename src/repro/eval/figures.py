@@ -7,8 +7,10 @@ headline numbers (§3):
 * XRhrdwil: up to 27.5 % reduction, ~11.1 % average;
 * ZOLC:     up to 48.2 % reduction, ~26.2 % average, 8.4 % minimum.
 
-:func:`figure2` runs the full suite and returns the same series;
-:func:`render_figure2` prints them as a table plus an ASCII bar chart.
+:func:`figure2` runs the full suite (through the unified experiment
+API, so measurements can be served from a :class:`ResultStore`) and
+returns the same series; :func:`render_figure2` prints them as a table
+plus an ASCII bar chart.
 """
 
 from __future__ import annotations
@@ -16,10 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cpu.pipeline import PipelineConfig
-from repro.eval.machines import FIGURE2_MACHINES
 from repro.eval.metrics import ImprovementSummary, improvement_percent, summarise
-from repro.eval.runner import SuiteResult, run_suite
-from repro.workloads.suite import figure2_kernels
+from repro.eval.runner import SuiteResult
 
 #: The paper's reported summary numbers, for EXPERIMENTS.md comparisons.
 PAPER_HRDWIL_MAX = 27.5
@@ -69,6 +69,42 @@ class Figure2Data:
     def zolc_summary(self) -> ImprovementSummary:
         return summarise([r.improvement_zolc for r in self.rows])
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``figure2 --json`` payload)."""
+        return {
+            "rows": [{
+                "benchmark": row.benchmark,
+                "cycles": {"XRdefault": row.cycles_default,
+                           "XRhrdwil": row.cycles_hrdwil,
+                           "ZOLClite": row.cycles_zolc},
+                "improvement_hrdwil_percent": round(row.improvement_hrdwil, 4),
+                "improvement_zolc_percent": round(row.improvement_zolc, 4),
+            } for row in self.rows],
+            "summary": {
+                "hrdwil": _summary_dict(self.hrdwil_summary),
+                "zolc": _summary_dict(self.zolc_summary),
+            },
+        }
+
+
+def _summary_dict(summary: ImprovementSummary) -> dict:
+    return {"max_percent": round(summary.maximum, 4),
+            "min_percent": round(summary.minimum, 4),
+            "avg_percent": round(summary.average, 4)}
+
+
+def figure2_spec(pipeline: PipelineConfig | None = None):
+    """The Figure 2 study as a declarative :class:`ExperimentSpec`."""
+    from repro.eval.machines import FIGURE2_MACHINES
+    from repro.experiments.spec import ExperimentSpec
+
+    return ExperimentSpec(
+        name="figure2",
+        kernels=("@figure2",),
+        machines=FIGURE2_MACHINES,
+        pipeline=pipeline if pipeline is not None else PipelineConfig(),
+    )
+
 
 def figure2_from_suite(suite: SuiteResult) -> Figure2Data:
     """Assemble Figure 2 from pre-collected suite measurements."""
@@ -83,15 +119,35 @@ def figure2_from_suite(suite: SuiteResult) -> Figure2Data:
     return data
 
 
+def figure2_from_result(result) -> Figure2Data:
+    """Assemble Figure 2 from an :class:`ExperimentResult`."""
+    data = Figure2Data()
+    for name in result.kernels():
+        data.rows.append(Figure2Row(
+            benchmark=name,
+            cycles_default=result.get(name, "XRdefault")["cycles"],
+            cycles_hrdwil=result.get(name, "XRhrdwil")["cycles"],
+            cycles_zolc=result.get(name, "ZOLClite")["cycles"],
+        ))
+    return data
+
+
 def figure2(pipeline: PipelineConfig | None = None,
-            jobs: int | None = None) -> Figure2Data:
+            jobs: int | None = None,
+            store=None) -> Figure2Data:
     """Run the 12-benchmark suite on the three Figure 2 machines.
 
-    ``jobs`` is forwarded to :func:`run_suite` (process-pool fan-out).
+    A thin consumer of :func:`repro.experiments.run_experiment`:
+    ``jobs`` selects the process backend's fan-out, ``store`` (a
+    directory or :class:`ResultStore`) serves unchanged cells from the
+    result cache.
     """
-    suite = run_suite(figure2_kernels(), list(FIGURE2_MACHINES),
-                      pipeline=pipeline, jobs=jobs)
-    return figure2_from_suite(suite)
+    from repro.experiments.runner import run_experiment
+
+    backend = "serial" if jobs is None or jobs == 1 else "process"
+    result = run_experiment(figure2_spec(pipeline), backend=backend,
+                            jobs=jobs, store=store)
+    return figure2_from_result(result)
 
 
 def _bar(fraction: float, width: int = 40) -> str:

@@ -6,22 +6,28 @@ cycle count meaningless) and returns the measurement.
 
 :func:`run_suite` can fan the (kernel, machine) grid out over a process
 pool (``jobs``): every pair is an independent simulation, so the suite
-is embarrassingly parallel.  Workers resolve kernels and machines *by
-name* from the registry (``Kernel.check`` golden models are closures and
-do not pickle); results come back in deterministic grid order regardless
-of completion order.
+is embarrassingly parallel.  Machines are plain-data
+:class:`~repro.eval.machines.MachineSpec` values and ship to workers by
+value, so user-defined variants parallelize like the paper machines.
+Kernels still resolve *by name* from the registry (``Kernel.check``
+golden models are closures and do not pickle), so ad-hoc kernels fall
+back to in-process execution — with a warning, since ``jobs`` is then
+ignored.  Results come back in deterministic grid order regardless of
+completion order.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.cpu.simulator import DEFAULT_MAX_STEPS
 from repro.cpu.tracing import Stats
-from repro.eval.machines import Machine, machine_by_name
+from repro.eval.machines import MachineSpec
 from repro.workloads.api import Kernel
 
 
@@ -43,6 +49,25 @@ class RunResult:
     def cpi(self) -> float:
         return self.cycles / self.instructions if self.instructions else 0.0
 
+    def record(self) -> dict:
+        """This measurement as one flat, JSON-ready record."""
+        out = {
+            "kernel": self.kernel_name,
+            "machine": self.machine_name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cpi": round(self.cpi, 6),
+            "verified": self.verified,
+            "transformed_loops": self.transformed_loops,
+            "zolc_init_instructions": self.zolc_init_instructions,
+            "zolc_task_switches": self.zolc_task_switches,
+        }
+        if self.stats is not None:
+            out["stall_cycles"] = self.stats.stall_cycles
+            out["flush_cycles"] = self.stats.flush_cycles
+            out["taken_branches"] = self.stats.taken_branches
+        return out
+
 
 @dataclass
 class SuiteResult:
@@ -63,8 +88,22 @@ class SuiteResult:
                 seen.append(kernel_name)
         return seen
 
+    def machines(self) -> list[str]:
+        seen: list[str] = []
+        for _, machine_name in self.results:
+            if machine_name not in seen:
+                seen.append(machine_name)
+        return seen
 
-def run_kernel(kernel: Kernel, machine: Machine,
+    def records(self) -> list[dict]:
+        """All measurements as tidy, JSON-ready records (grid order)."""
+        return [result.record() for result in self.results.values()]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps({"records": self.records()}, indent=indent)
+
+
+def run_kernel(kernel: Kernel, machine: MachineSpec,
                pipeline: PipelineConfig | None = None,
                max_steps: int = DEFAULT_MAX_STEPS) -> RunResult:
     """Prepare, simulate and verify one kernel on one machine."""
@@ -86,14 +125,17 @@ def run_kernel(kernel: Kernel, machine: Machine,
     )
 
 
-def _run_pair_by_name(task: tuple[str, str, PipelineConfig | None, int]
-                      ) -> RunResult:
-    """Process-pool worker: resolve by name and run one pair."""
-    kernel_name, machine_name, pipeline, max_steps = task
+def _run_pair(task: tuple[str, MachineSpec, PipelineConfig | None, int]
+              ) -> RunResult:
+    """Process-pool worker: resolve the kernel by name and run one pair.
+
+    The machine arrives by value (specs are picklable data), so ad-hoc
+    ZOLC variants work in workers without registry membership.
+    """
+    kernel_name, machine, pipeline, max_steps = task
     from repro.workloads.suite import registry
 
     kernel = registry().get(kernel_name)
-    machine = machine_by_name(machine_name)
     return run_kernel(kernel, machine, pipeline=pipeline, max_steps=max_steps)
 
 
@@ -107,20 +149,15 @@ def _resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _names_resolvable(kernels: list[Kernel], machines: list[Machine]) -> bool:
-    """Whether every pair can be re-resolved by name in a worker."""
+def _kernels_resolvable(kernels: list[Kernel]) -> bool:
+    """Whether every kernel can be re-resolved by name in a worker."""
     from repro.workloads.suite import registry
 
     reg = registry()
-    if any(reg.kernels.get(k.name) is not k for k in kernels):
-        return False
-    try:
-        return all(machine_by_name(m.name) is m for m in machines)
-    except KeyError:
-        return False
+    return all(reg.kernels.get(k.name) is k for k in kernels)
 
 
-def run_suite(kernels: list[Kernel], machines: list[Machine],
+def run_suite(kernels: list[Kernel], machines: list[MachineSpec],
               pipeline: PipelineConfig | None = None,
               jobs: int | None = None,
               max_steps: int = DEFAULT_MAX_STEPS) -> SuiteResult:
@@ -128,19 +165,25 @@ def run_suite(kernels: list[Kernel], machines: list[Machine],
 
     ``jobs`` selects the parallelism: ``None``/1 runs in-process, ``n``
     uses ``n`` worker processes, ``0`` uses one per CPU (negative values
-    are rejected).  Ad-hoc kernels or machines that are not registry
-    members cannot be shipped to workers and always run in-process.
+    are rejected).  Machines ship to workers by value; kernels that are
+    not registry members cannot be shipped and force a serial run (a
+    ``RuntimeWarning`` flags the ignored ``jobs``).
     """
     jobs = _resolve_jobs(jobs)
     pairs = [(kernel, machine) for kernel in kernels for machine in machines]
     suite = SuiteResult()
-    if jobs > 1 and len(pairs) > 1 and _names_resolvable(kernels, machines):
-        tasks = [(kernel.name, machine.name, pipeline, max_steps)
-                 for kernel, machine in pairs]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            for result in pool.map(_run_pair_by_name, tasks):
-                suite.add(result)
-        return suite
+    if jobs > 1 and len(pairs) > 1:
+        if _kernels_resolvable(kernels):
+            tasks = [(kernel.name, machine, pipeline, max_steps)
+                     for kernel, machine in pairs]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                for result in pool.map(_run_pair, tasks):
+                    suite.add(result)
+            return suite
+        warnings.warn(
+            f"jobs={jobs} ignored: suite contains ad-hoc kernels that are "
+            "not registry members and cannot be shipped to workers; "
+            "running serially", RuntimeWarning, stacklevel=2)
     for kernel, machine in pairs:
         suite.add(run_kernel(kernel, machine, pipeline=pipeline,
                              max_steps=max_steps))

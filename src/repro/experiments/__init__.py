@@ -1,0 +1,64 @@
+"""Unified experiment API.
+
+The stable surface every study goes through::
+
+    from repro.experiments import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(
+        name="demo",
+        kernels=("@figure2",),
+        machines=(machine_by_name("XRdefault"), machine_by_name("ZOLClite")),
+    )
+    result = run_experiment(spec, backend="process", jobs=0,
+                            store="results")
+    print(result.render())
+
+* :mod:`repro.experiments.spec` — declarative, serializable plans
+  (JSON/TOML plan files, sweep axes, kernel selectors);
+* :mod:`repro.experiments.backends` — the :class:`ExecutionBackend`
+  protocol with ``serial`` and ``process`` implementations;
+* :mod:`repro.experiments.store` — the content-addressed
+  :class:`ResultStore` under ``results/``;
+* :mod:`repro.experiments.result` — tidy, JSON-ready
+  :class:`ExperimentResult` records;
+* :mod:`repro.experiments.runner` — :func:`run_experiment` /
+  :func:`run_plan`, the single entry point.
+"""
+
+from repro.experiments.backends import (
+    BACKENDS,
+    Cell,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    get_backend,
+)
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import run_experiment, run_plan
+from repro.experiments.spec import (
+    ExperimentSpec,
+    PlanError,
+    SweepAxis,
+    load_plan,
+    parse_plan,
+)
+from repro.experiments.store import ResultStore, cell_key
+
+__all__ = [
+    "BACKENDS",
+    "Cell",
+    "ExecutionBackend",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "PlanError",
+    "ProcessBackend",
+    "ResultStore",
+    "SerialBackend",
+    "SweepAxis",
+    "cell_key",
+    "get_backend",
+    "load_plan",
+    "parse_plan",
+    "run_experiment",
+    "run_plan",
+]

@@ -1,0 +1,108 @@
+"""Pluggable execution backends.
+
+A backend turns a list of :class:`Cell` descriptions into
+:class:`~repro.eval.runner.RunResult` measurements, in order.  Two
+implementations ship today — in-process :class:`SerialBackend` and
+:class:`ProcessBackend` (a ``ProcessPoolExecutor`` fan-out) — and the
+:class:`ExecutionBackend` protocol is the seam future PRs plug sharded
+or remote execution into.
+
+Machines travel inside the cell by value (specs are picklable data), so
+the process backend runs *any* machine, including ad-hoc ZOLC variants
+that are in no registry.  Kernels resolve by name in the worker because
+golden-model checks are closures and do not pickle.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.cpu.pipeline import PipelineConfig
+from repro.eval.machines import MachineSpec
+from repro.eval.runner import RunResult, run_kernel
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: everything a worker needs to run it."""
+
+    kernel_name: str
+    machine: MachineSpec
+    pipeline: PipelineConfig
+    max_steps: int
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can run experiment cells."""
+
+    name: str
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+        """Measure every cell, returning results in cell order."""
+        ...
+
+
+def _run_cell(cell: Cell) -> RunResult:
+    from repro.workloads.suite import registry
+
+    kernel = registry().get(cell.kernel_name)
+    return run_kernel(kernel, cell.machine, pipeline=cell.pipeline,
+                      max_steps=cell.max_steps)
+
+
+class SerialBackend:
+    """Run cells one after another in the current process."""
+
+    name = "serial"
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+        return [_run_cell(cell) for cell in cells]
+
+
+class ProcessBackend:
+    """Fan cells out over a process pool.
+
+    ``jobs`` follows the suite-runner convention: ``None``/``1`` means
+    one worker per CPU is *not* implied — it degrades to serial —
+    while ``0`` uses one worker per CPU and ``n`` uses ``n`` workers.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = 0):
+        if jobs is not None and jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+        jobs = self.jobs
+        if jobs is None:
+            jobs = 1
+        elif jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs <= 1 or len(cells) <= 1:
+            return SerialBackend().run_cells(cells)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            return list(pool.map(_run_cell, cells))
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessBackend,
+}
+
+
+def get_backend(name: str, jobs: int | None = None) -> ExecutionBackend:
+    """Instantiate a backend by name (``jobs`` applies to ``process``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; known: "
+                       f"{', '.join(sorted(BACKENDS))}") from None
+    if factory is ProcessBackend:
+        return ProcessBackend(jobs=0 if jobs is None else jobs)
+    return factory()

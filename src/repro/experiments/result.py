@@ -1,0 +1,125 @@
+"""Tidy experiment results.
+
+An :class:`ExperimentResult` is a flat table: one record per grid cell
+with identity columns (``kernel``, ``machine``, one column per sweep
+axis, ``repeat``) followed by measurement columns (``cycles``,
+``instructions``, ``cpi``, stall/flush counters, ZOLC counters).  Flat
+records serialize directly to JSON and load straight into pandas or a
+spreadsheet — no bespoke figure object needed downstream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Measurement columns carried by every record (identity columns —
+#: kernel, machine, repeat, plus one per sweep axis — come first).
+MEASUREMENT_COLUMNS = (
+    "cycles", "instructions", "cpi", "verified", "transformed_loops",
+    "stall_cycles", "flush_cycles", "taken_branches",
+    "zolc_init_instructions", "zolc_task_switches",
+)
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of running one :class:`ExperimentSpec`."""
+
+    name: str
+    records: list[dict] = field(default_factory=list)
+    axes: tuple[str, ...] = ()
+    simulated: int = 0          # cells actually simulated this run
+    cached: int = 0             # cells served from the ResultStore
+    deduplicated: int = 0       # repeat cells replayed from an in-run sim
+
+    def add(self, record: dict, source: str = "simulated") -> None:
+        self.records.append(record)
+        if source == "cached":
+            self.cached += 1
+        elif source == "deduplicated":
+            self.deduplicated += 1
+        else:
+            self.simulated += 1
+
+    # -- access --------------------------------------------------------
+
+    def kernels(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record["kernel"] not in seen:
+                seen.append(record["kernel"])
+        return seen
+
+    def machines(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record["machine"] not in seen:
+                seen.append(record["machine"])
+        return seen
+
+    def get(self, kernel: str, machine: str, repeat: int = 0,
+            **axis_values: int) -> dict:
+        """The single record matching the given identity columns."""
+        for record in self.records:
+            if record["kernel"] != kernel or record["machine"] != machine:
+                continue
+            if record.get("repeat", 0) != repeat:
+                continue
+            if all(record.get(axis) == value
+                   for axis, value in axis_values.items()):
+                return record
+        raise KeyError(f"no record for kernel={kernel!r} machine={machine!r} "
+                       f"repeat={repeat} {axis_values}")
+
+    def select(self, **columns) -> list[dict]:
+        """All records whose columns match the given values."""
+        return [record for record in self.records
+                if all(record.get(name) == value
+                       for name, value in columns.items())]
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "axes": list(self.axes),
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "deduplicated": self.deduplicated,
+            "records": self.records,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """The result as a plain-text table."""
+        id_columns = ["kernel", "machine", *self.axes]
+        if any(record.get("repeat", 0) for record in self.records):
+            id_columns.append("repeat")
+        columns = id_columns + ["cycles", "instructions", "cpi",
+                                "transformed_loops"]
+        widths = {name: max(len(name), *(len(_cell(r.get(name)))
+                                         for r in self.records))
+                  for name in columns} if self.records else {}
+        dedup = f", {self.deduplicated} deduplicated" \
+            if self.deduplicated else ""
+        lines = [f"experiment {self.name}: {len(self.records)} cells "
+                 f"({self.simulated} simulated, {self.cached} cached"
+                 f"{dedup})"]
+        if not self.records:
+            return lines[0]
+        lines.append("  ".join(name.ljust(widths[name]) for name in columns))
+        lines.append("-" * len(lines[-1]))
+        for record in self.records:
+            lines.append("  ".join(
+                _cell(record.get(name)).ljust(widths[name])
+                for name in columns))
+        return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

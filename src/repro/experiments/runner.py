@@ -1,0 +1,143 @@
+"""The one entry point every study goes through.
+
+:func:`run_experiment` expands an :class:`ExperimentSpec` into its grid
+cells, serves what it can from the :class:`ResultStore`, hands the rest
+to an :class:`ExecutionBackend`, and returns a tidy
+:class:`ExperimentResult`.  ``figure2``, the ablation sweeps and the
+CLI are all thin consumers of this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.eval.runner import RunResult
+from repro.experiments.backends import (
+    Cell,
+    ExecutionBackend,
+    SerialBackend,
+    get_backend,
+)
+from repro.experiments.result import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ResultStore, cell_key
+
+
+@dataclass(frozen=True)
+class _PlannedCell:
+    """One grid cell plus its identity columns and cache key."""
+
+    cell: Cell
+    axes: dict
+    repeat: int
+    key: str
+
+
+def _plan_cells(spec: ExperimentSpec) -> list[_PlannedCell]:
+    from repro.workloads.suite import registry
+
+    reg = registry()
+    planned: list[_PlannedCell] = []
+    for kernel_name in spec.kernel_names():
+        source = reg.get(kernel_name).source
+        for machine in spec.machines:
+            for point in spec.axis_points():
+                pipeline = spec.pipeline_for(point)
+                # The simulator is deterministic, so repeats share one
+                # cache key: simulate once, record once per repeat.
+                key = cell_key(kernel_name, source, machine, pipeline,
+                               spec.max_steps)
+                for repeat in range(spec.repeats):
+                    cell = Cell(kernel_name=kernel_name, machine=machine,
+                                pipeline=pipeline, max_steps=spec.max_steps)
+                    planned.append(_PlannedCell(
+                        cell=cell, axes=dict(point), repeat=repeat, key=key))
+    return planned
+
+
+def _record_for(planned: _PlannedCell, measurement: dict,
+                spec: ExperimentSpec) -> dict:
+    record = {"kernel": planned.cell.kernel_name,
+              "machine": planned.cell.machine.name}
+    record.update(planned.axes)
+    if spec.repeats > 1:
+        record["repeat"] = planned.repeat
+    record.update(measurement)
+    return record
+
+
+def _measurement(result: RunResult) -> dict:
+    """The cacheable measurement columns of one run (identity-free)."""
+    record = result.record()
+    record.pop("kernel")
+    record.pop("machine")
+    return record
+
+
+def run_experiment(spec: ExperimentSpec,
+                   backend: ExecutionBackend | str = "serial",
+                   jobs: int | None = None,
+                   store: ResultStore | str | Path | None = None
+                   ) -> ExperimentResult:
+    """Run (or replay) every cell of ``spec``.
+
+    ``backend`` is a backend instance or name (``"serial"`` /
+    ``"process"``; ``jobs`` configures the latter).  ``store`` enables
+    the content-addressed result cache: cells whose key is already
+    stored are *not* re-simulated.  ``None`` disables caching.
+    """
+    if isinstance(backend, str):
+        backend = get_backend(backend, jobs=jobs)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    planned = _plan_cells(spec)
+    cached: dict[str, dict] = {}
+    if store is not None:
+        for item in planned:
+            if item.key not in cached:
+                measurement = store.load(item.key)
+                if measurement is not None:
+                    cached[item.key] = measurement
+
+    to_run = [item for item in planned if item.key not in cached]
+    # Deduplicate identical cells (repeats of a deterministic simulation
+    # share one key): simulate once, record once per repeat.
+    unique: dict[str, _PlannedCell] = {}
+    for item in to_run:
+        unique.setdefault(item.key, item)
+    results = backend.run_cells([item.cell for item in unique.values()])
+    fresh: dict[str, dict] = {}
+    for item, run_result in zip(unique.values(), results):
+        fresh[item.key] = _measurement(run_result)
+        if store is not None:
+            store.save(item.key, fresh[item.key])
+
+    out = ExperimentResult(name=spec.name,
+                           axes=tuple(axis.name for axis in spec.sweep))
+    simulated_keys = set()
+    for item in planned:
+        if item.key in fresh:
+            source = "deduplicated" if item.key in simulated_keys \
+                else "simulated"
+            simulated_keys.add(item.key)
+            out.add(_record_for(item, fresh[item.key], spec), source)
+        else:
+            out.add(_record_for(item, cached[item.key], spec), "cached")
+    return out
+
+
+def run_plan(path: str | Path,
+             backend: ExecutionBackend | str = "serial",
+             jobs: int | None = None,
+             store: ResultStore | str | Path | None = None
+             ) -> ExperimentResult:
+    """Load a plan file and run it (the ``repro experiment`` command)."""
+    from repro.experiments.spec import load_plan
+
+    return run_experiment(load_plan(path), backend=backend, jobs=jobs,
+                          store=store)
+
+
+__all__ = ["run_experiment", "run_plan", "SerialBackend"]

@@ -1,0 +1,80 @@
+"""Content-addressed persistence for experiment cells.
+
+Every grid cell is keyed by a SHA-256 digest over everything that
+determines its measurement: the kernel *source* (not just its name),
+the full machine spec, the pipeline timing parameters, the step budget
+and the repeat index.  Editing a kernel, changing a machine's ZOLC
+parameters or sweeping a pipeline knob therefore changes the key and
+invalidates exactly the affected cells — nothing is ever explicitly
+evicted.
+
+Cells persist as one small JSON file each under ``results/`` (sharded
+by the first two digest characters), so repeated plan runs, notebooks
+and CI all share measurements across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.cpu.pipeline import PipelineConfig
+from repro.eval.machines import MachineSpec
+
+#: Bump to invalidate every stored cell when the record layout changes.
+STORE_VERSION = 1
+
+DEFAULT_STORE_ROOT = Path("results")
+
+
+def cell_key(kernel_name: str, kernel_source: str, machine: MachineSpec,
+             pipeline: PipelineConfig, max_steps: int,
+             repeat: int = 0) -> str:
+    """Content hash identifying one measurement."""
+    payload = {
+        "version": STORE_VERSION,
+        "kernel": kernel_name,
+        "source_sha": hashlib.sha256(kernel_source.encode()).hexdigest(),
+        "machine": machine.to_dict(),
+        "pipeline": asdict(pipeline),
+        "max_steps": max_steps,
+        "repeat": repeat,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultStore:
+    """A directory of content-addressed measurement records."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_ROOT):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The stored record for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return None  # a corrupt cell is a miss; it will be rewritten
+
+    def save(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True, indent=None))
+        tmp.replace(path)  # atomic on POSIX: concurrent runs never tear
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -5,6 +5,8 @@ import pytest
 from repro.core.config import ZOLC_LITE
 from repro.core.debug import dump_tables
 from repro.eval.ablation import (
+    DEFAULT_SUBSET,
+    SweepPoint,
     SweepResult,
     run_sweep,
     sweep_branch_penalty,
@@ -12,6 +14,86 @@ from repro.eval.ablation import (
     sweep_switch_cost,
 )
 from repro.transform.zolc_rewrite import rewrite_for_zolc
+
+
+class TestSweepPoint:
+    def test_average_over_improvements(self):
+        point = SweepPoint(parameter=2,
+                           improvements={"a": 10.0, "b": 20.0, "c": 30.0})
+        assert point.average == pytest.approx(20.0)
+
+    def test_average_single_kernel(self):
+        point = SweepPoint(parameter=0, improvements={"only": 7.5})
+        assert point.average == pytest.approx(7.5)
+
+
+class TestSweepResultRender:
+    def _result(self):
+        result = SweepResult(name="demo sweep", parameter_name="penalty",
+                             kernel_names=("a", "b"))
+        result.points.append(SweepPoint(parameter=0,
+                                        improvements={"a": 10.0, "b": 20.0}))
+        result.points.append(SweepPoint(parameter=3,
+                                        improvements={"a": 30.0, "b": 40.0}))
+        return result
+
+    def test_render_lists_every_point(self):
+        text = self._result().render()
+        assert "demo sweep" in text
+        assert "penalty=0:  15.0 %" in text
+        assert "penalty=3:  35.0 %" in text
+
+    def test_averages_in_point_order(self):
+        assert self._result().averages() == [(0, pytest.approx(15.0)),
+                                             (3, pytest.approx(35.0))]
+
+    def test_to_dict_is_json_ready(self):
+        import json
+        payload = json.loads(self._result().to_json())
+        assert payload["parameter"] == "penalty"
+        assert payload["points"][1]["average_percent"] == pytest.approx(35.0)
+        assert payload["points"][0]["improvements_percent"]["b"] \
+            == pytest.approx(20.0)
+
+
+class TestNamedSweepsOnDefaultSubset:
+    """Each named sweep over the 4-kernel subset the paper ablates."""
+
+    def test_default_subset_is_four_kernels(self):
+        assert DEFAULT_SUBSET == ("vec_sum", "dot_product", "crc32",
+                                  "matmul")
+
+    def test_penalty_sweep_covers_subset(self):
+        result = sweep_branch_penalty(penalties=(0, 2))
+        assert result.kernel_names == DEFAULT_SUBSET
+        for point in result.points:
+            assert set(point.improvements) == set(DEFAULT_SUBSET)
+            assert all(v > 0 for v in point.improvements.values())
+        averages = dict(result.averages())
+        assert averages[2] > averages[0]  # gain grows with the penalty
+
+    def test_switch_cost_sweep_covers_subset(self):
+        result = sweep_switch_cost(costs=(0, 5))
+        assert result.kernel_names == DEFAULT_SUBSET
+        for point in result.points:
+            assert set(point.improvements) == set(DEFAULT_SUBSET)
+        averages = dict(result.averages())
+        assert averages[5] < averages[0]  # switch cost erodes the gain
+
+    def test_nesting_sweep_structure(self):
+        result = sweep_nesting_depth(depths=(1, 3), trips=3, body_ops=2)
+        assert result.kernel_names == ("synthetic nest",)
+        assert [p.parameter for p in result.points] == [1, 3]
+        averages = dict(result.averages())
+        assert averages[3] > averages[1]
+
+    def test_sweeps_share_the_result_store(self, tmp_path):
+        # The sweeps are experiment-API consumers: a second identical
+        # sweep is served entirely from the content-addressed store.
+        first = sweep_branch_penalty(penalties=(0, 2), store=tmp_path)
+        second = sweep_branch_penalty(penalties=(0, 2), store=tmp_path)
+        assert first.averages() == second.averages()
+        assert len(list(tmp_path.glob("*/*.json"))) == 16  # 4k × 2m × 2v
 
 
 class TestSweeps:

@@ -61,6 +61,128 @@ class TestCompare:
             assert name in out
 
 
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+        assert main(["run", "vec_sum", "-m", "ZOLClite", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kernel"] == "vec_sum"
+        assert record["machine"] == "ZOLClite"
+        assert record["cycles"] > 0 and record["verified"]
+
+    def test_compare_json(self, capsys):
+        import json
+        assert main(["compare", "vec_sum", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["machine"] for r in payload["records"]] == [
+            "XRdefault", "XRhrdwil", "uZOLC", "ZOLClite", "ZOLCfull"]
+
+    def test_run_out_file_keeps_text_stdout(self, capsys, tmp_path):
+        import json
+        out_file = tmp_path / "result.json"
+        assert main(["run", "vec_sum", "-o", str(out_file)]) == 0
+        assert "verified=True" in capsys.readouterr().out
+        assert json.loads(out_file.read_text())["kernel"] == "vec_sum"
+
+    def test_sweep_json(self, capsys):
+        import json
+        assert main(["sweep", "nesting", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameter"] == "depth"
+        assert len(payload["points"]) == 6
+
+
+class TestExperimentCommand:
+    def _plan(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"name": "t", "kernels": ["vec_sum"],'
+            ' "machines": ["XRdefault", "ZOLClite"]}')
+        return plan
+
+    def test_runs_plan_and_caches(self, capsys, tmp_path):
+        import json
+        plan = self._plan(tmp_path)
+        store = str(tmp_path / "results")
+        assert main(["experiment", str(plan), "--store", store,
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["simulated"] == 2 and first["cached"] == 0
+        assert main(["experiment", str(plan), "--store", store,
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["simulated"] == 0 and second["cached"] == 2
+        assert first["records"] == second["records"]
+
+    def test_no_cache_bypasses_store(self, capsys, tmp_path):
+        import json
+        plan = self._plan(tmp_path)
+        store = str(tmp_path / "results")
+        assert main(["experiment", str(plan), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["experiment", str(plan), "--store", store,
+                     "--no-cache", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulated"] == 2
+
+    def test_text_report_mentions_cells(self, capsys, tmp_path):
+        plan = self._plan(tmp_path)
+        assert main(["experiment", str(plan), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out and "vec_sum" in out
+
+    def test_jobs_implies_process_backend(self, tmp_path, monkeypatch):
+        import repro.cli as cli
+        seen = {}
+
+        def fake_run_plan(plan, backend, jobs, store):
+            seen.update(backend=backend, jobs=jobs)
+
+            class Empty:
+                def to_dict(self):
+                    return {}
+
+                def render(self):
+                    return ""
+            return Empty()
+
+        monkeypatch.setattr("repro.experiments.runner.run_plan",
+                            fake_run_plan)
+        plan = self._plan(tmp_path)
+        assert cli.main(["experiment", str(plan), "-j", "4"]) == 0
+        assert seen == {"backend": "process", "jobs": 4}
+
+    def test_missing_plan_exits_one(self, capsys, tmp_path):
+        assert main(["experiment", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_plan_exits_one(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"kernels": ["vec_sum"]}')
+        assert main(["experiment", str(plan)]) == 1
+        assert "missing key" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    def test_value_error_exits_one(self, capsys, monkeypatch):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "run_kernel",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                ValueError("bad argument")))
+        assert main(["run", "vec_sum"]) == 1
+        assert "bad argument" in capsys.readouterr().err
+
+    def test_golden_check_failure_exits_one(self, capsys, monkeypatch):
+        from repro.workloads.api import KernelCheckError
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "run_kernel",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                KernelCheckError("output mismatch")))
+        assert main(["run", "vec_sum"]) == 1
+        err = capsys.readouterr().err
+        assert "golden check failed" in err and "output mismatch" in err
+
+
 class TestReports:
     def test_resources(self, capsys):
         assert main(["resources"]) == 0

@@ -56,6 +56,39 @@ class TestRunner:
         assert suite.get("vec_sum", "ZOLClite").cycles \
             < suite.get("vec_sum", "XRdefault").cycles
 
+    def test_suite_machines_mirror_kernels(self):
+        kernels = [registry().get("vec_sum"), registry().get("quantize")]
+        suite = run_suite(kernels, [XR_DEFAULT, M_ZOLC_LITE])
+        assert suite.machines() == ["XRdefault", "ZOLClite"]
+
+    def test_suite_records_are_tidy(self):
+        suite = run_suite([registry().get("vec_sum")],
+                          [XR_DEFAULT, M_ZOLC_LITE])
+        records = suite.records()
+        assert len(records) == 2
+        first = records[0]
+        assert first["kernel"] == "vec_sum"
+        assert first["machine"] == "XRdefault"
+        for column in ("cycles", "instructions", "cpi", "verified",
+                       "stall_cycles", "flush_cycles"):
+            assert column in first
+
+    def test_suite_to_json_round_trips(self):
+        import json
+        suite = run_suite([registry().get("vec_sum")], [XR_DEFAULT])
+        payload = json.loads(suite.to_json())
+        assert payload["records"][0]["cycles"] \
+            == suite.get("vec_sum", "XRdefault").cycles
+
+    def test_records_tolerate_missing_stats(self):
+        suite = SuiteResult()
+        suite.add(RunResult(kernel_name="k", machine_name="m", cycles=10,
+                            instructions=10, stats=None, verified=True,
+                            transformed_loops=0))
+        record = suite.records()[0]
+        assert record["cycles"] == 10
+        assert "stall_cycles" not in record
+
 
 class TestFigure2Assembly:
     def _fake_suite(self):

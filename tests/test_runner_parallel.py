@@ -32,14 +32,31 @@ class TestParallelSuite:
                 > run_suite(kernels, [XR_DEFAULT]).get(
                     "vec_sum", "XRdefault").cycles)
 
-    def test_adhoc_kernel_falls_back_to_serial(self):
+    def test_adhoc_kernel_falls_back_to_serial_with_warning(self):
         # A kernel outside the registry cannot be resolved by name in a
-        # worker; the runner must quietly run it in-process instead.
+        # worker; the runner runs it in-process and warns that the
+        # requested parallelism was ignored.
+        import pytest
         base = registry().get("vec_sum")
         adhoc = Kernel(name="not_registered", description="ad-hoc",
                        source=base.source, check=base.check)
-        suite = run_suite([adhoc], [XR_DEFAULT], jobs=4)
+        with pytest.warns(RuntimeWarning, match="jobs=4 ignored"):
+            suite = run_suite([adhoc, base], [XR_DEFAULT], jobs=4)
         assert suite.get("not_registered", "XRdefault").verified
+
+    def test_adhoc_machine_ships_to_workers(self):
+        # Machines are data and travel by value: a custom ZOLC variant
+        # that is in no registry parallelizes like the paper machines.
+        from repro.core.config import ZolcConfig
+        from repro.eval.machines import MachineSpec
+        custom = MachineSpec("ZOLCcustom", "zolc", ZolcConfig(
+            name="ZOLCcustom", max_loops=2, max_task_entries=8,
+            entries_per_loop=1, multi_entry_exit=False))
+        kernels = [registry().get("vec_sum"), registry().get("quantize")]
+        serial = run_suite(kernels, [XR_DEFAULT, custom])
+        parallel = run_suite(kernels, [XR_DEFAULT, custom], jobs=2)
+        assert _result_grid(parallel) == _result_grid(serial)
+        assert parallel.machines() == ["XRdefault", "ZOLCcustom"]
 
     def test_jobs_one_is_serial(self):
         kernels = [registry().get("vec_sum")]
