@@ -114,11 +114,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_plan
 
     store = None if args.no_cache else args.store
+    # --jobs is parsed here (not by an argparse type=) so an invalid
+    # value exits 1 through main()'s ValueError handler, like every
+    # other bad input to this command.
+    jobs = _parse_jobs(args.jobs) if args.jobs is not None else None
+    # None defers to the plan's own backend/jobs keys; explicit flags
+    # override the plan.  Asking for workers without naming a backend
+    # implies the process backend (mirroring `figure2 --jobs`).
     backend = args.backend
-    if backend == "serial" and args.jobs is not None and args.jobs != 1:
-        backend = "process"  # asking for workers implies the process backend
-    result = run_plan(args.plan, backend=backend, jobs=args.jobs,
-                      store=store)
+    if backend is None and jobs is not None and jobs != 1:
+        backend = "process"
+    result = run_plan(args.plan, backend=backend, jobs=jobs, store=store)
     _emit(args, result.to_dict(), result.render())
     return 0
 
@@ -193,11 +199,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def _jobs_count(text: str) -> int:
-    value = int(text)
+def _parse_jobs(text: str) -> int:
+    """Validate a worker count, raising :class:`ValueError` (exit 1)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(f"jobs must be an integer, got {text!r}") from None
     if value < 0:
-        raise argparse.ArgumentTypeError("jobs must be >= 0")
+        raise ValueError(f"jobs must be >= 0, got {value}")
     return value
+
+
+def _jobs_count(text: str) -> int:
+    """argparse ``type=`` wrapper around :func:`_parse_jobs` (exit 2)."""
+    try:
+        return _parse_jobs(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,11 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a declarative plan file (JSON/TOML)")
     experiment_parser.add_argument("plan", help="path to PLAN.{json,toml}")
     experiment_parser.add_argument(
-        "-b", "--backend", choices=("serial", "process"), default="serial",
-        help="execution backend (default: serial; --jobs implies process)")
+        "-b", "--backend", choices=("serial", "process"), default=None,
+        help="execution backend (default: the plan's own choice, or "
+             "serial; --jobs implies process)")
     experiment_parser.add_argument(
-        "-j", "--jobs", type=_jobs_count, default=None, metavar="N",
-        help="process-backend workers (0 = one per CPU)")
+        "-j", "--jobs", default=None, metavar="N",
+        help="process-backend workers, overriding the plan's backend/"
+             "jobs keys (0 = one per CPU; invalid values exit 1)")
     experiment_parser.add_argument(
         "--store", default="results", metavar="DIR",
         help="result-store directory (default: results)")

@@ -1,5 +1,6 @@
 """The paper's contribution: the Zero-Overhead Loop Controller (ZOLC)."""
 
+from repro.core.compiled import CompiledControllerPlan, compile_watch_sets
 from repro.core.config import (
     CANONICAL_CONFIGS,
     UZOLC,
@@ -32,6 +33,7 @@ from repro.core.task_select import Decision, TaskSelectionUnit
 __all__ = [
     "AreaBreakdown",
     "CANONICAL_CONFIGS",
+    "CompiledControllerPlan",
     "Decision",
     "EntryInitSpec",
     "ExitInitSpec",
@@ -47,6 +49,7 @@ __all__ = [
     "ZolcProgramSpec",
     "ZolcTables",
     "area_breakdown",
+    "compile_watch_sets",
     "config_by_name",
     "emit_init_sequence",
     "equivalent_gates",

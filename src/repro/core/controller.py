@@ -28,6 +28,7 @@ path (see DESIGN.md §6 for the modelling assumptions).
 
 from __future__ import annotations
 
+from repro.core.compiled import CompiledControllerPlan, compile_watch_sets
 from repro.core.config import ZolcConfig
 from repro.core.index_unit import iterations_from_index
 from repro.core.tables import (
@@ -37,7 +38,7 @@ from repro.core.tables import (
     NO_TRIGGER,
     ZolcTables,
 )
-from repro.core.task_select import TaskSelectionUnit
+from repro.core.task_select import Decision, TaskSelectionUnit
 from repro.cpu.exceptions import ZolcFaultError
 from repro.cpu.simulator import ZolcAction
 from repro.cpu.state import RegisterFile
@@ -57,6 +58,12 @@ class ZolcController:
         self._watch: dict[int, int] = {}          # trigger pc -> loop id
         self._exit_by_branch: dict[int, int] = {}  # branch pc -> record id
         self._entry_by_target: dict[int, int] = {}  # entry pc -> record id
+        # Compiled plan of the current armed state.  The epoch counts
+        # every invalidation (arm, disarm, reset, single-shot expiry) so
+        # engines that compiled the plan into their dispatch structures
+        # can detect staleness with one integer compare.
+        self._plan: CompiledControllerPlan | None = None
+        self.plan_epoch = 0
         # Statistics observable by the evaluation harness.
         self.task_switches = 0
         self.exit_events = 0
@@ -72,18 +79,37 @@ class ZolcController:
         """Bind the architectural register file (for entry records)."""
         self.regs = regs
 
+    def zolc_plan(self) -> CompiledControllerPlan | None:
+        """The compiled plan of the current armed state, if any.
+
+        ``None`` while unarmed *and* while arm-time index writes are
+        still pending delivery — the engine must route the arming
+        retirement through :meth:`on_retire` (which flushes the writes
+        and runs the full watch checks) before it may switch to
+        plan-compiled dispatch.
+        """
+        if self._armed and not self._pending_writes:
+            return self._plan
+        return None
+
+    def _invalidate_plan(self) -> None:
+        self._plan = None
+        self.plan_epoch += 1
+
     def write(self, selector: int, value: int) -> None:
         """Initialization-mode table write (the ``mtz`` instruction)."""
         if selector == CTRL_RESET:
             self.tables.reset()
             self._armed = False
             self._pending_writes.clear()
+            self._invalidate_plan()
             return
         if selector == CTRL_ARM:
             if value & 1:
                 self._arm()
             else:
                 self._armed = False
+                self._invalidate_plan()
             return
         if selector == CTRL_STATUS:
             raise ZolcFaultError("CTRL_STATUS is read-only")
@@ -123,6 +149,21 @@ class ZolcController:
         self._pending_writes = self.unit.initial_index_writes()
         self._armed = True
         self.arm_count += 1
+        # Compile the watch sets the moment they are frozen.  Loop/exit/
+        # entry *field* values (trips, targets, reset masks, ...) are
+        # deliberately not part of the plan: they are read live at fire
+        # time, exactly as on_retire reads them, so post-arm table
+        # rewrites (e.g. the bound-reload mtz stream) need no
+        # recompilation.
+        self.plan_epoch += 1
+        triggers, exits, entries = compile_watch_sets(
+            self._watch, self._exit_by_branch, self._entry_by_target)
+        self._plan = CompiledControllerPlan(
+            epoch=self.plan_epoch,
+            triggers=triggers, exits=exits, entries=entries,
+            fire_trigger=self.fire_trigger,
+            fire_exit=self.fire_exit,
+            fire_entry=self.fire_entry)
 
     def _check_capacity(self) -> None:
         n_loops = len(self.tables.valid_loops())
@@ -161,38 +202,18 @@ class ZolcController:
 
         # 1. Data-dependent exits (multi-exit loops, ZOLCfull).
         record_id = self._exit_by_branch.get(pc)
-        if record_id is not None:
-            record = self.tables.exits[record_id]
-            if taken and next_pc == record.target_pc:
-                self.unit.reset_loops(record.reset_mask)
-                self.exit_events += 1
-                return ZolcAction(None, writes) if writes else ZolcAction(None)
+        if record_id is not None and self.fire_exit(record_id, next_pc, taken):
+            return ZolcAction(None, writes) if writes else ZolcAction(None)
 
         # 2. Side entries (multiple-entry loops, ZOLCfull).
         record_id = self._entry_by_target.get(next_pc)
-        if record_id is not None and self._is_outside(pc, next_pc):
-            record = self.tables.entries[record_id]
-            loop = self.tables.loops[record.loop]
-            if self.regs is None:
-                raise ZolcFaultError(
-                    "entry records require an attached register file")
-            reg_value = self.regs.read(loop.index_reg)
-            done = iterations_from_index(loop, reg_value)
-            if done >= loop.trips:
-                raise ZolcFaultError(
-                    f"side entry with index past the final iteration "
-                    f"({done} >= {loop.trips})")
-            self.unit.status[record.loop].iterations_done = done
-            self.entry_events += 1
+        if record_id is not None and self.fire_entry(record_id, pc, next_pc):
             return ZolcAction(None, writes) if writes else ZolcAction(None)
 
         # 3. Trigger addresses: the task-end signal.
         loop_id = self._watch.get(next_pc)
         if loop_id is not None:
-            decision = self.unit.decide(loop_id)
-            self.task_switches += 1
-            if self.config.single_shot and decision.next_pc is None:
-                self._armed = False
+            decision = self.fire_trigger(loop_id)
             return ZolcAction(decision.next_pc,
                               writes + decision.index_writes,
                               is_task_switch=True)
@@ -201,10 +222,60 @@ class ZolcController:
             return ZolcAction(None, writes)
         return None
 
-    def _is_outside(self, pc: int, entry_pc: int) -> bool:
-        """Whether ``pc`` lies outside the loop that ``entry_pc`` enters."""
-        record = self.tables.entries[self._entry_by_target[entry_pc]]
+    # -- fire handlers (shared by on_retire and plan-compiling engines) ----
+    def fire_exit(self, record_id: int, next_pc: int, taken: bool) -> bool:
+        """A retirement at a watched exit branch; returns whether it fired.
+
+        Fires only for a *taken* transfer landing on the record's target
+        (after latch removal the exit target can collapse onto the
+        branch's fall-through, so the address alone is not enough).
+        """
+        record = self.tables.exits[record_id]
+        if not (taken and next_pc == record.target_pc):
+            return False
+        self.unit.reset_loops(record.reset_mask)
+        self.exit_events += 1
+        return True
+
+    def fire_entry(self, record_id: int, pc: int, next_pc: int) -> bool:
+        """Arrival at a watched entry target; returns whether it fired.
+
+        Fires only when ``pc`` lies outside the entered loop — in-loop
+        arrivals at the target (the loop-back itself) are not entries.
+        """
+        record = self.tables.entries[record_id]
         loop = self.tables.loops[record.loop]
+        if not self._is_outside(pc, next_pc, loop):
+            return False
+        if self.regs is None:
+            raise ZolcFaultError(
+                "entry records require an attached register file")
+        reg_value = self.regs.read(loop.index_reg)
+        done = iterations_from_index(loop, reg_value)
+        if done >= loop.trips:
+            raise ZolcFaultError(
+                f"side entry with index past the final iteration "
+                f"({done} >= {loop.trips})")
+        self.unit.status[record.loop].iterations_done = done
+        self.entry_events += 1
+        return True
+
+    def fire_trigger(self, loop_id: int) -> Decision:
+        """The task-end signal for a watched trigger address.
+
+        Runs the task selection unit (loop back or expire, cascading
+        into the parent where programmed).  A single-shot controller
+        disarms on expiry, invalidating the compiled plan.
+        """
+        decision = self.unit.decide(loop_id)
+        self.task_switches += 1
+        if self.config.single_shot and decision.next_pc is None:
+            self._armed = False
+            self._invalidate_plan()
+        return decision
+
+    def _is_outside(self, pc: int, entry_pc: int, loop) -> bool:
+        """Whether ``pc`` lies outside ``loop``, entered at ``entry_pc``."""
         # The loop's code span is [body_pc, trigger) for triggered loops;
         # cascaded loops inherit the innermost trigger below them.
         end = loop.trigger_pc if loop.trigger_pc != NO_TRIGGER else entry_pc

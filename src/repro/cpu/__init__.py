@@ -10,17 +10,26 @@ from repro.cpu.exceptions import (
 from repro.cpu.engine import PredecodedProgram, predecode
 from repro.cpu.memory import DEFAULT_SIZE, Memory
 from repro.cpu.pipeline import PipelineConfig, TimingModel
-from repro.cpu.simulator import Simulator, ZolcAction, ZolcPort, run_program
+from repro.cpu.simulator import (
+    CompiledZolcPort,
+    PlanlessZolcPort,
+    Simulator,
+    ZolcAction,
+    ZolcPort,
+    run_program,
+)
 from repro.cpu.state import CpuState, RegisterFile
 from repro.cpu.tracing import Stats, Tracer
 
 __all__ = [
+    "CompiledZolcPort",
     "CpuState",
     "DEFAULT_SIZE",
     "InvalidFetchError",
     "Memory",
     "MemoryAccessError",
     "PipelineConfig",
+    "PlanlessZolcPort",
     "PredecodedProgram",
     "RegisterFile",
     "SimulationError",

@@ -30,6 +30,29 @@ statistics stay in the run loop, driven by the static per-slot metadata,
 so the engine retires *identical* (pc, regs, cycles, stats) sequences to
 the legacy ``step()`` interpreter — a property pinned down by the
 differential tests in ``tests/test_engine.py``.
+
+**ZOLC fast path.**  On a ZOLC machine the dominant residual host cost
+is the per-retirement ``zolc.on_retire(pc, next_pc, taken)`` call: only
+trigger, exit-branch and entry-target addresses can ever produce an
+action, yet every retirement pays for the call, its dict probes and its
+early-out checks.  When the attached port exposes a *compiled
+controller plan* (:meth:`~repro.core.controller.ZolcController.
+zolc_plan`, see :mod:`repro.core.compiled`), the run loop folds the
+plan's watch sets into the same ``pc >> 2`` geometry as the dispatch
+array — a dense next-pc watch array (trigger / entry-target), a dense
+current-pc exit-branch array consulted only on taken transfers, and a
+small overflow dict for watch addresses outside the text image.
+Unwatched retirements then skip the Python call entirely; watched ones
+dispatch straight to the plan's specialized fire handlers (trigger →
+task selection, taken exit → status reset, entry from outside → index
+seed) — the *same* bound methods ``on_retire`` itself dispatches
+through, which is what keeps the two engines bit-identical.  Retired
+``mtz``/``mfz`` instructions take the full ``on_retire`` oracle path
+and re-query the plan (an arm-epoch compare) so re-arming, disarming,
+``CTRL_RESET`` and single-shot expiry all invalidate the compiled
+dispatch state at the only points it can change.  Ports that do not
+expose a plan — any custom :class:`~repro.cpu.simulator.ZolcPort` —
+keep the legacy per-retirement ``on_retire`` treatment.
 """
 
 from __future__ import annotations
@@ -310,6 +333,100 @@ def predecode(sim: "Simulator") -> PredecodedProgram | None:
     return PredecodedProgram(ops, metas)
 
 
+def _compile_watch_arrays(sim: "Simulator", plan, n: int, base: int):
+    """Fold a compiled controller plan into dense per-slot watch arrays.
+
+    Returns ``(next_watch, exit_watch, far_watch)``:
+
+    * ``next_watch[idx]`` — ``None`` for unwatched slots, else
+      ``(entry_record_id | None, trigger_loop_id | None)`` consulted
+      against the *next* pc of every retirement (entry records take
+      precedence, falling through to the trigger when the entry does
+      not fire — the same order ``on_retire`` checks);
+    * ``exit_watch[idx]`` — exit record id at the retiring pc, consulted
+      only for taken transfers;
+    * ``far_watch`` — next-pc watch entries whose address falls outside
+      (or misaligns with) the text image; consulted only when a
+      transfer leaves the dense array, so hand-programmed tables keep
+      exact ``on_retire`` semantics.
+
+    Cached on the simulator by the plan's watch-set content key, so
+    re-arming the same tables (a kernel invoked in a loop) costs one
+    dict probe, not an O(text) rebuild.
+    """
+    cached = sim._zolc_watch_cache.get(plan.key)
+    if cached is not None:
+        return cached
+    limit = 4 * n
+    next_watch: list[tuple[int | None, int | None] | None] = [None] * n
+    exit_watch: list[int | None] = [None] * n
+    far_watch: dict[int, tuple[int | None, int | None]] = {}
+    entry_at = dict(plan.entries)
+    trigger_at = dict(plan.triggers)
+    for pc in entry_at.keys() | trigger_at.keys():
+        record = (entry_at.get(pc), trigger_at.get(pc))
+        offset = pc - base
+        if 0 <= offset < limit and not offset & 3:
+            next_watch[offset >> 2] = record
+        else:
+            far_watch[pc] = record
+    for pc, record_id in plan.exits:
+        offset = pc - base
+        if 0 <= offset < limit and not offset & 3:
+            exit_watch[offset >> 2] = record_id
+        # An exit branch outside the text image can never retire: no
+        # dense slot, and the current pc is always in range, so it is
+        # dropped rather than mirrored into far_watch.
+    arrays = (next_watch, exit_watch, far_watch)
+    sim._zolc_watch_cache[plan.key] = arrays
+    return arrays
+
+
+def _apply_action(action, regs_write, next_pc, pending, index_writes,
+                  task_switches, cycles, zolc_switch_extra):
+    """Apply one ZolcAction to the run loop's local counter bundle.
+
+    Shared by the plan loop's two on_retire sites (mtz/mfz oracle path
+    and the transient arm-writes-pending window).  The legacy loop
+    keeps this logic inline — it runs per retirement there — so a
+    change to action semantics must touch the inline copy too (the
+    differential tests catch a drift).
+    """
+    writes = action.index_writes
+    if writes:
+        for reg, value in writes:
+            regs_write(reg, value)
+        index_writes += len(writes)
+    if action.next_pc is not None:
+        next_pc = action.next_pc
+        # Any PC redirect crosses a fetch boundary: the load-use
+        # pairing cannot survive it.
+        pending = None
+    if action.is_task_switch:
+        task_switches += 1
+        pending = None
+        cycles += zolc_switch_extra
+    return next_pc, pending, index_writes, task_switches, cycles
+
+
+def _plan_dispatch_state(plan, sim: "Simulator", n: int, base: int, zolc):
+    """Resolve the fast loop's compiled dispatch state from a plan query.
+
+    Returns the full local-variable bundle the plan loop runs on:
+    ``(next_watch, exit_watch, far_watch, fire_exit, fire_entry,
+    fire_trigger, epoch, legacy_active)``.  With no plan, the arrays
+    are ``None`` and ``legacy_active`` reports whether the port is
+    active anyway (the transient arm-writes-pending window), in which
+    case every retirement must still reach ``on_retire``.
+    """
+    if plan is None:
+        return None, None, None, None, None, None, None, bool(zolc.active)
+    next_watch, exit_watch, far_watch = _compile_watch_arrays(
+        sim, plan, n, base)
+    return (next_watch, exit_watch, far_watch, plan.fire_exit,
+            plan.fire_entry, plan.fire_trigger, plan.epoch, False)
+
+
 def run_fast(sim: "Simulator", max_steps: int,
              predecoded: PredecodedProgram) -> None:
     """Fused fetch/execute/retire loop over the predecoded program.
@@ -318,6 +435,12 @@ def run_fast(sim: "Simulator", max_steps: int,
     ``sim.stats`` / ``sim.timing`` on *every* exit path (halt, watchdog,
     fetch/memory/ZOLC faults), so post-mortem state matches the stepped
     interpreter exactly.
+
+    Two inner loops share that contract: the legacy loop (no ZOLC port,
+    or a port without ``zolc_plan``) offers every retirement to
+    ``on_retire`` exactly as before, and the plan-compiled loop (see
+    the module docstring) dispatches through dense watch arrays and
+    only falls back to ``on_retire`` for ``mtz``/``mfz`` retirements.
     """
     state = sim.state
     timing = sim.timing
@@ -343,7 +466,10 @@ def run_fast(sim: "Simulator", max_steps: int,
     steps = 0
     halted = state.halted
 
+    plan_fn = getattr(zolc, "zolc_plan", None) if zolc is not None else None
+
     try:
+      if plan_fn is None:
         while not halted:
             if steps >= max_steps:
                 raise WatchdogError(
@@ -395,6 +521,140 @@ def run_fast(sim: "Simulator", max_steps: int,
                 # A port may halt the machine from on_retire; observe it
                 # like the stepped loop's `while not state.halted` does.
                 halted = state.halted
+            pc = next_pc
+      else:
+        # -- plan-compiled ZOLC loop ------------------------------------
+        regs_write = state.regs.write
+        # Per-slot flag: retiring this slot may change ZOLC port state
+        # (mtz/mfz) and must take the full on_retire path.
+        zops = [meta.is_zolc_init for meta in metas]
+        n = len(ops)
+        # Dispatch state: `znext is not None` means a compiled plan is
+        # folded in (armed fast path).  `zactive` covers the transient
+        # active-without-plan window (arm-time writes pending), where
+        # every retirement must still reach on_retire.
+        (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
+         zepoch, zactive) = _plan_dispatch_state(plan_fn(), sim, n, base,
+                                                 zolc)
+        while not halted:
+            if steps >= max_steps:
+                raise WatchdogError(
+                    f"no halt after {max_steps} instructions (pc={pc:#x})")
+            offset = pc - base
+            if offset < 0 or offset >= limit or offset & 3:
+                raise InvalidFetchError(pc)
+            idx = offset >> 2
+            fn, base_cycles, uses, load_dest, taken_penalty = ops[idx]
+            res = fn(pc)
+            steps += 1
+            retired[idx] += 1
+            cycles += base_cycles
+            if pending is not None and pending in uses:
+                cycles += load_use
+                stall += load_use
+            if res is None:
+                next_pc = pc + 4
+                taken = False
+            elif res is HALT:
+                halted = True
+                next_pc = pc
+                taken = False
+            else:
+                next_pc = res
+                taken = True
+                taken_branches += 1
+                cycles += taken_penalty
+                flush += taken_penalty
+            pending = load_dest
+            if znext is not None:
+                if halted:
+                    pass
+                elif not zops[idx]:
+                    # Armed fast path: dispatch against the watch
+                    # arrays; unwatched retirements fall straight
+                    # through with no Python call.
+                    fired = False
+                    if taken:
+                        record_id = zexit[idx]
+                        if record_id is not None:
+                            fired = fire_exit(record_id, next_pc, True)
+                    if not fired:
+                        noffset = next_pc - base
+                        if 0 <= noffset < limit and not noffset & 3:
+                            watch = znext[noffset >> 2]
+                        elif zfar:
+                            watch = zfar.get(next_pc)
+                        else:
+                            watch = None
+                        if watch is not None:
+                            entry_id, trigger_loop = watch
+                            if entry_id is not None:
+                                fired = fire_entry(entry_id, pc, next_pc)
+                            if not fired and trigger_loop is not None:
+                                fired = True
+                                decision = fire_trigger(trigger_loop)
+                                writes = decision.index_writes
+                                if writes:
+                                    for reg, value in writes:
+                                        regs_write(reg, value)
+                                    index_writes += len(writes)
+                                if decision.next_pc is not None:
+                                    next_pc = decision.next_pc
+                                # Every trigger decision is a task
+                                # switch (loop-back or expiry), exactly
+                                # as on_retire reports it.
+                                task_switches += 1
+                                pending = None
+                                cycles += zolc_switch_extra
+                                # A single-shot controller disarms on
+                                # expiry: re-query the plan.
+                                plan = plan_fn()
+                                if plan is None or plan.epoch != zepoch:
+                                    (znext, zexit, zfar, fire_exit,
+                                     fire_entry, fire_trigger, zepoch,
+                                     zactive) = _plan_dispatch_state(
+                                        plan, sim, n, base, zolc)
+                    if fired:
+                        # A port may halt the machine from a fire
+                        # handler, like the legacy loop observes after
+                        # on_retire.
+                        halted = state.halted
+                else:
+                    # mtz/mfz while armed: full oracle path (the
+                    # retirement may rewrite tables, disarm, re-arm, or
+                    # land on a watched address — on_retire covers all
+                    # of it), then re-sync the compiled dispatch state.
+                    if zolc.active:
+                        action = zolc.on_retire(pc, next_pc, taken=taken)
+                        if action is not None:
+                            (next_pc, pending, index_writes,
+                             task_switches, cycles) = _apply_action(
+                                action, regs_write, next_pc, pending,
+                                index_writes, task_switches, cycles,
+                                zolc_switch_extra)
+                        halted = state.halted
+                    plan = plan_fn()
+                    if plan is None or plan.epoch != zepoch:
+                        (znext, zexit, zfar, fire_exit, fire_entry,
+                         fire_trigger, zepoch, zactive) = \
+                            _plan_dispatch_state(plan, sim, n, base, zolc)
+            elif zactive or zops[idx]:
+                # No compiled plan: either the port is inactive (only a
+                # retired mtz/mfz can change that) or it is active with
+                # arm-time writes pending (every retirement must reach
+                # on_retire until the plan appears).
+                if not halted and zolc.active:
+                    action = zolc.on_retire(pc, next_pc, taken=taken)
+                    if action is not None:
+                        (next_pc, pending, index_writes,
+                         task_switches, cycles) = _apply_action(
+                            action, regs_write, next_pc, pending,
+                            index_writes, task_switches, cycles,
+                            zolc_switch_extra)
+                    halted = state.halted
+                (znext, zexit, zfar, fire_exit, fire_entry,
+                 fire_trigger, zepoch, zactive) = \
+                    _plan_dispatch_state(plan_fn(), sim, n, base, zolc)
             pc = next_pc
     finally:
         state.pc = pc

@@ -63,7 +63,62 @@ class ZolcPort(Protocol):
                   taken: bool = False) -> ZolcAction | None: ...
 
 
+@runtime_checkable
+class CompiledZolcPort(ZolcPort, Protocol):
+    """A ZOLC port whose armed state compiles to a queryable plan.
+
+    ``zolc_plan()`` returns the port's current
+    :class:`~repro.core.compiled.CompiledControllerPlan` (watch sets +
+    fire handlers + epoch), or ``None`` when the port is unarmed or has
+    arm-time writes pending.  The predecoded engine folds the plan's
+    watch sets into its dispatch array and then calls ``on_retire``
+    only for ``mtz``/``mfz`` retirements; everything else dispatches
+    straight to the plan's fire handlers (or to nothing at all).  Ports
+    that do not implement this method — any plain :class:`ZolcPort` —
+    get the legacy per-retirement ``on_retire`` treatment instead.
+
+    A port exposing ``zolc_plan()`` promises the contract documented in
+    :mod:`repro.core.compiled`: the plan is valid until its epoch
+    changes, and the armed/pending state only changes through
+    :meth:`write` or a fire handler.
+    """
+
+    def zolc_plan(self): ...
+
+
+class PlanlessZolcPort:
+    """Adapter hiding a port's compiled plan from the fast engine.
+
+    Forwards the whole :class:`ZolcPort` surface to ``inner`` but does
+    not expose ``zolc_plan``, forcing the engine's legacy
+    per-retirement ``on_retire`` loop.  Used by the differential tests
+    and the throughput benchmark to pin the plan-compiled fast path
+    against the legacy path on identical work.
+    """
+
+    def __init__(self, inner: ZolcPort):
+        self.inner = inner
+
+    @property
+    def active(self) -> bool:
+        return self.inner.active
+
+    def write(self, selector: int, value: int) -> None:
+        self.inner.write(selector, value)
+
+    def read(self, selector: int) -> int:
+        return self.inner.read(selector)
+
+    def on_retire(self, pc: int, next_pc: int,
+                  taken: bool = False) -> ZolcAction | None:
+        return self.inner.on_retire(pc, next_pc, taken=taken)
+
+
 DEFAULT_MAX_STEPS = 20_000_000
+
+#: Valid ``Simulator.run(engine=...)`` strategies.  The experiment
+#: layer validates plan files against this same tuple.
+ENGINES = ("auto", "fast", "step")
 
 
 class Simulator:
@@ -87,6 +142,13 @@ class Simulator:
         self._predecoded: PredecodedProgram | None | bool = None
         self._predecoded_zolc: ZolcPort | None = zolc
         self._predecode_failure: str | None = None
+        # Watch-set compilation cache for the fast engine: maps a
+        # compiled controller plan's content key to the dense per-slot
+        # dispatch arrays built from it, so repeated re-arms of the
+        # same tables (kernel invoked in a loop, lockstep runs) do not
+        # rebuild O(text) arrays.  Keyed purely by watch-set content —
+        # safe across ZOLC port swaps.
+        self._zolc_watch_cache: dict = {}
         self._load_image()
         self.state.regs.write(SP_REG, memory_size - 16)
 
@@ -182,7 +244,7 @@ class Simulator:
         ``"fast"`` forces it, ``"step"`` forces the legacy
         one-instruction-at-a-time interpreter.
         """
-        if engine not in ("auto", "fast", "step"):
+        if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         if engine == "fast" and self.tracer is not None:
             raise ValueError(

@@ -105,11 +105,17 @@ class SuiteResult:
 
 def run_kernel(kernel: Kernel, machine: MachineSpec,
                pipeline: PipelineConfig | None = None,
-               max_steps: int = DEFAULT_MAX_STEPS) -> RunResult:
-    """Prepare, simulate and verify one kernel on one machine."""
+               max_steps: int = DEFAULT_MAX_STEPS,
+               engine: str = "auto") -> RunResult:
+    """Prepare, simulate and verify one kernel on one machine.
+
+    ``engine`` selects the simulator's execution strategy (``"auto"`` /
+    ``"fast"`` / ``"step"``); engines are bit-identical, so the choice
+    affects host time only, never the measurement.
+    """
     prepared = machine.prepare(kernel.source)
     simulator = prepared.make_simulator(pipeline=pipeline)
-    simulator.run(max_steps=max_steps)
+    simulator.run(max_steps=max_steps, engine=engine)
     kernel.check(simulator)  # raises KernelCheckError on mismatch
     stats = simulator.stats
     return RunResult(

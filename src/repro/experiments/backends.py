@@ -27,12 +27,18 @@ from repro.eval.runner import RunResult, run_kernel
 
 @dataclass(frozen=True)
 class Cell:
-    """One grid cell: everything a worker needs to run it."""
+    """One grid cell: everything a worker needs to run it.
+
+    ``engine`` is the simulator engine the cell runs on — a host-side
+    choice that never affects the measurement (engines are
+    bit-identical), so it is not part of the cell's cache identity.
+    """
 
     kernel_name: str
     machine: MachineSpec
     pipeline: PipelineConfig
     max_steps: int
+    engine: str = "auto"
 
 
 @runtime_checkable
@@ -51,7 +57,7 @@ def _run_cell(cell: Cell) -> RunResult:
 
     kernel = registry().get(cell.kernel_name)
     return run_kernel(kernel, cell.machine, pipeline=cell.pipeline,
-                      max_steps=cell.max_steps)
+                      max_steps=cell.max_steps, engine=cell.engine)
 
 
 class SerialBackend:

@@ -50,7 +50,8 @@ def _plan_cells(spec: ExperimentSpec) -> list[_PlannedCell]:
                                spec.max_steps)
                 for repeat in range(spec.repeats):
                     cell = Cell(kernel_name=kernel_name, machine=machine,
-                                pipeline=pipeline, max_steps=spec.max_steps)
+                                pipeline=pipeline, max_steps=spec.max_steps,
+                                engine=spec.engine)
                     planned.append(_PlannedCell(
                         cell=cell, axes=dict(point), repeat=repeat, key=key))
     return planned
@@ -76,17 +77,33 @@ def _measurement(result: RunResult) -> dict:
 
 
 def run_experiment(spec: ExperimentSpec,
-                   backend: ExecutionBackend | str = "serial",
+                   backend: ExecutionBackend | str | None = None,
                    jobs: int | None = None,
                    store: ResultStore | str | Path | None = None
                    ) -> ExperimentResult:
     """Run (or replay) every cell of ``spec``.
 
     ``backend`` is a backend instance or name (``"serial"`` /
-    ``"process"``; ``jobs`` configures the latter).  ``store`` enables
-    the content-addressed result cache: cells whose key is already
-    stored are *not* re-simulated.  ``None`` disables caching.
+    ``"process"``; ``jobs`` configures the latter); ``None`` defers to
+    the spec's own ``backend`` / ``jobs`` choice, so a plan file can
+    declare how it wants to run and a caller (e.g. the CLI's
+    ``--backend`` / ``--jobs`` flags) can still override it.  ``store``
+    enables the content-addressed result cache: cells whose key is
+    already stored are *not* re-simulated.  ``None`` disables caching.
     """
+    if backend is None:
+        backend = spec.backend
+    if jobs is None:
+        jobs = spec.jobs
+    if jobs not in (None, 1) and (backend == "serial"
+                                  or isinstance(backend, SerialBackend)):
+        # Mirrors run_suite's convention: asking for workers on a
+        # backend that cannot use them is flagged, never silent.
+        import warnings
+        warnings.warn(
+            f"jobs={jobs} ignored: the serial backend runs in-process "
+            "(pick --backend process, or drop the explicit backend so "
+            "--jobs implies it)", RuntimeWarning, stacklevel=2)
     if isinstance(backend, str):
         backend = get_backend(backend, jobs=jobs)
     if store is not None and not isinstance(store, ResultStore):
@@ -129,11 +146,15 @@ def run_experiment(spec: ExperimentSpec,
 
 
 def run_plan(path: str | Path,
-             backend: ExecutionBackend | str = "serial",
+             backend: ExecutionBackend | str | None = None,
              jobs: int | None = None,
              store: ResultStore | str | Path | None = None
              ) -> ExperimentResult:
-    """Load a plan file and run it (the ``repro experiment`` command)."""
+    """Load a plan file and run it (the ``repro experiment`` command).
+
+    ``backend=None`` / ``jobs=None`` honour the plan's own ``backend``
+    and ``jobs`` keys; explicit values override the plan.
+    """
     from repro.experiments.spec import load_plan
 
     return run_experiment(load_plan(path), backend=backend, jobs=jobs,

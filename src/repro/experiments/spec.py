@@ -13,6 +13,12 @@ Kernel selectors are registry names, plus two group selectors:
 ``"@all"`` (every registered kernel).  Machines are
 :class:`~repro.eval.machines.MachineSpec` values — registry names or
 inline definitions, including custom ZOLC variants.
+
+Plans also carry *host-side* execution choices — ``backend`` (serial /
+process), ``jobs`` and ``engine`` (auto / fast / step) — which never
+affect the measured results and are therefore not part of any cell's
+cache identity; the CLI's ``--backend`` / ``--jobs`` flags override
+them per invocation.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
 from repro.cpu.pipeline import PipelineConfig
-from repro.cpu.simulator import DEFAULT_MAX_STEPS
+from repro.cpu.simulator import DEFAULT_MAX_STEPS, ENGINES
 from repro.eval.machines import MachineSpec
 
 _PIPELINE_FIELDS = tuple(f.name for f in fields(PipelineConfig))
@@ -83,6 +89,17 @@ class ExperimentSpec:
     sweep: tuple[SweepAxis, ...] = ()
     repeats: int = 1
     max_steps: int = DEFAULT_MAX_STEPS
+    #: Execution backend the plan runs on by default; the CLI's
+    #: ``--backend`` / ``--jobs`` flags override both.  ``None`` (the
+    #: default) resolves at construction: asking for workers (``jobs``)
+    #: without naming a backend implies the process backend, the same
+    #: convention as the CLI's ``--jobs`` flag; otherwise serial.
+    backend: str | None = None
+    jobs: int | None = None
+    #: Simulator engine for every cell (host-side choice only: engines
+    #: retire bit-identical results, so this is not part of the cell's
+    #: cache identity).
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kernels", tuple(self.kernels))
@@ -96,6 +113,21 @@ class ExperimentSpec:
             raise ValueError("repeats must be >= 1")
         if self.max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        from repro.experiments.backends import BACKENDS
+
+        if self.backend is None:
+            object.__setattr__(
+                self, "backend",
+                "process" if self.jobs not in (None, 1) else "serial")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: "
+                f"{', '.join(sorted(BACKENDS))}")
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; known: "
+                             f"{', '.join(ENGINES)}")
         seen: set[str] = set()
         for axis in self.sweep:
             if axis.name in seen:
@@ -143,7 +175,7 @@ class ExperimentSpec:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "kernels": list(self.kernels),
             "machines": [m.to_dict() for m in self.machines],
@@ -151,7 +183,12 @@ class ExperimentSpec:
             "sweep": [axis.to_dict() for axis in self.sweep],
             "repeats": self.repeats,
             "max_steps": self.max_steps,
+            "backend": self.backend,
+            "engine": self.engine,
         }
+        if self.jobs is not None:
+            out["jobs"] = self.jobs
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -162,7 +199,8 @@ class ExperimentSpec:
             raise PlanError(f"plan must be a mapping, "
                             f"got {type(data).__name__}")
         unknown = set(data) - {"name", "kernels", "machines", "pipeline",
-                               "sweep", "repeats", "max_steps"}
+                               "sweep", "repeats", "max_steps",
+                               "backend", "jobs", "engine"}
         if unknown:
             raise PlanError(f"unknown plan keys: {', '.join(sorted(unknown))}")
         try:
@@ -182,6 +220,7 @@ class ExperimentSpec:
             pipeline = PipelineConfig(**data.get("pipeline", {}))
             sweep = tuple(SweepAxis.from_dict(axis)
                           for axis in data.get("sweep", ()))
+            jobs = data.get("jobs")
             return cls(
                 name=data.get("name", "experiment"),
                 kernels=kernels,
@@ -190,6 +229,9 @@ class ExperimentSpec:
                 sweep=sweep,
                 repeats=int(data.get("repeats", 1)),
                 max_steps=int(data.get("max_steps", DEFAULT_MAX_STEPS)),
+                backend=data.get("backend"),
+                jobs=None if jobs is None else int(jobs),
+                engine=data.get("engine", "auto"),
             )
         except (TypeError, ValueError, KeyError) as exc:
             raise PlanError(f"bad plan: {exc}") from exc

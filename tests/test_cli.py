@@ -152,6 +152,59 @@ class TestExperimentCommand:
         assert cli.main(["experiment", str(plan), "-j", "4"]) == 0
         assert seen == {"backend": "process", "jobs": 4}
 
+    def _fake_run_plan(self, monkeypatch, seen):
+        def fake_run_plan(plan, backend, jobs, store):
+            seen.update(backend=backend, jobs=jobs)
+
+            class Empty:
+                def to_dict(self):
+                    return {}
+
+                def render(self):
+                    return ""
+            return Empty()
+
+        monkeypatch.setattr("repro.experiments.runner.run_plan",
+                            fake_run_plan)
+
+    def test_no_flags_defer_to_the_plan(self, tmp_path, monkeypatch):
+        seen = {}
+        self._fake_run_plan(monkeypatch, seen)
+        assert main(["experiment", str(self._plan(tmp_path))]) == 0
+        # None means "the plan's own backend/jobs keys decide".
+        assert seen == {"backend": None, "jobs": None}
+
+    def test_jobs_overrides_the_plans_backend(self, tmp_path, monkeypatch):
+        seen = {}
+        self._fake_run_plan(monkeypatch, seen)
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"name": "t", "kernels": ["vec_sum"],'
+            ' "machines": ["XRdefault"], "backend": "serial"}')
+        assert main(["experiment", str(plan), "--jobs", "4"]) == 0
+        assert seen == {"backend": "process", "jobs": 4}
+
+    def test_plan_with_backend_and_jobs_keys_runs(self, capsys, tmp_path):
+        import json
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"name": "t", "kernels": ["vec_sum"],'
+            ' "machines": ["XRdefault"], "backend": "serial",'
+            ' "jobs": 1, "engine": "fast"}')
+        assert main(["experiment", str(plan), "--no-cache", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulated"] == 1
+
+    def test_non_integer_jobs_exits_one(self, capsys, tmp_path):
+        plan = self._plan(tmp_path)
+        assert main(["experiment", str(plan), "-j", "many"]) == 1
+        assert "jobs must be an integer" in capsys.readouterr().err
+
+    def test_negative_jobs_exits_one(self, capsys, tmp_path):
+        plan = self._plan(tmp_path)
+        assert main(["experiment", str(plan), "-j", "-2"]) == 1
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
     def test_missing_plan_exits_one(self, capsys, tmp_path):
         assert main(["experiment", str(tmp_path / "nope.json")]) == 1
         assert "error" in capsys.readouterr().err

@@ -58,10 +58,20 @@ class TestLockstepEquivalence:
     retire observation of the fast loop.
     """
 
-    @pytest.mark.parametrize("machine_name", ["XRdefault", "ZOLClite"])
-    def test_retire_sequences_identical(self, kernel_registry, machine_name):
+    @pytest.mark.parametrize("machine_name,kernel_name", [
+        ("XRdefault", "vec_sum"),
+        ("ZOLClite", "vec_sum"),
+        # Single-shot controller: disarms/re-arms across the run, so the
+        # fast engine's compiled dispatch state churns per loop.
+        ("uZOLC", "matmul"),
+        # Multi-exit kernel on ZOLCfull: exit-record and entry-record
+        # dispatch under the compiled plan, retire by retire.
+        ("ZOLCfull", "vecmax_early"),
+    ])
+    def test_retire_sequences_identical(self, kernel_registry, machine_name,
+                                        kernel_name):
         machine = next(m for m in ALL_MACHINES if m.name == machine_name)
-        prepared = machine.prepare(kernel_registry.get("vec_sum").source)
+        prepared = machine.prepare(kernel_registry.get(kernel_name).source)
         fast = prepared.make_simulator()
         slow = prepared.make_simulator()
         for retirement in range(50_000):
@@ -202,6 +212,275 @@ class TestExternalHalt:
         sim.run(max_steps=1000, engine=engine)
         assert sim.state.halted
         assert sim.stats.instructions == 5
+
+
+def _controller_tuple(sim):
+    """Controller-internal state the differential tests also pin down."""
+    zolc = sim.zolc
+    while hasattr(zolc, "inner"):  # unwrap PlanlessZolcPort adapters
+        zolc = zolc.inner
+    if zolc is None or not hasattr(zolc, "task_switches"):
+        return None
+    return (zolc.task_switches, zolc.exit_events, zolc.entry_events,
+            zolc.arm_count,
+            [s.iterations_done for s in zolc.unit.status])
+
+
+# A hand-armed single-loop program: the body is one instruction, the
+# trigger is the address right after it, so every body retirement is a
+# watched next-pc.  Phase 2 reprograms TRIPS/INITIAL/BODY/TRIGGER and
+# re-arms mid-run — the compiled plan must be invalidated and rebuilt.
+REARM_SRC = """
+        .text
+main:
+        addi at, zero, 5
+        mtz  at, 256            # loop 0 TRIPS
+        addi at, zero, 0
+        mtz  at, 257            # INITIAL
+        addi at, zero, 1
+        mtz  at, 258            # STEP
+        addi at, zero, 8
+        mtz  at, 259            # INDEX_REG = t0
+        ori  at, zero, %lo(body1)
+        mtz  at, 260            # BODY_PC
+        ori  at, zero, %lo(after1)
+        mtz  at, 261            # TRIGGER_PC
+        ori  at, zero, 0xFFFF
+        mtz  at, 262            # PARENT = NO_PARENT
+        addi at, zero, 1
+        mtz  at, 263            # FLAGS = VALID
+        addi at, zero, 1
+        mtz  at, 0              # CTRL_ARM
+body1:
+        add  s0, s0, t0         # s0 += 0+1+2+3+4 = 10
+after1:
+        addi at, zero, 3
+        mtz  at, 256            # TRIPS = 3
+        addi at, zero, 10
+        mtz  at, 257            # INITIAL = 10
+        ori  at, zero, %lo(body2)
+        mtz  at, 260
+        ori  at, zero, %lo(after2)
+        mtz  at, 261
+        addi at, zero, 1
+        mtz  at, 0              # re-arm
+body2:
+        add  s1, s1, t0         # s1 += 10+11+12 = 33
+after2:
+        halt
+"""
+
+# The same armed loop entered repeatedly: an enclosing software loop
+# re-runs the whole init sequence, so the controller re-arms once per
+# outer iteration and the engine's watch-array cache must serve the
+# recompilation.
+REINVOKE_SRC = """
+        .text
+main:
+        addi s2, zero, 3        # three invocations
+outer:
+        addi at, zero, 4
+        mtz  at, 256            # loop 0 TRIPS
+        addi at, zero, 0
+        mtz  at, 257            # INITIAL
+        addi at, zero, 1
+        mtz  at, 258            # STEP
+        addi at, zero, 8
+        mtz  at, 259            # INDEX_REG = t0
+        ori  at, zero, %lo(body)
+        mtz  at, 260            # BODY_PC
+        ori  at, zero, %lo(after)
+        mtz  at, 261            # TRIGGER_PC
+        ori  at, zero, 0xFFFF
+        mtz  at, 262            # PARENT
+        addi at, zero, 1
+        mtz  at, 263            # FLAGS = VALID
+        addi at, zero, 1
+        mtz  at, 0              # CTRL_ARM
+body:
+        add  s0, s0, t0         # += 0+1+2+3 = 6 per invocation
+after:
+        addi s2, s2, -1
+        bne  s2, zero, outer
+        halt
+"""
+
+
+def _zolc_sim(source):
+    from repro.core import ZolcController
+    from repro.core.config import ZOLC_LITE
+
+    sim = Simulator(assemble(source), zolc=ZolcController(ZOLC_LITE))
+    sim.zolc.attach(sim.state.regs)
+    return sim
+
+
+class TestReArm:
+    """Differential coverage for mid-run re-arming through the fast path.
+
+    The suite-equivalence tests above re-arm too (multi-group kernels,
+    uZOLC's one-arm-per-loop discipline), but these programs pin the
+    interesting transitions directly: table rewrites between arms, and
+    repeated invocation of one armed region.
+    """
+
+    def test_rearm_with_rewritten_tables_matches_step(self):
+        fast = _zolc_sim(REARM_SRC)
+        fast.run(max_steps=10_000, engine="fast")
+        slow = _zolc_sim(REARM_SRC)
+        slow.run(max_steps=10_000, engine="step")
+        assert _state_tuple(fast) == _state_tuple(slow)
+        assert _controller_tuple(fast) == _controller_tuple(slow)
+        assert fast.zolc.arm_count == 2
+        assert fast.state.regs["s0"] == 10
+        assert fast.state.regs["s1"] == 33
+
+    def test_repeated_invocation_matches_step(self):
+        fast = _zolc_sim(REINVOKE_SRC)
+        fast.run(max_steps=10_000, engine="fast")
+        slow = _zolc_sim(REINVOKE_SRC)
+        slow.run(max_steps=10_000, engine="step")
+        assert _state_tuple(fast) == _state_tuple(slow)
+        assert _controller_tuple(fast) == _controller_tuple(slow)
+        assert fast.zolc.arm_count == 3
+        assert fast.state.regs["s0"] == 18
+
+    def test_repeated_invocation_reuses_compiled_watch_arrays(self):
+        sim = _zolc_sim(REINVOKE_SRC)
+        sim.run(max_steps=10_000, engine="fast")
+        # Three arms of identical tables compile once: the watch-array
+        # cache is keyed by watch-set content, not by arm epoch.
+        assert len(sim._zolc_watch_cache) == 1
+
+    def test_rearm_lockstep(self):
+        """Retire-by-retire equivalence across both arms of REARM_SRC."""
+        fast = _zolc_sim(REARM_SRC)
+        slow = _zolc_sim(REARM_SRC)
+        for retirement in range(10_000):
+            if slow.state.halted:
+                break
+            slow.step()
+            if slow.state.halted:
+                fast.run(max_steps=1, engine="fast")
+            else:
+                with pytest.raises(WatchdogError):
+                    fast.run(max_steps=1, engine="fast")
+            assert _state_tuple(fast) == _state_tuple(slow), \
+                f"diverged at retirement {retirement}"
+            assert _controller_tuple(fast) == _controller_tuple(slow), \
+                f"controller diverged at retirement {retirement}"
+        else:
+            pytest.fail("program did not halt")
+
+
+class TestPlanlessFallback:
+    """A port without ``zolc_plan`` (any pre-compiled-plan custom
+    :class:`ZolcPort`) must fall back to per-retirement ``on_retire``
+    and still retire an identical sequence."""
+
+    @pytest.mark.parametrize("kernel_name", ["vec_sum", "matmul"])
+    def test_planless_port_matches_plan_port(self, kernel_registry,
+                                             kernel_name):
+        from repro.cpu import PlanlessZolcPort
+
+        machine = next(m for m in ALL_MACHINES if m.name == "ZOLClite")
+        prepared = machine.prepare(kernel_registry.get(kernel_name).source)
+
+        planful = prepared.make_simulator()
+        planful.run(engine="fast")
+
+        planless = prepared.make_simulator()
+        planless.zolc = PlanlessZolcPort(planless.zolc)
+        planless.run(engine="fast")
+
+        assert _state_tuple(planful) == _state_tuple(planless)
+        assert _controller_tuple(planful) == _controller_tuple(planless)
+        # The planless run never compiled watch arrays.
+        assert planless._zolc_watch_cache == {}
+        assert planful._zolc_watch_cache != {}
+
+
+class TestFireHandlerHalt:
+    def test_port_halting_from_fire_trigger_stops_both_engines(self):
+        """The plan contract allows fire handlers to halt the machine.
+
+        The fast engine must observe the flag after every fired event,
+        exactly like the legacy loop observes it after on_retire.
+        """
+        from repro.core import ZolcController
+        from repro.core.config import ZOLC_LITE
+
+        class HaltingController(ZolcController):
+            def __init__(self, config, after):
+                super().__init__(config)
+                self.after = after
+                self.state = None
+
+            def fire_trigger(self, loop_id):
+                decision = super().fire_trigger(loop_id)
+                if self.task_switches >= self.after:
+                    self.state.halted = True
+                return decision
+
+        def run(engine):
+            sim = Simulator(assemble(REARM_SRC),
+                            zolc=HaltingController(ZOLC_LITE, after=3))
+            sim.zolc.attach(sim.state.regs)
+            sim.zolc.state = sim.state
+            sim.run(max_steps=10_000, engine=engine)
+            return sim
+
+        fast = run("fast")
+        slow = run("step")
+        assert fast.state.halted and slow.state.halted
+        assert _state_tuple(fast) == _state_tuple(slow)
+        assert _controller_tuple(fast) == _controller_tuple(slow)
+        assert fast.zolc.task_switches == 3
+
+
+class TestPreArmedController:
+    def test_programmatically_armed_controller_matches_step(self):
+        """Arming before run() exercises the pending-writes window.
+
+        zolc_plan() withholds the plan until the arm-time index writes
+        flush through on_retire at the first retirement, so the fast
+        engine starts in its transient legacy mode and then switches to
+        compiled dispatch.
+        """
+        from repro.core import tables as T
+
+        source = """
+        .text
+main:
+        add  s0, s0, t0
+after:
+        halt
+"""
+
+        def build():
+            sim = _zolc_sim(source)
+            zolc = sim.zolc
+            program = sim.program
+            zolc.write(T.loop_selector(0, T.F_TRIPS), 7)
+            zolc.write(T.loop_selector(0, T.F_INITIAL), 0)
+            zolc.write(T.loop_selector(0, T.F_STEP), 1)
+            zolc.write(T.loop_selector(0, T.F_INDEX_REG), 8)
+            zolc.write(T.loop_selector(0, T.F_BODY_PC),
+                       program.symbols["main"])
+            zolc.write(T.loop_selector(0, T.F_TRIGGER_PC),
+                       program.symbols["after"])
+            zolc.write(T.loop_selector(0, T.F_FLAGS), T.FLAG_VALID)
+            zolc.write(T.CTRL_ARM, 1)
+            assert zolc.zolc_plan() is None  # pending arm-time writes
+            return sim
+
+        fast = build()
+        fast.run(max_steps=1_000, engine="fast")
+        slow = build()
+        slow.run(max_steps=1_000, engine="step")
+        assert _state_tuple(fast) == _state_tuple(slow)
+        assert _controller_tuple(fast) == _controller_tuple(slow)
+        assert fast.state.regs["s0"] == sum(range(7))
 
 
 class TestFaultPaths:

@@ -99,6 +99,37 @@ class TestExperimentSpec:
             repeats=2, max_steps=1000)
         assert ExperimentSpec.from_dict(json.loads(spec.to_json())) == spec
 
+    def test_plan_jobs_without_backend_implies_process(self):
+        # Same convention as the CLI's --jobs flag: a plan asking for
+        # workers without naming a backend gets the process backend.
+        spec = ExperimentSpec.from_dict(
+            {"name": "t", "kernels": ["vec_sum"],
+             "machines": ["XRdefault"], "jobs": 4})
+        assert spec.backend == "process" and spec.jobs == 4
+        explicit = ExperimentSpec.from_dict(
+            {"name": "t", "kernels": ["vec_sum"],
+             "machines": ["XRdefault"], "jobs": 4, "backend": "serial"})
+        assert explicit.backend == "serial"  # explicit choice wins
+
+    def test_backend_jobs_engine_round_trip(self):
+        spec = small_spec(backend="process", jobs=2, engine="step")
+        restored = ExperimentSpec.from_dict(json.loads(spec.to_json()))
+        assert restored == spec
+        assert (restored.backend, restored.jobs, restored.engine) \
+            == ("process", 2, "step")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            small_spec(backend="quantum")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            small_spec(engine="turbo")
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            small_spec(jobs=-1)
+
     def test_kernel_selectors_expand(self):
         spec = small_spec(kernels=("@figure2", "vec_sum"))
         assert spec.kernel_names() == list(FIGURE2_BENCHMARKS)
@@ -308,6 +339,46 @@ class TestRunExperiment:
         result = run_experiment(small_spec(kernels=("vec_sum",)),
                                 backend=backend)
         assert result.simulated == 2
+
+    def test_spec_backend_honoured_when_caller_defers(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+        chosen = {}
+        real = runner_module.get_backend
+
+        def spy(name, jobs=None):
+            chosen.update(name=name, jobs=jobs)
+            return real("serial")
+
+        monkeypatch.setattr(runner_module, "get_backend", spy)
+        run_experiment(small_spec(kernels=("vec_sum",),
+                                  backend="process", jobs=2))
+        assert chosen == {"name": "process", "jobs": 2}
+
+    def test_caller_backend_overrides_spec(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+        chosen = {}
+        real = runner_module.get_backend
+
+        def spy(name, jobs=None):
+            chosen.update(name=name, jobs=jobs)
+            return real("serial")
+
+        monkeypatch.setattr(runner_module, "get_backend", spy)
+        # Forcing serial while the spec asks for 4 workers drops the
+        # jobs request — flagged, never silent.
+        with pytest.warns(RuntimeWarning, match="jobs=4 ignored"):
+            run_experiment(small_spec(kernels=("vec_sum",),
+                                      backend="process", jobs=4),
+                           backend="serial")
+        assert chosen["name"] == "serial"
+
+    def test_engine_choice_is_bit_identical_and_cache_compatible(
+            self, tmp_path):
+        fast = run_experiment(small_spec(engine="fast"), store=tmp_path)
+        stepped = run_experiment(small_spec(engine="step"), store=tmp_path)
+        assert fast.records == stepped.records
+        # Engines share cache identity: the stepped rerun is all hits.
+        assert stepped.simulated == 0 and stepped.cached == 4
 
 
 class TestRunPlan:
