@@ -5,15 +5,16 @@ so the numbers track the *execution engine* and not the assembler or
 transform front end:
 
 * ``test_fast_engine_throughput`` — the predecoded fast engine over the
-  Figure 2 suite (every kernel on all three Figure 2 machines), with a
-  stepped-interpreter reference run recording the speedup;
+  Figure 2 suite (every kernel on all three Figure 2 machines), with
+  stepped-interpreter and trace-batched reference runs recording the
+  plain / fast / traced engine matrix;
 * ``test_zolc_fast_path_throughput`` — every Figure 2 kernel on the
-  three ZOLC machines, comparing the *compiled-plan* fast path against
-  the legacy per-retirement ``on_retire`` fast loop (a shim port that
-  hides ``zolc_plan``) and against the unpredecoded stepped
-  interpreter.  The compiled plan must beat the stepped interpreter by
-  a clear margin (the assertion that fails CI if the fast path ever
-  regresses below the unpredecoded engine).
+  three ZOLC machines, benchmarking the *trace-batched* tier against
+  the compiled-plan fast path, the legacy per-retirement ``on_retire``
+  fast loop (a shim port that hides ``zolc_plan``) and the unpredecoded
+  stepped interpreter.  Two regression gates fail CI: the compiled-plan
+  fast path must stay >= 1.5x the stepped interpreter, and the traced
+  tier must stay ahead of the fast path it batches over.
 
 Both write their steps/sec into ``BENCH_throughput.json`` at the repo
 root, so the perf trajectory is recorded alongside the code.
@@ -127,20 +128,30 @@ def test_fast_engine_throughput(benchmark, prepared_suite):
     benchmark.extra_info["simulated_instructions"] = total
     benchmark.extra_info["instructions_per_second"] = fast_ips
 
-    # One reference run of the legacy stepped interpreter on the same
-    # work, for the recorded speedup.
+    # Reference runs of the stepped interpreter and the trace-batched
+    # tier on the same work: the recorded plain / fast / traced matrix.
     step_total, step_elapsed = _timed(prepared_suite, "step")
     assert step_total == total  # both engines retire the same stream
+    # Warm run first so the traced number reflects steady state (region
+    # code is compiled once per program and cached).
+    _simulate_all(prepared_suite, "traced")
+    traced_total, traced_elapsed = _timed(prepared_suite, "traced")
+    assert traced_total == total
     speedup = (step_elapsed / mean) if mean else float("inf")
     stepped_ips = round(step_total / step_elapsed)
+    traced_ips = round(traced_total / traced_elapsed)
     benchmark.extra_info["stepped_instructions_per_second"] = stepped_ips
+    benchmark.extra_info["traced_instructions_per_second"] = traced_ips
     benchmark.extra_info["speedup_vs_step_engine"] = round(speedup, 2)
     _RESULTS["figure2"] = {
         "machines": [m.name for m in FIGURE2_MACHINES],
         "simulated_instructions": total,
         "fast_instructions_per_second": fast_ips,
         "stepped_instructions_per_second": stepped_ips,
+        "traced_instructions_per_second": traced_ips,
         "fast_speedup_vs_step": round(speedup, 2),
+        "traced_speedup_vs_fast": round(fast_ips and traced_ips / fast_ips,
+                                        2),
     }
     # Loose floor: the predecoded engine must clearly beat the stepped
     # interpreter even on a noisy, loaded CI box.
@@ -149,49 +160,71 @@ def test_fast_engine_throughput(benchmark, prepared_suite):
 
 @pytest.mark.repro
 def test_zolc_fast_path_throughput(benchmark, prepared_zolc_suite):
-    """Steps/second on the ZOLC machines: compiled plan vs the rest.
+    """Steps/second on the ZOLC machines: traced tier vs the rest.
 
-    Records three engines over identical work — the compiled-plan fast
-    path, the legacy per-retirement fast loop, and the unpredecoded
-    stepped interpreter — and fails if the fast path is ever slower
-    than the unpredecoded engine (the CI regression gate).
+    Benchmarks the trace-batched tier and records four engines over
+    identical work — traced, the compiled-plan fast path, the legacy
+    per-retirement fast loop, and the unpredecoded stepped interpreter.
+    Two CI regression gates: the plan fast path must stay >= 1.5x the
+    stepped interpreter, and the traced tier must not fall behind the
+    fast path it batches over.
     """
+    # Always warm up the traced benchmark (even in smoke mode): the
+    # first pass compiles each program's region code, which is cached
+    # on the Program and amortised across every later simulation — the
+    # steady state is what the gate measures.
     total = benchmark.pedantic(_simulate_all,
-                               args=(prepared_zolc_suite, "fast"),
+                               args=(prepared_zolc_suite, "traced"),
                                rounds=ROUNDS, iterations=1,
-                               warmup_rounds=WARMUP_ROUNDS)
+                               warmup_rounds=max(WARMUP_ROUNDS, 1))
     mean = benchmark.stats.stats.mean
-    plan_ips = round(total / mean)
+    traced_ips = round(total / mean)
 
+    plan_total, plan_elapsed = _timed(prepared_zolc_suite, "fast")
     legacy_total, legacy_elapsed = _timed(prepared_zolc_suite, "fast",
                                           planless=True)
     step_total, step_elapsed = _timed(prepared_zolc_suite, "step")
-    assert legacy_total == step_total == total
+    assert plan_total == legacy_total == step_total == total
 
+    plan_ips = round(plan_total / plan_elapsed)
     legacy_ips = round(legacy_total / legacy_elapsed)
     stepped_ips = round(step_total / step_elapsed)
-    speedup_vs_step = (step_elapsed / mean) if mean else float("inf")
-    speedup_vs_legacy = (legacy_elapsed / mean) if mean else float("inf")
+    plan_vs_step = step_elapsed / plan_elapsed
+    traced_vs_step = (step_elapsed / mean) if mean else float("inf")
+    traced_vs_plan = (plan_elapsed / mean) if mean else float("inf")
 
     benchmark.extra_info["simulated_instructions"] = total
+    benchmark.extra_info["traced_instructions_per_second"] = traced_ips
     benchmark.extra_info["plan_instructions_per_second"] = plan_ips
     benchmark.extra_info["legacy_fast_instructions_per_second"] = legacy_ips
     benchmark.extra_info["stepped_instructions_per_second"] = stepped_ips
-    benchmark.extra_info["plan_speedup_vs_step"] = round(speedup_vs_step, 2)
-    benchmark.extra_info["plan_speedup_vs_legacy_fast"] = \
-        round(speedup_vs_legacy, 2)
+    benchmark.extra_info["traced_speedup_vs_step"] = round(traced_vs_step, 2)
+    benchmark.extra_info["traced_speedup_vs_plan_fast"] = \
+        round(traced_vs_plan, 2)
     _RESULTS["zolc"] = {
         "machines": [m.name for m in ZOLC_MACHINES],
         "simulated_instructions": total,
+        "traced_instructions_per_second": traced_ips,
         "plan_instructions_per_second": plan_ips,
         "legacy_fast_instructions_per_second": legacy_ips,
         "stepped_instructions_per_second": stepped_ips,
-        "plan_speedup_vs_step": round(speedup_vs_step, 2),
-        "plan_speedup_vs_legacy_fast": round(speedup_vs_legacy, 2),
+        "plan_speedup_vs_step": round(plan_vs_step, 2),
+        "plan_speedup_vs_legacy_fast": round(legacy_elapsed / plan_elapsed,
+                                             2),
+        "traced_speedup_vs_step": round(traced_vs_step, 2),
+        "traced_speedup_vs_plan_fast": round(traced_vs_plan, 2),
     }
     # The ZOLC fast path must stay well ahead of the unpredecoded
     # stepped interpreter (>= 1.5x steps/sec, the acceptance floor; the
     # measured ratio on an idle host is > 3x).
-    assert speedup_vs_step > 1.5, (
-        f"ZOLC compiled-plan fast path is only {speedup_vs_step:.2f}x the "
+    assert plan_vs_step > 1.5, (
+        f"ZOLC compiled-plan fast path is only {plan_vs_step:.2f}x the "
         f"unpredecoded engine")
+    # And the trace-batched tier must keep paying for itself.  The
+    # steady-state ratio on an idle host is >= 1.4x (recorded in
+    # BENCH_throughput.json); the gate allows generous noise headroom —
+    # smoke mode measures a single round — while still catching a real
+    # regression that drops batching back to per-retirement speed.
+    assert traced_vs_plan > 0.9, (
+        f"traced tier is only {traced_vs_plan:.2f}x the compiled-plan "
+        f"fast path")

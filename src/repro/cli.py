@@ -17,6 +17,9 @@ Commands::
 ``run``, ``compare``, ``figure2``, ``sweep`` and ``experiment`` accept
 ``--json`` (machine-readable stdout) and ``--out FILE`` (write the JSON
 payload to a file, keeping the human-readable report on stdout).
+``run`` and ``experiment`` also accept ``--engine`` (auto / fast /
+traced / step — engines retire bit-identical results, so the choice
+only affects host time; an unknown engine exits 1).
 """
 
 from __future__ import annotations
@@ -71,7 +74,7 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     kernel = registry().get(args.kernel)
     machine = machine_by_name(args.machine)
-    result = run_kernel(kernel, machine)
+    result = run_kernel(kernel, machine, engine=_parse_engine(args.engine))
     lines = [f"{kernel.name} on {machine.name}: verified={result.verified}",
              f"  cycles        {result.cycles}",
              f"  instructions  {result.instructions}",
@@ -114,17 +117,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_plan
 
     store = None if args.no_cache else args.store
-    # --jobs is parsed here (not by an argparse type=) so an invalid
-    # value exits 1 through main()'s ValueError handler, like every
-    # other bad input to this command.
+    # --jobs / --engine are parsed here (not by an argparse type= /
+    # choices=) so an invalid value exits 1 through main()'s ValueError
+    # handler, like every other bad input to this command.
     jobs = _parse_jobs(args.jobs) if args.jobs is not None else None
-    # None defers to the plan's own backend/jobs keys; explicit flags
-    # override the plan.  Asking for workers without naming a backend
-    # implies the process backend (mirroring `figure2 --jobs`).
+    engine = _parse_engine(args.engine) if args.engine is not None else None
+    # None defers to the plan's own backend/jobs/engine keys; explicit
+    # flags override the plan.  Asking for workers without naming a
+    # backend implies the process backend (mirroring `figure2 --jobs`).
     backend = args.backend
     if backend is None and jobs is not None and jobs != 1:
         backend = "process"
-    result = run_plan(args.plan, backend=backend, jobs=jobs, store=store)
+    result = run_plan(args.plan, backend=backend, jobs=jobs, store=store,
+                      engine=engine)
     _emit(args, result.to_dict(), result.render())
     return 0
 
@@ -210,6 +215,21 @@ def _parse_jobs(text: str) -> int:
     return value
 
 
+def _parse_engine(text: str) -> str:
+    """Validate an engine name, raising :class:`ValueError` (exit 1).
+
+    Same discipline as ``_parse_jobs``: the ``--engine`` override is
+    validated before anything runs, against the one canonical tuple
+    the simulator and the experiment layer also use.
+    """
+    from repro.cpu.simulator import ENGINES
+
+    if text not in ENGINES:
+        raise ValueError(
+            f"unknown engine {text!r}; known: {', '.join(ENGINES)}")
+    return text
+
+
 def _jobs_count(text: str) -> int:
     """argparse ``type=`` wrapper around :func:`_parse_jobs` (exit 2)."""
     try:
@@ -230,6 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one kernel")
     run_parser.add_argument("kernel")
     run_parser.add_argument("-m", "--machine", default=XR_DEFAULT.name)
+    run_parser.add_argument(
+        "--engine", default="auto", metavar="NAME",
+        help="simulator engine: auto, fast, traced or step (engines are "
+             "bit-identical; invalid values exit 1)")
     _add_output_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -257,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", default=None, metavar="N",
         help="process-backend workers, overriding the plan's backend/"
              "jobs keys (0 = one per CPU; invalid values exit 1)")
+    experiment_parser.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="simulator engine for every cell (auto/fast/traced/step), "
+             "overriding the plan's engine key (invalid values exit 1)")
     experiment_parser.add_argument(
         "--store", default="results", metavar="DIR",
         help="result-store directory (default: results)")

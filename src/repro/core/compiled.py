@@ -44,7 +44,12 @@ Contract for engines (and for any port exposing ``zolc_plan()``):
   :meth:`write` or a fire handler;
 * a fire handler may halt the machine (set ``state.halted``); engines
   observe the flag after every fired event, exactly as the legacy loop
-  observes it after ``on_retire``.
+  observes it after ``on_retire``;
+* any dispatch structure an engine *derives* from the plan — watch
+  arrays, trace-region tables (see :func:`~repro.cpu.engine.run_traced`)
+  — follows the same lifetime: it may be cached by ``key`` (content
+  identity) across re-arms of identical tables, and it must be dropped
+  or re-derived whenever ``epoch`` changes.
 
 See DESIGN.md §6 for the timing assumptions behind the zero-cycle
 decisions these handlers model.
@@ -91,6 +96,20 @@ class CompiledControllerPlan:
         """Every address that can produce an action under this plan."""
         return ({pc for pc, _ in self.triggers}
                 | {pc for pc, _ in self.exits}
+                | {pc for pc, _ in self.entries})
+
+    def watched_next_pcs(self) -> set[int]:
+        """Addresses watched against the *next* pc of a retirement.
+
+        The union of trigger and entry-target addresses — the set a
+        trace-batching engine must respect when slicing straight-line
+        regions: a fused block may not run *through* an instruction
+        whose sequential successor is in this set, because that
+        retirement could fire (exit branches need no slicing care: they
+        fire only on *taken* transfers, and a region interior never
+        takes one).
+        """
+        return ({pc for pc, _ in self.triggers}
                 | {pc for pc, _ in self.entries})
 
 

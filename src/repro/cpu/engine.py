@@ -15,8 +15,14 @@ attribute hoisted into a local.
 
 The technique is the classic predecode-then-dispatch idiom of fast
 interpreters (cf. the PyPy JIT backends, which predecode once into
-per-instruction dispatch structures and then run a tight loop); here it
-is applied interpreter-style, with no code generation.
+per-instruction dispatch structures and then run a tight loop); the
+fast engine applies it interpreter-style, with no code generation.
+On top of it, the **trace-batched tier** (:func:`run_traced`,
+``engine="traced"``) *does* generate code: maximal straight-line
+regions of the dispatch array are fused into per-region megahandlers
+that execute a whole block with a single Python call and batch the
+timing bookkeeping (see the "Trace-batched execution tier" section
+below and DESIGN.md §8).
 
 Handler protocol: each closure takes the current ``pc`` and returns
 
@@ -57,6 +63,8 @@ keep the legacy per-retirement ``on_retire`` treatment.
 
 from __future__ import annotations
 
+
+from itertools import count as _count
 from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.cpu import alu
@@ -79,10 +87,14 @@ OpFn = Callable[[int], object]
 
 
 class OpMeta(NamedTuple):
-    """Cold per-slot metadata, only touched when aggregating statistics."""
+    """Cold per-slot metadata, touched when aggregating statistics and
+    when slicing trace regions (never in the per-retirement hot path)."""
 
     category_key: str
     is_zolc_init: bool
+    #: Whether the handler can return a control transfer (branches,
+    #: jumps, ``dbne``, ``halt``) — such slots terminate trace regions.
+    can_transfer: bool
 
 
 class PredecodedProgram(NamedTuple):
@@ -329,7 +341,11 @@ def predecode(sim: "Simulator") -> PredecodedProgram | None:
         load_dest = inst.rt if category is Category.LOAD and inst.rt else None
         ops.append((_predecode_fn(inst, address, sim), base_cycles,
                     inst.uses(), load_dest, taken_penalty))
-        metas.append(OpMeta(category.value, category is Category.ZOLC))
+        can_transfer = (inst.is_branch()
+                        or category is Category.JUMP
+                        or inst.mnemonic == "halt")
+        metas.append(OpMeta(category.value, category is Category.ZOLC,
+                            can_transfer))
     return PredecodedProgram(ops, metas)
 
 
@@ -668,6 +684,819 @@ def run_fast(sim: "Simulator", max_steps: int,
         stats.flush_cycles = flush
         stats.zolc_index_writes += index_writes
         stats.zolc_task_switches += task_switches
+        by_category = stats.by_category
+        for idx, count in enumerate(retired):
+            if count:
+                meta = metas[idx]
+                key = meta.category_key
+                by_category[key] = by_category.get(key, 0) + count
+                if meta.is_zolc_init:
+                    stats.zolc_init_instructions += count
+
+
+# ---------------------------------------------------------------------------
+# Trace-batched execution tier (``engine="traced"``)
+# ---------------------------------------------------------------------------
+#
+# The fast engine above still pays one full dispatch iteration per retired
+# instruction: a bounds check, a tuple unpack, a handler call, a pending
+# load-use probe and the taken/not-taken triage.  For straight-line code all
+# of that triage is static, so the traced tier partitions the ``pc >> 2``
+# handler array into maximal *straight-line regions* — runs of slots that
+# (a) cannot transfer control, (b) are not ``mtz``/``mfz`` and (c) whose
+# sequential next pc is not a ZOLC watch address under the current
+# ``CompiledControllerPlan`` — and fuses each region into one generated
+# "megahandler" that executes the whole block with a single Python call.
+# Timing/stat bookkeeping is applied in batch: a region's base cycles and
+# intra-region load-use stalls are static (the pending destination after
+# member *i* is member *i*'s own load destination), so only the stall of the
+# region's *first* instruction against the incoming pending load remains a
+# runtime check.  Per-slot retirement counts accumulate per region and are
+# expanded into per-slot counts once, at sync time.
+#
+# Region tables are sliced per controller plan state (keyed by the plan's
+# watch-set content key, ``None`` while unarmed) and re-resolved at exactly
+# the points the fast engine re-queries the plan: after every trigger fire
+# and after every retired ``mtz``/``mfz``.  A re-arm epoch change therefore
+# invalidates and re-slices the regions before the next batched dispatch.
+#
+# A fault inside a fused region (memory access error, ZOLC fault) is
+# reconciled from the traceback's line number back to the faulting member,
+# so the partial retirement is accounted exactly as the per-instruction
+# engines would have: members before the fault retire (steps, cycles,
+# stalls, counts), the faulting member does not, and ``state.pc`` lands on
+# the faulting instruction.
+
+#: compile() filename marker for fused megahandlers; fault reconciliation
+#: recognises generated frames by it.
+_REGION_FILENAME = "<trace-region>"
+
+#: Cheap per-process region identities (the traced loop keys its
+#: per-run execution counts by this int, never by region content).
+_REGION_IDS = _count()
+
+
+class TraceRegion(NamedTuple):
+    """One fused straight-line region of the dispatch array.
+
+    The traced loop *unpacks* the whole record in one sequence unpack
+    (NamedTuple attribute access would cost a descriptor chase per
+    field per execution), so the field order below is load-bearing.
+    """
+
+    mega: Callable[[], object]         # runs every member; returns the
+                                       # terminator's handler result
+    size: int                          # member count, terminator included
+    cycles: int                        # static cycles: bases + inner stalls
+    stall: int                         # the static stall portion of cycles
+    first_uses: frozenset[int]         # register uses of member 0
+    out_pending: int | None            # load destination of the terminator
+    term_pc: int
+    term_idx: int
+    term_taken_penalty: int
+    term_is_zolc: bool                 # terminator is mtz/mfz
+    rid: int                           # per-process region identity
+    start_idx: int
+    #: per-member (slot index, base cycles, static stall, load dest) —
+    #: used for fault reconciliation and retired-count expansion.
+    members: tuple
+    #: generated-source line number (0-based) -> member ordinal.
+    line_member: tuple
+
+
+def _set(rd: int, expr: str) -> list[str]:
+    """A guarded register write: ``r0`` writes are discarded, statically."""
+    return [] if rd == 0 else [f"_g[{rd}] = {expr}"]
+
+
+def _member_lines(inst: Instruction, address: int, ordinal: int,
+                  fallbacks: list[int]) -> list[str]:
+    """Source statement(s) executing one *interior* member.
+
+    Inlines the handlers' semantics against the raw register list
+    (``_g``) and the bound memory methods, so a fused member costs zero
+    Python frames for ALU work and exactly one for a memory access.
+    Values stay canonical unsigned-32 (every write masks or is already
+    in range), and ``r0`` writes are dropped at generation time — the
+    same contract :class:`~repro.cpu.state.RegisterFile` enforces
+    dynamically.  Signed comparisons use the sign-bias identity
+    ``signed(a) < signed(b)  <=>  (a ^ 2**31) < (b ^ 2**31)``.
+    Mnemonics without a template fall back to calling the member's
+    predecoded closure (recorded in ``fallbacks``, bound into the exec
+    namespace as ``_h<ordinal>`` at region-build time).
+    """
+    m = inst.mnemonic
+    rs, rt, rd = inst.rs, inst.rt, inst.rd
+    M = MASK32
+    B = 0x80000000
+    if m == "add":
+        return _set(rd, f"(_g[{rs}] + _g[{rt}]) & {M}")
+    if m == "sub":
+        return _set(rd, f"(_g[{rs}] - _g[{rt}]) & {M}")
+    if m == "and":
+        return _set(rd, f"_g[{rs}] & _g[{rt}]")
+    if m == "or":
+        return _set(rd, f"_g[{rs}] | _g[{rt}]")
+    if m == "xor":
+        return _set(rd, f"_g[{rs}] ^ _g[{rt}]")
+    if m == "nor":
+        return _set(rd, f"~(_g[{rs}] | _g[{rt}]) & {M}")
+    if m == "slt":
+        return _set(rd, f"1 if (_g[{rs}] ^ {B}) < (_g[{rt}] ^ {B}) else 0")
+    if m == "sltu":
+        return _set(rd, f"1 if _g[{rs}] < _g[{rt}] else 0")
+    if m == "mul":
+        # Low 32 product bits are signedness-independent (mod 2**32).
+        return _set(rd, f"(_g[{rs}] * _g[{rt}]) & {M}")
+    if m == "mulh":
+        return _set(rd, f"_mulh(_g[{rs}], _g[{rt}])")
+    if m == "sll":
+        return _set(rd, f"(_g[{rt}] << {inst.shamt & 31}) & {M}")
+    if m == "srl":
+        return _set(rd, f"_g[{rt}] >> {inst.shamt & 31}")
+    if m == "sra":
+        if rd == 0:
+            return []
+        return [f"_v = _g[{rt}]",
+                f"_g[{rd}] = ((_v - ((_v & {B}) << 1)) "
+                f">> {inst.shamt & 31}) & {M}"]
+    if m == "sllv":
+        return _set(rd, f"(_g[{rt}] << (_g[{rs}] & 31)) & {M}")
+    if m == "srlv":
+        return _set(rd, f"_g[{rt}] >> (_g[{rs}] & 31)")
+    if m == "srav":
+        if rd == 0:
+            return []
+        return [f"_v = _g[{rt}]",
+                f"_g[{rd}] = ((_v - ((_v & {B}) << 1)) "
+                f">> (_g[{rs}] & 31)) & {M}"]
+    if m == "addi":
+        return _set(rt, f"(_g[{rs}] + {inst.imm & M}) & {M}")
+    if m == "slti":
+        return _set(rt, f"1 if (_g[{rs}] ^ {B}) < {(inst.imm & M) ^ B} "
+                        f"else 0")
+    if m == "sltiu":
+        return _set(rt, f"1 if _g[{rs}] < {inst.imm & M} else 0")
+    if m == "andi":
+        return _set(rt, f"_g[{rs}] & {inst.imm & 0xFFFF}")
+    if m == "ori":
+        return _set(rt, f"_g[{rs}] | {inst.imm & 0xFFFF}")
+    if m == "xori":
+        return _set(rt, f"_g[{rs}] ^ {inst.imm & 0xFFFF}")
+    if m == "lui":
+        return _set(rt, f"{(inst.imm & 0xFFFF) << 16}")
+    if m in ("lw", "lb", "lbu", "lh", "lhu"):
+        call = {
+            "lw": f"_lw((_g[{rs}] + {inst.imm}) & {M})",
+            # Signed byte/half loads return negatives: mask back to the
+            # canonical unsigned-32 representation.
+            "lb": f"_lb((_g[{rs}] + {inst.imm}) & {M}, True) & {M}",
+            "lh": f"_lh((_g[{rs}] + {inst.imm}) & {M}, True) & {M}",
+            "lbu": f"_lb((_g[{rs}] + {inst.imm}) & {M}, False)",
+            "lhu": f"_lh((_g[{rs}] + {inst.imm}) & {M}, False)",
+        }[m]
+        # rt == 0 still performs the access (it can fault) and
+        # discards the value.
+        return [call] if rt == 0 else [f"_g[{rt}] = {call}"]
+    if m in ("sb", "sh", "sw"):
+        store = {"sb": "_sb", "sh": "_sh", "sw": "_sw"}[m]
+        return [f"{store}((_g[{rs}] + {inst.imm}) & {M}, _g[{rt}])"]
+    fallbacks.append(ordinal)
+    return [f"_h{ordinal}({address})"]
+
+
+def _term_lines(inst: Instruction, address: int, ordinal: int,
+                fallbacks: list[int]) -> list[str]:
+    """Source statement(s) for the region *terminator*.
+
+    Ends in a ``return`` carrying the handler-protocol result (``None``
+    / taken target / ``HALT``), which the traced loop triages exactly
+    like the per-instruction path does.
+    """
+    m = inst.mnemonic
+    rs, rt, rd = inst.rs, inst.rt, inst.rd
+    B = 0x80000000
+    if inst.is_branch() and m != "dbne":
+        target = address + 4 + 4 * inst.imm
+        cond = {
+            "beq": f"_g[{rs}] == _g[{rt}]",
+            "bne": f"_g[{rs}] != _g[{rt}]",
+            "blez": f"(_g[{rs}] ^ {B}) <= {B}",
+            "bgtz": f"(_g[{rs}] ^ {B}) > {B}",
+            "bltz": f"(_g[{rs}] ^ {B}) < {B}",
+            "bgez": f"(_g[{rs}] ^ {B}) >= {B}",
+        }.get(m)
+        if cond is not None:
+            return [f"return {target} if {cond} else None"]
+    if m == "dbne":
+        target = address + 4 + 4 * inst.imm
+        lines = [f"_v = (_g[{rs}] - 1) & {MASK32}"]
+        if rs:
+            lines.append(f"_g[{rs}] = _v")
+        lines.append(f"return {target} if _v else None")
+        return lines
+    if m == "j":
+        return [f"return {inst.target * 4}"]
+    if m == "jal":
+        return [f"_g[31] = {address + 4}",
+                f"return {inst.target * 4}"]
+    if m == "jr":
+        return [f"return _g[{rs}]"]
+    if m == "jalr":
+        return ([f"_v = _g[{rs}]"]
+                + _set(rd, f"{address + 4}")
+                + ["return _v"])
+    if m == "halt":
+        return ["_state.halted = True",
+                "return _HALT"]
+    if m in ("mtz", "mfz"):
+        # Port writes/reads keep the predecoded closure: it is already
+        # specialised against the attached port (or raises the same
+        # no-ZOLC fault the other engines raise).
+        fallbacks.append(ordinal)
+        return [f"return _h{ordinal}({address})"]
+    # A sequential instruction terminating only because the next slot
+    # starts a new region (watched next pc, end of text, ...).
+    return _member_lines(inst, address, ordinal, fallbacks) \
+        + ["return None"]
+
+
+#: Fixed exec-namespace names every fused region may reference.
+_REGION_HELPERS = ("_g", "_lb", "_lh", "_lw", "_sb", "_sh", "_sw",
+                   "_mulh", "_state", "_HALT")
+
+
+def _region_code(program, start: int, term: int):
+    """Compile (or fetch) the megahandler code for slots ``start..term``.
+
+    Returns ``(code, fallback_ordinals, line_member)``.  The compiled
+    code is cached *on the program object*: the generated source
+    depends only on the instruction stream and the region span — the
+    register list, memory methods and fallback closures arrive per
+    simulator through the exec namespace — so every simulator of one
+    :class:`~repro.asm.assembler.Program` (repeated benchmark runs, the
+    suite runner re-simulating a prepared kernel) shares one compile.
+    """
+    per_program = program.__dict__.get("_trace_region_code")
+    if per_program is None:
+        per_program = program.__dict__["_trace_region_code"] = {}
+    entry = per_program.get((start, term))
+    if entry is not None:
+        return entry
+    base = program.text_base
+    insts = program.instructions
+    lines: list[str] = []
+    line_member: list[int | None] = [None]      # line 1 is the def line
+    fallbacks: list[int] = []
+    for ordinal, i in enumerate(range(start, term + 1)):
+        address = base + 4 * i
+        source = (_term_lines if i == term else _member_lines)(
+            insts[i], address, ordinal, fallbacks)
+        for statement in source:
+            lines.append("    " + statement)
+            line_member.append(ordinal)
+    params = ", ".join(
+        f"{name}={name}"
+        for name in _REGION_HELPERS + tuple(f"_h{k}" for k in fallbacks))
+    # `lines` is never empty: _term_lines always ends in a `return`.
+    src = f"def _mega({params}):\n" + "\n".join(lines)
+    code = compile(src, _REGION_FILENAME, "exec")
+    entry = (code, tuple(fallbacks), tuple(line_member))
+    per_program[(start, term)] = entry
+    return entry
+
+
+def _build_region(sim: "Simulator", predecoded: PredecodedProgram,
+                  start: int, term: int, load_use: int) -> TraceRegion:
+    """Fuse slots ``start..term`` into one compiled megahandler."""
+    ops = predecoded.ops
+    metas = predecoded.metas
+    base = sim.program.text_base
+    memory = sim.memory
+    code, fallbacks, line_member = _region_code(sim.program, start, term)
+    ns: dict = {
+        "_g": sim.state.regs._regs,
+        "_lb": memory.load_byte, "_lh": memory.load_half,
+        "_lw": memory.load_word,
+        "_sb": memory.store_byte, "_sh": memory.store_half,
+        "_sw": memory.store_word,
+        "_mulh": alu.mul32_hi,
+        "_state": sim.state, "_HALT": HALT,
+    }
+    for ordinal in fallbacks:
+        ns[f"_h{ordinal}"] = ops[start + ordinal][0]
+    exec(code, ns)
+    cycles = stall = 0
+    members: list[tuple[int, int, int, int | None]] = []
+    prev_dest: int | None = None
+    for ordinal, i in enumerate(range(start, term + 1)):
+        _fn, base_cycles, uses, load_dest, _penalty = ops[i]
+        static_stall = load_use if (ordinal and prev_dest is not None
+                                    and prev_dest in uses) else 0
+        cycles += base_cycles + static_stall
+        stall += static_stall
+        members.append((i, base_cycles, static_stall, load_dest))
+        prev_dest = load_dest
+    return TraceRegion(
+        mega=ns["_mega"], size=term - start + 1,
+        cycles=cycles, stall=stall, first_uses=ops[start][2],
+        out_pending=ops[term][3], term_pc=base + 4 * term, term_idx=term,
+        term_taken_penalty=ops[term][4],
+        term_is_zolc=metas[term].is_zolc_init,
+        rid=next(_REGION_IDS), start_idx=start,
+        members=tuple(members), line_member=line_member)
+
+
+def _slice_regions(predecoded: PredecodedProgram, base: int, plan) -> list:
+    """Partition the dispatch array into straight-line region starts.
+
+    Returns a per-slot list: ``None`` for slots that cannot begin a
+    region of at least two instructions, else the terminator slot index
+    (an ``int``) — megahandlers are fused lazily on first arrival, so
+    cold slots never pay codegen.  A slot is *interior-unsafe* (it must
+    terminate any region that reaches it) when it can transfer control,
+    is ``mtz``/``mfz``, or its sequential next pc is watched by the
+    current plan (trigger or entry target); regions also never extend
+    past the end of the text image.
+    """
+    metas = predecoded.metas
+    n = len(metas)
+    watched_next: frozenset[int] | set[int] = frozenset()
+    if plan is not None:
+        watched_next = plan.watched_next_pcs()
+    regions: list = [None] * n
+    first_unsafe = n
+    for j in range(n - 1, -1, -1):
+        meta = metas[j]
+        if (meta.can_transfer or meta.is_zolc_init
+                or base + 4 * j + 4 in watched_next):
+            first_unsafe = j
+        term = first_unsafe if first_unsafe < n else n - 1
+        if term > j:
+            regions[j] = term
+    return regions
+
+
+def _trace_regions(sim: "Simulator", predecoded: PredecodedProgram,
+                   plan) -> list:
+    """Resolve (or slice) the region table for one plan state.
+
+    Cached on the simulator by the plan's watch-set content key
+    (``None`` while unarmed), so re-arming the same tables re-uses both
+    the slicing *and* every lazily fused megahandler.  The cache is
+    cleared whenever the program is re-predecoded (ZOLC port swap).
+    """
+    key = None if plan is None else plan.key
+    regions = sim._trace_region_cache.get(key)
+    if regions is None:
+        regions = _slice_regions(predecoded, sim.program.text_base, plan)
+        sim._trace_region_cache[key] = regions
+    return regions
+
+
+def _reconcile_region_fault(exc: BaseException, region: TraceRegion,
+                            base: int, retired: list[int], steps: int,
+                            cycles: int, stall: int, pending: int | None,
+                            load_use: int):
+    """Account a fault raised inside a fused megahandler.
+
+    Walks the traceback to the generated frame, maps its line number
+    back to the faulting member, and retires every member *before* it —
+    exactly the state the per-instruction engines leave behind when a
+    handler raises.  Returns the updated ``(steps, cycles, stall,
+    pending, pc)`` bundle; ``retired`` is updated in place.
+    """
+    faulting = 0
+    tb = exc.__traceback__
+    while tb is not None:
+        if tb.tb_frame.f_code.co_filename == _REGION_FILENAME:
+            line = tb.tb_lineno - 1
+            if 0 <= line < len(region.line_member) \
+                    and region.line_member[line] is not None:
+                faulting = region.line_member[line]
+        tb = tb.tb_next
+    if faulting:
+        if pending is not None and pending in region.first_uses:
+            cycles += load_use
+            stall += load_use
+        for idx, base_cycles, static_stall, _dest in \
+                region.members[:faulting]:
+            retired[idx] += 1
+            cycles += base_cycles + static_stall
+            stall += static_stall
+        pending = region.members[faulting - 1][3]
+    steps += faulting
+    pc = base + 4 * (region.start_idx + faulting)
+    return steps, cycles, stall, pending, pc
+
+
+def _traced_dispatch_state(plan, sim: "Simulator",
+                           predecoded: PredecodedProgram, n: int,
+                           base: int, zolc, no_regions: list):
+    """`_plan_dispatch_state` plus the matching region table.
+
+    While the port is active without a plan (arm-time writes pending),
+    every retirement must reach ``on_retire``, so batching pauses: the
+    all-``None`` ``no_regions`` table is served until the plan appears.
+    """
+    (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger, zepoch,
+     zactive) = _plan_dispatch_state(plan, sim, n, base, zolc)
+    if znext is None and zactive:
+        regions = no_regions
+    else:
+        regions = _trace_regions(sim, predecoded, plan)
+    return (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
+            zepoch, zactive, regions)
+
+
+def run_traced(sim: "Simulator", max_steps: int,
+               predecoded: PredecodedProgram) -> None:
+    """Trace-batched run loop: fused regions over the predecoded array.
+
+    Retires *identical* (pc, regs, memory, cycles, stats, controller
+    counters) sequences to :func:`run_fast` and the stepped oracle —
+    the invariant pinned by ``tests/test_engine_fuzz.py``.  Batching is
+    skipped wherever it could be observed: a region only executes when
+    its full length fits under the watchdog budget (so ``max_steps``
+    semantics are exact), ports without a compiled plan fall back to
+    :func:`run_fast` (their ``on_retire`` must see every retirement),
+    and the transient armed-without-plan window runs per-instruction.
+    """
+    zolc = sim.zolc
+    plan_fn = getattr(zolc, "zolc_plan", None) if zolc is not None else None
+    if zolc is not None and plan_fn is None:
+        # A planless port's on_retire must be offered every retirement:
+        # nothing to batch.  The fast engine implements that contract.
+        run_fast(sim, max_steps, predecoded)
+        return
+
+    state = sim.state
+    timing = sim.timing
+    stats = sim.stats
+    ops = predecoded.ops
+    metas = predecoded.metas
+
+    base = sim.program.text_base
+    n = len(ops)
+    limit = 4 * n
+    load_use = timing.config.load_use_stall
+    zolc_switch_extra = timing.config.zolc_switch_cycles
+
+    pc = state.pc
+    pending = timing._pending_load_dest
+    cycles = stats.cycles
+    stall = timing.stall_cycles
+    flush = timing.flush_cycles
+    taken_branches = stats.taken_branches
+    index_writes = 0
+    task_switches = 0
+    retired = [0] * n
+    rcounts: dict[int, int] = {}          # region rid -> executions
+    rmembers_by_id: dict[int, tuple] = {}  # region rid -> members
+    steps = 0
+    halted = state.halted
+
+    try:
+      if plan_fn is None:
+        # -- no ZOLC port: pure region dispatch -------------------------
+        regions = _trace_regions(sim, predecoded, None)
+        while not halted:
+            if steps >= max_steps:
+                raise WatchdogError(
+                    f"no halt after {max_steps} instructions (pc={pc:#x})")
+            offset = pc - base
+            if offset < 0 or offset >= limit or offset & 3:
+                raise InvalidFetchError(pc)
+            idx = offset >> 2
+            region = regions[idx]
+            if region is not None:
+                if region.__class__ is int:
+                    region = _build_region(sim, predecoded, idx, region,
+                                           load_use)
+                    regions[idx] = region
+                (mega, size, rcycles, rstall, first_uses, out_pending,
+                 term_pc, _term_idx, term_penalty, _term_zolc, rid,
+                 _start, rmembers, _lines) = region
+                if steps + size <= max_steps:
+                    try:
+                        res = mega()
+                    except BaseException as exc:
+                        steps, cycles, stall, pending, pc = \
+                            _reconcile_region_fault(
+                                exc, region, base, retired, steps,
+                                cycles, stall, pending, load_use)
+                        raise
+                    steps += size
+                    cycles += rcycles
+                    stall += rstall
+                    if pending is not None and pending in first_uses:
+                        cycles += load_use
+                        stall += load_use
+                    count = rcounts.get(rid)
+                    if count is None:
+                        rcounts[rid] = 1
+                        rmembers_by_id[rid] = rmembers
+                    else:
+                        rcounts[rid] = count + 1
+                    pending = out_pending
+                    if res is None:
+                        pc = term_pc + 4
+                    elif res is HALT:
+                        halted = True
+                        pc = term_pc
+                    else:
+                        pc = res
+                        taken_branches += 1
+                        cycles += term_penalty
+                        flush += term_penalty
+                    continue
+            # -- single-slot path (jump into a region, tiny region,
+            #    watchdog boundary) -----------------------------------
+            fn, base_cycles, uses, load_dest, taken_penalty = ops[idx]
+            res = fn(pc)
+            steps += 1
+            retired[idx] += 1
+            cycles += base_cycles
+            if pending is not None and pending in uses:
+                cycles += load_use
+                stall += load_use
+            pending = load_dest
+            if res is None:
+                pc = pc + 4
+            elif res is HALT:
+                halted = True
+            else:
+                pc = res
+                taken_branches += 1
+                cycles += taken_penalty
+                flush += taken_penalty
+      else:
+        # -- plan-compiled ZOLC port ------------------------------------
+        regs_write = state.regs.write
+        zops = [meta.is_zolc_init for meta in metas]
+        no_regions: list = [None] * n
+        (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
+         zepoch, zactive, regions) = _traced_dispatch_state(
+            plan_fn(), sim, predecoded, n, base, zolc, no_regions)
+        while not halted:
+            if steps >= max_steps:
+                raise WatchdogError(
+                    f"no halt after {max_steps} instructions (pc={pc:#x})")
+            offset = pc - base
+            if offset < 0 or offset >= limit or offset & 3:
+                raise InvalidFetchError(pc)
+            idx = offset >> 2
+            region = regions[idx]
+            if region is not None:
+                if region.__class__ is int:
+                    region = _build_region(sim, predecoded, idx, region,
+                                           load_use)
+                    regions[idx] = region
+                (mega, size, rcycles, rstall, first_uses, out_pending,
+                 term_pc, term_idx, term_penalty, term_zolc, rid,
+                 _start, rmembers, _lines) = region
+                if steps + size <= max_steps:
+                    try:
+                        res = mega()
+                    except BaseException as exc:
+                        steps, cycles, stall, pending, pc = \
+                            _reconcile_region_fault(
+                                exc, region, base, retired, steps,
+                                cycles, stall, pending, load_use)
+                        raise
+                    steps += size
+                    cycles += rcycles
+                    stall += rstall
+                    if pending is not None and pending in first_uses:
+                        cycles += load_use
+                        stall += load_use
+                    count = rcounts.get(rid)
+                    if count is None:
+                        rcounts[rid] = 1
+                        rmembers_by_id[rid] = rmembers
+                    else:
+                        rcounts[rid] = count + 1
+                    pending = out_pending
+                    if res is None:
+                        next_pc = term_pc + 4
+                        taken = False
+                    elif res is HALT:
+                        halted = True
+                        next_pc = term_pc
+                        taken = False
+                    else:
+                        next_pc = res
+                        taken = True
+                        taken_branches += 1
+                        cycles += term_penalty
+                        flush += term_penalty
+                    # Terminator watch dispatch: the same contract as the
+                    # single-slot path below, with pc := term_pc.  The
+                    # region's interior slots are unwatched by
+                    # construction, so only the terminator can fire.
+                    if halted:
+                        pass
+                    elif znext is not None:
+                        if not term_zolc:
+                            fired = False
+                            if taken:
+                                record_id = zexit[term_idx]
+                                if record_id is not None:
+                                    fired = fire_exit(record_id, next_pc,
+                                                      True)
+                            if not fired:
+                                noffset = next_pc - base
+                                if 0 <= noffset < limit and not noffset & 3:
+                                    watch = znext[noffset >> 2]
+                                elif zfar:
+                                    watch = zfar.get(next_pc)
+                                else:
+                                    watch = None
+                                if watch is not None:
+                                    entry_id, trigger_loop = watch
+                                    if entry_id is not None:
+                                        fired = fire_entry(entry_id,
+                                                           term_pc, next_pc)
+                                    if not fired and trigger_loop is not None:
+                                        fired = True
+                                        decision = fire_trigger(trigger_loop)
+                                        writes = decision.index_writes
+                                        if writes:
+                                            for reg, value in writes:
+                                                regs_write(reg, value)
+                                            index_writes += len(writes)
+                                        if decision.next_pc is not None:
+                                            next_pc = decision.next_pc
+                                        task_switches += 1
+                                        pending = None
+                                        cycles += zolc_switch_extra
+                                        plan = plan_fn()
+                                        if plan is None \
+                                                or plan.epoch != zepoch:
+                                            (znext, zexit, zfar, fire_exit,
+                                             fire_entry, fire_trigger,
+                                             zepoch, zactive, regions) = \
+                                                _traced_dispatch_state(
+                                                    plan, sim, predecoded,
+                                                    n, base, zolc,
+                                                    no_regions)
+                            if fired:
+                                halted = state.halted
+                        else:
+                            # mtz/mfz terminator: full oracle path, then
+                            # re-sync plan + regions.
+                            if zolc.active:
+                                action = zolc.on_retire(term_pc, next_pc,
+                                                        taken=taken)
+                                if action is not None:
+                                    (next_pc, pending, index_writes,
+                                     task_switches, cycles) = _apply_action(
+                                        action, regs_write, next_pc,
+                                        pending, index_writes,
+                                        task_switches, cycles,
+                                        zolc_switch_extra)
+                                halted = state.halted
+                            plan = plan_fn()
+                            if plan is None or plan.epoch != zepoch:
+                                (znext, zexit, zfar, fire_exit, fire_entry,
+                                 fire_trigger, zepoch, zactive, regions) = \
+                                    _traced_dispatch_state(
+                                        plan, sim, predecoded, n, base,
+                                        zolc, no_regions)
+                    elif term_zolc:
+                        # No plan, port inactive until this very mtz/mfz
+                        # may have armed it: offer the retirement, then
+                        # re-sync.
+                        if not halted and zolc.active:
+                            action = zolc.on_retire(term_pc, next_pc,
+                                                    taken=taken)
+                            if action is not None:
+                                (next_pc, pending, index_writes,
+                                 task_switches, cycles) = _apply_action(
+                                    action, regs_write, next_pc, pending,
+                                    index_writes, task_switches, cycles,
+                                    zolc_switch_extra)
+                            halted = state.halted
+                        (znext, zexit, zfar, fire_exit, fire_entry,
+                         fire_trigger, zepoch, zactive, regions) = \
+                            _traced_dispatch_state(
+                                plan_fn(), sim, predecoded, n, base,
+                                zolc, no_regions)
+                    pc = next_pc
+                    continue
+            # -- single-slot path (identical to run_fast's plan loop) ---
+            fn, base_cycles, uses, load_dest, taken_penalty = ops[idx]
+            res = fn(pc)
+            steps += 1
+            retired[idx] += 1
+            cycles += base_cycles
+            if pending is not None and pending in uses:
+                cycles += load_use
+                stall += load_use
+            if res is None:
+                next_pc = pc + 4
+                taken = False
+            elif res is HALT:
+                halted = True
+                next_pc = pc
+                taken = False
+            else:
+                next_pc = res
+                taken = True
+                taken_branches += 1
+                cycles += taken_penalty
+                flush += taken_penalty
+            pending = load_dest
+            if znext is not None:
+                if halted:
+                    pass
+                elif not zops[idx]:
+                    fired = False
+                    if taken:
+                        record_id = zexit[idx]
+                        if record_id is not None:
+                            fired = fire_exit(record_id, next_pc, True)
+                    if not fired:
+                        noffset = next_pc - base
+                        if 0 <= noffset < limit and not noffset & 3:
+                            watch = znext[noffset >> 2]
+                        elif zfar:
+                            watch = zfar.get(next_pc)
+                        else:
+                            watch = None
+                        if watch is not None:
+                            entry_id, trigger_loop = watch
+                            if entry_id is not None:
+                                fired = fire_entry(entry_id, pc, next_pc)
+                            if not fired and trigger_loop is not None:
+                                fired = True
+                                decision = fire_trigger(trigger_loop)
+                                writes = decision.index_writes
+                                if writes:
+                                    for reg, value in writes:
+                                        regs_write(reg, value)
+                                    index_writes += len(writes)
+                                if decision.next_pc is not None:
+                                    next_pc = decision.next_pc
+                                task_switches += 1
+                                pending = None
+                                cycles += zolc_switch_extra
+                                plan = plan_fn()
+                                if plan is None or plan.epoch != zepoch:
+                                    (znext, zexit, zfar, fire_exit,
+                                     fire_entry, fire_trigger, zepoch,
+                                     zactive, regions) = \
+                                        _traced_dispatch_state(
+                                            plan, sim, predecoded, n,
+                                            base, zolc, no_regions)
+                    if fired:
+                        halted = state.halted
+                else:
+                    if zolc.active:
+                        action = zolc.on_retire(pc, next_pc, taken=taken)
+                        if action is not None:
+                            (next_pc, pending, index_writes,
+                             task_switches, cycles) = _apply_action(
+                                action, regs_write, next_pc, pending,
+                                index_writes, task_switches, cycles,
+                                zolc_switch_extra)
+                        halted = state.halted
+                    plan = plan_fn()
+                    if plan is None or plan.epoch != zepoch:
+                        (znext, zexit, zfar, fire_exit, fire_entry,
+                         fire_trigger, zepoch, zactive, regions) = \
+                            _traced_dispatch_state(plan, sim, predecoded,
+                                                   n, base, zolc,
+                                                   no_regions)
+            elif zactive or zops[idx]:
+                if not halted and zolc.active:
+                    action = zolc.on_retire(pc, next_pc, taken=taken)
+                    if action is not None:
+                        (next_pc, pending, index_writes,
+                         task_switches, cycles) = _apply_action(
+                            action, regs_write, next_pc, pending,
+                            index_writes, task_switches, cycles,
+                            zolc_switch_extra)
+                    halted = state.halted
+                (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
+                 zepoch, zactive, regions) = _traced_dispatch_state(
+                    plan_fn(), sim, predecoded, n, base, zolc, no_regions)
+            pc = next_pc
+    finally:
+        state.pc = pc
+        timing._pending_load_dest = pending
+        timing.stall_cycles = stall
+        timing.flush_cycles = flush
+        stats.cycles = cycles
+        stats.taken_branches = taken_branches
+        stats.instructions += steps
+        stats.stall_cycles = stall
+        stats.flush_cycles = flush
+        stats.zolc_index_writes += index_writes
+        stats.zolc_task_switches += task_switches
+        for rid, count in rcounts.items():
+            for idx, _cycles, _stall, _dest in rmembers_by_id[rid]:
+                retired[idx] += count
         by_category = stats.by_category
         for idx, count in enumerate(retired):
             if count:

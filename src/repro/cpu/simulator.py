@@ -22,7 +22,7 @@ from typing import Protocol, runtime_checkable
 from repro.asm.assembler import Program
 from repro.asm.disassembler import format_instruction
 from repro.cpu.datapath import ExecOutcome, execute
-from repro.cpu.engine import PredecodedProgram, predecode, run_fast
+from repro.cpu.engine import PredecodedProgram, predecode, run_fast, run_traced
 from repro.cpu.exceptions import (
     InvalidFetchError,
     SimulationError,
@@ -117,8 +117,9 @@ class PlanlessZolcPort:
 DEFAULT_MAX_STEPS = 20_000_000
 
 #: Valid ``Simulator.run(engine=...)`` strategies.  The experiment
-#: layer validates plan files against this same tuple.
-ENGINES = ("auto", "fast", "step")
+#: layer and the CLI's ``--engine`` override validate against this same
+#: tuple.
+ENGINES = ("auto", "fast", "traced", "step")
 
 
 class Simulator:
@@ -149,6 +150,11 @@ class Simulator:
         # rebuild O(text) arrays.  Keyed purely by watch-set content —
         # safe across ZOLC port swaps.
         self._zolc_watch_cache: dict = {}
+        # Trace-region tables for the traced engine, keyed by plan
+        # watch-set content key (None while unarmed).  Regions embed
+        # fused handler closures from the predecoded program, so the
+        # cache is cleared whenever the program is re-predecoded.
+        self._trace_region_cache: dict = {}
         self._load_image()
         self.state.regs.write(SP_REG, memory_size - 16)
 
@@ -222,6 +228,9 @@ class Simulator:
             # reassigned port invalidates them.
             self._predecoded = None
         if self._predecoded is None:
+            # Trace regions fuse the predecoded handlers; a re-predecode
+            # (ZOLC port swap) invalidates every fused region with them.
+            self._trace_region_cache.clear()
             try:
                 built = predecode(self)
                 if built is None:
@@ -241,15 +250,26 @@ class Simulator:
 
         ``engine`` selects the execution strategy: ``"auto"`` (default)
         uses the predecoded fast engine unless a tracer is attached,
-        ``"fast"`` forces it, ``"step"`` forces the legacy
-        one-instruction-at-a-time interpreter.
+        ``"fast"`` forces it, ``"traced"`` forces the trace-batched
+        tier (fused straight-line regions over the predecoded array),
+        and ``"step"`` forces the legacy one-instruction-at-a-time
+        interpreter.  All engines retire bit-identical sequences.
         """
         if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}")
-        if engine == "fast" and self.tracer is not None:
+            raise ValueError(f"unknown engine {engine!r}; known: "
+                             f"{', '.join(ENGINES)}")
+        if engine in ("fast", "traced") and self.tracer is not None:
             raise ValueError(
-                "the fast engine does not record traces; detach the "
-                "tracer or use engine='step'")
+                f"the {engine} engine does not record traces; detach "
+                "the tracer or use engine='step'")
+        if engine == "traced":
+            predecoded = self._ensure_predecoded()
+            if predecoded is False:
+                raise ValueError(
+                    "program cannot be predecoded: "
+                    f"{self._predecode_failure}")
+            run_traced(self, max_steps, predecoded)
+            return self.stats
         use_fast = engine == "fast" or (engine == "auto"
                                         and self.tracer is None)
         if use_fast:

@@ -79,8 +79,8 @@ def _measurement(result: RunResult) -> dict:
 def run_experiment(spec: ExperimentSpec,
                    backend: ExecutionBackend | str | None = None,
                    jobs: int | None = None,
-                   store: ResultStore | str | Path | None = None
-                   ) -> ExperimentResult:
+                   store: ResultStore | str | Path | None = None,
+                   engine: str | None = None) -> ExperimentResult:
     """Run (or replay) every cell of ``spec``.
 
     ``backend`` is a backend instance or name (``"serial"`` /
@@ -90,7 +90,17 @@ def run_experiment(spec: ExperimentSpec,
     ``--backend`` / ``--jobs`` flags) can still override it.  ``store``
     enables the content-addressed result cache: cells whose key is
     already stored are *not* re-simulated.  ``None`` disables caching.
+    ``engine`` overrides the spec's simulator engine the same way
+    (validated like every other engine choice: an unknown name raises
+    :class:`ValueError` before anything runs); engines are
+    bit-identical, so the override never affects cache identity.
     """
+    if engine is not None and engine != spec.engine:
+        from dataclasses import replace
+
+        # replace() re-runs the spec's __post_init__ validation, so an
+        # unknown engine fails with the same message a plan file gets.
+        spec = replace(spec, engine=engine)
     if backend is None:
         backend = spec.backend
     if jobs is None:
@@ -148,17 +158,18 @@ def run_experiment(spec: ExperimentSpec,
 def run_plan(path: str | Path,
              backend: ExecutionBackend | str | None = None,
              jobs: int | None = None,
-             store: ResultStore | str | Path | None = None
-             ) -> ExperimentResult:
+             store: ResultStore | str | Path | None = None,
+             engine: str | None = None) -> ExperimentResult:
     """Load a plan file and run it (the ``repro experiment`` command).
 
-    ``backend=None`` / ``jobs=None`` honour the plan's own ``backend``
-    and ``jobs`` keys; explicit values override the plan.
+    ``backend=None`` / ``jobs=None`` / ``engine=None`` honour the
+    plan's own ``backend``, ``jobs`` and ``engine`` keys; explicit
+    values override the plan.
     """
     from repro.experiments.spec import load_plan
 
     return run_experiment(load_plan(path), backend=backend, jobs=jobs,
-                          store=store)
+                          store=store, engine=engine)
 
 
 __all__ = ["run_experiment", "run_plan", "SerialBackend"]

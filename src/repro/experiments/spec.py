@@ -15,10 +15,11 @@ Kernel selectors are registry names, plus two group selectors:
 inline definitions, including custom ZOLC variants.
 
 Plans also carry *host-side* execution choices — ``backend`` (serial /
-process), ``jobs`` and ``engine`` (auto / fast / step) — which never
-affect the measured results and are therefore not part of any cell's
-cache identity; the CLI's ``--backend`` / ``--jobs`` flags override
-them per invocation.
+process), ``jobs`` and ``engine`` (auto / fast / traced / step) —
+which never affect the measured results (all engines retire
+bit-identical sequences) and are therefore not part of any cell's
+cache identity; the CLI's ``--backend`` / ``--jobs`` / ``--engine``
+flags override them per invocation.
 """
 
 from __future__ import annotations

@@ -131,30 +131,9 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert "2 cells" in out and "vec_sum" in out
 
-    def test_jobs_implies_process_backend(self, tmp_path, monkeypatch):
-        import repro.cli as cli
-        seen = {}
-
-        def fake_run_plan(plan, backend, jobs, store):
-            seen.update(backend=backend, jobs=jobs)
-
-            class Empty:
-                def to_dict(self):
-                    return {}
-
-                def render(self):
-                    return ""
-            return Empty()
-
-        monkeypatch.setattr("repro.experiments.runner.run_plan",
-                            fake_run_plan)
-        plan = self._plan(tmp_path)
-        assert cli.main(["experiment", str(plan), "-j", "4"]) == 0
-        assert seen == {"backend": "process", "jobs": 4}
-
     def _fake_run_plan(self, monkeypatch, seen):
-        def fake_run_plan(plan, backend, jobs, store):
-            seen.update(backend=backend, jobs=jobs)
+        def fake_run_plan(plan, backend, jobs, store, engine=None):
+            seen.update(backend=backend, jobs=jobs, engine=engine)
 
             class Empty:
                 def to_dict(self):
@@ -166,13 +145,20 @@ class TestExperimentCommand:
 
         monkeypatch.setattr("repro.experiments.runner.run_plan",
                             fake_run_plan)
+
+    def test_jobs_implies_process_backend(self, tmp_path, monkeypatch):
+        seen = {}
+        self._fake_run_plan(monkeypatch, seen)
+        plan = self._plan(tmp_path)
+        assert main(["experiment", str(plan), "-j", "4"]) == 0
+        assert seen == {"backend": "process", "jobs": 4, "engine": None}
 
     def test_no_flags_defer_to_the_plan(self, tmp_path, monkeypatch):
         seen = {}
         self._fake_run_plan(monkeypatch, seen)
         assert main(["experiment", str(self._plan(tmp_path))]) == 0
-        # None means "the plan's own backend/jobs keys decide".
-        assert seen == {"backend": None, "jobs": None}
+        # None means "the plan's own backend/jobs/engine keys decide".
+        assert seen == {"backend": None, "jobs": None, "engine": None}
 
     def test_jobs_overrides_the_plans_backend(self, tmp_path, monkeypatch):
         seen = {}
@@ -182,7 +168,14 @@ class TestExperimentCommand:
             '{"name": "t", "kernels": ["vec_sum"],'
             ' "machines": ["XRdefault"], "backend": "serial"}')
         assert main(["experiment", str(plan), "--jobs", "4"]) == 0
-        assert seen == {"backend": "process", "jobs": 4}
+        assert seen == {"backend": "process", "jobs": 4, "engine": None}
+
+    def test_engine_flag_overrides_the_plan(self, tmp_path, monkeypatch):
+        seen = {}
+        self._fake_run_plan(monkeypatch, seen)
+        assert main(["experiment", str(self._plan(tmp_path)),
+                     "--engine", "traced"]) == 0
+        assert seen == {"backend": None, "jobs": None, "engine": "traced"}
 
     def test_plan_with_backend_and_jobs_keys_runs(self, capsys, tmp_path):
         import json
@@ -214,6 +207,44 @@ class TestExperimentCommand:
         plan.write_text('{"kernels": ["vec_sum"]}')
         assert main(["experiment", str(plan)]) == 1
         assert "missing key" in capsys.readouterr().err
+
+    def test_unknown_engine_flag_exits_one(self, capsys, tmp_path):
+        plan = self._plan(tmp_path)
+        assert main(["experiment", str(plan), "--engine", "warp"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown engine 'warp'" in err
+        assert "auto" in err and "traced" in err
+
+    def test_plan_with_unknown_engine_key_exits_one(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"name": "t", "kernels": ["vec_sum"],'
+            ' "machines": ["XRdefault"], "engine": "warp"}')
+        assert main(["experiment", str(plan)]) == 1
+        assert "unknown engine 'warp'" in capsys.readouterr().err
+
+    def test_traced_engine_runs_plan(self, capsys, tmp_path):
+        import json
+        plan = self._plan(tmp_path)
+        assert main(["experiment", str(plan), "--no-cache", "--json",
+                     "--engine", "traced"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulated"] == 2
+
+
+class TestRunEngineFlag:
+    def test_every_engine_reports_identical_measurements(self, capsys):
+        import json
+        records = []
+        for engine in ("auto", "fast", "traced", "step"):
+            assert main(["run", "vec_sum", "-m", "ZOLClite", "--json",
+                         "--engine", engine]) == 0
+            records.append(json.loads(capsys.readouterr().out))
+        assert all(record == records[0] for record in records[1:])
+
+    def test_unknown_engine_exits_one(self, capsys):
+        assert main(["run", "vec_sum", "--engine", "warp"]) == 1
+        assert "unknown engine 'warp'" in capsys.readouterr().err
 
 
 class TestErrorHandling:

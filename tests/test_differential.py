@@ -1,10 +1,11 @@
 """Differential testing of the datapath.
 
-Hypothesis generates random straight-line ALU programs; the simulator's
-final register state is checked against an *independent* reference
-interpreter written directly from the ISA definition (no shared code
-with the datapath).  Any divergence in wrap-around, sign-extension or
-shift semantics fails loudly.
+Hypothesis generates random straight-line ALU programs (shared
+strategies in ``tests/strategies.py``); the simulator's final register
+state is checked against an *independent* reference interpreter written
+directly from the ISA definition (no shared code with the datapath).
+Any divergence in wrap-around, sign-extension or shift semantics fails
+loudly.
 """
 
 from hypothesis import given, settings
@@ -15,9 +16,12 @@ from repro.cpu.simulator import run_program
 from repro.isa import encode, decode
 from repro.util.bitops import MASK32, to_signed32
 
-# Register pool kept small so instructions interact.
-REGS = ["t0", "t1", "t2", "t3"]
-REG_INDEX = {"t0": 8, "t1": 9, "t2": 10, "t3": 11}
+from strategies import (
+    REGS,
+    alu_instructions,
+    render_alu_program,
+    reg_seeds,
+)
 
 
 def _ref_alu(mnemonic, a, b):
@@ -44,45 +48,6 @@ def _ref_alu(mnemonic, a, b):
     if mnemonic == "mulh":
         return ((sa * sb) >> 32) & MASK32
     raise AssertionError(mnemonic)
-
-
-_rr_ops = st.sampled_from(
-    ["add", "sub", "and", "or", "xor", "nor", "slt", "sltu", "mul", "mulh"])
-_shift_ops = st.sampled_from(["sll", "srl", "sra"])
-_imm_ops = st.sampled_from(["addi", "slti", "sltiu"])
-_uimm_ops = st.sampled_from(["andi", "ori", "xori"])
-_reg = st.sampled_from(REGS)
-
-
-@st.composite
-def _alu_instruction(draw):
-    kind = draw(st.integers(min_value=0, max_value=3))
-    rd, rs, rt = draw(_reg), draw(_reg), draw(_reg)
-    if kind == 0:
-        return ("rr", draw(_rr_ops), rd, rs, rt, 0)
-    if kind == 1:
-        return ("shift", draw(_shift_ops), rd, rs, 0,
-                draw(st.integers(min_value=0, max_value=31)))
-    if kind == 2:
-        return ("imm", draw(_imm_ops), rd, rs, 0,
-                draw(st.integers(min_value=-(2**15), max_value=2**15 - 1)))
-    return ("uimm", draw(_uimm_ops), rd, rs, 0,
-            draw(st.integers(min_value=0, max_value=2**16 - 1)))
-
-
-def _render(program_spec, seeds):
-    lines = []
-    for reg, seed in zip(REGS, seeds):
-        lines.append(f"        li   {reg}, {seed}")
-    for kind, op, rd, rs, rt, imm in program_spec:
-        if kind == "rr":
-            lines.append(f"        {op} {rd}, {rs}, {rt}")
-        elif kind == "shift":
-            lines.append(f"        {op} {rd}, {rs}, {imm}")
-        else:
-            lines.append(f"        {op} {rd}, {rs}, {imm}")
-    lines.append("        halt")
-    return "\n".join(lines) + "\n"
 
 
 def _reference(program_spec, seeds):
@@ -118,12 +83,10 @@ def _reference(program_spec, seeds):
 
 class TestDifferentialALU:
     @settings(max_examples=120, deadline=None)
-    @given(spec=st.lists(_alu_instruction(), min_size=1, max_size=24),
-           seeds=st.lists(st.integers(min_value=-(2**31),
-                                      max_value=2**31 - 1),
-                          min_size=4, max_size=4))
+    @given(spec=st.lists(alu_instructions(), min_size=1, max_size=24),
+           seeds=reg_seeds)
     def test_simulator_matches_reference(self, spec, seeds):
-        source = _render(spec, seeds)
+        source = render_alu_program(spec, seeds)
         sim = run_program(assemble(source))
         expected = _reference(spec, seeds)
         for name in REGS:
@@ -133,12 +96,12 @@ class TestDifferentialALU:
 
 class TestProgramImageFidelity:
     @settings(max_examples=40, deadline=None)
-    @given(spec=st.lists(_alu_instruction(), min_size=1, max_size=12),
+    @given(spec=st.lists(alu_instructions(), min_size=1, max_size=12),
            seeds=st.lists(st.integers(min_value=-1000, max_value=1000),
                           min_size=4, max_size=4))
     def test_text_segment_decodes_back(self, spec, seeds):
         """The encoded memory image decodes to the assembled program."""
-        program = assemble(_render(spec, seeds))
+        program = assemble(render_alu_program(spec, seeds))
         for inst, word in zip(program.instructions, program.words()):
             decoded = decode(word)
             assert decoded.mnemonic == inst.mnemonic

@@ -1,11 +1,14 @@
-"""Differential tests: predecoded fast engine vs the legacy interpreter.
+"""Differential tests: the fast and traced engines vs the interpreter.
 
-The fast engine must retire *identical* (pc, regs, cycles, stats)
-sequences to ``step()`` — that invariant is what makes the engine a pure
-optimisation.  We check it three ways: final-state equivalence across
+Every engine must retire *identical* (pc, regs, cycles, stats)
+sequences to ``step()`` — that invariant is what makes the engines pure
+optimisations.  We check it four ways: final-state equivalence across
 the full kernel suite on every machine (ZOLC and non-ZOLC), lockstep
-per-retirement equivalence on representative kernels, and a hypothesis
-sweep over random ALU programs.
+per-retirement equivalence on representative kernels, a hypothesis
+sweep over random ALU programs, and the deterministic traced-tier
+corners (watchdog-exact batching, mid-region fault reconciliation,
+cache invalidation).  Generated-program coverage for all three engines
+lives in ``tests/test_engine_fuzz.py``.
 """
 
 from dataclasses import asdict
@@ -20,7 +23,7 @@ from repro.cpu.engine import predecode
 from repro.eval.machines import ALL_MACHINES
 from repro.workloads.suite import registry
 
-from test_differential import _alu_instruction, _render
+from strategies import alu_instructions, render_alu_program
 
 
 def _state_tuple(sim):
@@ -92,12 +95,12 @@ class TestLockstepEquivalence:
 
 class TestRandomPrograms:
     @settings(max_examples=40, deadline=None)
-    @given(spec=st.lists(_alu_instruction(), min_size=1, max_size=24),
+    @given(spec=st.lists(alu_instructions(), min_size=1, max_size=24),
            seeds=st.lists(st.integers(min_value=-(2**31),
                                       max_value=2**31 - 1),
                           min_size=4, max_size=4))
     def test_engines_agree_on_random_alu_programs(self, spec, seeds):
-        source = _render(spec, seeds)
+        source = render_alu_program(spec, seeds)
         fast = Simulator(assemble(source))
         fast.run(engine="fast")
         slow = Simulator(assemble(source))
@@ -510,3 +513,148 @@ class TestFaultPaths:
         sim = Simulator(assemble("mtz t0, 4\nhalt\n"))
         with pytest.raises(SimulationError, match="without a ZOLC"):
             sim.run(engine="fast")
+
+
+class TestTracedEngine:
+    """The trace-batched tier: selection, equivalence, caches, faults.
+
+    Bulk equivalence coverage for ``engine="traced"`` lives in the
+    generated suite (``tests/test_engine_fuzz.py``); these tests pin the
+    deterministic corners — watchdog-exact batching, fault
+    reconciliation inside a fused region, re-arm invalidation and the
+    two cache layers.
+    """
+
+    def test_traced_matches_step_on_rearm_programs(self):
+        for source in (REARM_SRC, REINVOKE_SRC):
+            traced = _zolc_sim(source)
+            traced.run(max_steps=10_000, engine="traced")
+            slow = _zolc_sim(source)
+            slow.run(max_steps=10_000, engine="step")
+            assert _state_tuple(traced) == _state_tuple(slow)
+            assert _controller_tuple(traced) == _controller_tuple(slow)
+
+    def test_traced_lockstep_is_watchdog_exact(self):
+        """max_steps=1 never lets a region overshoot the watchdog."""
+        machine = next(m for m in ALL_MACHINES if m.name == "ZOLClite")
+        prepared = machine.prepare(
+            "li t0, 0\nloop: addi t0, t0, 1\nslti at, t0, 9\n"
+            "bne at, zero, loop\nhalt\n")
+        traced = prepared.make_simulator()
+        slow = prepared.make_simulator()
+        for retirement in range(200):
+            if slow.state.halted:
+                break
+            slow.step()
+            if slow.state.halted:
+                traced.run(max_steps=1, engine="traced")
+            else:
+                with pytest.raises(WatchdogError):
+                    traced.run(max_steps=1, engine="traced")
+            assert _state_tuple(traced) == _state_tuple(slow), \
+                f"diverged at retirement {retirement}"
+        else:
+            pytest.fail("program did not halt")
+
+    def test_fault_inside_fused_region_reconciles_exactly(self):
+        """A mid-region memory fault retires its prefix, like the others."""
+        from repro.cpu import MemoryAccessError
+
+        source = ("li t0, 1\nli t1, 2\nadd t2, t0, t1\n"
+                  "sw t2, -5(zero)\nadd t3, t0, t1\nhalt\n")
+        sims = {}
+        for engine in ("step", "fast", "traced"):
+            sim = Simulator(assemble(source))
+            with pytest.raises(MemoryAccessError):
+                sim.run(engine=engine)
+            sims[engine] = sim
+        assert _state_tuple(sims["traced"]) == _state_tuple(sims["step"])
+        assert _state_tuple(sims["fast"]) == _state_tuple(sims["step"])
+        # The prefix (li, li, add) retired; the faulting store did not.
+        assert sims["traced"].stats.instructions == 3
+        assert sims["traced"].state.regs["t2"] == 3
+
+    def test_traced_fault_paths_match(self):
+        source = "li t0, 5\nloop: addi t0, t0, -1\nbne t0, zero, loop\nhalt\n"
+        traced = Simulator(assemble(source))
+        slow = Simulator(assemble(source))
+        with pytest.raises(WatchdogError):
+            traced.run(max_steps=7, engine="traced")
+        with pytest.raises(WatchdogError):
+            slow.run(max_steps=7, engine="step")
+        assert _state_tuple(traced) == _state_tuple(slow)
+
+        from repro.cpu import InvalidFetchError
+        traced = Simulator(assemble("j 0x200\nhalt\n"))
+        with pytest.raises(InvalidFetchError):
+            traced.run(engine="traced")
+
+    def test_traced_rejects_tracer_and_unknown_engine(self):
+        from repro.cpu import Tracer
+        sim = Simulator(assemble("halt\n"), tracer=Tracer(limit=10))
+        with pytest.raises(ValueError, match="does not record traces"):
+            sim.run(engine="traced")
+        sim = Simulator(assemble("halt\n"))
+        with pytest.raises(ValueError, match="unknown engine"):
+            sim.run(engine="warp")
+
+    def test_traced_requires_predecodable_program(self, monkeypatch):
+        import repro.cpu.simulator as simulator_module
+        from repro.cpu import SimulationError
+
+        def boom(sim):
+            raise SimulationError("no predecoder for mnemonic 'frobnicate'")
+
+        monkeypatch.setattr(simulator_module, "predecode", boom)
+        sim = Simulator(assemble("halt\n"))
+        with pytest.raises(ValueError, match="cannot be predecoded"):
+            sim.run(engine="traced")
+
+    def test_region_code_cache_shared_across_simulators(self):
+        """Compiled megahandler code lives on the Program, so repeated
+        simulations of one prepared kernel compile each region once."""
+        machine = next(m for m in ALL_MACHINES if m.name == "ZOLClite")
+        prepared = machine.prepare(
+            "li t0, 0\nloop: addi t0, t0, 1\nslti at, t0, 9\n"
+            "bne at, zero, loop\nhalt\n")
+        first = prepared.make_simulator()
+        first.run(engine="traced")
+        cache = prepared.program.__dict__["_trace_region_code"]
+        compiled = dict(cache)
+        assert compiled                      # something was fused
+        second = prepared.make_simulator()
+        second.run(engine="traced")
+        for span, entry in compiled.items():
+            assert cache[span] is entry      # no recompilation
+        assert _state_tuple(first) == _state_tuple(second)
+
+    def test_region_tables_cached_by_plan_content(self):
+        """Three arms of identical tables slice regions once (plus the
+        unarmed table), and a port swap clears the fused regions."""
+        sim = _zolc_sim(REINVOKE_SRC)
+        sim.run(max_steps=10_000, engine="traced")
+        # One unarmed table (key None) + one table for the repeatedly
+        # re-armed plan — not one per arm.
+        assert sim.zolc.arm_count == 3
+        assert None in sim._trace_region_cache
+        plan_keys = [k for k in sim._trace_region_cache if k is not None]
+        assert len(plan_keys) == 1
+        sim.zolc = None
+        sim._ensure_predecoded()
+        assert sim._trace_region_cache == {}
+
+    def test_planless_port_falls_back_to_fast_loop(self, kernel_registry):
+        from repro.cpu import PlanlessZolcPort
+
+        machine = next(m for m in ALL_MACHINES if m.name == "ZOLClite")
+        prepared = machine.prepare(kernel_registry.get("vec_sum").source)
+
+        planful = prepared.make_simulator()
+        planful.run(engine="traced")
+        planless = prepared.make_simulator()
+        planless.zolc = PlanlessZolcPort(planless.zolc)
+        planless.run(engine="traced")
+        assert _state_tuple(planful) == _state_tuple(planless)
+        assert _controller_tuple(planful) == _controller_tuple(planless)
+        # The planless run never sliced regions: it ran the fast loop.
+        assert planless._trace_region_cache == {}

@@ -380,6 +380,21 @@ class TestRunExperiment:
         # Engines share cache identity: the stepped rerun is all hits.
         assert stepped.simulated == 0 and stepped.cached == 4
 
+    def test_traced_engine_plan_key_is_bit_identical(self):
+        traced = run_experiment(small_spec(engine="traced"))
+        stepped = run_experiment(small_spec(engine="step"))
+        assert traced.records == stepped.records
+
+    def test_engine_override_beats_the_spec(self):
+        base = run_experiment(small_spec(engine="step"))
+        overridden = run_experiment(small_spec(engine="step"),
+                                    engine="traced")
+        assert overridden.records == base.records
+
+    def test_unknown_engine_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_experiment(small_spec(), engine="warp")
+
 
 class TestRunPlan:
     def test_plan_file_run_and_rerun(self, tmp_path):

@@ -1,0 +1,46 @@
+"""Golden-stats regression fixtures for the Figure 2 suite.
+
+``tests/golden/<kernel>.json`` pins the exact cycles/stats payload the
+``repro compare`` command produces for every Figure 2 kernel across all
+five machines.  Any change to the timing model, the controller, the
+code transforms or an engine that shifts a *measured* number — cycles,
+stalls, flushes, task switches, init instructions — fails here with a
+field-level diff, independent of the engine-vs-engine differential
+suites (which would all pass if every engine drifted together).
+
+Regenerate a fixture after an *intentional* modelling change with::
+
+    PYTHONPATH=src python -m repro compare <kernel> --out tests/golden/<kernel>.json
+
+and justify the diff in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.suite import FIGURE2_BENCHMARKS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def test_every_figure2_kernel_has_a_fixture():
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(FIGURE2_BENCHMARKS)
+
+
+@pytest.mark.parametrize("kernel_name", FIGURE2_BENCHMARKS)
+def test_live_run_matches_golden(kernel_name, tmp_path):
+    golden = json.loads((GOLDEN_DIR / f"{kernel_name}.json").read_text())
+    out = tmp_path / "live.json"
+    # Through the CLI, so the fixture pins the full payload a user sees
+    # (and the documented regeneration command stays honest).
+    assert main(["compare", kernel_name, "--out", str(out)]) == 0
+    live = json.loads(out.read_text())
+    assert live == golden, (
+        f"{kernel_name}: measured stats drifted from tests/golden/"
+        f"{kernel_name}.json — if the modelling change is intentional, "
+        f"regenerate with `repro compare {kernel_name} --out "
+        f"tests/golden/{kernel_name}.json`")
