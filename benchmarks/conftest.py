@@ -1,6 +1,25 @@
-"""Shared fixtures for the benchmark harness."""
+"""Shared fixtures and options for the benchmark harness.
+
+The ``--write-root`` flag controls where
+``benchmarks/bench_throughput.py`` records its numbers:
+
+* ``BENCH_SMOKE=1`` (CI) — single-round smoke numbers are too noisy to
+  version; they go to ``BENCH_throughput.smoke.json`` (git-ignored,
+  uploaded as a CI artifact and fed to the trajectory gate).
+* full run, no flag — ``BENCH_throughput.local.json`` (git-ignored), so
+  an ad-hoc benchmark run can never silently clobber the committed
+  perf-trajectory record.
+* full run with ``--write-root`` — the committed
+  ``BENCH_throughput.json`` at the repo root.  This is the one
+  deliberate way to refresh the baseline (see DESIGN.md §9).
+
+``--write-root`` under smoke mode is refused outright: a single
+warmup-free round must never masquerade as the current baseline.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -12,6 +31,21 @@ def reg():
     return registry()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--write-root",
+        action="store_true",
+        default=False,
+        help="refresh the committed BENCH_throughput.json baseline",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
-        "markers", "repro: benchmark reproducing a paper table/figure")
+        "markers", "repro: benchmark reproducing a paper table/figure"
+    )
+    if (
+        config.getoption("--write-root")
+        and os.environ.get("BENCH_SMOKE") == "1"
+    ):
+        raise pytest.UsageError("--write-root refused under BENCH_SMOKE=1")

@@ -19,7 +19,9 @@ Commands::
 payload to a file, keeping the human-readable report on stdout).
 ``run`` and ``experiment`` also accept ``--engine`` (auto / fast /
 traced / step — engines retire bit-identical results, so the choice
-only affects host time; an unknown engine exits 1).
+only affects host time; an unknown engine exits 1).  ``auto`` (the
+default everywhere) resolves to the loop-resident ``traced`` tier;
+``fast`` and ``step`` remain explicit overrides.
 """
 
 from __future__ import annotations
@@ -252,8 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("-m", "--machine", default=XR_DEFAULT.name)
     run_parser.add_argument(
         "--engine", default="auto", metavar="NAME",
-        help="simulator engine: auto, fast, traced or step (engines are "
-             "bit-identical; invalid values exit 1)")
+        help="simulator engine: auto (resolves to traced), fast, traced "
+             "or step (engines are bit-identical; invalid values exit 1)")
     _add_output_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 

@@ -35,9 +35,13 @@ Contract for engines (and for any port exposing ``zolc_plan()``):
   ``CTRL_RESET`` and a single-shot expiry all invalidate it, and the
   port then serves a new plan (or ``None``) with a different epoch;
 * ``fire_exit`` and ``fire_entry`` never invalidate the plan;
-  ``fire_trigger`` may (single-shot controllers disarm on expiry), so
-  engines must re-query ``zolc_plan()`` after every trigger fire and
-  after every retired ``mtz``/``mfz``;
+  ``fire_trigger`` may — but only through a *non-redirecting* decision
+  (single-shot controllers disarm on expiry, and an expiry decision by
+  definition has ``next_pc is None``).  A fire whose decision redirects
+  leaves the plan valid, so engines must re-query ``zolc_plan()`` after
+  every trigger fire that returned ``next_pc is None`` and after every
+  retired ``mtz``/``mfz`` — and may stay on their compiled dispatch
+  (or inside a loop-resident chain) across redirecting fires;
 * while a plan is being served, the port guarantees ``on_retire`` is a
   no-op for any retirement whose pc / next-pc is in none of the watch
   sets, and that its armed/pending state only changes through
@@ -86,6 +90,19 @@ class CompiledControllerPlan:
     fire_trigger: Callable[[int], "Decision"]
     fire_exit: Callable[[int, int, bool], bool]
     fire_entry: Callable[[int, int, int], bool]
+    #: Live query for a trigger loop's direct loop-back target (its
+    #: current ``body_pc``, or ``None`` for an invalid loop).  This is
+    #: what makes a fire target *chainable*: an engine that wants to
+    #: stay resident across the fire → re-entry cycle (see
+    #: :func:`repro.cpu.engine.run_traced`) may pre-build a chained
+    #: dispatch for a region whose entry equals ``fire_target(loop)``,
+    #: and must still validate every fired decision against that entry
+    #: — the query reads the tables live (post-arm rewrites such as a
+    #: bound-reload ``mtz`` stream retarget it without a new plan), so
+    #: it is advisory, never a substitute for the decision check.
+    #: ``None`` (the default) means the port does not expose chainable
+    #: targets and engines must not chain.
+    fire_target: Callable[[int], int | None] | None = None
 
     @property
     def key(self) -> tuple[WatchSet, WatchSet, WatchSet]:

@@ -95,7 +95,7 @@ def entry_selector(record_id: int, fieldno: int) -> int:
     return ENTRY_BASE + RECORD_STRIDE * record_id + fieldno
 
 
-@dataclass
+@dataclass(slots=True)
 class LoopRecord:
     """One row of the loop parameter table."""
 
@@ -126,7 +126,7 @@ class LoopRecord:
         return getattr(self, self._FIELDS[fieldno])
 
 
-@dataclass
+@dataclass(slots=True)
 class ExitRecord:
     """One data-dependent exit registration (ZOLCfull)."""
 
@@ -148,7 +148,7 @@ class ExitRecord:
         return getattr(self, self._FIELDS[fieldno])
 
 
-@dataclass
+@dataclass(slots=True)
 class EntryRecord:
     """One side-entry registration (ZOLCfull)."""
 
@@ -171,25 +171,67 @@ class EntryRecord:
 
 @dataclass
 class ZolcTables:
-    """All writable ZOLC state, dimensioned by a configuration."""
+    """All writable ZOLC state, dimensioned by a configuration.
+
+    ``version`` counts every *observable* mutation: a selector write
+    that actually changes a stored field, and every :meth:`reset`.
+    Writes that store the value already present do not bump it — a
+    kernel that re-streams identical loop parameters before each
+    re-arm (the uZOLC idiom: the same inner loop re-armed per
+    invocation) leaves the version untouched, which is what lets the
+    controller reuse its arm-time compilation products.
+    """
 
     config: ZolcConfig
     loops: list[LoopRecord] = field(default_factory=list)
     exits: list[ExitRecord] = field(default_factory=list)
     entries: list[EntryRecord] = field(default_factory=list)
+    version: int = 0
+    #: Selector -> (record, fieldno) memo for the ``mtz`` write stream.
+    #: Records are allocated once and zeroed in place on :meth:`reset`,
+    #: so entries stay valid for the tables' whole lifetime.
+    _locate_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     def __post_init__(self) -> None:
         if not self.loops:
             self.reset()
 
     def reset(self) -> None:
-        self.loops = [LoopRecord() for _ in range(self.config.max_loops)]
-        self.exits = [ExitRecord() for _ in range(self.config.max_exit_records)]
-        self.entries = [EntryRecord()
-                        for _ in range(self.config.max_entry_records)]
+        if not self.loops:
+            # First construction: allocate the record rows once.  Every
+            # later reset zeroes them in place — records keep their
+            # identity, so the selector memo stays valid and the
+            # reset-and-restream re-arm idiom allocates nothing.
+            self.loops = [LoopRecord()
+                          for _ in range(self.config.max_loops)]
+            self.exits = [ExitRecord()
+                          for _ in range(self.config.max_exit_records)]
+            self.entries = [EntryRecord()
+                            for _ in range(self.config.max_entry_records)]
+        else:
+            for r in self.loops:
+                r.trips = r.initial = r.step = r.index_reg = 0
+                r.body_pc = 0
+                r.trigger_pc = NO_TRIGGER
+                r.parent = NO_PARENT
+                r.flags = 0
+            for x in self.exits:
+                x.branch_pc = x.target_pc = x.reset_mask = x.flags = 0
+            for e in self.entries:
+                e.entry_pc = e.loop = e.flags = 0
+        self.version += 1
 
     # -- selector-level access --------------------------------------------
     def _locate(self, selector: int) -> tuple[object, int]:
+        cached = self._locate_cache.get(selector)
+        if cached is not None:
+            return cached
+        located = self._locate_slow(selector)
+        self._locate_cache[selector] = located
+        return located
+
+    def _locate_slow(self, selector: int) -> tuple[object, int]:
         if LOOP_BASE <= selector < LOOP_BASE + LOOP_STRIDE * self.config.max_loops:
             offset = selector - LOOP_BASE
             loop_id, fieldno = divmod(offset, LOOP_STRIDE)
@@ -211,11 +253,31 @@ class ZolcTables:
 
     def write(self, selector: int, value: int) -> None:
         record, fieldno = self._locate(selector)
-        record.write_field(fieldno, value & 0xFFFFFFFF)  # type: ignore[attr-defined]
+        value &= 0xFFFFFFFF
+        if record.read_field(fieldno) != value:  # type: ignore[attr-defined]
+            record.write_field(fieldno, value)  # type: ignore[attr-defined]
+            self.version += 1
 
     def read(self, selector: int) -> int:
         record, fieldno = self._locate(selector)
         return record.read_field(fieldno)  # type: ignore[attr-defined]
+
+    def signature(self) -> tuple:
+        """Full table contents as one hashable value.
+
+        One flat walk over every record field — the cheap way for the
+        controller to recognise the reset-and-restream re-arm idiom
+        (``CTRL_RESET`` + identical parameter writes bump ``version``
+        but leave the signature equal, so arm-time compilation products
+        can be reused).
+        """
+        return (
+            tuple((r.trips, r.initial, r.step, r.index_reg, r.body_pc,
+                   r.trigger_pc, r.parent, r.flags) for r in self.loops),
+            tuple((r.branch_pc, r.target_pc, r.reset_mask, r.flags)
+                  for r in self.exits),
+            tuple((r.entry_pc, r.loop, r.flags) for r in self.entries),
+        )
 
     def valid_loops(self) -> list[int]:
         return [i for i, rec in enumerate(self.loops) if rec.valid]

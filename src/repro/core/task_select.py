@@ -22,11 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.index_unit import index_value
-from repro.core.tables import NO_PARENT, ZolcTables
+from repro.core.tables import FLAG_VALID, NO_PARENT, ZolcTables
 from repro.cpu.exceptions import ZolcFaultError
+from repro.util.bitops import MASK32
 
 
-@dataclass
+@dataclass(slots=True)
 class LoopStatus:
     """Runtime status of one loop (the paper's "loop status" word)."""
 
@@ -36,7 +37,7 @@ class LoopStatus:
         self.iterations_done = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Decision:
     """Outcome of one task-end decision."""
 
@@ -51,9 +52,15 @@ class TaskSelectionUnit:
 
     def __init__(self, tables: ZolcTables):
         self.tables = tables
+        self._depth_limit = tables.config.max_loops
         self.status: list[LoopStatus] = [
             LoopStatus() for _ in range(tables.config.max_loops)]
         self._children: dict[int, list[int]] = {}
+        # Transitive descendants, frozen at prepare() time — the loop
+        # structure cannot change while armed, and decide() consults
+        # this on every loop-back, so the worklist walk is paid once
+        # per arm instead of once per task switch.
+        self._desc: dict[int, tuple[int, ...]] = {}
 
     def prepare(self) -> None:
         """Precompute the loop-children map; call at arm time."""
@@ -62,17 +69,36 @@ class TaskSelectionUnit:
             parent = self.tables.loops[loop_id].parent
             if parent != NO_PARENT:
                 self._children[parent].append(loop_id)
-        for stat in self.status:
-            stat.reset()
+        self._desc = {i: tuple(self._walk_descendants(i))
+                      for i in self._children}
+        self.reset_status()
 
-    def descendants(self, loop_id: int) -> list[int]:
+    def reset_status(self) -> None:
+        """Zero every loop's iteration progress (arm / re-arm)."""
+        for stat in self.status:
+            stat.iterations_done = 0
+
+    def _walk_descendants(self, loop_id: int) -> list[int]:
+        # The visited set makes the walk total even on a malformed
+        # parent cycle (prepare() walks every loop eagerly; the cycle
+        # itself is still rejected by decide()'s cascade-depth guard).
         out: list[int] = []
+        seen: set[int] = set()
         worklist = list(self._children.get(loop_id, ()))
         while worklist:
             child = worklist.pop()
+            if child in seen:
+                continue
+            seen.add(child)
             out.append(child)
             worklist.extend(self._children.get(child, ()))
         return out
+
+    def descendants(self, loop_id: int) -> list[int]:
+        cached = self._desc.get(loop_id)
+        if cached is not None:
+            return list(cached)
+        return self._walk_descendants(loop_id)
 
     def initial_index_writes(self) -> list[tuple[int, int]]:
         """Register writes performed when the controller arms."""
@@ -83,24 +109,35 @@ class TaskSelectionUnit:
         return writes
 
     def decide(self, loop_id: int, depth: int = 0) -> Decision:
-        """Run the task-end decision for ``loop_id`` (with cascading)."""
-        if depth > self.tables.config.max_loops:
+        """Run the task-end decision for ``loop_id`` (with cascading).
+
+        This is the hottest controller path — one call per task switch,
+        from every engine — so the loop-back arm stays allocation-lean:
+        the index computation is :func:`index_value` inlined (the same
+        ``initial + k·step mod 2**32``), and the validity probe reads
+        the flags field directly rather than through the property.
+        """
+        if depth > self._depth_limit:
             raise ZolcFaultError("cascade cycle in loop tables")
         record = self.tables.loops[loop_id]
-        if not record.valid:
+        if not record.flags & FLAG_VALID:
             raise ZolcFaultError(f"decision for invalid loop {loop_id}")
         stat = self.status[loop_id]
-        stat.iterations_done += 1
-        if stat.iterations_done < record.trips:
+        done = stat.iterations_done + 1
+        stat.iterations_done = done
+        if done < record.trips:
             # Loop back: update this loop's index, re-initialise any
             # descendants that will re-execute.
             writes = [(record.index_reg,
-                       index_value(record, stat.iterations_done))]
-            for child_id in self.descendants(loop_id):
+                       (record.initial + done * record.step) & MASK32)]
+            desc = self._desc.get(loop_id)
+            if desc is None:               # decide() before prepare()
+                desc = self._walk_descendants(loop_id)
+            for child_id in desc:
                 child = self.tables.loops[child_id]
-                if not child.valid:
+                if not child.flags & FLAG_VALID:
                     continue
-                self.status[child_id].reset()
+                self.status[child_id].iterations_done = 0
                 writes.append((child.index_reg, child.initial & 0xFFFFFFFF))
             return Decision(next_pc=record.body_pc, index_writes=writes,
                             looped_back=loop_id)

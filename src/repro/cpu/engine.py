@@ -18,11 +18,16 @@ interpreters (cf. the PyPy JIT backends, which predecode once into
 per-instruction dispatch structures and then run a tight loop); the
 fast engine applies it interpreter-style, with no code generation.
 On top of it, the **trace-batched tier** (:func:`run_traced`,
-``engine="traced"``) *does* generate code: maximal straight-line
-regions of the dispatch array are fused into per-region megahandlers
-that execute a whole block with a single Python call and batch the
-timing bookkeeping (see the "Trace-batched execution tier" section
-below and DESIGN.md §8).
+``engine="traced"``, the ``auto`` default) *does* generate code:
+maximal straight-line regions of the dispatch array are fused into
+per-region megahandlers that execute a whole block — memory accesses
+inlined, bounds-checked, against the raw memory buffer — with a single
+Python call and batch the timing bookkeeping (see the "Trace-batched
+execution tier" section below and DESIGN.md §8).  Canonical ZOLC loops
+additionally go *loop-resident*: the trigger-fire → region-re-entry
+cycle is chained inside generated code, so a loop whose body is one
+region executes whole iteration batches per engine-loop entry (see the
+"Loop-resident chains" section and DESIGN.md §9).
 
 Handler protocol: each closure takes the current ``pc`` and returns
 
@@ -614,22 +619,27 @@ def run_fast(sim: "Simulator", max_steps: int,
                                     for reg, value in writes:
                                         regs_write(reg, value)
                                     index_writes += len(writes)
-                                if decision.next_pc is not None:
-                                    next_pc = decision.next_pc
                                 # Every trigger decision is a task
                                 # switch (loop-back or expiry), exactly
                                 # as on_retire reports it.
                                 task_switches += 1
                                 pending = None
                                 cycles += zolc_switch_extra
-                                # A single-shot controller disarms on
-                                # expiry: re-query the plan.
-                                plan = plan_fn()
-                                if plan is None or plan.epoch != zepoch:
-                                    (znext, zexit, zfar, fire_exit,
-                                     fire_entry, fire_trigger, zepoch,
-                                     zactive) = _plan_dispatch_state(
-                                        plan, sim, n, base, zolc)
+                                if decision.next_pc is not None:
+                                    next_pc = decision.next_pc
+                                else:
+                                    # A single-shot controller disarms
+                                    # on expiry; only a non-redirecting
+                                    # decision can be one, so re-query
+                                    # the plan exactly there.
+                                    plan = plan_fn()
+                                    if plan is None \
+                                            or plan.epoch != zepoch:
+                                        (znext, zexit, zfar, fire_exit,
+                                         fire_entry, fire_trigger,
+                                         zepoch, zactive) = \
+                                            _plan_dispatch_state(
+                                                plan, sim, n, base, zolc)
                     if fired:
                         # A port may halt the machine from a fire
                         # handler, like the legacy loop observes after
@@ -668,9 +678,15 @@ def run_fast(sim: "Simulator", max_steps: int,
                             index_writes, task_switches, cycles,
                             zolc_switch_extra)
                     halted = state.halted
-                (znext, zexit, zfar, fire_exit, fire_entry,
-                 fire_trigger, zepoch, zactive) = \
-                    _plan_dispatch_state(plan_fn(), sim, n, base, zolc)
+                # Unarmed and still inactive means nothing observable
+                # changed (the usual mtz table-streaming window): keep
+                # the dispatch state instead of re-deriving it per
+                # retirement.
+                plan = plan_fn()
+                if plan is not None or zactive or zolc.active:
+                    (znext, zexit, zfar, fire_exit, fire_entry,
+                     fire_trigger, zepoch, zactive) = \
+                        _plan_dispatch_state(plan, sim, n, base, zolc)
             pc = next_pc
     finally:
         state.pc = pc
@@ -762,6 +778,12 @@ class TraceRegion(NamedTuple):
     members: tuple
     #: generated-source line number (0-based) -> member ordinal.
     line_member: tuple
+    #: Whether the region may anchor a loop-resident chain: the
+    #: terminator is a plain sequential instruction (terminated only by
+    #: a watched next pc / end of text), so every execution falls
+    #: through into the same watched address and a trigger loop-back
+    #: re-enters this very region.
+    chain_ok: bool
 
 
 def _set(rd: int, expr: str) -> list[str]:
@@ -846,21 +868,60 @@ def _member_lines(inst: Instruction, address: int, ordinal: int,
     if m == "lui":
         return _set(rt, f"{(inst.imm & 0xFFFF) << 16}")
     if m in ("lw", "lb", "lbu", "lh", "lhu"):
-        call = {
-            "lw": f"_lw((_g[{rs}] + {inst.imm}) & {M})",
-            # Signed byte/half loads return negatives: mask back to the
-            # canonical unsigned-32 representation.
-            "lb": f"_lb((_g[{rs}] + {inst.imm}) & {M}, True) & {M}",
-            "lh": f"_lh((_g[{rs}] + {inst.imm}) & {M}, True) & {M}",
-            "lbu": f"_lb((_g[{rs}] + {inst.imm}) & {M}, False)",
-            "lhu": f"_lh((_g[{rs}] + {inst.imm}) & {M}, False)",
-        }[m]
-        # rt == 0 still performs the access (it can fault) and
-        # discards the value.
-        return [call] if rt == 0 else [f"_g[{rt}] = {call}"]
+        # Inlined memory access: the in-bounds, aligned fast path reads
+        # the raw memory buffer (``_mem``) directly — zero Python frames
+        # — and anything else calls the bound :class:`Memory` method,
+        # which raises the exact :class:`MemoryAccessError` the other
+        # engines raise (the guard and ``Memory._check`` are
+        # complementary: ``_a`` is masked non-negative, so a failed
+        # guard *is* an out-of-bounds or misaligned access).  Signed
+        # byte/half loads widen via the unsigned read + sign-bit OR,
+        # staying in the canonical unsigned-32 representation.
+        lines = [f"_a = (_g[{rs}] + {inst.imm}) & {M}"]
+        if m == "lw":
+            value = ("_ifb(_mem[_a:_a + 4], 'little') "
+                     "if _a <= _hi4 and not _a & 3 else _lw(_a)")
+            # rt == 0 still performs the access (it can fault) and
+            # discards the value.
+            lines.append(value if rt == 0 else f"_g[{rt}] = {value}")
+            return lines
+        if m in ("lb", "lbu"):
+            lines.append("_v = _mem[_a] if _a <= _hi1 "
+                         "else _lb(_a, False)")
+            widened = "_v | 4294967040 if _v & 128 else _v" \
+                if m == "lb" else "_v"
+        else:
+            lines.append("_v = _ifb(_mem[_a:_a + 2], 'little') "
+                         "if _a <= _hi2 and not _a & 1 "
+                         "else _lh(_a, False)")
+            widened = "_v | 4294901760 if _v & 32768 else _v" \
+                if m == "lh" else "_v"
+        if rt != 0:
+            lines.append(f"_g[{rt}] = {widened}")
+        return lines
     if m in ("sb", "sh", "sw"):
-        store = {"sb": "_sb", "sh": "_sh", "sw": "_sw"}[m]
-        return [f"{store}((_g[{rs}] + {inst.imm}) & {M}, _g[{rt}])"]
+        # Same fast-path/fault-path split as the loads; the slice
+        # assignment mutates the buffer in place, and register values
+        # are already canonical unsigned-32, so ``to_bytes`` is safe.
+        lines = [f"_a = (_g[{rs}] + {inst.imm}) & {M}"]
+        if m == "sb":
+            lines += ["if _a <= _hi1:",
+                      f"    _mem[_a] = _g[{rt}] & 255",
+                      "else:",
+                      f"    _sb(_a, _g[{rt}])"]
+        elif m == "sh":
+            lines += ["if _a <= _hi2 and not _a & 1:",
+                      f"    _mem[_a:_a + 2] = "
+                      f"(_g[{rt}] & 65535).to_bytes(2, 'little')",
+                      "else:",
+                      f"    _sh(_a, _g[{rt}])"]
+        else:
+            lines += ["if _a <= _hi4 and not _a & 3:",
+                      f"    _mem[_a:_a + 4] = "
+                      f"_g[{rt}].to_bytes(4, 'little')",
+                      "else:",
+                      f"    _sw(_a, _g[{rt}])"]
+        return lines
     fallbacks.append(ordinal)
     return [f"_h{ordinal}({address})"]
 
@@ -922,7 +983,11 @@ def _term_lines(inst: Instruction, address: int, ordinal: int,
 
 
 #: Fixed exec-namespace names every fused region may reference.
-_REGION_HELPERS = ("_g", "_lb", "_lh", "_lw", "_sb", "_sh", "_sw",
+#: ``_mem`` is the raw memory buffer (inlined loads/stores), ``_ifb``
+#: a pre-bound ``int.from_bytes``, and ``_hi1``/``_hi2``/``_hi4`` the
+#: per-simulator highest in-bounds address for each access width.
+_REGION_HELPERS = ("_g", "_mem", "_ifb", "_hi1", "_hi2", "_hi4",
+                   "_lb", "_lh", "_lw", "_sb", "_sh", "_sw",
                    "_mulh", "_state", "_HALT")
 
 
@@ -966,16 +1031,20 @@ def _region_code(program, start: int, term: int):
     return entry
 
 
-def _build_region(sim: "Simulator", predecoded: PredecodedProgram,
-                  start: int, term: int, load_use: int) -> TraceRegion:
-    """Fuse slots ``start..term`` into one compiled megahandler."""
-    ops = predecoded.ops
-    metas = predecoded.metas
-    base = sim.program.text_base
+def _region_namespace(sim: "Simulator") -> dict:
+    """The per-simulator exec namespace for generated region code.
+
+    Everything here is stable for the simulator's lifetime: the raw
+    register list and memory buffer are mutated in place, never
+    rebound, and the bound memory methods serve the generated code's
+    fault paths.
+    """
     memory = sim.memory
-    code, fallbacks, line_member = _region_code(sim.program, start, term)
-    ns: dict = {
+    return {
         "_g": sim.state.regs._regs,
+        "_mem": memory._bytes, "_ifb": int.from_bytes,
+        "_hi1": memory.size - 1, "_hi2": memory.size - 2,
+        "_hi4": memory.size - 4,
         "_lb": memory.load_byte, "_lh": memory.load_half,
         "_lw": memory.load_word,
         "_sb": memory.store_byte, "_sh": memory.store_half,
@@ -983,6 +1052,16 @@ def _build_region(sim: "Simulator", predecoded: PredecodedProgram,
         "_mulh": alu.mul32_hi,
         "_state": sim.state, "_HALT": HALT,
     }
+
+
+def _build_region(sim: "Simulator", predecoded: PredecodedProgram,
+                  start: int, term: int, load_use: int) -> TraceRegion:
+    """Fuse slots ``start..term`` into one compiled megahandler."""
+    ops = predecoded.ops
+    metas = predecoded.metas
+    base = sim.program.text_base
+    code, fallbacks, line_member = _region_code(sim.program, start, term)
+    ns = _region_namespace(sim)
     for ordinal in fallbacks:
         ns[f"_h{ordinal}"] = ops[start + ordinal][0]
     exec(code, ns)
@@ -997,14 +1076,16 @@ def _build_region(sim: "Simulator", predecoded: PredecodedProgram,
         stall += static_stall
         members.append((i, base_cycles, static_stall, load_dest))
         prev_dest = load_dest
+    term_meta = metas[term]
     return TraceRegion(
         mega=ns["_mega"], size=term - start + 1,
         cycles=cycles, stall=stall, first_uses=ops[start][2],
         out_pending=ops[term][3], term_pc=base + 4 * term, term_idx=term,
         term_taken_penalty=ops[term][4],
-        term_is_zolc=metas[term].is_zolc_init,
+        term_is_zolc=term_meta.is_zolc_init,
         rid=next(_REGION_IDS), start_idx=start,
-        members=tuple(members), line_member=line_member)
+        members=tuple(members), line_member=line_member,
+        chain_ok=not (term_meta.can_transfer or term_meta.is_zolc_init))
 
 
 def _slice_regions(predecoded: PredecodedProgram, base: int, plan) -> list:
@@ -1054,6 +1135,27 @@ def _trace_regions(sim: "Simulator", predecoded: PredecodedProgram,
     return regions
 
 
+def _fault_member(exc: BaseException, filename: str,
+                  line_member: tuple) -> int:
+    """Map a fault raised in generated code back to its member ordinal.
+
+    Walks the traceback to the generated frame (recognised by
+    ``filename``) and translates its line number through the code's
+    line → member table; lines outside the table (chain bookkeeping,
+    the def line) resolve to member 0.
+    """
+    faulting = 0
+    tb = exc.__traceback__
+    while tb is not None:
+        if tb.tb_frame.f_code.co_filename == filename:
+            line = tb.tb_lineno - 1
+            if 0 <= line < len(line_member) \
+                    and line_member[line] is not None:
+                faulting = line_member[line]
+        tb = tb.tb_next
+    return faulting
+
+
 def _reconcile_region_fault(exc: BaseException, region: TraceRegion,
                             base: int, retired: list[int], steps: int,
                             cycles: int, stall: int, pending: int | None,
@@ -1066,15 +1168,7 @@ def _reconcile_region_fault(exc: BaseException, region: TraceRegion,
     handler raises.  Returns the updated ``(steps, cycles, stall,
     pending, pc)`` bundle; ``retired`` is updated in place.
     """
-    faulting = 0
-    tb = exc.__traceback__
-    while tb is not None:
-        if tb.tb_frame.f_code.co_filename == _REGION_FILENAME:
-            line = tb.tb_lineno - 1
-            if 0 <= line < len(region.line_member) \
-                    and region.line_member[line] is not None:
-                faulting = region.line_member[line]
-        tb = tb.tb_next
+    faulting = _fault_member(exc, _REGION_FILENAME, region.line_member)
     if faulting:
         if pending is not None and pending in region.first_uses:
             cycles += load_use
@@ -1088,6 +1182,154 @@ def _reconcile_region_fault(exc: BaseException, region: TraceRegion,
     steps += faulting
     pc = base + 4 * (region.start_idx + faulting)
     return steps, cycles, stall, pending, pc
+
+
+# ---------------------------------------------------------------------------
+# Loop-resident chains: batching the trigger-fire → region-re-entry cycle
+# ---------------------------------------------------------------------------
+#
+# The canonical ZOLC steady state is a loop whose entire body is one fused
+# region: the region falls through into a watched trigger address, the
+# trigger's fire handler decides "loop back", and the redirect target is the
+# region's own entry.  The traced loop used to pay one full engine-loop
+# round trip per iteration for that cycle (region fetch + 15-field unpack,
+# watchdog compare, watch lookup, plan re-query).  A *chain* fuses the
+# cycle into generated code: one Python call runs ``body → fire → re-enter``
+# until the decision stops looping back (expiry / cascade redirect /
+# halt) or the iteration budget — derived from the watchdog — runs out.
+#
+# Chaining is legal exactly while the compiled plan cannot change under
+# the loop: the region interior retires no ``mtz``/``mfz`` (regions never
+# contain them), and a loop-back fire never invalidates the plan (only an
+# *expiry* can disarm a single-shot controller, and an expiry decision by
+# definition does not redirect to the entry, so it terminates the chain).
+# The chain re-checks ``state.halted`` after every fire, and the engine
+# re-queries the plan when the chain returns a terminating decision —
+# the same points the unchained loop re-queries.  See DESIGN.md §9.
+
+#: compile() filename marker for generated chain drivers.
+_CHAIN_FILENAME = "<trace-chain>"
+
+
+def _chain_code(program, start: int, term: int, loop_id: int):
+    """Compile (or fetch) the chain-driver code for a region + trigger.
+
+    Like :func:`_region_code`, the generated source depends only on the
+    instruction stream, the region span, the trigger's loop id and the
+    (program-constant) entry address, so the code object is cached on
+    the Program.  Returns ``(code, fallback_ordinals, line_member)``.
+    """
+    per_program = program.__dict__.get("_trace_chain_code")
+    if per_program is None:
+        per_program = program.__dict__["_trace_chain_code"] = {}
+    entry = per_program.get((start, term, loop_id))
+    if entry is not None:
+        return entry
+    base = program.text_base
+    insts = program.instructions
+    entry_pc = base + 4 * start
+    # Progress is tracked through zero-cost try/except (CPython 3.11+):
+    # the happy path stores nothing per iteration, and the except
+    # blocks publish (bodies, fires, index writes) into the ``_c`` cell
+    # only when a fault actually unwinds.
+    prologue = ["    _n = 0",
+                "    _iw = 0",
+                "    while True:",
+                "        try:"]
+    lines: list[str] = list(prologue)
+    # def line is 1; prologue statements fill the next lines.
+    line_member: list[int | None] = [None] * (len(prologue) + 1)
+    fallbacks: list[int] = []
+    for ordinal, i in enumerate(range(start, term + 1)):
+        address = base + 4 * i
+        for statement in _member_lines(insts[i], address, ordinal,
+                                       fallbacks):
+            lines.append("            " + statement)
+            line_member.append(ordinal)
+    epilogue = [
+        "        except BaseException:",
+        "            _c[0] = _n",
+        "            _c[1] = _n",
+        "            _c[2] = _iw",
+        "            raise",
+        "        try:",
+        f"            _d = _fire({loop_id})",
+        "        except BaseException:",
+        "            _c[0] = _n + 1",
+        "            _c[1] = _n",
+        "            _c[2] = _iw",
+        "            raise",
+        "        _n = _n + 1",
+        "        _w = _d.index_writes",
+        "        if len(_w) == 1:",
+        "            _r, _v = _w[0]",
+        "            if _r:",
+        "                _g[_r] = _v & 4294967295",
+        "        else:",
+        "            for _r, _v in _w:",
+        "                if _r:",
+        "                    _g[_r] = _v & 4294967295",
+        "        _iw = _iw + len(_w)",
+        f"        if _d.next_pc != {entry_pc} or _state.halted:",
+        "            return _n, _iw, _d",
+        "        if _n >= _budget:",
+        "            return _n, _iw, None",
+    ]
+    lines += epilogue
+    line_member += [None] * len(epilogue)
+    params = ", ".join(
+        f"{name}={name}"
+        for name in _REGION_HELPERS + tuple(f"_h{k}" for k in fallbacks))
+    src = f"def _chain(_budget, _c, _fire, {params}):\n" + "\n".join(lines)
+    code = compile(src, _CHAIN_FILENAME, "exec")
+    entry = (code, tuple(fallbacks), tuple(line_member))
+    per_program[(start, term, loop_id)] = entry
+    return entry
+
+
+#: Cache sentinel: this (region, loop) pair was probed and is not
+#: chainable (the fire target is not the region entry).
+_NO_CHAIN = object()
+
+
+def _resolve_chain(sim: "Simulator", predecoded: PredecodedProgram,
+                   region: TraceRegion, loop_id: int, plan_fn):
+    """The chain driver for (region, trigger loop), or ``None``.
+
+    Built lazily on the first loop-back that re-enters ``region`` and
+    cached on the simulator by ``(rid, loop_id)`` — region ids are
+    unique per build and region tables are keyed by plan watch-set
+    content (which includes the trigger loop ids), so a cached chain
+    can never be served against a mismatched plan; the cache is
+    cleared with the region cache on re-predecode.  The plan's
+    ``fire_target`` pre-flight keeps chaining to the canonical
+    direct loop-back (a cascade whose redirect merely coincides with
+    the entry address stays on the unchained path), and the fire
+    handler itself is passed per call, so a re-arm's fresh plan is
+    honoured without rebuilding.  Returns ``(chain_fn, cell,
+    line_member)``; ``cell`` is the progress cell fault reconciliation
+    reads.
+    """
+    key = (region.rid, loop_id)
+    cached = sim._trace_chain_cache.get(key)
+    if cached is not None:
+        return None if cached is _NO_CHAIN else cached
+    entry_pc = sim.program.text_base + 4 * region.start_idx
+    plan = plan_fn()
+    fire_target = plan.fire_target if plan is not None else None
+    if fire_target is None or fire_target(loop_id) != entry_pc:
+        sim._trace_chain_cache[key] = _NO_CHAIN
+        return None
+    code, fallbacks, line_member = _chain_code(
+        sim.program, region.start_idx, region.term_idx, loop_id)
+    ns = _region_namespace(sim)
+    for ordinal in fallbacks:
+        ns[f"_h{ordinal}"] = predecoded.ops[region.start_idx
+                                            + ordinal][0]
+    exec(code, ns)
+    chain = (ns["_chain"], [0, 0, 0], line_member)
+    sim._trace_chain_cache[key] = chain
+    return chain
 
 
 def _traced_dispatch_state(plan, sim: "Simulator",
@@ -1110,7 +1352,7 @@ def _traced_dispatch_state(plan, sim: "Simulator",
 
 
 def run_traced(sim: "Simulator", max_steps: int,
-               predecoded: PredecodedProgram) -> None:
+               predecoded: PredecodedProgram, chain: bool = True) -> None:
     """Trace-batched run loop: fused regions over the predecoded array.
 
     Retires *identical* (pc, regs, memory, cycles, stats, controller
@@ -1121,6 +1363,15 @@ def run_traced(sim: "Simulator", max_steps: int,
     semantics are exact), ports without a compiled plan fall back to
     :func:`run_fast` (their ``on_retire`` must see every retirement),
     and the transient armed-without-plan window runs per-instruction.
+
+    ``chain`` enables the loop-resident tier: trigger fires whose
+    loop-back redirect re-enters the region that just retired run as a
+    generated ``body → fire → re-enter`` chain, executing whole
+    iteration batches per engine-loop entry (watchdog budget, cycle /
+    stall / retired / controller bookkeeping and fault reconciliation
+    all preserved per iteration).  The flag exists so the throughput
+    benchmark can measure the unchained region tier; ``Simulator.run``
+    always chains.
     """
     zolc = sim.zolc
     plan_fn = getattr(zolc, "zolc_plan", None) if zolc is not None else None
@@ -1176,7 +1427,7 @@ def run_traced(sim: "Simulator", max_steps: int,
                     regions[idx] = region
                 (mega, size, rcycles, rstall, first_uses, out_pending,
                  term_pc, _term_idx, term_penalty, _term_zolc, rid,
-                 _start, rmembers, _lines) = region
+                 _start, rmembers, _lines, _chain_ok) = region
                 if steps + size <= max_steps:
                     try:
                         res = mega()
@@ -1254,7 +1505,7 @@ def run_traced(sim: "Simulator", max_steps: int,
                     regions[idx] = region
                 (mega, size, rcycles, rstall, first_uses, out_pending,
                  term_pc, term_idx, term_penalty, term_zolc, rid,
-                 _start, rmembers, _lines) = region
+                 _start, rmembers, _lines, chain_ok) = region
                 if steps + size <= max_steps:
                     try:
                         res = mega()
@@ -1277,6 +1528,12 @@ def run_traced(sim: "Simulator", max_steps: int,
                     else:
                         rcounts[rid] = count + 1
                     pending = out_pending
+                    # The region retired through its terminator: keep the
+                    # architectural pc there, so a fault raised by a fire
+                    # handler below post-mortems at the retiring
+                    # instruction, exactly like the per-instruction
+                    # engines.
+                    pc = term_pc
                     if res is None:
                         next_pc = term_pc + 4
                         taken = False
@@ -1299,6 +1556,7 @@ def run_traced(sim: "Simulator", max_steps: int,
                     elif znext is not None:
                         if not term_zolc:
                             fired = False
+                            chain_loop = None
                             if taken:
                                 record_id = zexit[term_idx]
                                 if record_id is not None:
@@ -1325,23 +1583,122 @@ def run_traced(sim: "Simulator", max_steps: int,
                                             for reg, value in writes:
                                                 regs_write(reg, value)
                                             index_writes += len(writes)
-                                        if decision.next_pc is not None:
-                                            next_pc = decision.next_pc
                                         task_switches += 1
                                         pending = None
                                         cycles += zolc_switch_extra
+                                        if decision.next_pc is None:
+                                            # Only a non-redirecting
+                                            # (expiry) decision can
+                                            # disarm: re-query there.
+                                            plan = plan_fn()
+                                            if plan is None \
+                                                    or plan.epoch != zepoch:
+                                                (znext, zexit, zfar,
+                                                 fire_exit, fire_entry,
+                                                 fire_trigger, zepoch,
+                                                 zactive, regions) = \
+                                                    _traced_dispatch_state(
+                                                        plan, sim,
+                                                        predecoded, n,
+                                                        base, zolc,
+                                                        no_regions)
+                                        else:
+                                            next_pc = decision.next_pc
+                                            if (chain and chain_ok
+                                                    and entry_id is None
+                                                    and next_pc
+                                                    == base + 4 * _start):
+                                                # The canonical ZOLC
+                                                # loop-back: go resident.
+                                                chain_loop = trigger_loop
+                            if fired:
+                                halted = state.halted
+                            if chain_loop is not None and not halted:
+                                budget = (max_steps - steps) // size
+                                resolved = _resolve_chain(
+                                    sim, predecoded, region, chain_loop,
+                                    plan_fn) if budget > 0 else None
+                                if resolved is not None:
+                                    chain_fn, cell, clines = resolved
+                                    try:
+                                        iters, ciw, done = chain_fn(
+                                            budget, cell, fire_trigger)
+                                    except BaseException as exc:
+                                        bodies, fires, ciw = cell
+                                        steps += bodies * size
+                                        cycles += (bodies * rcycles
+                                                   + fires
+                                                   * zolc_switch_extra)
+                                        stall += bodies * rstall
+                                        task_switches += fires
+                                        index_writes += ciw
+                                        if bodies:
+                                            rcounts[rid] += bodies
+                                        if bodies > fires:
+                                            # The fire itself raised:
+                                            # the last region retired
+                                            # whole, so the post-mortem
+                                            # pc is its terminator —
+                                            # the retiring instruction,
+                                            # as in every engine.
+                                            pending = out_pending
+                                            pc = term_pc
+                                        else:
+                                            # Fault inside the next
+                                            # iteration's region body:
+                                            # retire its prefix, land
+                                            # on the faulting member.
+                                            faulting = _fault_member(
+                                                exc, _CHAIN_FILENAME,
+                                                clines)
+                                            steps += faulting
+                                            for (midx, mbc, mss,
+                                                 _md) in \
+                                                    rmembers[:faulting]:
+                                                retired[midx] += 1
+                                                cycles += mbc + mss
+                                                stall += mss
+                                            pending = rmembers[
+                                                faulting - 1][3] \
+                                                if faulting else None
+                                            pc = base + 4 * (_start
+                                                             + faulting)
+                                        raise
+                                    if iters:
+                                        steps += iters * size
+                                        cycles += iters * (
+                                            rcycles + zolc_switch_extra)
+                                        stall += iters * rstall
+                                        task_switches += iters
+                                        index_writes += ciw
+                                        rcounts[rid] += iters
+                                    if done is None:
+                                        # Watchdog budget exhausted
+                                        # mid-loop: back to the region
+                                        # entry, per-slot dispatch
+                                        # finishes the tail exactly.
+                                        next_pc = base + 4 * _start
+                                    elif done.next_pc is not None:
+                                        # Chain left through a cascade
+                                        # redirect (or halted mid
+                                        # loop-back): the plan is
+                                        # still valid.
+                                        next_pc = done.next_pc
+                                        halted = state.halted
+                                    else:
+                                        next_pc = term_pc + 4
+                                        halted = state.halted
                                         plan = plan_fn()
                                         if plan is None \
                                                 or plan.epoch != zepoch:
-                                            (znext, zexit, zfar, fire_exit,
-                                             fire_entry, fire_trigger,
-                                             zepoch, zactive, regions) = \
+                                            (znext, zexit, zfar,
+                                             fire_exit, fire_entry,
+                                             fire_trigger, zepoch,
+                                             zactive, regions) = \
                                                 _traced_dispatch_state(
-                                                    plan, sim, predecoded,
-                                                    n, base, zolc,
-                                                    no_regions)
-                            if fired:
-                                halted = state.halted
+                                                    plan, sim,
+                                                    predecoded, n, base,
+                                                    zolc, no_regions)
                         else:
                             # mtz/mfz terminator: full oracle path, then
                             # re-sync plan + regions.
@@ -1366,7 +1723,8 @@ def run_traced(sim: "Simulator", max_steps: int,
                     elif term_zolc:
                         # No plan, port inactive until this very mtz/mfz
                         # may have armed it: offer the retirement, then
-                        # re-sync.
+                        # re-sync (skipped while the port stays unarmed
+                        # and inactive — nothing observable moved).
                         if not halted and zolc.active:
                             action = zolc.on_retire(term_pc, next_pc,
                                                     taken=taken)
@@ -1377,11 +1735,13 @@ def run_traced(sim: "Simulator", max_steps: int,
                                     index_writes, task_switches, cycles,
                                     zolc_switch_extra)
                             halted = state.halted
-                        (znext, zexit, zfar, fire_exit, fire_entry,
-                         fire_trigger, zepoch, zactive, regions) = \
-                            _traced_dispatch_state(
-                                plan_fn(), sim, predecoded, n, base,
-                                zolc, no_regions)
+                        plan = plan_fn()
+                        if plan is not None or zactive or zolc.active:
+                            (znext, zexit, zfar, fire_exit, fire_entry,
+                             fire_trigger, zepoch, zactive, regions) = \
+                                _traced_dispatch_state(
+                                    plan, sim, predecoded, n, base,
+                                    zolc, no_regions)
                     pc = next_pc
                     continue
             # -- single-slot path (identical to run_fast's plan loop) ---
@@ -1436,19 +1796,25 @@ def run_traced(sim: "Simulator", max_steps: int,
                                     for reg, value in writes:
                                         regs_write(reg, value)
                                     index_writes += len(writes)
-                                if decision.next_pc is not None:
-                                    next_pc = decision.next_pc
                                 task_switches += 1
                                 pending = None
                                 cycles += zolc_switch_extra
-                                plan = plan_fn()
-                                if plan is None or plan.epoch != zepoch:
-                                    (znext, zexit, zfar, fire_exit,
-                                     fire_entry, fire_trigger, zepoch,
-                                     zactive, regions) = \
-                                        _traced_dispatch_state(
-                                            plan, sim, predecoded, n,
-                                            base, zolc, no_regions)
+                                if decision.next_pc is not None:
+                                    next_pc = decision.next_pc
+                                else:
+                                    # Only a non-redirecting (expiry)
+                                    # decision can disarm: re-query
+                                    # the plan exactly there.
+                                    plan = plan_fn()
+                                    if plan is None \
+                                            or plan.epoch != zepoch:
+                                        (znext, zexit, zfar, fire_exit,
+                                         fire_entry, fire_trigger,
+                                         zepoch, zactive, regions) = \
+                                            _traced_dispatch_state(
+                                                plan, sim, predecoded,
+                                                n, base, zolc,
+                                                no_regions)
                     if fired:
                         halted = state.halted
                 else:
@@ -1478,9 +1844,15 @@ def run_traced(sim: "Simulator", max_steps: int,
                             index_writes, task_switches, cycles,
                             zolc_switch_extra)
                     halted = state.halted
-                (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
-                 zepoch, zactive, regions) = _traced_dispatch_state(
-                    plan_fn(), sim, predecoded, n, base, zolc, no_regions)
+                # Same no-change shortcut as the fast loop: an unarmed,
+                # inactive port retiring mtz table writes cannot have
+                # moved the dispatch state.
+                plan = plan_fn()
+                if plan is not None or zactive or zolc.active:
+                    (znext, zexit, zfar, fire_exit, fire_entry,
+                     fire_trigger, zepoch, zactive, regions) = \
+                        _traced_dispatch_state(plan, sim, predecoded, n,
+                                               base, zolc, no_regions)
             pc = next_pc
     finally:
         state.pc = pc

@@ -155,6 +155,12 @@ class Simulator:
         # fused handler closures from the predecoded program, so the
         # cache is cleared whenever the program is re-predecoded.
         self._trace_region_cache: dict = {}
+        # Loop-resident chain drivers, keyed by (region id, trigger
+        # loop id); lives and dies with the region cache above.
+        self._trace_chain_cache: dict = {}
+        # The engine tier the last run() resolved to ("traced" / "fast"
+        # / "step"), so callers can observe what "auto" picked.
+        self.last_engine: str | None = None
         self._load_image()
         self.state.regs.write(SP_REG, memory_size - 16)
 
@@ -229,8 +235,10 @@ class Simulator:
             self._predecoded = None
         if self._predecoded is None:
             # Trace regions fuse the predecoded handlers; a re-predecode
-            # (ZOLC port swap) invalidates every fused region with them.
+            # (ZOLC port swap) invalidates every fused region — and
+            # every chain driver built over one — with them.
             self._trace_region_cache.clear()
+            self._trace_chain_cache.clear()
             try:
                 built = predecode(self)
                 if built is None:
@@ -249,11 +257,14 @@ class Simulator:
         """Run until ``halt`` (or raise :class:`WatchdogError`).
 
         ``engine`` selects the execution strategy: ``"auto"`` (default)
-        uses the predecoded fast engine unless a tracer is attached,
-        ``"fast"`` forces it, ``"traced"`` forces the trace-batched
-        tier (fused straight-line regions over the predecoded array),
-        and ``"step"`` forces the legacy one-instruction-at-a-time
-        interpreter.  All engines retire bit-identical sequences.
+        resolves to the trace-batched, loop-resident tier —
+        ``"traced"``, the fastest engine — unless a tracer is attached
+        or the program cannot be predecoded (both degrade to the
+        stepped interpreter).  ``"fast"`` and ``"step"`` remain
+        explicit overrides forcing the predecoded per-instruction
+        engine and the legacy one-instruction-at-a-time interpreter.
+        All engines retire bit-identical sequences; the tier a run
+        resolved to is recorded in :attr:`last_engine`.
         """
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; known: "
@@ -262,27 +273,26 @@ class Simulator:
             raise ValueError(
                 f"the {engine} engine does not record traces; detach "
                 "the tracer or use engine='step'")
-        if engine == "traced":
+        resolved = engine
+        if engine == "auto":
+            resolved = "step" if self.tracer is not None else "traced"
+        if resolved in ("traced", "fast"):
             predecoded = self._ensure_predecoded()
             if predecoded is False:
-                raise ValueError(
-                    "program cannot be predecoded: "
-                    f"{self._predecode_failure}")
-            run_traced(self, max_steps, predecoded)
-            return self.stats
-        use_fast = engine == "fast" or (engine == "auto"
-                                        and self.tracer is None)
-        if use_fast:
-            predecoded = self._ensure_predecoded()
-            if predecoded is False:
-                if engine == "fast":
+                if engine != "auto":
                     raise ValueError(
                         "program cannot be predecoded: "
                         f"{self._predecode_failure}")
-                use_fast = False
+                resolved = "step"
+            elif resolved == "traced":
+                self.last_engine = "traced"
+                run_traced(self, max_steps, predecoded)
+                return self.stats
             else:
+                self.last_engine = "fast"
                 run_fast(self, max_steps, predecoded)
                 return self.stats
+        self.last_engine = "step"
         return self._run_stepped(max_steps)
 
     def _run_stepped(self, max_steps: int) -> Stats:

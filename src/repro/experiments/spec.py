@@ -15,7 +15,8 @@ Kernel selectors are registry names, plus two group selectors:
 inline definitions, including custom ZOLC variants.
 
 Plans also carry *host-side* execution choices — ``backend`` (serial /
-process), ``jobs`` and ``engine`` (auto / fast / traced / step) —
+process), ``jobs`` and ``engine`` (auto / fast / traced / step, where
+``auto`` — the default — resolves to the loop-resident traced tier) —
 which never affect the measured results (all engines retire
 bit-identical sequences) and are therefore not part of any cell's
 cache identity; the CLI's ``--backend`` / ``--jobs`` / ``--engine``

@@ -107,7 +107,7 @@ _offsets = st.sampled_from([4 * i for i in range(SCRATCH_WORDS)])
 def _body_op(draw, pool):
     """One straight-line body instruction over ``pool`` source regs."""
     src = st.sampled_from(pool)
-    kind = draw(st.integers(min_value=0, max_value=4))
+    kind = draw(st.integers(min_value=0, max_value=6))
     if kind == 0:
         return (f"        {draw(_body_rr)} {draw(_temps)}, "
                 f"{draw(src)}, {draw(src)}")
@@ -120,6 +120,17 @@ def _body_op(draw, pool):
         return f"        {op} {draw(_temps)}, {draw(src)}, {imm}"
     if kind == 3:
         return f"        lw   {draw(_temps)}, {draw(_offsets)}({BASE_REG})"
+    if kind == 4:
+        # Sub-word loads: the traced tier inlines their sign/zero
+        # widening against the raw memory buffer, so generated bodies
+        # must cover every flavour (word offsets keep halves aligned).
+        op = draw(st.sampled_from(["lb", "lbu", "lh", "lhu"]))
+        return (f"        {op}  {draw(_temps)}, "
+                f"{draw(_offsets)}({BASE_REG})")
+    if kind == 5:
+        op = draw(st.sampled_from(["sb", "sh"]))
+        return (f"        {op}   {draw(_temps)}, "
+                f"{draw(_offsets)}({BASE_REG})")
     return f"        sw   {draw(_temps)}, {draw(_offsets)}({BASE_REG})"
 
 
@@ -216,6 +227,30 @@ def pipeline_configs(draw):
         mul_extra_cycles=draw(st.integers(min_value=0, max_value=2)),
         zolc_switch_cycles=draw(st.integers(min_value=0, max_value=2)),
     )
+
+
+# ---------------------------------------------------------------------------
+# Engine-resolution spy
+# ---------------------------------------------------------------------------
+
+def spy_run_traced(monkeypatch):
+    """Wrap ``repro.cpu.simulator.run_traced``, recording each call.
+
+    Returns the list the spy appends to (one ``chain`` flag per call),
+    so auto-resolution tests across the suite share one definition of
+    the traced entry point's call shape.
+    """
+    import repro.cpu.simulator as simulator_module
+
+    calls = []
+    real = simulator_module.run_traced
+
+    def spy(sim, max_steps, predecoded, chain=True):
+        calls.append(chain)
+        return real(sim, max_steps, predecoded, chain=chain)
+
+    monkeypatch.setattr(simulator_module, "run_traced", spy)
+    return calls
 
 
 # ---------------------------------------------------------------------------

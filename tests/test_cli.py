@@ -246,6 +246,24 @@ class TestRunEngineFlag:
         assert main(["run", "vec_sum", "--engine", "warp"]) == 1
         assert "unknown engine 'warp'" in capsys.readouterr().err
 
+    def test_default_engine_resolves_to_traced(self, capsys, monkeypatch):
+        """`repro run` without --engine rides the loop-resident tier."""
+        from strategies import spy_run_traced
+
+        calls = spy_run_traced(monkeypatch)
+        assert main(["run", "vec_sum", "-m", "ZOLClite", "--json"]) == 0
+        capsys.readouterr()
+        assert calls == [True]
+
+    def test_explicit_step_bypasses_traced(self, capsys, monkeypatch):
+        from strategies import spy_run_traced
+
+        calls = spy_run_traced(monkeypatch)
+        assert main(["run", "vec_sum", "--json",
+                     "--engine", "step"]) == 0
+        capsys.readouterr()
+        assert calls == []
+
 
 class TestErrorHandling:
     def test_value_error_exits_one(self, capsys, monkeypatch):

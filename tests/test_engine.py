@@ -21,7 +21,6 @@ from repro.asm import assemble
 from repro.cpu import Simulator, WatchdogError
 from repro.cpu.engine import predecode
 from repro.eval.machines import ALL_MACHINES
-from repro.workloads.suite import registry
 
 from strategies import alu_instructions, render_alu_program
 
@@ -109,17 +108,26 @@ class TestRandomPrograms:
 
 
 class TestEngineSelection:
-    def test_auto_uses_fast_and_caches_predecode(self):
+    def test_auto_resolves_to_traced_and_caches_predecode(self):
         sim = Simulator(assemble("li t0, 3\nhalt\n"))
         sim.run()
+        assert sim.last_engine == "traced"
         assert sim._predecoded is not None and sim._predecoded is not False
         assert sim.state.regs["t0"] == 3
+
+    def test_explicit_fast_and_step_remain_overrides(self):
+        for engine in ("fast", "step"):
+            sim = Simulator(assemble("li t0, 3\nhalt\n"))
+            sim.run(engine=engine)
+            assert sim.last_engine == engine
+            assert sim.state.regs["t0"] == 3
 
     def test_tracer_falls_back_to_step(self):
         from repro.cpu import Tracer
         tracer = Tracer(limit=10)
         sim = Simulator(assemble("li t0, 3\nhalt\n"), tracer=tracer)
         sim.run()
+        assert sim.last_engine == "step"
         assert len(tracer.records) == 2
 
     def test_forced_fast_with_tracer_rejected(self):
@@ -167,6 +175,7 @@ class TestEngineSelection:
         sim = Simulator(assemble("li t0, 9\nhalt\n"))
         sim.run()
         assert sim._predecoded is False
+        assert sim.last_engine == "step"
         assert sim.state.regs["t0"] == 9
 
     def test_zolc_swap_invalidates_predecode_cache(self):
@@ -658,3 +667,219 @@ class TestTracedEngine:
         assert _controller_tuple(planful) == _controller_tuple(planless)
         # The planless run never sliced regions: it ran the fast loop.
         assert planless._trace_region_cache == {}
+
+
+class TestLoopResident:
+    """The fire→re-entry chain: engagement, exactness, fault paths.
+
+    A loop whose whole body is one fused region executes iteration
+    batches inside a generated chain (engine.py `_chain_code`); these
+    tests pin that the chain actually engages on the canonical shape,
+    and that watchdog budgets, faults and counters stay bit-identical
+    to the per-instruction engines — batching must never be observable.
+    """
+
+    # A straight-line body of >= 2 instructions with an up-count latch:
+    # the transform converts it, the body fuses into one region, and
+    # every trigger fire loops back to the region entry.
+    LOOP_SRC = """
+        .data
+scratch: .word 0, 0, 0, 0
+        .text
+main:
+        li   s0, 0
+        la   t8, scratch
+        li   t0, 0
+loop:
+        add  s0, s0, t0
+        sw   s0, 0(t8)
+        addi t0, t0, 1
+        slti at, t0, 9
+        bne  at, zero, loop
+        halt
+"""
+
+    def _prepared(self):
+        machine = next(m for m in ALL_MACHINES if m.name == "ZOLClite")
+        prepared = machine.prepare(self.LOOP_SRC)
+        assert prepared.transformed_loops >= 1
+        return prepared
+
+    def test_chain_engages_and_matches_step(self):
+        from repro.cpu.engine import _NO_CHAIN
+
+        prepared = self._prepared()
+        traced = prepared.make_simulator()
+        traced.run(engine="traced")
+        chains = [c for c in traced._trace_chain_cache.values()
+                  if c is not _NO_CHAIN]
+        assert chains, "the canonical loop-back did not chain"
+        slow = prepared.make_simulator()
+        slow.run(engine="step")
+        assert _state_tuple(traced) == _state_tuple(slow)
+        assert _controller_tuple(traced) == _controller_tuple(slow)
+
+    def test_chain_respects_every_watchdog_budget(self):
+        """Cutting the run at every step count mid-chain stays exact."""
+        prepared = self._prepared()
+        for budget in range(1, 60):
+            traced = prepared.make_simulator()
+            slow = prepared.make_simulator()
+            outcomes = []
+            for sim, engine in ((traced, "traced"), (slow, "step")):
+                try:
+                    sim.run(max_steps=budget, engine=engine)
+                    outcomes.append("halt")
+                except WatchdogError:
+                    outcomes.append("watchdog")
+            assert outcomes[0] == outcomes[1], f"budget {budget}"
+            assert _state_tuple(traced) == _state_tuple(slow), \
+                f"diverged at budget {budget}"
+            assert _controller_tuple(traced) == _controller_tuple(slow), \
+                f"controller diverged at budget {budget}"
+
+    def test_memory_fault_inside_chain_reconciles(self):
+        """A store that faults mid-iteration lands on the exact state."""
+        from repro.cpu import MemoryAccessError
+
+        source = """
+        .text
+main:
+        li   t0, 0
+        lui  t8, 3              # 0x30000, memory is 0x40000 bytes
+loop:
+        sw   t0, 0(t8)
+        addi t8, t8, 16384      # walks off the end mid-run
+        addi t0, t0, 1
+        slti at, t0, 12
+        bne  at, zero, loop
+        halt
+"""
+        machine = next(m for m in ALL_MACHINES if m.name == "ZOLClite")
+        prepared = machine.prepare(source)
+        assert prepared.transformed_loops >= 1
+        sims = {}
+        for engine in ("step", "fast", "traced"):
+            sim = prepared.make_simulator()
+            with pytest.raises(MemoryAccessError):
+                sim.run(engine=engine)
+            sims[engine] = sim
+        for engine in ("fast", "traced"):
+            assert _state_tuple(sims[engine]) == _state_tuple(sims["step"])
+            assert _controller_tuple(sims[engine]) == \
+                _controller_tuple(sims["step"])
+
+    def test_fire_fault_inside_chain_reconciles(self):
+        """A controller fault raised by a chained fire stays exact.
+
+        Rewriting the armed loop's trigger tables is not expressible
+        mid-chain (no mtz retires inside a region), so fault injection
+        monkeypatches the decision path instead: the Nth task switch
+        raises, in every engine, and the post-mortem states must agree.
+        """
+        from repro.cpu.exceptions import ZolcFaultError
+
+        prepared = self._prepared()
+        sims = {}
+        for engine in ("step", "fast", "traced"):
+            sim = prepared.make_simulator()
+            controller = sim.zolc
+            real_decide = controller.unit.decide
+            calls = []
+
+            def exploding(loop_id, depth=0, _real=real_decide,
+                          _calls=calls):
+                _calls.append(loop_id)
+                if len(_calls) == 5:
+                    raise ZolcFaultError("injected mid-run fault")
+                return _real(loop_id, depth)
+
+            controller.unit.decide = exploding
+            controller._decide = exploding
+            with pytest.raises(ZolcFaultError):
+                sim.run(engine=engine)
+            sims[engine] = sim
+        for engine in ("fast", "traced"):
+            assert _state_tuple(sims[engine]) == _state_tuple(sims["step"])
+
+
+class TestInlinedMemory:
+    """Byte/half/word access semantics of the fused-region codegen.
+
+    The traced tier generates bounds-checked loads/stores against the
+    raw memory buffer; these pin the sign-extension identities and the
+    fault paths (misalignment, out-of-range) against the other engines.
+    """
+
+    def _agree(self, source, fault=None):
+        sims = {}
+        for engine in ("step", "fast", "traced"):
+            sim = Simulator(assemble(source))
+            if fault is None:
+                sim.run(engine=engine)
+            else:
+                with pytest.raises(fault):
+                    sim.run(engine=engine)
+            sims[engine] = sim
+        for engine in ("fast", "traced"):
+            assert _state_tuple(sims[engine]) == _state_tuple(sims["step"]), \
+                f"{engine} diverged"
+        return sims["traced"]
+
+    def test_signed_and_unsigned_subword_loads(self):
+        traced = self._agree("""
+        .data
+bytes:  .word 0x80FF7F01
+        .text
+main:
+        la   t8, bytes
+        lb   t0, 3(t8)          # 0x80 -> 0xFFFFFF80
+        lbu  t1, 3(t8)          # 0x80
+        lb   t2, 1(t8)          # 0x7F stays positive... (0xFF at 1)
+        lbu  t3, 1(t8)
+        lh   s0, 2(t8)          # 0x80FF -> sign-extended
+        lhu  s1, 2(t8)
+        lh   s2, 0(t8)          # 0x7F01 positive
+        sb   t0, 4(t8)
+        sh   s0, 6(t8)
+        halt
+""")
+        regs = traced.state.regs
+        assert regs["t0"] == 0xFFFFFF80
+        assert regs["t1"] == 0x80
+        assert regs["s0"] == 0xFFFF80FF
+        assert regs["s1"] == 0x80FF
+        assert regs["s2"] == 0x7F01
+
+    def test_misaligned_half_load_faults_identically(self):
+        from repro.cpu import MemoryAccessError
+
+        self._agree("""
+main:
+        li   t0, 3
+        add  t1, t0, t0
+        lh   t2, 0(t0)          # misaligned halfword
+        halt
+""", fault=MemoryAccessError)
+
+    def test_out_of_range_store_faults_identically(self):
+        from repro.cpu import MemoryAccessError
+
+        self._agree("""
+main:
+        lui  t0, 16             # 0x100000, past 256 KiB
+        li   t1, 7
+        sw   t1, 0(t0)
+        halt
+""", fault=MemoryAccessError)
+
+    def test_rt_zero_load_still_faults(self):
+        from repro.cpu import MemoryAccessError
+
+        self._agree("""
+main:
+        lui  t0, 16
+        li   t1, 1
+        lw   zero, 0(t0)        # discarded value, real fault
+        halt
+""", fault=MemoryAccessError)

@@ -1,7 +1,7 @@
-"""Cross-engine differential fuzzing: stepped vs fast vs traced.
+"""Cross-engine differential fuzzing: stepped vs fast vs traced vs auto.
 
-The three execution engines promise bit-identical retirement: same
-final registers, memory, cycles, stats and controller counters for any
+The execution engines promise bit-identical retirement: same final
+registers, memory, cycles, stats and controller counters for any
 program on any machine under any pipeline timing.  ``tests/test_engine.
 py`` pins that invariant on the hand-written suite; this module pins it
 on *generated* programs (``tests/strategies.py``): random structured
@@ -9,6 +9,11 @@ loop nests — in the shapes the ZOLC transform drives in hardware,
 including multi-nest programs that re-arm single-shot controllers
 mid-run — and random straight-line ALU programs, each crossed with
 generated machines and pipeline timings.
+
+The sweep is 4-way: the three explicit engines plus ``auto``, which
+resolves to the loop-resident traced tier (fire→re-entry chains +
+inlined memory access), so every generated ZOLC loop also exercises
+the chained dispatch against the per-instruction oracles.
 
 Any divergence fails with the generating source attached, so a
 counterexample is directly replayable.
@@ -32,7 +37,7 @@ from strategies import (
     state_tuple,
 )
 
-ENGINES = ("step", "fast", "traced")
+ENGINES = ("step", "fast", "traced", "auto")
 
 MAX_STEPS = 200_000
 
@@ -46,8 +51,11 @@ def _assert_engines_agree(make_simulator, source):
     for engine in ENGINES:
         sim = make_simulator()
         sim.run(max_steps=MAX_STEPS, engine=engine)
+        if engine == "auto":
+            # `auto` is the loop-resident traced tier.
+            assert sim.last_engine == "traced", sim.last_engine
         observations[engine] = _observe(sim)
-    for engine in ("fast", "traced"):
+    for engine in ENGINES[1:]:
         assert observations[engine] == observations["step"], \
             f"{engine} diverged from step for program:\n{source}"
 

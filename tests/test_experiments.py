@@ -395,6 +395,36 @@ class TestRunExperiment:
         with pytest.raises(ValueError, match="unknown engine"):
             run_experiment(small_spec(), engine="warp")
 
+    def test_auto_engine_resolves_to_traced(self, monkeypatch):
+        """The spec's default `auto` rides the loop-resident tier."""
+        from strategies import spy_run_traced
+
+        spec = small_spec()
+        assert spec.engine == "auto"
+        calls = spy_run_traced(monkeypatch)
+        result = run_experiment(spec)
+        assert result.simulated > 0
+        assert calls and all(calls)
+
+    def test_explicit_step_engine_bypasses_traced(self, monkeypatch):
+        from strategies import spy_run_traced
+
+        calls = spy_run_traced(monkeypatch)
+        run_experiment(small_spec(engine="step"))
+        assert calls == []
+
+    def test_plan_file_auto_engine_resolves_to_traced(self, tmp_path,
+                                                      monkeypatch):
+        from strategies import spy_run_traced
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(small_spec().to_json())
+        spec = load_plan(plan)
+        assert spec.engine == "auto"   # round-trips through the file
+        calls = spy_run_traced(monkeypatch)
+        run_plan(plan)
+        assert calls and all(calls)
+
 
 class TestRunPlan:
     def test_plan_file_run_and_rerun(self, tmp_path):
