@@ -1,0 +1,8 @@
+"""Shim for toolchains without PEP 660 editable-install support.
+
+All real metadata lives in pyproject.toml; modern pip ignores this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,161 @@
+"""The benchmark trajectory gate (``repro.eval.trajectory``).
+
+Pins the comparison semantics (what counts as a speedup column, the
+regression floor, missing-column failures), the JSONL history format,
+and the CLI exit discipline — CI trusts this gate to catch a real
+engine regression, so the gate itself is tested against synthetic
+baselines rather than live benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval.trajectory import (
+    append_history,
+    compare,
+    history_entry,
+    main,
+    speedup_keys,
+)
+
+BASELINE = {
+    "generated_by": "benchmarks/bench_throughput.py",
+    "smoke": False,
+    "figure2": {
+        "machines": ["XRdefault"],
+        "simulated_instructions": 1000,
+        "fast_instructions_per_second": 1_000_000,
+        "fast_speedup_vs_step": 4.0,
+        "traced_speedup_vs_fast": 2.4,
+    },
+    "zolc": {
+        "plan_speedup_vs_step": 3.5,
+        "loop_resident_speedup_vs_traced": 1.02,
+    },
+}
+
+
+def _current(**overrides):
+    current = json.loads(json.dumps(BASELINE))
+    current["smoke"] = True
+    for dotted, value in overrides.items():
+        section, key = dotted.split("__")
+        if value is None:
+            current[section].pop(key, None)
+        else:
+            current[section][key] = value
+    return current
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        assert compare(BASELINE, _current()) == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        current = _current(figure2__fast_speedup_vs_step=3.2)  # -20%
+        assert compare(BASELINE, current) == []
+
+    def test_regression_past_tolerance_fails(self):
+        current = _current(figure2__fast_speedup_vs_step=2.9)  # -27.5%
+        problems = compare(BASELINE, current)
+        assert len(problems) == 1
+        assert "figure2.fast_speedup_vs_step" in problems[0]
+
+    def test_tolerance_is_configurable(self):
+        current = _current(figure2__fast_speedup_vs_step=3.2)  # -20%
+        assert compare(BASELINE, current, tolerance=0.1)
+
+    def test_missing_speedup_column_fails(self):
+        problems = compare(BASELINE,
+                           _current(zolc__plan_speedup_vs_step=None))
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+    def test_missing_section_fails(self):
+        current = _current()
+        del current["zolc"]
+        problems = compare(BASELINE, current)
+        assert problems and "section missing" in problems[0]
+
+    def test_absolute_columns_are_not_gated(self):
+        # Steps/sec are host-dependent: halving them must not fail.
+        current = _current(figure2__fast_instructions_per_second=500_000)
+        assert compare(BASELINE, current) == []
+
+    def test_improvements_pass(self):
+        current = _current(figure2__fast_speedup_vs_step=8.0)
+        assert compare(BASELINE, current) == []
+
+
+class TestSpeedupKeys:
+    def test_selects_only_numeric_speedups(self):
+        section = {"fast_speedup_vs_step": 4.0, "machines": ["x"],
+                   "speedup_note": "text", "simulated_instructions": 9}
+        assert speedup_keys(section) == {"fast_speedup_vs_step": 4.0}
+
+
+class TestHistory:
+    def test_entry_flattens_speedups_and_throughput(self):
+        entry = history_entry(_current(), label="ci", timestamp=123.0)
+        assert entry["label"] == "ci"
+        assert entry["smoke"] is True
+        assert entry["figure2.fast_speedup_vs_step"] == 4.0
+        assert entry["figure2.fast_instructions_per_second"] == 1_000_000
+        assert "figure2.simulated_instructions" not in entry
+
+    def test_append_accumulates_jsonl(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(path, history_entry(_current(), timestamp=1.0))
+        append_history(path, history_entry(_current(), timestamp=2.0))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["timestamp"] == 1.0
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exits_zero_and_appends_history(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", BASELINE)
+        current = self._write(tmp_path, "cur.json", _current())
+        history = tmp_path / "hist.jsonl"
+        assert main([baseline, current, "--history", str(history),
+                     "--label", "unit"]) == 0
+        assert "trajectory gate ok" in capsys.readouterr().out
+        assert json.loads(history.read_text())["label"] == "unit"
+
+    def test_regression_exits_one_but_still_records(self, tmp_path,
+                                                    capsys):
+        baseline = self._write(tmp_path, "base.json", BASELINE)
+        current = self._write(
+            tmp_path, "cur.json",
+            _current(zolc__plan_speedup_vs_step=1.0))
+        history = tmp_path / "hist.jsonl"
+        assert main([baseline, current,
+                     "--history", str(history)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+        assert history.exists()  # the regressing run is still recorded
+
+    def test_unreadable_file_exits_nonzero(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", BASELINE)
+        with pytest.raises(SystemExit):
+            main([baseline, str(tmp_path / "missing.json")])
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", BASELINE)
+        with pytest.raises(SystemExit):
+            main([baseline, baseline, "--tolerance", "1.5"])
+
+    def test_committed_baseline_gates_itself(self):
+        """The real committed baseline passes against itself."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        baseline = str(root / "BENCH_throughput.json")
+        assert main([baseline, baseline]) == 0
