@@ -122,7 +122,9 @@ def _emit_value(selector: int, source: ValueSource,
 def emit_loop_init(spec: LoopInitSpec) -> list[SourceInstruction]:
     """The ``mtz`` stream programming one loop table row."""
     out: list[SourceInstruction] = []
-    sel = lambda fieldno: T.loop_selector(spec.loop_id, fieldno)
+    def sel(fieldno):
+        return T.loop_selector(spec.loop_id, fieldno)
+
     _emit_value(sel(T.F_TRIPS), spec.trips, out)
     _emit_value(sel(T.F_INITIAL), spec.initial, out)
     _emit_value(sel(T.F_STEP), ValueSource.imm(spec.step), out)
@@ -141,7 +143,9 @@ def emit_loop_init(spec: LoopInitSpec) -> list[SourceInstruction]:
 
 def emit_exit_init(spec: ExitInitSpec) -> list[SourceInstruction]:
     out: list[SourceInstruction] = []
-    sel = lambda fieldno: T.exit_selector(spec.record_id, fieldno)
+    def sel(fieldno):
+        return T.exit_selector(spec.record_id, fieldno)
+
     _emit_value(sel(T.X_BRANCH_PC), ValueSource.label(spec.branch_label), out)
     _emit_value(sel(T.X_TARGET_PC), ValueSource.label(spec.target_label), out)
     _emit_value(sel(T.X_RESET_MASK), ValueSource.imm(spec.reset_mask), out)
@@ -151,7 +155,9 @@ def emit_exit_init(spec: ExitInitSpec) -> list[SourceInstruction]:
 
 def emit_entry_init(spec: EntryInitSpec) -> list[SourceInstruction]:
     out: list[SourceInstruction] = []
-    sel = lambda fieldno: T.entry_selector(spec.record_id, fieldno)
+    def sel(fieldno):
+        return T.entry_selector(spec.record_id, fieldno)
+
     _emit_value(sel(T.N_ENTRY_PC), ValueSource.label(spec.entry_label), out)
     _emit_value(sel(T.N_LOOP), ValueSource.imm(spec.loop_id), out)
     _emit_value(sel(T.N_FLAGS), ValueSource.imm(T.FLAG_VALID), out)

@@ -1,7 +1,5 @@
 """Tests for the bound-reload extension (nest-varying loop bounds)."""
 
-import pytest
-
 from repro.asm import assemble
 from repro.core.config import ZOLC_FULL, ZOLC_LITE, with_bound_reload
 from repro.cpu.simulator import run_program

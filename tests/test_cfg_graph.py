@@ -1,7 +1,5 @@
 """Unit tests for basic-block / CFG construction."""
 
-import pytest
-
 from repro.asm import assemble
 from repro.cfg import build_cfg
 

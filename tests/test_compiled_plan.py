@@ -6,8 +6,6 @@ lifecycle contract directly — when it exists, what invalidates it, and
 what its watch sets contain.
 """
 
-import pytest
-
 from repro.core import CompiledControllerPlan, ZolcController
 from repro.core import tables as T
 from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE

@@ -11,7 +11,9 @@ from repro.cpu.state import RegisterFile
 
 def program_loop(ctrl, loop_id, trips, body_pc, trigger, index_reg=8,
                  initial=0, step=1, parent=T.NO_PARENT, cascade=False):
-    base = lambda f: T.loop_selector(loop_id, f)
+    def base(f):
+        return T.loop_selector(loop_id, f)
+
     ctrl.write(base(T.F_TRIPS), trips)
     ctrl.write(base(T.F_INITIAL), initial & 0xFFFFFFFF)
     ctrl.write(base(T.F_STEP), step & 0xFFFFFFFF)
@@ -227,7 +229,7 @@ class TestEntryRecords:
 
     def test_side_entry_seeds_progress(self):
         ctrl, regs = self._with_entry(reg_value=6)
-        action = ctrl.on_retire(0x08, 0x10, taken=True)
+        ctrl.on_retire(0x08, 0x10, taken=True)
         assert ctrl.unit.status[0].iterations_done == 6
         assert ctrl.entry_events == 1
         # 4 more decisions until expiry

@@ -62,6 +62,7 @@ class TestDisassembleProgram:
 
     def test_every_instruction_rendered(self):
         program = assemble("nop\nnop\nhalt\n")
-        body_lines = [l for l in disassemble_program(program).splitlines()
-                      if l.startswith("  0x")]
+        body_lines = [ln for ln in
+                      disassemble_program(program).splitlines()
+                      if ln.startswith("  0x")]
         assert len(body_lines) == 3

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.asm.parser import SourceInstruction, TextEntry, parse
+from repro.asm.parser import SourceInstruction, parse
 from repro.transform.edit import EditError, EditPlan, apply_edits
 
 

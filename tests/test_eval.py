@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval.figures import Figure2Data, Figure2Row, figure2_from_suite, render_figure2
+from repro.eval.figures import figure2_from_suite, render_figure2
 from repro.eval.machines import FIGURE2_MACHINES, M_ZOLC_LITE, XR_DEFAULT, XR_HRDWIL
 from repro.eval.metrics import (
     improvement_percent,

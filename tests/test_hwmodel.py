@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import CANONICAL_CONFIGS, UZOLC, ZOLC_FULL, ZOLC_LITE
+from repro.core.config import CANONICAL_CONFIGS, UZOLC, ZOLC_FULL
 from repro.eval.report import (
     render_area_breakdown,
     render_resource_table,

@@ -188,8 +188,6 @@ inner:  add  s0, s0, t0
         # Outer and inner share t0; the pattern matcher may reject this
         # outright, but if both match, legality must not plan both.
         plan, forest = plan_for(source, ZOLC_LITE)
-        planned_regs = [p.pattern.index_reg for g in plan.groups
-                        for p in g.loops]
         nested_pairs = 0
         for group in plan.groups:
             regs = [p.pattern.index_reg for p in group.loops]

@@ -72,7 +72,7 @@ class TestSplitOperands:
 class TestLex:
     def test_skips_blank_lines(self):
         lines = lex("add t0, t1, t2\n\n\nnop\n")
-        assert [l.mnemonic for l in lines] == ["add", "nop"]
+        assert [ln.mnemonic for ln in lines] == ["add", "nop"]
 
     def test_line_numbers_preserved(self):
         lines = lex("\n\nadd t0, t1, t2\n")

@@ -1,7 +1,5 @@
 """Unit + integration tests for the ZOLC code transform."""
 
-import pytest
-
 from repro.asm import assemble
 from repro.core.config import UZOLC, ZOLC_FULL, ZOLC_LITE
 from repro.cpu.simulator import run_program
@@ -39,7 +37,6 @@ class TestSingleLoop:
 
     def test_overhead_instructions_removed(self):
         result, _ = run_zolc(SINGLE, ZOLC_LITE)
-        baseline = assemble(SINGLE)
         # init + update + branch deleted; init sequence added.
         assert result.removed_instruction_count == 3
         mnemonics = [i.mnemonic for i in result.program.instructions]

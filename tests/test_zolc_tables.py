@@ -99,7 +99,9 @@ class TestRecordFlags:
 
 def _valid_loop(tables, loop_id, trips=4, trigger=0x40, parent=T.NO_PARENT,
                 cascade=False):
-    base = lambda f: T.loop_selector(loop_id, f)
+    def base(f):
+        return T.loop_selector(loop_id, f)
+
     tables.write(base(T.F_TRIPS), trips)
     tables.write(base(T.F_BODY_PC), 0x10)
     tables.write(base(T.F_TRIGGER_PC), trigger)
