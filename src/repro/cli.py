@@ -18,8 +18,8 @@ Commands::
 ``--json`` (machine-readable stdout) and ``--out FILE`` (write the JSON
 payload to a file, keeping the human-readable report on stdout).
 ``run`` and ``experiment`` also accept ``--engine`` (auto / fast /
-traced / step — engines retire bit-identical results, so the choice
-only affects host time; an unknown engine exits 1).  ``auto`` (the
+traced / batch / step — engines retire bit-identical results, so the
+choice only affects host time; an unknown engine exits 1).  ``auto`` (the
 default everywhere) resolves to the loop-resident ``traced`` tier;
 ``fast`` and ``step`` remain explicit overrides.
 """
@@ -254,8 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("-m", "--machine", default=XR_DEFAULT.name)
     run_parser.add_argument(
         "--engine", default="auto", metavar="NAME",
-        help="simulator engine: auto (resolves to traced), fast, traced "
-             "or step (engines are bit-identical; invalid values exit 1)")
+        help="simulator engine: auto (resolves to traced), fast, traced, "
+             "batch or step (engines are bit-identical; invalid values "
+             "exit 1)")
     _add_output_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -276,7 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a declarative plan file (JSON/TOML)")
     experiment_parser.add_argument("plan", help="path to PLAN.{json,toml}")
     experiment_parser.add_argument(
-        "-b", "--backend", choices=("serial", "process"), default=None,
+        "-b", "--backend", choices=("serial", "process", "batch"), default=None,
         help="execution backend (default: the plan's own choice, or "
              "serial; --jobs implies process)")
     experiment_parser.add_argument(
@@ -285,8 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
              "jobs keys (0 = one per CPU; invalid values exit 1)")
     experiment_parser.add_argument(
         "--engine", default=None, metavar="NAME",
-        help="simulator engine for every cell (auto/fast/traced/step), "
-             "overriding the plan's engine key (invalid values exit 1)")
+        help="simulator engine for every cell (auto/fast/traced/batch/"
+             "step), overriding the plan's engine key (invalid values "
+             "exit 1)")
     experiment_parser.add_argument(
         "--store", default="results", metavar="DIR",
         help="result-store directory (default: results)")

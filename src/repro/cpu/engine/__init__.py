@@ -1,0 +1,92 @@
+"""The XR32 execution-engine package: four tiers over one explicit IR.
+
+The straight interpreter (:meth:`Simulator.step`) pays, on every retired
+instruction, for a ``by_address`` dict probe, an ``EXECUTORS`` dict
+probe, mnemonic string compares for ``mtz``/``mfz``, an ``ExecOutcome``
+allocation, a ``frozenset`` rebuild in ``Instruction.uses()`` and
+several attribute chases through the timing model.  All of that is
+static per instruction, so it is decoded **once** into the program's
+flat IR (:mod:`repro.cpu.ir`, one :class:`~repro.cpu.ir.IROp` per text
+slot), and each engine tier is a *lowering pass* over that array:
+
+* :mod:`~repro.cpu.engine.fast` (``engine="fast"``) lowers each op to a
+  bound handler closure and runs the classic predecode-then-dispatch
+  loop — a dense array indexed by ``(pc - text_base) >> 2``, every hot
+  attribute hoisted into a local, no code generation;
+* :mod:`~repro.cpu.engine.traced` (``engine="traced"``, the ``auto``
+  default) lowers maximal straight-line spans to generated Python
+  megahandlers — memory accesses inlined, bounds-checked, against the
+  raw memory buffer — executing a whole block per Python call, and
+  chains canonical ZOLC loops *loop-resident* (the trigger-fire →
+  region-re-entry cycle runs inside generated code);
+* :mod:`~repro.cpu.engine.batch` (``engine="batch"``) lowers the same
+  spans to N-cell lockstep functions stepping many independent
+  simulators of one program per call — the sweep tier;
+* all generated text comes from the one shared emitter
+  (:mod:`~repro.cpu.engine.emit`), so operand formatting, immediate
+  masking, the ``r0``-write drop and the inlined memory fast paths
+  exist exactly once.
+
+Handler protocol (:mod:`~repro.cpu.engine.dispatch`): each lowered
+handler takes the current ``pc`` and returns
+
+* ``None``      — sequential retirement (``next_pc = pc + 4``, not taken);
+* an ``int``    — a taken control transfer to that address;
+* ``HALT``      — the ``halt`` instruction retired (``next_pc = pc``).
+
+Architectural side effects (register/memory writes) happen inside the
+lowered code through bound methods captured at lowering time.  Timing
+and statistics stay in the run loops, driven by static per-slot
+metadata, so every tier retires *identical* (pc, regs, cycles, stats)
+sequences to the legacy ``step()`` interpreter — a property pinned down
+by the differential tests in ``tests/test_engine.py`` and the five-way
+fuzz in ``tests/test_engine_fuzz.py``.
+
+**ZOLC fast path.**  On a ZOLC machine the dominant residual host cost
+is the per-retirement ``zolc.on_retire(pc, next_pc, taken)`` call: only
+trigger, exit-branch and entry-target addresses can ever produce an
+action, yet every retirement pays for the call, its dict probes and its
+early-out checks.  When the attached port exposes a *compiled
+controller plan* (:meth:`~repro.core.controller.ZolcController.
+zolc_plan`, see :mod:`repro.core.compiled`), the run loops fold the
+plan's watch sets into the same ``pc >> 2`` geometry as the dispatch
+array — a dense next-pc watch array (trigger / entry-target), a dense
+current-pc exit-branch array consulted only on taken transfers, and a
+small overflow dict for watch addresses outside the text image.
+Unwatched retirements then skip the Python call entirely; watched ones
+dispatch straight to the plan's specialized fire handlers (trigger →
+task selection, taken exit → status reset, entry from outside → index
+seed) — the *same* bound methods ``on_retire`` itself dispatches
+through, which is what keeps the engines bit-identical.  Retired
+``mtz``/``mfz`` instructions take the full ``on_retire`` oracle path
+and re-query the plan (an arm-epoch compare) so re-arming, disarming,
+``CTRL_RESET`` and single-shot expiry all invalidate the compiled
+dispatch state at the only points it can change.  Ports that do not
+expose a plan — any custom :class:`~repro.cpu.simulator.ZolcPort` —
+keep the legacy per-retirement ``on_retire`` treatment.
+
+The IR schema, the lowering-pass contract and the batch tier's
+divergence/fallback rules are documented in DESIGN.md §10.
+"""
+
+from repro.cpu.engine.batch import run_batch
+from repro.cpu.engine.dispatch import HALT, OpFn, OpMeta, PredecodedProgram
+from repro.cpu.engine.fast import (
+    _compile_watch_arrays,
+    _predecode_fn,
+    predecode,
+    run_fast,
+)
+from repro.cpu.engine.traced import _NO_CHAIN, TraceRegion, run_traced
+
+__all__ = [
+    "HALT",
+    "OpFn",
+    "OpMeta",
+    "PredecodedProgram",
+    "TraceRegion",
+    "predecode",
+    "run_batch",
+    "run_fast",
+    "run_traced",
+]

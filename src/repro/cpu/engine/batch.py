@@ -1,0 +1,658 @@
+"""The batch tier (``engine="batch"``): N-cell lockstep lowering.
+
+A parameter sweep runs one program over many *cells* — independent
+``(machine, pipeline, input)`` simulators that share the instruction
+stream but nothing else.  The scalar tiers pay the full engine loop per
+cell; this tier lowers each straight-line span **once** into a generated
+function whose body is wrapped in a ``for ... in _cells:`` loop, so one
+Python call steps *every* cell through the span.  Fetch, the watchdog,
+span selection and region slicing are genuinely shared (the cells sit at
+one pc by construction); architectural state, timing and controller
+dispatch stay strictly per cell.
+
+The execution model is *lockstep with ejection*.  Cells advance together
+while they agree on the next fetch address; any cell that stops agreeing
+leaves the batch and finishes on its scalar tier:
+
+* a cell that **halts** is finalised in place (success);
+* a cell whose **branch outcome / plan state diverges** from the lead
+  cell is finalised mid-run and re-enters ``Simulator.run`` with the
+  remaining watchdog budget — bit-identical continuation, because every
+  tier retires identical sequences;
+* a cell that **faults** (memory access, ZOLC fault) is reconciled
+  exactly like a traced-region fault — the generated frame's line maps
+  back to the faulting member, the prefix retires, the pc lands on the
+  faulting instruction — and its exception is recorded; cells *after*
+  it in the span (which never executed) are ejected at the span entry.
+
+Because batching is observable only through performance, a cell that
+cannot uphold the lockstep contract up front (tracer attached, already
+halted, planless ZOLC port, different program or pc, mismatched plan
+state) is simply ejected before the run begins.  ``run_batch`` never
+raises for a per-cell condition: it returns one ``BaseException | None``
+per cell, in order.  See DESIGN.md §10.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+from repro.cpu.exceptions import (
+    InvalidFetchError,
+    SimulationError,
+    WatchdogError,
+)
+from repro.cpu.ir import (
+    IROp,
+    build_ir,
+    op_base_cycles,
+    op_taken_penalty,
+    straightline_terms,
+)
+
+from repro.cpu.engine.dispatch import HALT
+from repro.cpu.engine.emit import (
+    BATCH_CELL_PARAMS,
+    BATCH_GLOBALS,
+    batch_cell_context,
+    member_lines,
+    term_lines,
+)
+from repro.cpu.engine.fast import _apply_action, _compile_watch_arrays
+from repro.cpu.engine.traced import _fault_member
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.simulator import Simulator
+
+#: compile() filename marker for generated batch spans.
+_SPAN_FILENAME = "<batch-span>"
+
+
+class BatchSpan(NamedTuple):
+    """One compiled N-cell span: program-global, cached on the Program.
+
+    Unlike a :class:`~repro.cpu.engine.traced.TraceRegion`, the whole
+    record is program-global — the generated function receives each
+    cell's state through the ``_cells`` tuples
+    (:data:`~repro.cpu.engine.emit.BATCH_CELL_PARAMS`) and binds only
+    module constants as defaults — so the compiled span is shared by
+    every simulator of the program, across runs.
+    """
+
+    fn: Callable
+    start: int
+    term: int
+    size: int
+    term_pc: int
+    term_op: IROp
+    first_uses: frozenset
+    out_pending: int | None
+    #: the span's IROp records, for per-cell timing and reconciliation.
+    ir_members: tuple
+    #: generated-source line number (0-based) -> member ordinal.
+    line_member: tuple
+
+
+def _build_span(ir, base: int, start: int, term: int) -> BatchSpan:
+    header = ["    _ap = _res.append",
+              f"    for ({', '.join(BATCH_CELL_PARAMS)}) in _cells:"]
+    lines = list(header)
+    line_member: list[int | None] = [None] * (len(header) + 1)
+    fallbacks: list[int] = []
+    for ordinal, i in enumerate(range(start, term + 1)):
+        source = (term_lines(ir[i], ordinal, fallbacks,
+                             result="_ap({})".format, zolc_inline=True)
+                  if i == term else member_lines(ir[i], ordinal, fallbacks))
+        for statement in source:
+            lines.append("        " + statement)
+            line_member.append(ordinal)
+    if fallbacks:
+        # Unreachable for the current ISA (every interior category and
+        # every terminator has a template or an inline form), but a
+        # future mnemonic must degrade to the scalar tiers, not bind a
+        # per-simulator closure into a shared function.
+        raise SimulationError(
+            "no batch lowering for "
+            f"{ir[start + fallbacks[0]].mnemonic!r}")
+    params = ", ".join(f"{name}={name}" for name in BATCH_GLOBALS)
+    src = f"def _bspan(_cells, _res, {params}):\n" + "\n".join(lines)
+    ns = dict(BATCH_GLOBALS)
+    exec(compile(src, _SPAN_FILENAME, "exec"), ns)
+    term_op = ir[term]
+    return BatchSpan(
+        fn=ns["_bspan"], start=start, term=term, size=term - start + 1,
+        term_pc=base + 4 * term, term_op=term_op,
+        first_uses=ir[start].uses, out_pending=term_op.load_dest,
+        ir_members=ir[start:term + 1], line_member=tuple(line_member))
+
+
+def _resolve_span(program, ir, base: int, start: int, term: int) -> BatchSpan:
+    spans = program.__dict__.get("_batch_spans")
+    if spans is None:
+        spans = program.__dict__["_batch_spans"] = {}
+    span = spans.get((start, term))
+    if span is None:
+        span = _build_span(ir, base, start, term)
+        spans[(start, term)] = span
+    return span
+
+
+class _BatchCell:
+    """One simulator's private slice of the lockstep run.
+
+    Mirrors the local-variable bundle the scalar run loops keep —
+    absolute cycle/stall/flush/taken counters seeded from the
+    simulator, the pending load destination, the per-run ZOLC counters
+    — plus the per-cell plan dispatch state and a per-config span
+    timing cache (cells in a sweep carry different pipeline configs, so
+    a span's static cycles differ per cell even though its code is
+    shared).
+    """
+
+    __slots__ = ("pos", "sim", "ctx", "zolc", "plan_fn", "regs_write",
+                 "config", "load_use", "zolc_switch_extra",
+                 "cycles", "stall", "flush", "taken", "pending",
+                 "index_writes", "task_switches", "extra_steps",
+                 "extra_retired", "next_pc", "resync", "plan", "epoch",
+                 "fire_exit", "fire_entry", "fire_trigger", "zactive",
+                 "timing_cache")
+
+    def __init__(self, pos: int, sim: "Simulator", plan_fn):
+        self.pos = pos
+        self.sim = sim
+        self.ctx = batch_cell_context(sim)
+        self.zolc = sim.zolc
+        self.plan_fn = plan_fn
+        self.regs_write = sim.state.regs.write
+        config = sim.timing.config
+        self.config = config
+        self.load_use = config.load_use_stall
+        self.zolc_switch_extra = config.zolc_switch_cycles
+        self.cycles = sim.stats.cycles
+        self.stall = sim.timing.stall_cycles
+        self.flush = sim.timing.flush_cycles
+        self.taken = sim.stats.taken_branches
+        self.pending = sim.timing._pending_load_dest
+        self.index_writes = 0
+        self.task_switches = 0
+        self.extra_steps = 0
+        #: slot indices retired outside the shared span counts
+        #: (fault-reconciled prefixes).
+        self.extra_retired: list[int] = []
+        self.next_pc = sim.state.pc
+        self.resync = False
+        self.plan = None
+        self.epoch = None
+        self.fire_exit = self.fire_entry = self.fire_trigger = None
+        self.zactive = False
+        self.timing_cache: dict = {}
+
+
+def _sync_plan(cell: _BatchCell) -> None:
+    """Adopt the cell's current compiled plan into its dispatch state."""
+    plan = cell.plan_fn() if cell.plan_fn is not None else None
+    cell.plan = plan
+    if plan is not None:
+        cell.epoch = plan.epoch
+        cell.fire_exit = plan.fire_exit
+        cell.fire_entry = plan.fire_entry
+        cell.fire_trigger = plan.fire_trigger
+        cell.zactive = False
+    else:
+        cell.epoch = None
+        cell.fire_exit = cell.fire_entry = cell.fire_trigger = None
+        cell.zactive = cell.zolc is not None and bool(cell.zolc.active)
+
+
+def _sig(cell: _BatchCell) -> tuple:
+    """The cell's lockstep-compatibility signature.
+
+    Cells may share a batch only while their *dispatch structure* is
+    identical: no port at all, the same compiled plan content
+    (``plan.key`` equality implies identical watch sets and record /
+    loop ids, so the lead cell's watch arrays serve every cell), the
+    transient active-without-plan oracle window, or an idle port.
+    """
+    if cell.zolc is None:
+        return ("none",)
+    if cell.plan is not None:
+        return ("plan", cell.plan.key)
+    if cell.zactive:
+        return ("oracle",)
+    return ("idle",)
+
+
+def _span_timing(cell: _BatchCell, span: BatchSpan) -> tuple:
+    """(static cycles, static stall, taken penalty) for one cell/span."""
+    key = (span.start, span.term)
+    cached = cell.timing_cache.get(key)
+    if cached is None:
+        config = cell.config
+        load_use = cell.load_use
+        cycles = stall = 0
+        prev_dest = None
+        for ordinal, op in enumerate(span.ir_members):
+            static_stall = (load_use if ordinal and prev_dest is not None
+                            and prev_dest in op.uses else 0)
+            cycles += op_base_cycles(op, config) + static_stall
+            stall += static_stall
+            prev_dest = op.load_dest
+        cached = (cycles, stall, op_taken_penalty(span.term_op, config))
+        cell.timing_cache[key] = cached
+    return cached
+
+
+def _account_partial(cell: _BatchCell, span: BatchSpan,
+                     faulting: int) -> None:
+    """Retire a faulting cell's span prefix (members before the fault).
+
+    The per-cell mirror of the traced tier's
+    :func:`~repro.cpu.engine.traced._reconcile_region_fault`: the
+    members before the faulting one retire with their cycles and
+    stalls, the pending load destination is the last retired member's,
+    and the extra steps/retirements are recorded on the cell (the
+    shared counters never saw this span).
+    """
+    if not faulting:
+        return
+    if cell.pending is not None and cell.pending in span.first_uses:
+        cell.cycles += cell.load_use
+        cell.stall += cell.load_use
+    config = cell.config
+    prev_dest = None
+    for ordinal in range(faulting):
+        op = span.ir_members[ordinal]
+        static_stall = (cell.load_use if ordinal and prev_dest is not None
+                        and prev_dest in op.uses else 0)
+        cell.cycles += op_base_cycles(op, config) + static_stall
+        cell.stall += static_stall
+        cell.extra_retired.append(op.index)
+        prev_dest = op.load_dest
+    cell.pending = span.ir_members[faulting - 1].load_dest
+    cell.extra_steps += faulting
+
+
+def run_batch(sims, max_steps: int) -> list:
+    """Run N independent simulators of one program in lockstep.
+
+    Returns one entry per simulator, in order: ``None`` for a clean
+    halt, else the exception that run raised (``WatchdogError``,
+    ``MemoryAccessError``, ...) with the simulator left in the exact
+    post-mortem state its scalar run would leave.  Cells that cannot
+    (or can no longer) share the batch finish on their scalar tier with
+    the remaining watchdog budget; every cell reports
+    ``last_engine == "batch"``.
+    """
+    results: list = [None] * len(sims)
+    scalar: list[tuple[int, "Simulator"]] = []
+    candidates: list[_BatchCell] = []
+    program = None
+    pc = 0
+    for pos, sim in enumerate(sims):
+        if sim.tracer is not None or sim.state.halted:
+            scalar.append((pos, sim))
+            continue
+        zolc = sim.zolc
+        plan_fn = getattr(zolc, "zolc_plan", None) \
+            if zolc is not None else None
+        if zolc is not None and plan_fn is None:
+            # A planless port's on_retire must see every retirement:
+            # nothing to batch, the fast tier implements the contract.
+            scalar.append((pos, sim))
+            continue
+        if sim._ensure_predecoded() is False:
+            scalar.append((pos, sim))
+            continue
+        if program is None:
+            program = sim.program
+            pc = sim.state.pc
+        elif sim.program is not program or sim.state.pc != pc:
+            scalar.append((pos, sim))
+            continue
+        cell = _BatchCell(pos, sim, plan_fn)
+        _sync_plan(cell)
+        candidates.append(cell)
+
+    live: list[_BatchCell] = []
+    for cell in candidates:
+        if not live or _sig(cell) == _sig(live[0]):
+            live.append(cell)
+        else:
+            scalar.append((cell.pos, cell.sim))
+    for pos, sim in scalar:
+        try:
+            sim.run(max_steps=max_steps, engine="auto")
+        except BaseException as exc:
+            results[pos] = exc
+        finally:
+            sim.last_engine = "batch"
+    if not live:
+        return results
+
+    ir = build_ir(program)
+    base = program.text_base
+    n = len(ir)
+    limit = 4 * n
+    steps = 0
+    #: shared retirement counts: (start, term) -> span executions.
+    #: Valid for every live cell because cells only leave the batch
+    #: *immediately* (finalising against the counts at that instant).
+    rcounts: dict[tuple[int, int], int] = {}
+    terms_cache: dict = {}
+
+    def finalize(cell: _BatchCell, final_pc: int) -> None:
+        """Sync one cell's counters back to its simulator and leave.
+
+        The batch mirror of the scalar tiers' ``finally`` sync block,
+        evaluated at the instant the cell leaves the lockstep (halt,
+        divergence, fault): the shared step count and span retirement
+        counts are exactly the cell's own history at that point.
+        """
+        sim = cell.sim
+        timing = sim.timing
+        stats = sim.stats
+        sim.state.pc = final_pc
+        timing._pending_load_dest = cell.pending
+        timing.stall_cycles = cell.stall
+        timing.flush_cycles = cell.flush
+        stats.cycles = cell.cycles
+        stats.taken_branches = cell.taken
+        stats.instructions += steps + cell.extra_steps
+        stats.stall_cycles = cell.stall
+        stats.flush_cycles = cell.flush
+        stats.zolc_index_writes += cell.index_writes
+        stats.zolc_task_switches += cell.task_switches
+        counts: dict[int, int] = {}
+        for (start, term), count in rcounts.items():
+            for sidx in range(start, term + 1):
+                counts[sidx] = counts.get(sidx, 0) + count
+        for sidx in cell.extra_retired:
+            counts[sidx] = counts.get(sidx, 0) + 1
+        by_category = stats.by_category
+        for sidx, count in counts.items():
+            op = ir[sidx]
+            key = op.category_key
+            by_category[key] = by_category.get(key, 0) + count
+            if op.is_zolc_init:
+                stats.zolc_init_instructions += count
+        sim.last_engine = "batch"
+
+    def eject(cell: _BatchCell) -> None:
+        """Finish an already-finalised cell on its scalar tier.
+
+        The scalar run continues from the synced state with the
+        remaining watchdog budget — bit-identical, since every tier
+        retires identical sequences.  ``engine="auto"`` can never
+        resolve back to batch, so this does not recurse.
+        """
+        sim = cell.sim
+        budget = max_steps - steps
+        try:
+            if budget <= 0:
+                # The cell left the batch exactly at budget exhaustion:
+                # raise the watchdog here so the message carries the
+                # caller's budget, as a scalar run of it would.
+                raise WatchdogError(
+                    f"no halt after {max_steps} instructions "
+                    f"(pc={sim.state.pc:#x})")
+            sim.run(max_steps=budget, engine="auto")
+        except BaseException as exc:
+            results[cell.pos] = exc
+        finally:
+            sim.last_engine = "batch"
+
+    def shared_state(lead: _BatchCell) -> tuple:
+        """(znext, zexit, zfar, terms) for the lead cell's plan state.
+
+        ``terms is None`` selects single-slot spans everywhere — the
+        oracle window, where every retirement must reach ``on_retire``
+        per cell.  Watch arrays come from the lead cell; signature
+        equality guarantees they dispatch identically for every cell.
+        """
+        if lead.plan is not None:
+            znext, zexit, zfar = _compile_watch_arrays(
+                lead.sim, lead.plan, n, base)
+            key = lead.plan.key
+            terms = terms_cache.get(key)
+            if terms is None:
+                terms = straightline_terms(
+                    ir, base, lead.plan.watched_next_pcs())
+                terms_cache[key] = terms
+            return znext, zexit, zfar, terms
+        if lead.zactive:
+            return None, None, None, None
+        terms = terms_cache.get(None)
+        if terms is None:
+            terms = straightline_terms(ir, base, frozenset())
+            terms_cache[None] = terms
+        return None, None, None, terms
+
+    znext, zexit_watch, zfar, terms = shared_state(live[0])
+    ctxs: list[tuple] = []
+    dirty = True
+
+    while live:
+        if steps >= max_steps:
+            exc = WatchdogError(
+                f"no halt after {max_steps} instructions (pc={pc:#x})")
+            for cell in live:
+                finalize(cell, pc)
+                results[cell.pos] = exc
+            return results
+        offset = pc - base
+        if offset < 0 or offset >= limit or offset & 3:
+            fetch_exc = InvalidFetchError(pc)
+            for cell in live:
+                finalize(cell, pc)
+                results[cell.pos] = fetch_exc
+            return results
+        idx = offset >> 2
+        term = terms[idx] if terms is not None else None
+        if term is None or steps + (term - idx + 1) > max_steps:
+            term = idx
+        span = _resolve_span(program, ir, base, idx, term)
+        if dirty:
+            ctxs = [cell.ctx for cell in live]
+            dirty = False
+        res_list: list = []
+        try:
+            span.fn(ctxs, res_list)
+        except BaseException as exc:
+            # Cells append their result as the span's last statement,
+            # so the result count *is* the faulting cell's index: cells
+            # before it completed the span, cells after it never
+            # entered and continue from the span entry on their scalar
+            # tier.
+            k = len(res_list)
+            fcell = live[k]
+            faulting = _fault_member(exc, _SPAN_FILENAME, span.line_member)
+            _account_partial(fcell, span, faulting)
+            finalize(fcell, base + 4 * (span.start + faulting))
+            results[fcell.pos] = exc
+            for cell in live[k + 1:]:
+                finalize(cell, pc)
+                eject(cell)
+            live = live[:k]
+            dirty = True
+            if not live:
+                return results
+        steps += span.size
+        key = (span.start, span.term)
+        rcounts[key] = rcounts.get(key, 0) + 1
+        term_pc = span.term_pc
+        term_idx = span.term
+        term_zolc = span.term_op.is_zolc_init
+        survivors: list[_BatchCell] = []
+        any_resync = False
+        for i, cell in enumerate(live):
+            scycles, sstall, term_penalty = _span_timing(cell, span)
+            cell.cycles += scycles
+            cell.stall += sstall
+            if cell.pending is not None \
+                    and cell.pending in span.first_uses:
+                cell.cycles += cell.load_use
+                cell.stall += cell.load_use
+            cell.pending = span.out_pending
+            res = res_list[i]
+            if res is None:
+                next_pc = term_pc + 4
+                taken = False
+                halted = False
+            elif res is HALT:
+                next_pc = term_pc
+                taken = False
+                halted = True
+            else:
+                next_pc = res
+                taken = True
+                cell.taken += 1
+                cell.cycles += term_penalty
+                cell.flush += term_penalty
+                halted = False
+            zolc_c = cell.zolc
+            state = cell.sim.state
+            try:
+                # Per-cell terminator dispatch: the exact contract of
+                # the scalar plan loops, with pc := term_pc.  Interior
+                # members are unwatched by span construction, so only
+                # the terminator can fire.
+                if zolc_c is None or halted:
+                    pass
+                elif cell.plan is not None:
+                    if not term_zolc:
+                        fired = False
+                        if taken:
+                            record_id = zexit_watch[term_idx]
+                            if record_id is not None:
+                                fired = cell.fire_exit(record_id,
+                                                       next_pc, True)
+                        if not fired:
+                            noffset = next_pc - base
+                            if 0 <= noffset < limit and not noffset & 3:
+                                watch = znext[noffset >> 2]
+                            elif zfar:
+                                watch = zfar.get(next_pc)
+                            else:
+                                watch = None
+                            if watch is not None:
+                                entry_id, trigger_loop = watch
+                                if entry_id is not None:
+                                    fired = cell.fire_entry(
+                                        entry_id, term_pc, next_pc)
+                                if not fired \
+                                        and trigger_loop is not None:
+                                    fired = True
+                                    decision = cell.fire_trigger(
+                                        trigger_loop)
+                                    writes = decision.index_writes
+                                    if writes:
+                                        regs_write = cell.regs_write
+                                        for reg, value in writes:
+                                            regs_write(reg, value)
+                                        cell.index_writes += len(writes)
+                                    cell.task_switches += 1
+                                    cell.pending = None
+                                    cell.cycles += cell.zolc_switch_extra
+                                    if decision.next_pc is not None:
+                                        next_pc = decision.next_pc
+                                    else:
+                                        # Only a non-redirecting
+                                        # (expiry) decision can disarm:
+                                        # re-sync exactly there.
+                                        plan = cell.plan_fn()
+                                        if plan is None \
+                                                or plan.epoch \
+                                                != cell.epoch:
+                                            cell.resync = True
+                        if fired:
+                            halted = state.halted
+                    else:
+                        # mtz/mfz terminator while armed: full oracle
+                        # path, then plan re-sync.
+                        if zolc_c.active:
+                            action = zolc_c.on_retire(term_pc, next_pc,
+                                                      taken=taken)
+                            if action is not None:
+                                (next_pc, cell.pending,
+                                 cell.index_writes, cell.task_switches,
+                                 cell.cycles) = _apply_action(
+                                    action, cell.regs_write, next_pc,
+                                    cell.pending, cell.index_writes,
+                                    cell.task_switches, cell.cycles,
+                                    cell.zolc_switch_extra)
+                            halted = state.halted
+                        plan = cell.plan_fn()
+                        if plan is None or plan.epoch != cell.epoch:
+                            cell.resync = True
+                elif cell.zactive or term_zolc:
+                    # No compiled plan: the oracle window (every
+                    # retirement reaches on_retire) or an idle port
+                    # retiring mtz/mfz — the fast loop's no-plan path.
+                    if zolc_c.active:
+                        action = zolc_c.on_retire(term_pc, next_pc,
+                                                  taken=taken)
+                        if action is not None:
+                            (next_pc, cell.pending, cell.index_writes,
+                             cell.task_switches, cell.cycles) = \
+                                _apply_action(
+                                    action, cell.regs_write, next_pc,
+                                    cell.pending, cell.index_writes,
+                                    cell.task_switches, cell.cycles,
+                                    cell.zolc_switch_extra)
+                        halted = state.halted
+                    plan = cell.plan_fn()
+                    if plan is not None or cell.zactive or zolc_c.active:
+                        cell.resync = True
+            except BaseException as exc:
+                # A fire handler / on_retire raised: the retiring
+                # instruction is the terminator, exactly where the
+                # scalar tiers leave the post-mortem pc.
+                finalize(cell, term_pc)
+                results[cell.pos] = exc
+                dirty = True
+                continue
+            if halted:
+                finalize(cell, next_pc)
+                dirty = True
+                continue
+            cell.next_pc = next_pc
+            if cell.resync:
+                any_resync = True
+            survivors.append(cell)
+        live = survivors
+        if not live:
+            return results
+        if any_resync:
+            for cell in live:
+                if cell.resync:
+                    _sync_plan(cell)
+                    cell.resync = False
+            lead_sig = _sig(live[0])
+            keep = []
+            for cell in live:
+                if _sig(cell) == lead_sig:
+                    keep.append(cell)
+                else:
+                    finalize(cell, cell.next_pc)
+                    eject(cell)
+                    dirty = True
+            live = keep
+            znext, zexit_watch, zfar, terms = shared_state(live[0])
+        lead_pc = live[0].next_pc
+        for cell in live[1:]:
+            if cell.next_pc != lead_pc:
+                break
+        else:
+            pc = lead_pc
+            continue
+        keep = []
+        for cell in live:
+            if cell.next_pc == lead_pc:
+                keep.append(cell)
+            else:
+                finalize(cell, cell.next_pc)
+                eject(cell)
+                dirty = True
+        live = keep
+        pc = lead_pc
+    return results

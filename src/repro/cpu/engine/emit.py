@@ -1,0 +1,321 @@
+"""The shared Python-text emitter: IR → generated statements.
+
+Every code-generating tier — traced megahandlers, loop-resident
+chains, batch spans — lowers :class:`~repro.cpu.ir.IROp` records
+through this one module, so operand formatting, immediate masking, the
+``r0``-write drop, the sign-bias comparison idiom and the inlined
+bounds-checked memory access exist exactly once.
+
+:func:`member_lines` emits an *interior* span member;
+:func:`term_lines` emits the span *terminator*, parameterised on how
+the handler-protocol result (``None`` / taken target / ``HALT``) is
+delivered: the scalar tiers ``return`` it, the batch tier appends it
+to a per-cell result list.  Both consume IR fields only (the
+lowering-pass contract of DESIGN.md §10).
+
+The exec-namespace conventions live here too: the scalar tiers bind
+:data:`REGION_HELPERS` as generated-function default arguments
+(:func:`region_namespace`), while the batch tier threads the
+per-simulator subset through cell tuples (:data:`BATCH_CELL_PARAMS` /
+:func:`batch_cell_context`) so one generated function serves every
+simulator of a program.
+"""
+
+from __future__ import annotations
+
+from repro.cpu import alu
+from repro.cpu.exceptions import SimulationError
+from repro.cpu.ir import IROp
+from repro.util.bitops import MASK32
+
+from repro.cpu.engine.dispatch import HALT
+
+
+def set_reg(rd: int, expr: str) -> list[str]:
+    """A guarded register write: ``r0`` writes are discarded, statically."""
+    return [] if rd == 0 else [f"_g[{rd}] = {expr}"]
+
+
+def member_lines(op: IROp, ordinal: int, fallbacks: list[int]) -> list[str]:
+    """Source statement(s) executing one *interior* member.
+
+    Inlines the handlers' semantics against the raw register list
+    (``_g``) and the bound memory methods, so a fused member costs zero
+    Python frames for ALU work and exactly one for a memory access.
+    Values stay canonical unsigned-32 (every write masks or is already
+    in range), and ``r0`` writes are dropped at generation time — the
+    same contract :class:`~repro.cpu.state.RegisterFile` enforces
+    dynamically.  Signed comparisons use the sign-bias identity
+    ``signed(a) < signed(b)  <=>  (a ^ 2**31) < (b ^ 2**31)``.
+    Mnemonics without a template fall back to calling the member's
+    predecoded closure (recorded in ``fallbacks``, bound into the exec
+    namespace as ``_h<ordinal>`` at region-build time).
+    """
+    m = op.mnemonic
+    rs, rt, rd = op.rs, op.rt, op.rd
+    M = MASK32
+    B = 0x80000000
+    if m == "add":
+        return set_reg(rd, f"(_g[{rs}] + _g[{rt}]) & {M}")
+    if m == "sub":
+        return set_reg(rd, f"(_g[{rs}] - _g[{rt}]) & {M}")
+    if m == "and":
+        return set_reg(rd, f"_g[{rs}] & _g[{rt}]")
+    if m == "or":
+        return set_reg(rd, f"_g[{rs}] | _g[{rt}]")
+    if m == "xor":
+        return set_reg(rd, f"_g[{rs}] ^ _g[{rt}]")
+    if m == "nor":
+        return set_reg(rd, f"~(_g[{rs}] | _g[{rt}]) & {M}")
+    if m == "slt":
+        return set_reg(rd, f"1 if (_g[{rs}] ^ {B}) < (_g[{rt}] ^ {B}) else 0")
+    if m == "sltu":
+        return set_reg(rd, f"1 if _g[{rs}] < _g[{rt}] else 0")
+    if m == "mul":
+        # Low 32 product bits are signedness-independent (mod 2**32).
+        return set_reg(rd, f"(_g[{rs}] * _g[{rt}]) & {M}")
+    if m == "mulh":
+        return set_reg(rd, f"_mulh(_g[{rs}], _g[{rt}])")
+    if m == "sll":
+        return set_reg(rd, f"(_g[{rt}] << {op.shamt & 31}) & {M}")
+    if m == "srl":
+        return set_reg(rd, f"_g[{rt}] >> {op.shamt & 31}")
+    if m == "sra":
+        if rd == 0:
+            return []
+        return [f"_v = _g[{rt}]",
+                f"_g[{rd}] = ((_v - ((_v & {B}) << 1)) "
+                f">> {op.shamt & 31}) & {M}"]
+    if m == "sllv":
+        return set_reg(rd, f"(_g[{rt}] << (_g[{rs}] & 31)) & {M}")
+    if m == "srlv":
+        return set_reg(rd, f"_g[{rt}] >> (_g[{rs}] & 31)")
+    if m == "srav":
+        if rd == 0:
+            return []
+        return [f"_v = _g[{rt}]",
+                f"_g[{rd}] = ((_v - ((_v & {B}) << 1)) "
+                f">> (_g[{rs}] & 31)) & {M}"]
+    if m == "addi":
+        return set_reg(rt, f"(_g[{rs}] + {op.imm & M}) & {M}")
+    if m == "slti":
+        return set_reg(rt, f"1 if (_g[{rs}] ^ {B}) < {(op.imm & M) ^ B} "
+                           f"else 0")
+    if m == "sltiu":
+        return set_reg(rt, f"1 if _g[{rs}] < {op.imm & M} else 0")
+    if m == "andi":
+        return set_reg(rt, f"_g[{rs}] & {op.imm & 0xFFFF}")
+    if m == "ori":
+        return set_reg(rt, f"_g[{rs}] | {op.imm & 0xFFFF}")
+    if m == "xori":
+        return set_reg(rt, f"_g[{rs}] ^ {op.imm & 0xFFFF}")
+    if m == "lui":
+        return set_reg(rt, f"{(op.imm & 0xFFFF) << 16}")
+    if m in ("lw", "lb", "lbu", "lh", "lhu"):
+        # Inlined memory access: the in-bounds, aligned fast path reads
+        # the raw memory buffer (``_mem``) directly — zero Python frames
+        # — and anything else calls the bound :class:`Memory` method,
+        # which raises the exact :class:`MemoryAccessError` the other
+        # engines raise (the guard and ``Memory._check`` are
+        # complementary: ``_a`` is masked non-negative, so a failed
+        # guard *is* an out-of-bounds or misaligned access).  Signed
+        # byte/half loads widen via the unsigned read + sign-bit OR,
+        # staying in the canonical unsigned-32 representation.
+        lines = [f"_a = (_g[{rs}] + {op.imm}) & {M}"]
+        if m == "lw":
+            value = ("_ifb(_mem[_a:_a + 4], 'little') "
+                     "if _a <= _hi4 and not _a & 3 else _lw(_a)")
+            # rt == 0 still performs the access (it can fault) and
+            # discards the value.
+            lines.append(value if rt == 0 else f"_g[{rt}] = {value}")
+            return lines
+        if m in ("lb", "lbu"):
+            lines.append("_v = _mem[_a] if _a <= _hi1 "
+                         "else _lb(_a, False)")
+            widened = "_v | 4294967040 if _v & 128 else _v" \
+                if m == "lb" else "_v"
+        else:
+            lines.append("_v = _ifb(_mem[_a:_a + 2], 'little') "
+                         "if _a <= _hi2 and not _a & 1 "
+                         "else _lh(_a, False)")
+            widened = "_v | 4294901760 if _v & 32768 else _v" \
+                if m == "lh" else "_v"
+        if rt != 0:
+            lines.append(f"_g[{rt}] = {widened}")
+        return lines
+    if m in ("sb", "sh", "sw"):
+        # Same fast-path/fault-path split as the loads; the slice
+        # assignment mutates the buffer in place, and register values
+        # are already canonical unsigned-32, so ``to_bytes`` is safe.
+        lines = [f"_a = (_g[{rs}] + {op.imm}) & {M}"]
+        if m == "sb":
+            lines += ["if _a <= _hi1:",
+                      f"    _mem[_a] = _g[{rt}] & 255",
+                      "else:",
+                      f"    _sb(_a, _g[{rt}])"]
+        elif m == "sh":
+            lines += ["if _a <= _hi2 and not _a & 1:",
+                      f"    _mem[_a:_a + 2] = "
+                      f"(_g[{rt}] & 65535).to_bytes(2, 'little')",
+                      "else:",
+                      f"    _sh(_a, _g[{rt}])"]
+        else:
+            lines += ["if _a <= _hi4 and not _a & 3:",
+                      f"    _mem[_a:_a + 4] = "
+                      f"_g[{rt}].to_bytes(4, 'little')",
+                      "else:",
+                      f"    _sw(_a, _g[{rt}])"]
+        return lines
+    fallbacks.append(ordinal)
+    return [f"_h{ordinal}({op.address})"]
+
+
+def _return_result(expr: str) -> str:
+    return f"return {expr}"
+
+
+def _zolc_inline_lines(op: IROp, result) -> list[str]:
+    """Inline ``mtz``/``mfz`` against the cell's bound port methods.
+
+    The batch tier cannot use per-simulator fallback closures (one
+    generated function serves N cells), so the port write/read is
+    emitted against the cell tuple's ``_zw``/``_zr`` slots; cells
+    without a controller carry ``None`` there and raise the same
+    no-ZOLC fault the predecoded closure raises (the retiring pc is a
+    generation-time constant, so the message matches exactly).
+    """
+    message = (f"{op.mnemonic} executed on a machine without a ZOLC "
+               f"(pc={op.address:#x}); attach a ZolcController")
+    if op.mnemonic == "mtz":
+        lines = ["if _zw is None:",
+                 f"    raise _SimErr({message!r})",
+                 f"_zw({op.imm}, _g[{op.rt}])"]
+    else:
+        lines = ["if _zr is None:",
+                 f"    raise _SimErr({message!r})"]
+        # rt == 0 still performs the read (it can fault) and discards
+        # the value, exactly like the predecoded closure's r0 write.
+        if op.rt:
+            lines.append(f"_g[{op.rt}] = _zr({op.imm}) & {MASK32}")
+        else:
+            lines.append(f"_zr({op.imm})")
+    return lines + [result("None")]
+
+
+def term_lines(op: IROp, ordinal: int, fallbacks: list[int],
+               result=_return_result, zolc_inline: bool = False) -> list[str]:
+    """Source statement(s) for the span *terminator*.
+
+    Ends in a ``result(...)`` statement carrying the handler-protocol
+    value (``None`` / taken target / ``HALT``) — a ``return`` for the
+    scalar tiers (the default), a per-cell list append for the batch
+    tier — which the driving loop triages exactly like the
+    per-instruction path does.  ``zolc_inline`` selects inline port
+    access for ``mtz``/``mfz`` instead of the per-simulator fallback
+    closure.
+    """
+    m = op.mnemonic
+    rs, rt, rd = op.rs, op.rt, op.rd
+    B = 0x80000000
+    if op.is_branch and m != "dbne":
+        target = op.target
+        cond = {
+            "beq": f"_g[{rs}] == _g[{rt}]",
+            "bne": f"_g[{rs}] != _g[{rt}]",
+            "blez": f"(_g[{rs}] ^ {B}) <= {B}",
+            "bgtz": f"(_g[{rs}] ^ {B}) > {B}",
+            "bltz": f"(_g[{rs}] ^ {B}) < {B}",
+            "bgez": f"(_g[{rs}] ^ {B}) >= {B}",
+        }.get(m)
+        if cond is not None:
+            return [result(f"{target} if {cond} else None")]
+    if m == "dbne":
+        lines = [f"_v = (_g[{rs}] - 1) & {MASK32}"]
+        if rs:
+            lines.append(f"_g[{rs}] = _v")
+        lines.append(result(f"{op.target} if _v else None"))
+        return lines
+    if m == "j":
+        return [result(f"{op.target}")]
+    if m == "jal":
+        return [f"_g[31] = {op.link}",
+                result(f"{op.target}")]
+    if m == "jr":
+        return [result(f"_g[{rs}]")]
+    if m == "jalr":
+        return ([f"_v = _g[{rs}]"]
+                + set_reg(rd, f"{op.link}")
+                + [result("_v")])
+    if m == "halt":
+        return ["_state.halted = True",
+                result("_HALT")]
+    if m in ("mtz", "mfz"):
+        if zolc_inline:
+            return _zolc_inline_lines(op, result)
+        # Port writes/reads keep the predecoded closure: it is already
+        # specialised against the attached port (or raises the same
+        # no-ZOLC fault the other engines raise).
+        fallbacks.append(ordinal)
+        return [result(f"_h{ordinal}({op.address})")]
+    # A sequential instruction terminating only because the next slot
+    # starts a new span (watched next pc, end of text, ...).
+    return member_lines(op, ordinal, fallbacks) + [result("None")]
+
+
+#: Fixed exec-namespace names every fused region may reference.
+#: ``_mem`` is the raw memory buffer (inlined loads/stores), ``_ifb``
+#: a pre-bound ``int.from_bytes``, and ``_hi1``/``_hi2``/``_hi4`` the
+#: per-simulator highest in-bounds address for each access width.
+REGION_HELPERS = ("_g", "_mem", "_ifb", "_hi1", "_hi2", "_hi4",
+                  "_lb", "_lh", "_lw", "_sb", "_sh", "_sw",
+                  "_mulh", "_state", "_HALT")
+
+
+def region_namespace(sim) -> dict:
+    """The per-simulator exec namespace for generated region code.
+
+    Everything here is stable for the simulator's lifetime: the raw
+    register list and memory buffer are mutated in place, never
+    rebound, and the bound memory methods serve the generated code's
+    fault paths.
+    """
+    memory = sim.memory
+    return {
+        "_g": sim.state.regs._regs,
+        "_mem": memory._bytes, "_ifb": int.from_bytes,
+        "_hi1": memory.size - 1, "_hi2": memory.size - 2,
+        "_hi4": memory.size - 4,
+        "_lb": memory.load_byte, "_lh": memory.load_half,
+        "_lw": memory.load_word,
+        "_sb": memory.store_byte, "_sh": memory.store_half,
+        "_sw": memory.store_word,
+        "_mulh": alu.mul32_hi,
+        "_state": sim.state, "_HALT": HALT,
+    }
+
+
+#: Per-cell tuple slots a generated batch span unpacks, in order.  The
+#: per-simulator subset of :data:`REGION_HELPERS` plus the bound ZOLC
+#: port accessors (``None`` without a controller); the program-global
+#: rest (``_ifb``/``_mulh``/``_HALT``/``_SimErr``) binds as function
+#: defaults so one compiled span serves every simulator.
+BATCH_CELL_PARAMS = ("_g", "_mem", "_hi1", "_hi2", "_hi4",
+                     "_lb", "_lh", "_lw", "_sb", "_sh", "_sw",
+                     "_zw", "_zr", "_state")
+
+#: Program-global names a generated batch span binds as defaults.
+BATCH_GLOBALS = {"_ifb": int.from_bytes, "_mulh": alu.mul32_hi,
+                 "_HALT": HALT, "_SimErr": SimulationError}
+
+
+def batch_cell_context(sim) -> tuple:
+    """One simulator's :data:`BATCH_CELL_PARAMS` tuple."""
+    memory = sim.memory
+    zolc = sim.zolc
+    return (sim.state.regs._regs, memory._bytes,
+            memory.size - 1, memory.size - 2, memory.size - 4,
+            memory.load_byte, memory.load_half, memory.load_word,
+            memory.store_byte, memory.store_half, memory.store_word,
+            zolc.write if zolc is not None else None,
+            zolc.read if zolc is not None else None,
+            sim.state)

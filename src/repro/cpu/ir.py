@@ -1,0 +1,182 @@
+"""A flat, explicit IR for decoded XR32 instructions.
+
+Every execution tier used to re-derive the same facts straight from
+:class:`~repro.isa.instructions.Instruction` — operand fields, absolute
+control-transfer targets, register-use sets, load destinations, timing
+categories — each in its own translator.  This module decodes them
+*once* into :class:`IROp` records (one per text slot), and the engine
+package's tiers (:mod:`repro.cpu.engine`) become lowering passes over
+that array:
+
+* the fast tier lowers each ``IROp`` to a bound handler closure;
+* the traced/loop-resident tiers lower region spans to generated
+  Python text through the shared emitter (:mod:`repro.cpu.engine.emit`);
+* the batch tier lowers the same spans to N-cell lockstep functions.
+
+The contract (see DESIGN.md §10): a lowering pass may consume **only**
+``IROp`` fields plus the config-dependent helpers below; it never
+reaches back into :class:`Instruction`.  The IR is pure decoded fact —
+anything that depends on a :class:`~repro.cpu.pipeline.PipelineConfig`
+(cycle counts, penalties) stays out of the record and is derived per
+simulator via :func:`op_base_cycles` / :func:`op_taken_penalty`, so one
+IR serves every machine/pipeline sharing the program.
+
+The array is cached on the :class:`~repro.asm.assembler.Program` object
+(the IR depends only on the instruction stream), mirroring the region-
+and chain-code caches.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.cpu.exceptions import SimulationError
+from repro.isa.instructions import Category, Instruction
+
+#: Attribute name the per-program IR cache lives under.  ``None`` is a
+#: valid cached value ("text image is not dense"), so presence is
+#: tested with ``in``, not ``get``.
+_IR_CACHE_ATTR = "_engine_ir"
+
+
+class IROp(NamedTuple):
+    """One decoded instruction: everything a lowering pass may consume.
+
+    Fields are plain decoded facts — no simulator, pipeline or
+    controller state.  ``target`` is the *absolute byte address* of the
+    taken destination for pc-relative branches / ``dbne``
+    (``address + 4 + 4*imm``) and absolute jumps (``inst.target * 4``),
+    ``None`` for everything else; ``link`` is ``address + 4`` (the
+    ``jal``/``jalr`` link value and the sequential next pc).
+    """
+
+    index: int                  # text slot: (address - text_base) >> 2
+    address: int
+    mnemonic: str
+    category_key: str           # Category.value, for stats aggregation
+    rd: int
+    rs: int
+    rt: int
+    shamt: int
+    imm: int
+    target: int | None          # absolute taken target, if static
+    link: int                   # address + 4
+    uses: frozenset[int]        # registers read (r0 excluded)
+    load_dest: int | None       # load destination register, if any
+    is_branch: bool             # conditional pc-relative (incl. dbne)
+    is_mul: bool                # Category.MUL: pays mul_extra_cycles
+    is_zolc_init: bool          # mtz/mfz: may change ZOLC port state
+    can_transfer: bool          # may return a control transfer
+    #: Which PipelineConfig penalty a taken transfer pays:
+    #: "hwloop" (dbne), "jump_register" (jr/jalr), "branch" (the rest).
+    penalty_kind: str
+
+
+def ir_op_from_instruction(inst: Instruction, address: int,
+                           index: int = 0) -> IROp:
+    """Decode one instruction into its :class:`IROp` record.
+
+    Raises :class:`SimulationError` for mnemonics outside the ISA
+    tables — the same "fall back to the stepped interpreter" signal
+    the predecoder has always produced.
+    """
+    try:
+        category = inst.category
+    except KeyError:
+        raise SimulationError(
+            f"no predecoder for mnemonic {inst.mnemonic!r}") from None
+    mnemonic = inst.mnemonic
+    is_branch = inst.is_branch()
+    if is_branch:
+        target: int | None = address + 4 + 4 * inst.imm
+    elif mnemonic in ("j", "jal"):
+        target = inst.target * 4
+    else:
+        target = None
+    if mnemonic == "dbne":
+        penalty_kind = "hwloop"
+    elif mnemonic in ("jr", "jalr"):
+        penalty_kind = "jump_register"
+    else:
+        penalty_kind = "branch"
+    load_dest = (inst.rt if category is Category.LOAD and inst.rt
+                 else None)
+    can_transfer = (is_branch or category is Category.JUMP
+                    or mnemonic == "halt")
+    return IROp(
+        index=index, address=address, mnemonic=mnemonic,
+        category_key=category.value,
+        rd=inst.rd, rs=inst.rs, rt=inst.rt,
+        shamt=inst.shamt, imm=inst.imm,
+        target=target, link=address + 4,
+        uses=inst.uses(), load_dest=load_dest,
+        is_branch=is_branch, is_mul=category is Category.MUL,
+        is_zolc_init=category is Category.ZOLC,
+        can_transfer=can_transfer, penalty_kind=penalty_kind)
+
+
+def build_ir(program) -> tuple[IROp, ...] | None:
+    """The program's IR array, built once and cached on the program.
+
+    Returns ``None`` when the text image is not a dense run of words
+    starting at ``text_base`` — the same "cannot predecode" contract as
+    :func:`repro.cpu.engine.predecode` (the assembler never produces
+    such images, but hand-built programs fall back to stepping).
+    """
+    cache = program.__dict__
+    if _IR_CACHE_ATTR in cache:
+        return cache[_IR_CACHE_ATTR]
+    base = program.text_base
+    ops: list[IROp] | None = []
+    for i, inst in enumerate(program.instructions):
+        address = base + 4 * i
+        if inst.address != address:
+            ops = None
+            break
+        ops.append(ir_op_from_instruction(inst, address, index=i))
+    result = tuple(ops) if ops is not None else None
+    cache[_IR_CACHE_ATTR] = result
+    return result
+
+
+def op_base_cycles(op: IROp, config) -> int:
+    """Base retirement cycles for one op under a pipeline config."""
+    return 1 + (config.mul_extra_cycles if op.is_mul else 0)
+
+
+def op_taken_penalty(op: IROp, config) -> int:
+    """Flush cycles a *taken* transfer through this op pays."""
+    if op.penalty_kind == "hwloop":
+        return config.hwloop_penalty
+    if op.penalty_kind == "jump_register":
+        return config.jump_register_penalty
+    return config.branch_penalty
+
+
+def straightline_terms(ops, base: int, watched_next) -> list:
+    """Partition an op array into straight-line span terminators.
+
+    The one region-slicing scan every codegen tier shares.  Returns a
+    per-slot list: ``None`` for slots that cannot begin a span of at
+    least two instructions, else the terminator slot index.  A slot is
+    *interior-unsafe* (it must terminate any span that reaches it) when
+    it can transfer control, is ``mtz``/``mfz``, or its sequential next
+    pc is in ``watched_next`` (a ZOLC trigger or entry target under the
+    current plan); spans never extend past the end of the text image.
+
+    ``ops`` needs only ``can_transfer`` / ``is_zolc_init`` per record,
+    so both :class:`IROp` arrays and the predecoded ``OpMeta`` arrays
+    slice identically.
+    """
+    n = len(ops)
+    terms: list = [None] * n
+    first_unsafe = n
+    for j in range(n - 1, -1, -1):
+        op = ops[j]
+        if (op.can_transfer or op.is_zolc_init
+                or base + 4 * j + 4 in watched_next):
+            first_unsafe = j
+        term = first_unsafe if first_unsafe < n else n - 1
+        if term > j:
+            terms[j] = term
+    return terms

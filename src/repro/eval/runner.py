@@ -110,10 +110,11 @@ def run_kernel(kernel: Kernel, machine: MachineSpec,
     """Prepare, simulate and verify one kernel on one machine.
 
     ``engine`` selects the simulator's execution strategy (``"auto"`` /
-    ``"fast"`` / ``"traced"`` / ``"step"``, where ``"auto"`` — the
-    default — resolves to the loop-resident traced tier); engines are
-    bit-identical, so the choice affects host time only, never the
-    measurement.
+    ``"fast"`` / ``"traced"`` / ``"batch"`` / ``"step"``, where
+    ``"auto"`` — the default — resolves to the loop-resident traced
+    tier, and ``"batch"`` is the N-cell lockstep tier the batch
+    execution backend drives); engines are bit-identical, so the
+    choice affects host time only, never the measurement.
     """
     prepared = machine.prepare(kernel.source)
     simulator = prepared.make_simulator(pipeline=pipeline)

@@ -1,11 +1,12 @@
 """Pluggable execution backends.
 
 A backend turns a list of :class:`Cell` descriptions into
-:class:`~repro.eval.runner.RunResult` measurements, in order.  Two
-implementations ship today — in-process :class:`SerialBackend` and
-:class:`ProcessBackend` (a ``ProcessPoolExecutor`` fan-out) — and the
-:class:`ExecutionBackend` protocol is the seam future PRs plug sharded
-or remote execution into.
+:class:`~repro.eval.runner.RunResult` measurements, in order.  Three
+implementations ship today — in-process :class:`SerialBackend`,
+:class:`ProcessBackend` (a ``ProcessPoolExecutor`` fan-out) and
+:class:`BatchBackend` (the N-cell lockstep tier of
+:mod:`repro.cpu.engine`) — and the :class:`ExecutionBackend` protocol
+is the seam future PRs plug sharded or remote execution into.
 
 Machines travel inside the cell by value (specs are picklable data), so
 the process backend runs *any* machine, including ad-hoc ZOLC variants
@@ -96,9 +97,65 @@ class ProcessBackend:
             return list(pool.map(_run_cell, cells))
 
 
+class BatchBackend:
+    """Step compatible cells in lockstep through the batch engine tier.
+
+    Cells sharing ``(kernel, machine, max_steps)`` — a pipeline sweep,
+    repeated measurements — are *prepared once* (assemble + transform)
+    and their simulators advance together through
+    :func:`repro.cpu.engine.run_batch`: shared fetch/decode/span
+    selection, per-cell architectural state and timing.  A cell that
+    cannot uphold the lockstep (diverging control flow, incompatible
+    plan state) transparently finishes on its scalar tier, so results
+    are bit-identical to :class:`SerialBackend` — the grouping and the
+    engine choice affect host time only, never the measurement.
+    """
+
+    name = "batch"
+
+    def __init__(self, jobs: int | None = None):
+        # Accepted for `get_backend` symmetry; batching is in-process.
+        self.jobs = jobs
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+        from repro.cpu.engine import run_batch
+        from repro.workloads.suite import registry
+
+        reg = registry()
+        results: list[RunResult | None] = [None] * len(cells)
+        groups: dict[tuple, list[int]] = {}
+        for index, cell in enumerate(cells):
+            key = (cell.kernel_name, cell.machine, cell.max_steps)
+            groups.setdefault(key, []).append(index)
+        for (kernel_name, machine, max_steps), indices in groups.items():
+            kernel = reg.get(kernel_name)
+            prepared = machine.prepare(kernel.source)
+            sims = [prepared.make_simulator(pipeline=cells[i].pipeline)
+                    for i in indices]
+            for error in run_batch(sims, max_steps):
+                if error is not None:
+                    raise error
+            for index, sim in zip(indices, sims):
+                kernel.check(sim)  # raises KernelCheckError on mismatch
+                stats = sim.stats
+                results[index] = RunResult(
+                    kernel_name=kernel.name,
+                    machine_name=machine.name,
+                    cycles=stats.cycles,
+                    instructions=stats.instructions,
+                    stats=stats,
+                    verified=True,
+                    transformed_loops=prepared.transformed_loops,
+                    zolc_init_instructions=stats.zolc_init_instructions,
+                    zolc_task_switches=stats.zolc_task_switches,
+                )
+        return results
+
+
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessBackend,
+    "batch": BatchBackend,
 }
 
 

@@ -1,0 +1,269 @@
+"""The batch tier (``engine="batch"`` / :func:`run_batch`) end to end.
+
+The lockstep contract: a batch of N cells retires, per cell, exactly
+the sequence that cell's scalar run retires — same registers, memory,
+cycles, stats and controller counters, same post-mortem state on
+faults.  These tests pin the contract where it is easiest to break:
+≥16-cell sweeps (identical cells and per-cell pipeline sweeps),
+mid-run divergence ejection, pre-run ejection (tracer, planless port,
+mixed programs), watchdog semantics, mid-span fault reconciliation,
+and the ``BatchBackend`` / CLI / plan wiring above the engine.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import PlanlessZolcPort, Simulator, WatchdogError
+from repro.cpu.engine import run_batch
+from repro.cpu.exceptions import MemoryAccessError
+from repro.cpu.pipeline import PipelineConfig
+from repro.cpu.tracing import Tracer
+from repro.eval.machines import ALL_MACHINES, M_ZOLC_LITE, XR_DEFAULT
+from repro.experiments.backends import Cell, get_backend
+
+MAX_STEPS = 20_000_000
+
+
+def _state_tuple(sim):
+    return (sim.state.pc, sim.state.halted, sim.state.regs.snapshot(),
+            asdict(sim.stats), sim.timing.stall_cycles,
+            sim.timing.flush_cycles, sim.timing._pending_load_dest)
+
+
+def _controller_tuple(sim):
+    zolc = sim.zolc
+    if zolc is None:
+        return None
+    if isinstance(zolc, PlanlessZolcPort):
+        zolc = zolc.inner
+    return (zolc.active, getattr(zolc, "arm_count", None))
+
+
+def _observe(sim):
+    return (_state_tuple(sim), bytes(sim.memory._bytes),
+            _controller_tuple(sim))
+
+
+class TestSweepBitIdentity:
+    @pytest.mark.parametrize("machine", ALL_MACHINES,
+                             ids=lambda m: m.name)
+    def test_16_identical_cells_match_traced(self, kernel_registry,
+                                             machine):
+        """A 16-cell batch == 16 per-cell traced runs, bit for bit."""
+        prepared = machine.prepare(kernel_registry.get("fir").source)
+        reference = prepared.make_simulator()
+        reference.run(max_steps=MAX_STEPS, engine="traced")
+        cells = [prepared.make_simulator() for _ in range(16)]
+        errors = run_batch(cells, MAX_STEPS)
+        assert errors == [None] * 16
+        expected = _observe(reference)
+        for cell in cells:
+            assert cell.last_engine == "batch"
+            assert _observe(cell) == expected
+
+    def test_pipeline_sweep_cells_stay_locked(self, kernel_registry):
+        """Cells with different pipeline configs share one batch.
+
+        Timing never feeds back into architecture, so a config sweep
+        retires one shared pc trajectory with per-cell cycle counts —
+        the batch tier's home turf.
+        """
+        prepared = M_ZOLC_LITE.prepare(
+            kernel_registry.get("dot_product").source)
+        configs = [PipelineConfig(load_use_stall=lus, branch_penalty=bp,
+                                  mul_extra_cycles=mul)
+                   for lus in (0, 1, 2, 3)
+                   for bp, mul in ((1, 0), (2, 3))]
+        assert len(configs) >= 8
+        cells = [prepared.make_simulator(pipeline=config)
+                 for config in configs * 2]
+        errors = run_batch(cells, MAX_STEPS)
+        assert errors == [None] * len(cells)
+        for cell, config in zip(cells, configs * 2):
+            reference = prepared.make_simulator(pipeline=config)
+            reference.run(max_steps=MAX_STEPS, engine="traced")
+            assert _observe(cell) == _observe(reference)
+
+    def test_single_cell_runs_the_real_driver(self, kernel_registry):
+        prepared = M_ZOLC_LITE.prepare(kernel_registry.get("fir").source)
+        sim = prepared.make_simulator()
+        stats = sim.run(max_steps=MAX_STEPS, engine="batch")
+        assert sim.last_engine == "batch"
+        reference = prepared.make_simulator()
+        reference.run(max_steps=MAX_STEPS, engine="step")
+        assert stats.cycles == reference.stats.cycles
+        assert _observe(sim) == _observe(reference)
+
+
+DIVERGE_SRC = """
+        li   t1, 10
+loop:
+        add  s0, s0, t0
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        beq  t0, zero, skip
+        addi s1, s1, 7
+skip:
+        halt
+"""
+
+
+class TestDivergenceEjection:
+    def test_diverging_cells_finish_on_the_scalar_tier(self):
+        """Cells whose branch outcomes split still retire exactly."""
+        program = assemble(DIVERGE_SRC)
+        cells = [Simulator(program) for _ in range(8)]
+        for i, cell in enumerate(cells):
+            cell.state.regs.write(8, i % 3)      # t0: 0,1,2,0,...
+        errors = run_batch(cells, MAX_STEPS)
+        assert errors == [None] * 8
+        for i, cell in enumerate(cells):
+            reference = Simulator(program)
+            reference.state.regs.write(8, i % 3)
+            reference.run(max_steps=MAX_STEPS, engine="step")
+            assert cell.last_engine == "batch"
+            assert _observe(cell) == _observe(reference)
+
+    def test_mixed_programs_eject_cleanly(self):
+        a = Simulator(assemble("li t0, 1\nhalt\n"))
+        b = Simulator(assemble("li t1, 2\nli t2, 3\nhalt\n"))
+        errors = run_batch([a, b], MAX_STEPS)
+        assert errors == [None, None]
+        assert a.state.halted and b.state.halted
+        assert a.last_engine == "batch" and b.last_engine == "batch"
+        assert b.stats.instructions == 3
+
+
+class TestPreRunEjection:
+    def test_tracer_cell_runs_stepped_and_records(self):
+        program = assemble("li t0, 1\nhalt\n")
+        traced = Simulator(program, tracer=Tracer())
+        plain = Simulator(program)
+        errors = run_batch([traced, plain], MAX_STEPS)
+        assert errors == [None, None]
+        assert len(traced.tracer.records) == 2
+        assert _state_tuple(traced) == _state_tuple(plain)
+
+    def test_engine_batch_rejects_tracer_like_the_other_tiers(self):
+        sim = Simulator(assemble("halt\n"), tracer=Tracer())
+        with pytest.raises(ValueError, match="does not record traces"):
+            sim.run(engine="batch")
+
+    def test_planless_port_cell_ejects_and_matches(self, kernel_registry):
+        prepared = M_ZOLC_LITE.prepare(
+            kernel_registry.get("vec_sum").source)
+        planless = prepared.make_simulator()
+        planless.zolc = PlanlessZolcPort(planless.zolc)
+        planful = prepared.make_simulator()
+        errors = run_batch([planless, planful], MAX_STEPS)
+        assert errors == [None, None]
+        assert _state_tuple(planless) == _state_tuple(planful)
+
+    def test_already_halted_cell_is_a_noop(self):
+        sim = Simulator(assemble("halt\n"))
+        sim.run(engine="step")
+        before = _observe(sim)
+        assert run_batch([sim], MAX_STEPS) == [None]
+        assert _observe(sim) == before
+
+
+class TestFaults:
+    def test_watchdog_matches_scalar_message_and_state(self):
+        source = "loop:\nj loop\n"
+        program = assemble(source)
+        cells = [Simulator(program) for _ in range(4)]
+        errors = run_batch(cells, 100)
+        reference = Simulator(program)
+        with pytest.raises(WatchdogError) as excinfo:
+            reference.run(max_steps=100, engine="traced")
+        for cell, error in zip(cells, errors):
+            assert isinstance(error, WatchdogError)
+            assert str(error) == str(excinfo.value)
+            assert _observe(cell) == _observe(reference)
+
+    FAULT_SRC = """
+        li   t1, 4
+loop:
+        add  s0, s0, t1
+        lw   t2, 0(t0)
+        add  s1, s1, t2
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        halt
+"""
+
+    def test_mid_span_fault_reconciles_per_cell(self):
+        """One cell faults mid-span; the rest keep running.
+
+        The faulting cell's prefix retires and its pc lands on the
+        faulting member (the traced tier's reconciliation contract);
+        cells after it in the batch continue unharmed.
+        """
+        program = assemble(self.FAULT_SRC)
+        cells = [Simulator(program) for _ in range(4)]
+        cells[1].state.regs.write(8, 0xFFFF0000)   # t0: way out of bounds
+        errors = run_batch(cells, MAX_STEPS)
+        assert errors[0] is None and errors[2] is None and errors[3] is None
+        assert isinstance(errors[1], MemoryAccessError)
+        reference = Simulator(program)
+        reference.state.regs.write(8, 0xFFFF0000)
+        with pytest.raises(MemoryAccessError) as excinfo:
+            reference.run(max_steps=MAX_STEPS, engine="traced")
+        assert str(errors[1]) == str(excinfo.value)
+        assert _observe(cells[1]) == _observe(reference)
+        clean = Simulator(program)
+        clean.run(max_steps=MAX_STEPS, engine="step")
+        for cell in (cells[0], cells[2], cells[3]):
+            assert _observe(cell) == _observe(clean)
+
+    def test_all_cells_faulting_all_report(self):
+        program = assemble(self.FAULT_SRC)
+        cells = [Simulator(program) for _ in range(3)]
+        for cell in cells:
+            cell.state.regs.write(8, 0xFFFF0000)
+        errors = run_batch(cells, MAX_STEPS)
+        reference = Simulator(program)
+        reference.state.regs.write(8, 0xFFFF0000)
+        with pytest.raises(MemoryAccessError):
+            reference.run(max_steps=MAX_STEPS, engine="step")
+        for cell, error in zip(cells, errors):
+            assert isinstance(error, MemoryAccessError)
+            assert _observe(cell) == _observe(reference)
+
+
+class TestBackend:
+    def test_batch_backend_matches_serial(self, kernel_registry):
+        cells = [Cell(kernel_name=name, machine=machine,
+                      pipeline=PipelineConfig(load_use_stall=lus),
+                      max_steps=MAX_STEPS)
+                 for name in ("vec_sum", "fir")
+                 for machine in (XR_DEFAULT, M_ZOLC_LITE)
+                 for lus in (0, 1, 2, 3)]
+        assert len(cells) == 16
+        serial = get_backend("serial").run_cells(cells)
+        batch = get_backend("batch").run_cells(cells)
+        assert [r.record() for r in batch] == \
+            [r.record() for r in serial]
+
+    def test_backend_registry_exposes_batch(self):
+        backend = get_backend("batch", jobs=4)
+        assert backend.name == "batch"
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("sharded")
+
+    def test_experiment_spec_accepts_batch_engine(self):
+        from repro.experiments.spec import ExperimentSpec
+
+        spec = ExperimentSpec(name="t", kernels=["vec_sum"],
+                              machines=[XR_DEFAULT], engine="batch")
+        assert spec.engine == "batch"
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExperimentSpec(name="t", kernels=["vec_sum"],
+                           machines=[XR_DEFAULT], engine="turbo")
+
+    def test_cli_parse_engine_accepts_batch(self):
+        from repro.cli import _parse_engine
+
+        assert _parse_engine("batch") == "batch"

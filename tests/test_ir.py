@@ -1,0 +1,201 @@
+"""Unit tests for the engine IR (:mod:`repro.cpu.ir`).
+
+The IR is the single decode step every engine tier lowers from, so the
+tests pin (1) the decode round-trip — every field of every
+:class:`IROp` against the raw :class:`Instruction` it came from, over
+every figure-2 opcode the suite's prepared programs exercise and the
+full ``datapath.EXECUTORS`` table; (2) the config-derived timing
+helpers against the predecoded fast-tier metadata, across pipeline
+sweeps; (3) the per-program cache (including the ``None`` non-dense
+case); and (4) the shared straight-line slicing scan, which must
+partition identically whether it reads the IR or the predecoded
+``OpMeta`` array.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import SimulationError, Simulator
+from repro.cpu.engine import predecode
+from repro.cpu.ir import (
+    build_ir,
+    ir_op_from_instruction,
+    op_base_cycles,
+    op_taken_penalty,
+    straightline_terms,
+)
+from repro.cpu.pipeline import PipelineConfig
+from repro.eval.machines import ALL_MACHINES
+from repro.isa.instructions import Category, Instruction
+
+
+def _suite_programs():
+    from repro.workloads.suite import registry
+
+    for kernel in registry().kernels.values():
+        for machine in ALL_MACHINES:
+            yield machine.prepare(kernel.source).program
+
+
+class TestRoundTrip:
+    def test_every_field_matches_the_instruction(self):
+        """IR decode round-trip over every suite program × machine."""
+        seen = set()
+        for program in _suite_programs():
+            ir = build_ir(program)
+            assert ir is not None
+            assert len(ir) == len(program.instructions)
+            base = program.text_base
+            for i, (op, inst) in enumerate(zip(ir, program.instructions)):
+                seen.add(inst.mnemonic)
+                assert op.index == i
+                assert op.address == base + 4 * i == inst.address
+                assert op.mnemonic == inst.mnemonic
+                assert op.category_key == inst.category.value
+                assert (op.rd, op.rs, op.rt) == (inst.rd, inst.rs, inst.rt)
+                assert (op.shamt, op.imm) == (inst.shamt, inst.imm)
+                assert op.link == inst.address + 4
+                assert op.uses == inst.uses()
+                assert op.is_branch == inst.is_branch()
+                assert op.is_mul == (inst.category is Category.MUL)
+                assert op.is_zolc_init == (inst.category is Category.ZOLC)
+                if inst.is_branch():
+                    assert op.target == inst.address + 4 + 4 * inst.imm
+                elif inst.mnemonic in ("j", "jal"):
+                    assert op.target == inst.target * 4
+                else:
+                    assert op.target is None
+                if inst.category is Category.LOAD and inst.rt:
+                    assert op.load_dest == inst.rt
+                else:
+                    assert op.load_dest is None
+                assert op.can_transfer == (
+                    inst.is_branch() or inst.category is Category.JUMP
+                    or inst.mnemonic == "halt")
+        # The suite's ZOLC machines must have exercised the special
+        # decode branches (hwloop, ZOLC init, branches, loads/stores),
+        # or the loop above pinned nothing; ``mfz``/jumps are covered
+        # by the EXECUTORS sweep below.
+        assert {"dbne", "mtz", "beq", "lw", "sw", "halt"} <= seen
+
+    def test_covers_every_executor_mnemonic(self):
+        """Every datapath mnemonic decodes; unknown ones raise."""
+        from repro.cpu.datapath import EXECUTORS
+
+        for mnemonic in EXECUTORS:
+            op = ir_op_from_instruction(Instruction(mnemonic, address=0), 0)
+            assert op.mnemonic == mnemonic
+            assert op.penalty_kind in ("hwloop", "jump_register", "branch")
+        with pytest.raises(SimulationError, match="frobnicate"):
+            ir_op_from_instruction(
+                Instruction("frobnicate", address=0), 0)
+
+    def test_penalty_kind_decode(self):
+        assert ir_op_from_instruction(
+            Instruction("dbne", address=0), 0).penalty_kind == "hwloop"
+        for m in ("jr", "jalr"):
+            assert ir_op_from_instruction(
+                Instruction(m, address=0), 0).penalty_kind == "jump_register"
+        assert ir_op_from_instruction(
+            Instruction("beq", address=0), 0).penalty_kind == "branch"
+
+
+class TestTiming:
+    @pytest.mark.parametrize("config", [
+        PipelineConfig(),
+        PipelineConfig(branch_penalty=3, jump_register_penalty=2,
+                       hwloop_penalty=1, mul_extra_cycles=4,
+                       load_use_stall=2, zolc_switch_cycles=1),
+    ])
+    def test_helpers_match_predecoded_metadata(self, config):
+        """op_base_cycles / op_taken_penalty == the fast tier's tuples."""
+        for machine in ALL_MACHINES:
+            from repro.workloads.suite import registry
+
+            kernel = next(iter(registry().kernels.values()))
+            prepared = machine.prepare(kernel.source)
+            sim = prepared.make_simulator(pipeline=config)
+            predecoded = predecode(sim)
+            assert predecoded is not None
+            assert predecoded.ir == build_ir(sim.program)
+            for op, slot in zip(predecoded.ir, predecoded.ops):
+                _fn, base_cycles, uses, load_dest, taken_penalty = slot
+                assert op_base_cycles(op, config) == base_cycles
+                assert op_taken_penalty(op, config) == taken_penalty
+                assert op.uses == uses
+                assert op.load_dest == load_dest
+
+
+class TestCache:
+    def test_ir_is_built_once_per_program(self):
+        program = assemble("li t0, 1\nadd t1, t0, t0\nhalt\n")
+        first = build_ir(program)
+        assert first is not None
+        assert build_ir(program) is first
+
+    def test_non_dense_text_caches_none(self):
+        program = assemble("li t0, 1\nhalt\n")
+        # Hand-break the density invariant the assembler upholds.
+        program.instructions[1].address = program.text_base + 64
+        assert build_ir(program) is None
+        assert build_ir(program) is None  # the None is cached too
+
+    def test_port_swap_does_not_stale_the_ir(self):
+        # The IR is pure decoded fact (no simulator state), so a ZOLC
+        # port swap re-predecodes but must *not* rebuild the IR.
+        program = assemble("li t0, 1\nhalt\n")
+        sim = Simulator(program)
+        first = predecode(sim).ir
+        assert build_ir(program) is first
+
+
+class TestStraightlineTerms:
+    SOURCE = """
+        li   t0, 0
+        li   t1, 5
+loop:
+        add  t0, t0, t1
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        sw   t0, 0(zero)
+        halt
+"""
+
+    def test_ir_and_metas_slice_identically(self):
+        sim = Simulator(assemble(self.SOURCE))
+        predecoded = predecode(sim)
+        ir = build_ir(sim.program)
+        base = sim.program.text_base
+        for watched in (frozenset(), {base + 8}, {base + 12, base + 20}):
+            assert (straightline_terms(ir, base, watched)
+                    == straightline_terms(predecoded.metas, base, watched))
+
+    def test_transfers_and_zolc_terminate(self):
+        sim = Simulator(assemble(self.SOURCE))
+        ir = build_ir(sim.program)
+        base = sim.program.text_base
+        terms = straightline_terms(ir, base, frozenset())
+        # Slots 0..4 run straight into the branch at slot 4; the two
+        # tail slots fuse into (5, 6) ending at the halt.
+        assert terms[0] == 4
+        assert terms[4] is None          # a lone terminator is no span
+        assert terms[5] == 6
+        # A watched *next* pc splits the span before its slot.
+        watched = {base + 8}             # slot 2 is someone's watch target
+        split = straightline_terms(ir, base, watched)
+        assert split[0] == 1
+        assert split[2] == 4
+
+    def test_watched_pc_matches_plan_slicing(self):
+        # The traced tier's region slicing delegates here; spans must
+        # never cross a plan watch target so interior members stay
+        # unwatched (only terminators dispatch).
+        sim = Simulator(assemble(self.SOURCE))
+        ir = build_ir(sim.program)
+        base = sim.program.text_base
+        for idx, term in enumerate(
+                straightline_terms(ir, base, {base + 8})):
+            if term is None:
+                continue
+            for interior in range(idx, term):
+                assert base + 4 * interior + 4 != base + 8
