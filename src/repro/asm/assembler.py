@@ -13,6 +13,7 @@ CFG analysis and code transforms all operate on.
 from __future__ import annotations
 
 import re
+from contextlib import suppress
 from dataclasses import dataclass, field
 
 from repro.asm.errors import AsmError
@@ -109,10 +110,8 @@ def _resolve_value(token: str, symbols: dict[str, int], line: int) -> int:
         base = _resolve_value(symbol, symbols, line)
         ubase = to_unsigned32(base)
         return (ubase >> 16) & 0xFFFF if op == "hi" else ubase & 0xFFFF
-    try:
+    with suppress(ValueError):
         return int(token, 0)
-    except ValueError:
-        pass
     if token in symbols:
         return symbols[token]
     raise AsmError(f"undefined symbol {token!r}", line)

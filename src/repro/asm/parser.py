@@ -121,7 +121,7 @@ def parse(source: str) -> ParsedModule:
             elif mnemonic in (".equ", ".set"):
                 _parse_equ(line, module)
             elif mnemonic in (".globl", ".global"):
-                continue
+                pass
             else:
                 if segment != "data":
                     raise AsmError(

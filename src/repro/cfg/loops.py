@@ -116,9 +116,10 @@ class LoopForest:
         # are also back edges; catch them with a full edge sweep.
         for block_id in reachable:
             for succ in cfg.blocks[block_id].successors:
-                if succ in reachable and self.dom.dominates(succ, block_id):
-                    if (block_id, succ) not in edges:
-                        edges.append((block_id, succ))
+                if (succ in reachable
+                        and self.dom.dominates(succ, block_id)
+                        and (block_id, succ) not in edges):
+                    edges.append((block_id, succ))
         return edges
 
     # -- structure ---------------------------------------------------------
@@ -129,9 +130,10 @@ class LoopForest:
             for other in self.loops:
                 if other is loop:
                     continue
-                if loop.blocks < other.blocks:
-                    if best is None or len(other.blocks) < len(best.blocks):
-                        best = other
+                if loop.blocks < other.blocks and (
+                        best is None
+                        or len(other.blocks) < len(best.blocks)):
+                    best = other
             if best is not None:
                 loop.parent = best.id
                 best.children.append(loop.id)

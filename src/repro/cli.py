@@ -9,6 +9,8 @@ Commands::
     experiment PLAN             run a declarative plan file (JSON/TOML)
     resources                   regenerate the storage/area tables (E3/E4)
     timing                      regenerate the cycle-time report (E5)
+    check [--kernel K|--all] [-m MACHINE] [--audit-codegen]
+                                statically verify kernel/machine pairs
     disasm KERNEL [-m MACHINE]  disassemble a (transformed) kernel
     explore KERNEL              loop/task structure report
     sweep {penalty,switch-cost,nesting}   run an ablation sweep
@@ -134,6 +136,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                       engine=engine)
     _emit(args, result.to_dict(), result.render())
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.eval.check import run_check
+
+    if args.kernel and args.all:
+        raise ValueError("--kernel and --all are mutually exclusive")
+    report = run_check(kernel_names=args.kernel or None,
+                       machine_names=args.machine or None,
+                       audit=args.audit_codegen)
+    shown = [d for d in report.diagnostics
+             if d.severity != "info" or args.verbose]
+    lines = [f"checked {len(report.kernels)} kernels x "
+             f"{len(report.machines)} machines"
+             f"{' (codegen audited)' if report.audited else ''}: "
+             f"{report.errors} errors, {report.warnings} warnings, "
+             f"{report.count('info')} info"]
+    lines.extend(
+        f"  [{d.rule}] {d.severity}: {d.kernel}/{d.machine}: {d.message}"
+        for d in shown)
+    _emit(args, report.to_dict(), "\n".join(lines))
+    return 1 if report.errors else 0
 
 
 def _cmd_resources(args: argparse.Namespace) -> int:
@@ -297,6 +321,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-simulate every cell, bypassing the result store")
     _add_output_flags(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    check_parser = sub.add_parser(
+        "check", help="statically verify kernels (and audit codegen)")
+    check_parser.add_argument(
+        "-k", "--kernel", action="append", metavar="NAME", default=[],
+        help="kernel(s) to check (repeatable; default: the whole suite)")
+    check_parser.add_argument(
+        "--all", action="store_true",
+        help="check the whole suite (the default; conflicts with "
+             "--kernel)")
+    check_parser.add_argument(
+        "-m", "--machine", action="append", metavar="NAME", default=[],
+        help="machine(s) to check on (repeatable; default: every "
+             "registered machine)")
+    check_parser.add_argument(
+        "--audit-codegen", action="store_true",
+        help="also parse each tier's generated Python and cross-check "
+             "it against the IR (rules AU001-AU004)")
+    check_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print info-severity findings")
+    _add_output_flags(check_parser)
+    check_parser.set_defaults(func=_cmd_check)
 
     sub.add_parser("resources", help="E3/E4 resource tables").set_defaults(
         func=_cmd_resources)

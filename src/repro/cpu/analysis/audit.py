@@ -1,0 +1,355 @@
+"""The generated-code auditor: prove emitted Python matches the IR.
+
+Every codegen tier files a :class:`~repro.cpu.engine.emit.CodegenRecord`
+(the exact compiled source plus fault-reconciliation metadata) next to
+its code cache.  This module forces generation over the canonical span
+cover of a program, re-parses each record with :mod:`ast`, and
+cross-checks it against the IR — *what the generated code touches must
+equal what the IR says the region touches*:
+
+AU001  the constant-register accesses in the source (``_g[N]`` reads
+       and writes) equal the IR operand sets of the region's members,
+       under the emitter's documented dead-write rule (a non-memory op
+       whose only destination is r0 emits nothing).
+AU002  the byte displacements in emitted addressing code
+       (``_a = (_g[rs] + imm) & MASK``) equal the IR displacement
+       multiset of the region's loads and stores.
+AU003  the compiled :class:`~repro.cpu.engine.traced.TraceRegion`
+       timing constants equal the per-op ``op_base_cycles`` /
+       ``op_taken_penalty`` sums recomputed from the IR, including the
+       static load-use stalls.
+AU004  the fault-reconciliation line map is total: it covers every
+       source line, maps every member ordinal, and is non-decreasing.
+
+Member ordinals emitted as fallback closures (``_h<k>(...)``) are
+opaque to the parser and are excluded from AU001/AU002 expectations
+(the record names them, so the exclusion is itself audited input).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.cpu.ir import (
+    IROp,
+    build_ir,
+    ir_failure,
+    op_base_cycles,
+    op_taken_penalty,
+    straightline_terms,
+)
+from repro.isa.instructions import Category
+
+from repro.cpu.analysis.verify import Diagnostic
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Sequence
+
+    from repro.cpu.engine.emit import CodegenRecord
+    from repro.cpu.simulator import Simulator
+
+
+class SourceTouches:
+    """What one generated artifact touches, per its ``ast`` parse."""
+
+    __slots__ = ("reg_reads", "reg_writes", "mem_offsets")
+
+    def __init__(self) -> None:
+        self.reg_reads: set[int] = set()
+        self.reg_writes: set[int] = set()
+        self.mem_offsets: list[int] = []
+
+
+def source_touches(source: str) -> SourceTouches:
+    """Parse generated source and collect its constant accesses.
+
+    Register file accesses are ``_g[<constant>]`` subscripts (dynamic
+    subscripts — the chain epilogue's controller index writes — carry
+    no constant and are skipped); addressing displacements are the
+    constant addend of the canonical ``_a = (_g[rs] + imm) & MASK``
+    statement the emitter produces for every load/store.
+    """
+    touches = SourceTouches()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "_g"
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, int)):
+            if isinstance(node.ctx, ast.Store):
+                touches.reg_writes.add(node.slice.value)
+            else:
+                touches.reg_reads.add(node.slice.value)
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "_a"
+                and isinstance(node.value, ast.BinOp)
+                and isinstance(node.value.op, ast.BitAnd)
+                and isinstance(node.value.left, ast.BinOp)
+                and isinstance(node.value.left.op, ast.Add)):
+            try:
+                offset = ast.literal_eval(node.value.left.right)
+            except ValueError:
+                continue
+            if isinstance(offset, int):
+                touches.mem_offsets.append(offset)
+    return touches
+
+
+class ExpectedTouches:
+    """What the IR says a generated artifact must touch."""
+
+    __slots__ = ("reg_reads", "reg_writes", "mem_offsets")
+
+    def __init__(self) -> None:
+        self.reg_reads: set[int] = set()
+        self.reg_writes: set[int] = set()
+        self.mem_offsets: list[int] = []
+
+
+def _member_expect(op: IROp, expect: ExpectedTouches) -> None:
+    """Expected accesses of one *interior* member (emitter rules)."""
+    if op.category_key == Category.LOAD.value:
+        expect.reg_reads.add(op.rs)
+        expect.reg_writes.update(op.defs)
+        expect.mem_offsets.append(op.imm)
+        return
+    if op.category_key == Category.STORE.value:
+        expect.reg_reads.update((op.rs, op.rt))
+        expect.mem_offsets.append(op.imm)
+        return
+    if not op.defs:
+        # The emitter drops the whole statement when the only
+        # destination is r0 (set_reg's generation-time discard).
+        return
+    expect.reg_reads.update(op.reads)
+    expect.reg_writes.update(op.defs)
+
+
+def _term_expect(op: IROp, expect: ExpectedTouches,
+                 zolc_inline: bool) -> None:
+    """Expected accesses of a span *terminator* (emitter rules)."""
+    m = op.mnemonic
+    if op.is_branch and m != "dbne":
+        expect.reg_reads.update(op.reads)
+        return
+    if m == "dbne":
+        expect.reg_reads.add(op.rs)
+        expect.reg_writes.update(op.defs)
+        return
+    if m == "j":
+        return
+    if m == "jal":
+        expect.reg_writes.add(31)
+        return
+    if m == "jr":
+        expect.reg_reads.add(op.rs)
+        return
+    if m == "jalr":
+        expect.reg_reads.add(op.rs)
+        expect.reg_writes.update(op.defs)
+        return
+    if m == "halt":
+        return
+    if op.is_zolc_init:
+        if not zolc_inline:
+            return  # fallback closure: opaque, excluded by caller
+        if m == "mtz":
+            expect.reg_reads.add(op.rt)
+        elif op.rt:
+            expect.reg_writes.add(op.rt)
+        return
+    # Sequential terminator: member semantics plus the result line.
+    _member_expect(op, expect)
+
+
+def expected_touches(ops: Sequence[IROp], kind: str,
+                     fallbacks: Iterable[int]) -> ExpectedTouches:
+    """The IR-derived access sets for one generated artifact.
+
+    ``ops`` is the span's member slice in ordinal order.  ``kind``
+    selects the tier's lowering shape: megahandler regions and batch
+    spans emit their last member through the terminator templates
+    (batch with ``mtz``/``mfz`` inlined); chain drivers emit *every*
+    member through the interior templates (the trigger fire replaces
+    the terminator).
+    """
+    excluded = frozenset(fallbacks)
+    expect = ExpectedTouches()
+    for ordinal, op in enumerate(ops):
+        if ordinal in excluded:
+            continue
+        if kind != "chain" and ordinal == len(ops) - 1:
+            _term_expect(op, expect, zolc_inline=kind == "batch-span")
+        else:
+            _member_expect(op, expect)
+    return expect
+
+
+def audit_record(record: CodegenRecord,
+                 ops: Sequence[IROp]) -> list[Diagnostic]:
+    """AU001/AU002/AU004 for one codegen record against its IR slice."""
+    out: list[Diagnostic] = []
+    label = (f"{record.kind} {hex(ops[0].address)}.."
+             f"{hex(ops[-1].address)}")
+    pc_lo, pc_hi = ops[0].address, ops[-1].address
+    expect = expected_touches(ops, record.kind, record.fallbacks)
+    actual = source_touches(record.source)
+    if actual.reg_reads != expect.reg_reads:
+        out.append(Diagnostic(
+            "AU001", "error",
+            f"{label}: emitted code reads registers "
+            f"{sorted(actual.reg_reads)}, IR expects "
+            f"{sorted(expect.reg_reads)}", pc_lo=pc_lo, pc_hi=pc_hi))
+    if actual.reg_writes != expect.reg_writes:
+        out.append(Diagnostic(
+            "AU001", "error",
+            f"{label}: emitted code writes registers "
+            f"{sorted(actual.reg_writes)}, IR expects "
+            f"{sorted(expect.reg_writes)}", pc_lo=pc_lo, pc_hi=pc_hi))
+    if sorted(actual.mem_offsets) != sorted(expect.mem_offsets):
+        out.append(Diagnostic(
+            "AU002", "error",
+            f"{label}: emitted addressing displacements "
+            f"{sorted(actual.mem_offsets)} do not match the IR "
+            f"multiset {sorted(expect.mem_offsets)}",
+            pc_lo=pc_lo, pc_hi=pc_hi))
+    out.extend(_audit_line_map(record, len(ops), label, pc_lo, pc_hi))
+    return out
+
+
+def _audit_line_map(record: CodegenRecord, size: int, label: str,
+                    pc_lo: int, pc_hi: int) -> list[Diagnostic]:
+    """AU004: the line map is total over source lines and ordinals."""
+    out: list[Diagnostic] = []
+    nlines = record.source.count("\n") + 1
+    if len(record.line_member) != nlines:
+        out.append(Diagnostic(
+            "AU004", "error",
+            f"{label}: line map covers {len(record.line_member)} "
+            f"lines but the source has {nlines}",
+            pc_lo=pc_lo, pc_hi=pc_hi))
+    mapped = [m for m in record.line_member if m is not None]
+    if sorted(set(mapped)) != list(range(size)):
+        out.append(Diagnostic(
+            "AU004", "error",
+            f"{label}: line map reaches ordinals "
+            f"{sorted(set(mapped))}, expected every ordinal in "
+            f"0..{size - 1}", pc_lo=pc_lo, pc_hi=pc_hi))
+    if mapped != sorted(mapped):
+        out.append(Diagnostic(
+            "AU004", "error",
+            f"{label}: line map is not non-decreasing (a fault line "
+            "could reconcile to the wrong member)",
+            pc_lo=pc_lo, pc_hi=pc_hi))
+    return out
+
+
+def _audit_region_timing(sim: Simulator, ops: Sequence[IROp],
+                         region_cycles: int, region_stall: int,
+                         term_penalty: int) -> list[Diagnostic]:
+    """AU003: region timing constants vs IR-recomputed sums."""
+    config = sim.timing.config
+    load_use = config.load_use_stall
+    cycles = stall = 0
+    prev_dest: int | None = None
+    for ordinal, op in enumerate(ops):
+        static_stall = load_use if (ordinal and prev_dest is not None
+                                    and prev_dest in op.uses) else 0
+        cycles += op_base_cycles(op, config) + static_stall
+        stall += static_stall
+        prev_dest = op.load_dest
+    penalty = op_taken_penalty(ops[-1], config)
+    out: list[Diagnostic] = []
+    label = f"region {hex(ops[0].address)}..{hex(ops[-1].address)}"
+    if (region_cycles, region_stall) != (cycles, stall):
+        out.append(Diagnostic(
+            "AU003", "error",
+            f"{label}: compiled static timing (cycles="
+            f"{region_cycles}, stall={region_stall}) does not match "
+            f"the IR recomputation (cycles={cycles}, stall={stall})",
+            pc_lo=ops[0].address, pc_hi=ops[-1].address))
+    if term_penalty != penalty:
+        out.append(Diagnostic(
+            "AU003", "error",
+            f"{label}: compiled taken penalty {term_penalty} does not "
+            f"match op_taken_penalty {penalty}",
+            pc_lo=ops[0].address, pc_hi=ops[-1].address))
+    return out
+
+
+def span_starts(ir: Sequence[IROp], base: int,
+                watched: frozenset[int],
+                terms: Sequence[int | None]) -> list[int]:
+    """Slots beginning a *maximal* straight-line span."""
+    def unsafe(k: int) -> bool:
+        op = ir[k]
+        return (op.can_transfer or op.is_zolc_init
+                or op.link in watched)
+
+    return [j for j in range(len(ir))
+            if terms[j] is not None and (j == 0 or unsafe(j - 1))]
+
+
+def audit_codegen(sim: Simulator,
+                  watched: frozenset[int] = frozenset(),
+                  chains: Iterable[tuple[int, int, int]] = (),
+                  include_batch: bool = True) -> list[Diagnostic]:
+    """Force codegen over the canonical span cover and audit it all.
+
+    ``watched`` is the plan's next-pc watch set (it shapes the span
+    slicing exactly as it does at run time); ``chains`` lists the
+    ``(start slot, term slot, loop id)`` triples the traced tier would
+    promote to loop-resident chains (see
+    :func:`repro.cpu.analysis.verify.chain_candidates`).
+    """
+    from repro.cpu.engine import batch as batch_mod
+    from repro.cpu.engine import traced as traced_mod
+    from repro.cpu.engine.emit import codegen_records
+    from repro.cpu.exceptions import SimulationError
+
+    program = sim.program
+    ir = build_ir(program)
+    if ir is None:
+        return [Diagnostic(
+            "AU001", "info",
+            "program has no IR, nothing to audit "
+            f"({ir_failure(program)})")]
+    predecoded = sim._ensure_predecoded()
+    if predecoded is False:
+        return [Diagnostic(
+            "AU001", "info",
+            "program cannot be predecoded, nothing to audit "
+            f"({sim._predecode_failure})")]
+    base = program.text_base
+    terms = straightline_terms(ir, base, watched)
+    out: list[Diagnostic] = []
+    load_use = sim.timing.config.load_use_stall
+    for start in span_starts(ir, base, watched, terms):
+        term = terms[start]
+        assert term is not None
+        ops = ir[start:term + 1]
+        traced_mod._region_code(program, start, term)
+        record = codegen_records(program)[("region", start, term, None)]
+        out.extend(audit_record(record, ops))
+        region = traced_mod._build_region(
+            sim, predecoded, start, term, load_use)
+        out.extend(_audit_region_timing(
+            sim, ops, region.cycles, region.stall,
+            region.term_taken_penalty))
+        if include_batch:
+            try:
+                batch_mod._resolve_span(program, ir, base, start, term)
+            except SimulationError:
+                continue  # no batch lowering: scalar tiers cover it
+            key = ("batch-span", start, term, None)
+            out.extend(audit_record(codegen_records(program)[key], ops))
+    for start, term, loop_id in chains:
+        traced_mod._chain_code(program, start, term, loop_id)
+        record = codegen_records(program)[("chain", start, term,
+                                           loop_id)]
+        out.extend(audit_record(record, ir[start:term + 1]))
+    return out

@@ -1,0 +1,285 @@
+"""Basic blocks, dominators and natural loops over the engine IR.
+
+This is the *post-transform* control-flow view: it operates on the
+:class:`~repro.cpu.ir.IROp` array the engine tiers lower from, i.e. on
+the instruction stream the hardware actually retires.  (The transform
+layer has its own pre-transform CFG in :mod:`repro.cfg` built over
+:class:`~repro.isa.instructions.Instruction` lists; the two serve
+different phases and are intentionally separate.)
+
+Block boundaries.  A slot starts a new block (is a *leader*) when it is
+the text start, the program entry point, the static target of a branch
+or jump, the slot after a control transfer, the slot after an
+``mtz``/``mfz`` (a dispatch-observable boundary: the controller port
+may change state there), or an address the ZOLC controller watches
+(trigger or entry-target next-pc watch) — watch addresses are reached
+by *fall-through* after the transform deletes the loop latch, so they
+are never natural leaders and must be forced.
+
+Edges.  Conditional branches and ``dbne`` get taken + fall-through
+successors; ``j``/``jal`` get the target only; ``jr``/``jalr`` have no
+static successors (the block is marked ``has_indirect``); ``halt`` has
+none.  When a ``trigger_edges`` map is supplied (trigger pc → loop body
+pc), every edge *arriving* at a trigger block also gets a redirect edge
+to the loop body — this reinstates the back-edge the ZOLC transform
+deleted with the latch branch, so natural-loop detection recovers the
+zero-overhead loops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from repro.cpu.ir import IROp
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Mapping, Sequence
+
+
+class IRBlock(NamedTuple):
+    """One basic block: slots ``[start, end]`` inclusive."""
+
+    bid: int
+    start: int                  # first slot index
+    end: int                    # last slot index (inclusive)
+    succs: tuple[int, ...]      # successor block ids
+    preds: tuple[int, ...]      # predecessor block ids
+    has_indirect: bool          # ends in jr/jalr: successors unknown
+
+
+class IRCFG(NamedTuple):
+    """The control-flow graph of one IR array."""
+
+    base: int                       # text base address
+    blocks: tuple[IRBlock, ...]
+    block_of_slot: tuple[int, ...]  # slot index -> block id
+    entry: int                      # entry block id
+
+    def slot_of(self, pc: int) -> int | None:
+        """Text slot of an address, or ``None`` if outside the image."""
+        offset = pc - self.base
+        if offset < 0 or offset % 4 or offset // 4 >= len(
+                self.block_of_slot):
+            return None
+        return offset // 4
+
+    def block_at(self, pc: int) -> IRBlock | None:
+        """The block containing ``pc``, or ``None`` if out of text."""
+        slot = self.slot_of(pc)
+        if slot is None:
+            return None
+        return self.blocks[self.block_of_slot[slot]]
+
+    def is_leader(self, pc: int) -> bool:
+        """True when ``pc`` is the first address of a basic block."""
+        slot = self.slot_of(pc)
+        if slot is None:
+            return False
+        return self.blocks[self.block_of_slot[slot]].start == slot
+
+
+def build_cfg(ir: Sequence[IROp], base: int, entry_pc: int | None = None,
+              watch_pcs: Iterable[int] = (),
+              trigger_edges: Mapping[int, int] | None = None) -> IRCFG:
+    """Construct the CFG of an IR array.
+
+    ``watch_pcs`` are forced leaders (ZOLC trigger/entry watch
+    addresses plus loop body entries); ``trigger_edges`` maps trigger
+    pcs to loop body pcs and adds the controller's loop-back redirect
+    edges (see module docstring).
+    """
+    n = len(ir)
+    if n == 0:
+        raise ValueError("cannot build a CFG over an empty IR")
+    triggers = dict(trigger_edges) if trigger_edges else {}
+
+    def slot_of(pc: int) -> int | None:
+        offset = pc - base
+        if offset < 0 or offset % 4 or offset // 4 >= n:
+            return None
+        return offset // 4
+
+    leaders = {0}
+    entry_slot = slot_of(entry_pc) if entry_pc is not None else 0
+    if entry_slot is not None:
+        leaders.add(entry_slot)
+    for pc in watch_pcs:
+        slot = slot_of(pc)
+        if slot is not None:
+            leaders.add(slot)
+    for pc in triggers:
+        for target in (pc, triggers[pc]):
+            slot = slot_of(target)
+            if slot is not None:
+                leaders.add(slot)
+    for op in ir:
+        if op.target is not None:
+            slot = slot_of(op.target)
+            if slot is not None:
+                leaders.add(slot)
+        if (op.can_transfer or op.is_zolc_init) and op.index + 1 < n:
+            leaders.add(op.index + 1)
+
+    starts = sorted(leaders)
+    block_of_slot = [0] * n
+    bounds: list[tuple[int, int]] = []
+    for bid, start in enumerate(starts):
+        end = (starts[bid + 1] - 1) if bid + 1 < len(starts) else n - 1
+        bounds.append((start, end))
+        for slot in range(start, end + 1):
+            block_of_slot[slot] = bid
+
+    succ_sets: list[set[int]] = [set() for _ in bounds]
+    pred_sets: list[set[int]] = [set() for _ in bounds]
+    indirect = [False] * len(bounds)
+
+    def succ_pcs(op: IROp) -> tuple[list[int], bool]:
+        """Static successor addresses of a block-ending op."""
+        if op.mnemonic in ("jr", "jalr"):
+            return [], True
+        if op.mnemonic == "halt":
+            return [], False
+        out: list[int] = []
+        if op.target is not None:
+            out.append(op.target)
+        if op.is_branch or not op.can_transfer:
+            out.append(op.link)       # fall-through / not-taken path
+        return out, False
+
+    for bid, (_, end) in enumerate(bounds):
+        pcs, indirect[bid] = succ_pcs(ir[end])
+        for pc in pcs:
+            slot = slot_of(pc)
+            if slot is None:
+                continue
+            succ_sets[bid].add(block_of_slot[slot])
+            if pc in triggers:
+                # The controller redirects arrival at a trigger back to
+                # the loop body while iterations remain.
+                body_slot = slot_of(triggers[pc])
+                if body_slot is not None:
+                    succ_sets[bid].add(block_of_slot[body_slot])
+    for bid, succs in enumerate(succ_sets):
+        for succ in succs:
+            pred_sets[succ].add(bid)
+
+    blocks = tuple(
+        IRBlock(bid=bid, start=start, end=end,
+                succs=tuple(sorted(succ_sets[bid])),
+                preds=tuple(sorted(pred_sets[bid])),
+                has_indirect=indirect[bid])
+        for bid, (start, end) in enumerate(bounds))
+    entry = block_of_slot[entry_slot if entry_slot is not None else 0]
+    return IRCFG(base=base, blocks=blocks,
+                 block_of_slot=tuple(block_of_slot), entry=entry)
+
+
+def reverse_postorder(cfg: IRCFG) -> list[int]:
+    """Reachable block ids in reverse postorder from the entry."""
+    seen: set[int] = set()
+    order: list[int] = []
+    stack: list[tuple[int, int]] = [(cfg.entry, 0)]
+    seen.add(cfg.entry)
+    while stack:
+        bid, i = stack[-1]
+        succs = cfg.blocks[bid].succs
+        if i < len(succs):
+            stack[-1] = (bid, i + 1)
+            nxt = succs[i]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            order.append(bid)
+    order.reverse()
+    return order
+
+
+def dominators(cfg: IRCFG) -> tuple[int | None, ...]:
+    """Immediate dominator per block (Cooper–Harvey–Kennedy iterative).
+
+    The entry block's idom is itself; unreachable blocks get ``None``.
+    """
+    rpo = reverse_postorder(cfg)
+    position = {bid: i for i, bid in enumerate(rpo)}
+    idom: list[int | None] = [None] * len(cfg.blocks)
+    idom[cfg.entry] = cfg.entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in rpo:
+            if bid == cfg.entry:
+                continue
+            new_idom: int | None = None
+            for pred in cfg.blocks[bid].preds:
+                if pred in position and idom[pred] is not None:
+                    new_idom = (pred if new_idom is None
+                                else intersect(pred, new_idom))
+            if new_idom is not None and idom[bid] != new_idom:
+                idom[bid] = new_idom
+                changed = True
+    return tuple(idom)
+
+
+def dominates(idom: Sequence[int | None], a: int, b: int) -> bool:
+    """True when block ``a`` dominates block ``b`` (reflexive)."""
+    node: int | None = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom[node]
+        if parent == node:
+            return False
+        node = parent
+    return False
+
+
+class IRLoop(NamedTuple):
+    """One natural loop: the header block and every body block."""
+
+    header: int                         # header block id
+    body: frozenset[int]                # block ids, header included
+    back_edges: tuple[tuple[int, int], ...]  # (latch, header) pairs
+
+
+def natural_loops(cfg: IRCFG,
+                  idom: Sequence[int | None] | None = None) -> (
+                      tuple[IRLoop, ...]):
+    """Natural loops from back edges (``u -> h`` with ``h`` dom ``u``).
+
+    Loops sharing a header are merged, following the classic
+    construction; returned in ascending header order.
+    """
+    if idom is None:
+        idom = dominators(cfg)
+    bodies: dict[int, set[int]] = {}
+    edges: dict[int, list[tuple[int, int]]] = {}
+    for block in cfg.blocks:
+        if idom[block.bid] is None and block.bid != cfg.entry:
+            continue
+        for succ in block.succs:
+            if not dominates(idom, succ, block.bid):
+                continue
+            body = bodies.setdefault(succ, {succ})
+            edges.setdefault(succ, []).append((block.bid, succ))
+            stack = [block.bid]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(cfg.blocks[node].preds)
+    return tuple(
+        IRLoop(header=header, body=frozenset(bodies[header]),
+               back_edges=tuple(sorted(edges[header])))
+        for header in sorted(bodies))

@@ -1,0 +1,263 @@
+"""Dataflow analyses over the engine IR.
+
+Per-block def/use summaries, reaching definitions, register liveness
+and a memory-access classification (with sub-word widths) over the
+:class:`~repro.cpu.analysis.cfg.IRCFG` basic blocks.
+
+Register facts come straight from the IR's dataflow metadata
+(``IROp.defs`` / ``IROp.uses`` — r0 excluded on both sides, since the
+zero register is not writable state).  Memory facts are *symbolic*: a
+location is the triple ``(base register, byte offset, width)`` as it
+appears in the addressing mode; two accesses are assumed to alias
+unless they share a base register and provably-disjoint byte ranges,
+which keeps every consumer conservative without an alias analysis.
+
+``jr``/``jalr`` blocks have no static successors, so anything live
+past an indirect jump must be handled by the caller (the verifier
+treats such blocks as region boundaries anyway).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from repro.cpu.ir import IROp
+from repro.isa.instructions import Category
+
+from repro.cpu.analysis.cfg import IRCFG
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Sequence
+
+#: Byte width of each memory-touching mnemonic.
+ACCESS_WIDTHS: dict[str, int] = {
+    "lb": 1, "lbu": 1, "sb": 1,
+    "lh": 2, "lhu": 2, "sh": 2,
+    "lw": 4, "sw": 4,
+}
+
+
+class BlockDefUse(NamedTuple):
+    """Register summary of one basic block."""
+
+    bid: int
+    defs: frozenset[int]        # registers written anywhere in block
+    uses: frozenset[int]        # upward-exposed reads (before any def)
+
+
+def block_def_use(cfg: IRCFG, ir: Sequence[IROp]) -> tuple[
+        BlockDefUse, ...]:
+    """Per-block def and upward-exposed-use sets."""
+    out: list[BlockDefUse] = []
+    for block in cfg.blocks:
+        defined: set[int] = set()
+        exposed: set[int] = set()
+        for slot in range(block.start, block.end + 1):
+            op = ir[slot]
+            exposed |= op.uses - defined
+            defined |= op.defs
+        out.append(BlockDefUse(bid=block.bid, defs=frozenset(defined),
+                               uses=frozenset(exposed)))
+    return tuple(out)
+
+
+def written_registers(ir: Sequence[IROp],
+                      slots: Iterable[int]) -> frozenset[int]:
+    """Registers written by any of the given text slots (r0 excluded)."""
+    out: set[int] = set()
+    for slot in slots:
+        out |= ir[slot].defs
+    return frozenset(out)
+
+
+def read_registers(ir: Sequence[IROp],
+                   slots: Iterable[int]) -> frozenset[int]:
+    """Registers read by any of the given text slots (r0 excluded)."""
+    out: set[int] = set()
+    for slot in slots:
+        out |= ir[slot].uses
+    return frozenset(out)
+
+
+#: One definition site: (text slot, register).
+DefSite = tuple[int, int]
+
+
+class ReachingDefinitions(NamedTuple):
+    """Reaching-definition sets at block boundaries."""
+
+    reach_in: tuple[frozenset[DefSite], ...]   # per block id
+    reach_out: tuple[frozenset[DefSite], ...]
+
+    def defs_reaching(self, bid: int, reg: int) -> frozenset[DefSite]:
+        """Definition sites of ``reg`` live at the top of block ``bid``."""
+        return frozenset(site for site in self.reach_in[bid]
+                         if site[1] == reg)
+
+
+def reaching_definitions(cfg: IRCFG,
+                         ir: Sequence[IROp]) -> ReachingDefinitions:
+    """Classic forward may-analysis over (slot, register) def sites."""
+    nblocks = len(cfg.blocks)
+    gen: list[frozenset[DefSite]] = []
+    kill_regs: list[frozenset[int]] = []
+    for block in cfg.blocks:
+        last_def: dict[int, int] = {}
+        killed: set[int] = set()
+        for slot in range(block.start, block.end + 1):
+            for reg in ir[slot].defs:
+                last_def[reg] = slot
+                killed.add(reg)
+        gen.append(frozenset((slot, reg)
+                             for reg, slot in last_def.items()))
+        kill_regs.append(frozenset(killed))
+
+    reach_in: list[frozenset[DefSite]] = [frozenset()] * nblocks
+    reach_out: list[frozenset[DefSite]] = [
+        gen[bid] for bid in range(nblocks)]
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            bid = block.bid
+            incoming: set[DefSite] = set()
+            for pred in block.preds:
+                incoming |= reach_out[pred]
+            new_in = frozenset(incoming)
+            survived = frozenset(site for site in new_in
+                                 if site[1] not in kill_regs[bid])
+            new_out = gen[bid] | survived
+            if new_in != reach_in[bid] or new_out != reach_out[bid]:
+                reach_in[bid] = new_in
+                reach_out[bid] = new_out
+                changed = True
+    return ReachingDefinitions(reach_in=tuple(reach_in),
+                               reach_out=tuple(reach_out))
+
+
+class Liveness(NamedTuple):
+    """Register liveness at block boundaries."""
+
+    live_in: tuple[frozenset[int], ...]    # per block id
+    live_out: tuple[frozenset[int], ...]
+
+
+def live_registers(cfg: IRCFG, ir: Sequence[IROp]) -> Liveness:
+    """Backward may-analysis: registers live into / out of each block."""
+    summaries = block_def_use(cfg, ir)
+    nblocks = len(cfg.blocks)
+    live_in: list[frozenset[int]] = [frozenset()] * nblocks
+    live_out: list[frozenset[int]] = [frozenset()] * nblocks
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            bid = block.bid
+            outgoing: set[int] = set()
+            for succ in block.succs:
+                outgoing |= live_in[succ]
+            new_out = frozenset(outgoing)
+            new_in = summaries[bid].uses | (
+                new_out - summaries[bid].defs)
+            if new_in != live_in[bid] or new_out != live_out[bid]:
+                live_in[bid] = new_in
+                live_out[bid] = new_out
+                changed = True
+    return Liveness(live_in=tuple(live_in), live_out=tuple(live_out))
+
+
+class MemAccess(NamedTuple):
+    """One memory access in addressing-mode terms."""
+
+    slot: int
+    address: int            # pc of the instruction
+    kind: str               # "load" | "store"
+    width: int              # 1, 2 or 4 bytes
+    base: int               # base register (rs)
+    offset: int             # signed byte displacement
+
+    def overlaps(self, other: MemAccess) -> bool:
+        """Conservative may-alias: disjoint only with a shared base."""
+        if self.base != other.base:
+            return True
+        lo, hi = self.offset, self.offset + self.width
+        olo, ohi = other.offset, other.offset + other.width
+        return lo < ohi and olo < hi
+
+
+def memory_accesses(ir: Sequence[IROp],
+                    slots: Iterable[int] | None = None) -> tuple[
+                        MemAccess, ...]:
+    """Classify the memory ops among ``slots`` (default: whole image)."""
+    chosen = range(len(ir)) if slots is None else slots
+    out: list[MemAccess] = []
+    for slot in chosen:
+        op = ir[slot]
+        if op.category_key == Category.LOAD.value:
+            kind = "load"
+        elif op.category_key == Category.STORE.value:
+            kind = "store"
+        else:
+            continue
+        out.append(MemAccess(slot=slot, address=op.address, kind=kind,
+                             width=ACCESS_WIDTHS[op.mnemonic],
+                             base=op.rs, offset=op.imm))
+    return tuple(out)
+
+
+class MemLiveness(NamedTuple):
+    """Symbolic memory liveness at block boundaries.
+
+    Locations are ``(base, offset, width)`` triples.  The analysis is
+    conservative two ways: a load generates its exact location; a store
+    kills only locations it *fully covers with the same base register*
+    (so a sub-word store never kills the containing word — the wider
+    load still observes bytes the store did not write).
+    """
+
+    live_in: tuple[frozenset[tuple[int, int, int]], ...]
+    live_out: tuple[frozenset[tuple[int, int, int]], ...]
+
+
+def live_memory(cfg: IRCFG, ir: Sequence[IROp]) -> MemLiveness:
+    """Backward may-analysis over symbolic memory locations."""
+    nblocks = len(cfg.blocks)
+
+    def covers(store: MemAccess, loc: tuple[int, int, int]) -> bool:
+        base, offset, width = loc
+        return (store.base == base and store.offset <= offset
+                and offset + width <= store.offset + store.width)
+
+    accesses = [memory_accesses(ir, range(b.start, b.end + 1))
+                for b in cfg.blocks]
+    live_in: list[frozenset[tuple[int, int, int]]] = [
+        frozenset()] * nblocks
+    live_out: list[frozenset[tuple[int, int, int]]] = [
+        frozenset()] * nblocks
+
+    def transfer(bid: int, out_set: frozenset[tuple[int, int, int]]) -> (
+            frozenset[tuple[int, int, int]]):
+        live = set(out_set)
+        for access in reversed(accesses[bid]):
+            if access.kind == "store":
+                live = {loc for loc in live
+                        if not covers(access, loc)}
+            else:
+                live.add((access.base, access.offset, access.width))
+        return frozenset(live)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            bid = block.bid
+            outgoing: set[tuple[int, int, int]] = set()
+            for succ in block.succs:
+                outgoing |= live_in[succ]
+            new_out = frozenset(outgoing)
+            new_in = transfer(bid, new_out)
+            if new_in != live_in[bid] or new_out != live_out[bid]:
+                live_in[bid] = new_in
+                live_out[bid] = new_out
+                changed = True
+    return MemLiveness(live_in=tuple(live_in), live_out=tuple(live_out))

@@ -1,0 +1,490 @@
+"""Static verifier for the properties the engine tiers assume.
+
+Each rule re-proves, from the IR and an externally supplied
+:class:`StaticZolcPlan`, an invariant the runtime enforces only
+dynamically (or not at all).  Findings are structured
+:class:`Diagnostic` records so CI and the experiment layer can consume
+them as JSON.
+
+Rule catalogue (documented in DESIGN.md §11):
+
+======  ========  ====================================================
+id      severity  proves
+======  ========  ====================================================
+ZV001   error     every straight-line span from ``straightline_terms``
+                  ends at a block boundary and crosses no control
+                  transfer, ``mtz``/``mfz``, or ZOLC watch address
+ZV002   error     ZOLC watch addresses are word-aligned text
+                  addresses; triggers and entry targets are CFG block
+                  leaders; exit watches sit on branch instructions
+ZV003   error     chain legality (DESIGN.md §9) holds for each loop
+                  the traced tier would promote to a loop-resident
+                  chain (info when a body is simply not chainable)
+ZV004   error     no instruction inside a watched loop body writes a
+                  register the controller's index unit owns
+ZV005   warning   watched loop bodies without an entry record are
+                  single-entry regions (the body header dominates
+                  every body block)
+======  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.cpu.ir import IROp, straightline_terms
+from repro.isa.registers import register_name
+
+from repro.cpu.analysis.cfg import (
+    IRCFG,
+    build_cfg,
+    dominates,
+    dominators,
+)
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+#: rule id -> one-line statement of what the rule proves.
+RULES: dict[str, str] = {
+    "ZV001": "straight-line spans end at block boundaries and never "
+             "cross a transfer, mtz/mfz, or ZOLC watch address",
+    "ZV002": "ZOLC watch addresses are word-aligned block leaders; "
+             "exit watches sit on branches",
+    "ZV003": "chain legality (DESIGN.md §9) holds for every loop the "
+             "traced tier would chain",
+    "ZV004": "no instruction in a watched loop body writes a register "
+             "the controller's index unit owns",
+    "ZV005": "watched loop bodies without an entry record are "
+             "single-entry regions",
+    "AU001": "registers touched by emitted code equal the IR operand "
+             "sets of its region",
+    "AU002": "memory offsets in emitted addressing code equal the IR "
+             "displacement multiset of its region",
+    "AU003": "compiled timing constants sum to the per-op "
+             "op_base_cycles/op_taken_penalty totals",
+    "AU004": "fault-reconciliation line maps are total over the "
+             "emitted source and its member ordinals",
+}
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding: rule id, pc range, severity, message."""
+
+    rule: str
+    severity: str
+    message: str
+    pc_lo: int | None = None
+    pc_hi: int | None = None
+    kernel: str | None = None
+    machine: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule id {self.rule!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "rule": self.rule, "severity": self.severity,
+            "message": self.message,
+        }
+        if self.pc_lo is not None:
+            out["pc_lo"] = self.pc_lo
+        if self.pc_hi is not None:
+            out["pc_hi"] = self.pc_hi
+        if self.kernel is not None:
+            out["kernel"] = self.kernel
+        if self.machine is not None:
+            out["machine"] = self.machine
+        return out
+
+    def tagged(self, kernel: str | None,
+               machine: str | None) -> Diagnostic:
+        """A copy carrying kernel/machine provenance."""
+        return replace(self, kernel=kernel, machine=machine)
+
+
+@dataclass(frozen=True)
+class WatchedLoop:
+    """Static view of one loop-table row the controller will own.
+
+    ``span_end`` is the *exclusive* byte bound of the watched body:
+    the loop's own trigger when it has one, else the trigger of the
+    cascading descendant that decides it (``None`` when unresolvable).
+    """
+
+    loop_id: int
+    group: int
+    index_reg: int
+    body_pc: int
+    trigger_pc: int | None
+    span_end: int | None
+    has_entry_record: bool = False
+
+
+@dataclass(frozen=True)
+class StaticZolcPlan:
+    """Label-resolved controller programming, before any simulation.
+
+    Built by :func:`repro.eval.check.static_plan` from the transform's
+    :class:`~repro.core.init_seq.ZolcProgramSpec` records plus the
+    program's symbol table — the same source the ``mtz`` init sequence
+    encodes, so the verifier needs no armed controller.
+    """
+
+    loops: tuple[WatchedLoop, ...] = ()
+    entry_pcs: tuple[int, ...] = ()     # entry-record target pcs
+    exit_pcs: tuple[int, ...] = ()      # exit-record branch pcs
+
+    @property
+    def trigger_pcs(self) -> tuple[int, ...]:
+        return tuple(lp.trigger_pc for lp in self.loops
+                     if lp.trigger_pc is not None)
+
+    def watched_next_pcs(self) -> frozenset[int]:
+        """Next-pc watch set: triggers plus entry targets."""
+        return frozenset(self.trigger_pcs) | frozenset(self.entry_pcs)
+
+    def trigger_edges(self) -> dict[int, int]:
+        """trigger pc -> loop body pc, for CFG loop-back edges."""
+        return {lp.trigger_pc: lp.body_pc for lp in self.loops
+                if lp.trigger_pc is not None}
+
+    def owned_registers(self, group: int) -> frozenset[int]:
+        """Index registers the controller owns while ``group`` is armed."""
+        return frozenset(lp.index_reg for lp in self.loops
+                         if lp.group == group)
+
+
+@dataclass
+class VerifyContext:
+    """Everything one verifier invocation operates over."""
+
+    ir: Sequence[IROp]
+    base: int
+    entry_pc: int | None = None
+    plan: StaticZolcPlan | None = None
+    #: Override for the span-terminator list (negative tests inject a
+    #: corrupted slicing here); computed from the IR when ``None``.
+    terms: list[int | None] | None = None
+    cfg: IRCFG = field(init=False)
+
+    def __post_init__(self) -> None:
+        plan = self.plan or StaticZolcPlan()
+        watch = set(plan.watched_next_pcs())
+        watch.update(lp.body_pc for lp in plan.loops)
+        self.cfg = build_cfg(self.ir, self.base, self.entry_pc,
+                             watch_pcs=watch,
+                             trigger_edges=plan.trigger_edges())
+        if self.terms is None:
+            self.terms = straightline_terms(
+                self.ir, self.base, plan.watched_next_pcs())
+
+    def slot_of(self, pc: int) -> int | None:
+        return self.cfg.slot_of(pc)
+
+
+def verify_program(ir: Sequence[IROp], base: int,
+                   entry_pc: int | None = None,
+                   plan: StaticZolcPlan | None = None,
+                   terms: list[int | None] | None = None) -> list[
+                       Diagnostic]:
+    """Run every verifier rule; returns the combined findings."""
+    ctx = VerifyContext(ir=ir, base=base, entry_pc=entry_pc, plan=plan,
+                        terms=terms)
+    out: list[Diagnostic] = []
+    out.extend(check_region_boundaries(ctx))
+    if ctx.plan is not None:
+        out.extend(check_watch_addresses(ctx))
+        out.extend(check_chain_legality(ctx))
+        out.extend(check_index_writes(ctx))
+        out.extend(check_single_entry(ctx))
+    return out
+
+
+def _unsafe_reason(ctx: VerifyContext, slot: int,
+                   watched: frozenset[int]) -> str | None:
+    """Why ``slot`` must terminate any span that reaches it."""
+    op = ctx.ir[slot]
+    if op.can_transfer:
+        return f"{op.mnemonic} at {hex(op.address)} can transfer control"
+    if op.is_zolc_init:
+        return (f"{op.mnemonic} at {hex(op.address)} may change "
+                "controller state")
+    if op.link in watched:
+        return (f"next pc {hex(op.link)} is a ZOLC watch address")
+    return None
+
+
+def check_region_boundaries(ctx: VerifyContext) -> list[Diagnostic]:
+    """ZV001: re-prove the straight-line span slicing.
+
+    Maximal spans must keep every interior slot safe (no transfer, no
+    ``mtz``/``mfz``, no watch address crossed) and must terminate for a
+    reason — an unsafe terminator, or the end of the text image — so
+    every span boundary coincides with a basic-block boundary.
+    """
+    plan = ctx.plan or StaticZolcPlan()
+    watched = plan.watched_next_pcs()
+    ir, terms = ctx.ir, ctx.terms
+    assert terms is not None
+    n = len(ir)
+    out: list[Diagnostic] = []
+
+    def is_start(j: int) -> bool:
+        if terms[j] is None:
+            return False
+        if j == 0:
+            return True
+        return (_unsafe_reason(ctx, j - 1, watched) is not None
+                or terms[j - 1] is None)
+
+    for j in range(n):
+        if not is_start(j):
+            continue
+        term = terms[j]
+        assert term is not None
+        span = (ir[j].address, ir[term].address)
+        if term <= j or term >= n:
+            out.append(Diagnostic(
+                "ZV001", "error",
+                f"span at {hex(span[0])} has a degenerate terminator "
+                f"slot {term}", pc_lo=span[0], pc_hi=span[1]))
+            continue
+        for k in range(j, term):
+            reason = _unsafe_reason(ctx, k, watched)
+            if reason is not None:
+                out.append(Diagnostic(
+                    "ZV001", "error",
+                    f"span {hex(span[0])}..{hex(span[1])} crosses an "
+                    f"interior boundary: {reason}",
+                    pc_lo=span[0], pc_hi=span[1]))
+        if (term != n - 1
+                and _unsafe_reason(ctx, term, watched) is None):
+            out.append(Diagnostic(
+                "ZV001", "error",
+                f"span {hex(span[0])}..{hex(span[1])} terminates "
+                "without a block boundary: the terminator neither "
+                "transfers, touches the controller, precedes a watch "
+                "address, nor ends the text image",
+                pc_lo=span[0], pc_hi=span[1]))
+    return out
+
+
+def check_watch_addresses(ctx: VerifyContext) -> list[Diagnostic]:
+    """ZV002: watch addresses are aligned, in text, and block leaders."""
+    plan = ctx.plan
+    assert plan is not None
+    out: list[Diagnostic] = []
+
+    def check_pc(pc: int, what: str) -> bool:
+        if pc % 4:
+            out.append(Diagnostic(
+                "ZV002", "error",
+                f"{what} {hex(pc)} is not word-aligned", pc_lo=pc))
+            return False
+        if ctx.slot_of(pc) is None:
+            out.append(Diagnostic(
+                "ZV002", "error",
+                f"{what} {hex(pc)} is outside the text image",
+                pc_lo=pc))
+            return False
+        return True
+
+    for lp in plan.loops:
+        if lp.trigger_pc is not None:
+            check_pc(lp.trigger_pc, f"trigger of loop {lp.loop_id}")
+        check_pc(lp.body_pc, f"body entry of loop {lp.loop_id}")
+    for pc in plan.entry_pcs:
+        if check_pc(pc, "entry-record target") and not (
+                ctx.cfg.is_leader(pc)):
+            out.append(Diagnostic(
+                "ZV002", "error",
+                f"entry-record target {hex(pc)} is not a block leader",
+                pc_lo=pc))
+    for pc in plan.exit_pcs:
+        if not check_pc(pc, "exit-record branch"):
+            continue
+        slot = ctx.slot_of(pc)
+        assert slot is not None
+        if not ctx.ir[slot].is_branch:
+            out.append(Diagnostic(
+                "ZV002", "error",
+                f"exit-record watch {hex(pc)} does not sit on a "
+                f"branch (found {ctx.ir[slot].mnemonic})", pc_lo=pc))
+    # Triggers and entry targets are forced leaders during CFG
+    # construction, so in-text aligned ones are leaders by definition;
+    # assert the construction honoured that.
+    for pc in plan.watched_next_pcs():
+        if pc % 4 == 0 and ctx.slot_of(pc) is not None and not (
+                ctx.cfg.is_leader(pc)):
+            out.append(Diagnostic(
+                "ZV002", "error",
+                f"watch address {hex(pc)} did not become a block "
+                "leader", pc_lo=pc))
+    return out
+
+
+def chain_candidates(ctx: VerifyContext) -> list[tuple[int, int, int]]:
+    """``(start slot, term slot, loop_id)`` for loops the traced tier
+    would promote to a loop-resident chain: the watched body is one
+    maximal straight-line span ending right before the trigger, and
+    the terminator is ``chain_ok`` (a plain sequential instruction, so
+    every execution falls through into the trigger — a branch
+    terminator reaches it only on the not-taken path and never
+    chains)."""
+    plan = ctx.plan
+    assert plan is not None
+    terms = ctx.terms
+    assert terms is not None
+    out: list[tuple[int, int, int]] = []
+    for lp in plan.loops:
+        if lp.trigger_pc is None:
+            continue
+        start = ctx.slot_of(lp.body_pc)
+        tslot = ctx.slot_of(lp.trigger_pc)
+        if start is None or tslot is None or tslot <= start:
+            continue
+        term_op = ctx.ir[tslot - 1]
+        if terms[start] == tslot - 1 and not (
+                term_op.can_transfer or term_op.is_zolc_init):
+            out.append((start, tslot - 1, lp.loop_id))
+    return out
+
+
+def check_chain_legality(ctx: VerifyContext) -> list[Diagnostic]:
+    """ZV003: re-prove DESIGN.md §9 chain legality per chained loop.
+
+    For each loop whose body the traced tier would chain: the body
+    holds no ``mtz``/``mfz`` (condition 1), no *other* watch address
+    lands strictly inside it (condition 2, so interior members stay
+    unwatched), and the terminator cannot transfer control (condition
+    3, the region falls through into the trigger).  Loops whose bodies
+    are not single spans are reported at info severity — they simply
+    run unchained.
+    """
+    plan = ctx.plan
+    assert plan is not None
+    watched = plan.watched_next_pcs()
+    out: list[Diagnostic] = []
+    chained = {loop_id: (start, term)
+               for start, term, loop_id in chain_candidates(ctx)}
+    for lp in plan.loops:
+        if lp.trigger_pc is None:
+            continue
+        if lp.loop_id not in chained:
+            out.append(Diagnostic(
+                "ZV003", "info",
+                f"loop {lp.loop_id} body at {hex(lp.body_pc)} is not "
+                "a single straight-line span; the traced tier runs it "
+                "unchained", pc_lo=lp.body_pc, pc_hi=lp.trigger_pc))
+            continue
+        start, term = chained[lp.loop_id]
+        span = (ctx.ir[start].address, ctx.ir[term].address)
+        for k in range(start, term + 1):
+            if ctx.ir[k].is_zolc_init:
+                out.append(Diagnostic(
+                    "ZV003", "error",
+                    f"chained body of loop {lp.loop_id} contains "
+                    f"{ctx.ir[k].mnemonic} at {hex(ctx.ir[k].address)}"
+                    " (chain condition 1 violated)",
+                    pc_lo=span[0], pc_hi=span[1]))
+        for pc in watched:
+            if span[0] < pc <= span[1]:
+                out.append(Diagnostic(
+                    "ZV003", "error",
+                    f"watch address {hex(pc)} lands inside the "
+                    f"chained body of loop {lp.loop_id} (chain "
+                    "condition 2 violated)",
+                    pc_lo=span[0], pc_hi=span[1]))
+        if ctx.ir[term].can_transfer:
+            out.append(Diagnostic(
+                "ZV003", "error",
+                f"chained body of loop {lp.loop_id} ends in "
+                f"{ctx.ir[term].mnemonic}, which can transfer control "
+                "(chain condition 3 violated)",
+                pc_lo=span[0], pc_hi=span[1]))
+    return out
+
+
+def _body_slots(ctx: VerifyContext, lp: WatchedLoop) -> range | None:
+    """Text-slot range of a loop's watched body, ``None`` if unknown."""
+    if lp.span_end is None:
+        return None
+    start = ctx.slot_of(lp.body_pc)
+    if start is None:
+        return None
+    end = ctx.slot_of(lp.span_end)
+    if end is None:
+        # Span end may be one past the last text slot.
+        if lp.span_end == ctx.base + 4 * len(ctx.ir):
+            end = len(ctx.ir)
+        else:
+            return None
+    return range(start, end)
+
+
+def check_index_writes(ctx: VerifyContext) -> list[Diagnostic]:
+    """ZV004: watched bodies never write controller-owned registers.
+
+    While a group is armed, its index registers are architectural state
+    the controller rewrites at task switches; a program write inside
+    any watched body would race the index unit (the dynamic engines
+    cannot detect this — the write silently corrupts loop tracking).
+    """
+    plan = ctx.plan
+    assert plan is not None
+    out: list[Diagnostic] = []
+    for lp in plan.loops:
+        slots = _body_slots(ctx, lp)
+        if slots is None:
+            continue
+        owned = plan.owned_registers(lp.group)
+        for slot in slots:
+            hit = ctx.ir[slot].defs & owned
+            for reg in sorted(hit):
+                out.append(Diagnostic(
+                    "ZV004", "error",
+                    f"{ctx.ir[slot].mnemonic} at "
+                    f"{hex(ctx.ir[slot].address)} writes "
+                    f"{register_name(reg)}, an index register the "
+                    f"controller owns, inside the watched body of "
+                    f"loop {lp.loop_id}",
+                    pc_lo=lp.body_pc, pc_hi=lp.span_end))
+    return out
+
+
+def check_single_entry(ctx: VerifyContext) -> list[Diagnostic]:
+    """ZV005: bodies without entry records are single-entry regions."""
+    plan = ctx.plan
+    assert plan is not None
+    idom = dominators(ctx.cfg)
+    out: list[Diagnostic] = []
+    for lp in plan.loops:
+        if lp.has_entry_record:
+            continue
+        slots = _body_slots(ctx, lp)
+        if slots is None or len(slots) == 0:
+            continue
+        header = ctx.cfg.block_of_slot[slots[0]]
+        body_blocks = {ctx.cfg.block_of_slot[s] for s in slots}
+        for bid in sorted(body_blocks):
+            if idom[bid] is None:
+                continue  # unreachable code inside the span
+            if not dominates(idom, header, bid):
+                block = ctx.cfg.blocks[bid]
+                out.append(Diagnostic(
+                    "ZV005", "warning",
+                    f"block at {hex(ctx.ir[block.start].address)} "
+                    f"inside the watched body of loop {lp.loop_id} is "
+                    "not dominated by the body header (undeclared "
+                    "side entry)",
+                    pc_lo=lp.body_pc, pc_hi=lp.span_end))
+                break
+    return out

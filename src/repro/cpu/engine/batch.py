@@ -54,8 +54,10 @@ from repro.cpu.engine.dispatch import HALT
 from repro.cpu.engine.emit import (
     BATCH_CELL_PARAMS,
     BATCH_GLOBALS,
+    CodegenRecord,
     batch_cell_context,
     member_lines,
+    record_codegen,
     term_lines,
 )
 from repro.cpu.engine.fast import _apply_action, _compile_watch_arrays
@@ -91,6 +93,8 @@ class BatchSpan(NamedTuple):
     ir_members: tuple
     #: generated-source line number (0-based) -> member ordinal.
     line_member: tuple
+    #: the compiled source text, kept for the codegen auditor.
+    source: str = ""
 
 
 def _build_span(ir, base: int, start: int, term: int) -> BatchSpan:
@@ -123,7 +127,8 @@ def _build_span(ir, base: int, start: int, term: int) -> BatchSpan:
         fn=ns["_bspan"], start=start, term=term, size=term - start + 1,
         term_pc=base + 4 * term, term_op=term_op,
         first_uses=ir[start].uses, out_pending=term_op.load_dest,
-        ir_members=ir[start:term + 1], line_member=tuple(line_member))
+        ir_members=ir[start:term + 1], line_member=tuple(line_member),
+        source=src)
 
 
 def _resolve_span(program, ir, base: int, start: int, term: int) -> BatchSpan:
@@ -134,6 +139,10 @@ def _resolve_span(program, ir, base: int, start: int, term: int) -> BatchSpan:
     if span is None:
         span = _build_span(ir, base, start, term)
         spans[(start, term)] = span
+        record_codegen(program, CodegenRecord(
+            kind="batch-span", start=start, term=term,
+            source=span.source, line_member=span.line_member,
+            fallbacks=()))
     return span
 
 

@@ -23,6 +23,8 @@ simulator of a program.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from repro.cpu import alu
 from repro.cpu.exceptions import SimulationError
 from repro.cpu.ir import IROp
@@ -306,6 +308,45 @@ BATCH_CELL_PARAMS = ("_g", "_mem", "_hi1", "_hi2", "_hi4",
 #: Program-global names a generated batch span binds as defaults.
 BATCH_GLOBALS = {"_ifb": int.from_bytes, "_mulh": alu.mul32_hi,
                  "_HALT": HALT, "_SimErr": SimulationError}
+
+
+#: Attribute the per-program codegen audit log lives under.
+_AUDIT_LOG_ATTR = "_codegen_records"
+
+
+class CodegenRecord(NamedTuple):
+    """One generated artifact, kept for the static auditor.
+
+    Every codegen tier records the exact source text it compiled (plus
+    the fault-reconciliation metadata) alongside the cached code
+    object, keyed like the code caches, so
+    :mod:`repro.cpu.analysis.audit` can re-parse what actually runs
+    instead of re-running the generator.  ``loop_id`` is ``None``
+    except for chain drivers.
+    """
+
+    kind: str                   # "region" | "chain" | "batch-span"
+    start: int                  # first slot of the span
+    term: int                   # terminator slot (inclusive)
+    source: str                 # the compiled source text, verbatim
+    line_member: tuple          # line index -> member ordinal | None
+    fallbacks: tuple            # member ordinals emitted as _h<k> calls
+    loop_id: int | None = None
+
+
+def record_codegen(program, record: CodegenRecord) -> None:
+    """File one generated artifact in the program's audit log."""
+    log = program.__dict__.get(_AUDIT_LOG_ATTR)
+    if log is None:
+        log = program.__dict__[_AUDIT_LOG_ATTR] = {}
+    log[(record.kind, record.start, record.term,
+         record.loop_id)] = record
+
+
+def codegen_records(program) -> dict:
+    """The program's audit log: cache key -> :class:`CodegenRecord`."""
+    log = program.__dict__.get(_AUDIT_LOG_ATTR)
+    return {} if log is None else log
 
 
 def batch_cell_context(sim) -> tuple:

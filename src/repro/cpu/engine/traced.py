@@ -41,7 +41,9 @@ from repro.cpu.ir import build_ir, straightline_terms
 from repro.cpu.engine.dispatch import HALT, PredecodedProgram
 from repro.cpu.engine.emit import (
     REGION_HELPERS,
+    CodegenRecord,
     member_lines,
+    record_codegen,
     region_namespace,
     term_lines,
 )
@@ -133,6 +135,9 @@ def _region_code(program, start: int, term: int):
     code = compile(src, _REGION_FILENAME, "exec")
     entry = (code, tuple(fallbacks), tuple(line_member))
     per_program[(start, term)] = entry
+    record_codegen(program, CodegenRecord(
+        kind="region", start=start, term=term, source=src,
+        line_member=entry[2], fallbacks=entry[1]))
     return entry
 
 
@@ -350,6 +355,9 @@ def _chain_code(program, start: int, term: int, loop_id: int):
     code = compile(src, _CHAIN_FILENAME, "exec")
     entry = (code, tuple(fallbacks), tuple(line_member))
     per_program[(start, term, loop_id)] = entry
+    record_codegen(program, CodegenRecord(
+        kind="chain", start=start, term=term, source=src,
+        line_member=entry[2], fallbacks=entry[1], loop_id=loop_id))
     return entry
 
 

@@ -34,6 +34,7 @@ from repro.cpu.exceptions import (
     SimulationError,
     WatchdogError,
 )
+from repro.cpu.ir import ir_failure
 from repro.cpu.memory import DEFAULT_SIZE, Memory
 from repro.cpu.pipeline import PipelineConfig, TimingModel
 from repro.cpu.state import CpuState
@@ -248,10 +249,13 @@ class Simulator:
             try:
                 built = predecode(self)
                 if built is None:
-                    self._predecode_failure = "non-dense text image"
+                    # build_ir caches the sentinel with the real reason
+                    # (sparse text image, undecodable mnemonic).
+                    self._predecode_failure = (
+                        ir_failure(self.program) or "non-dense text image")
             except SimulationError as exc:
-                # A mnemonic the predecoder does not cover: fall back to
-                # the stepped interpreter rather than guessing.
+                # A lowering failure past IR decode: fall back to the
+                # stepped interpreter rather than guessing.
                 built = None
                 self._predecode_failure = str(exc)
             self._predecoded = built if built is not None else False

@@ -114,7 +114,7 @@ def _load(path: str) -> dict:
         data = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"error: cannot read benchmark file "
-                         f"{path!r}: {exc}")
+                         f"{path!r}: {exc}") from exc
     if not isinstance(data, dict):
         raise SystemExit(f"error: {path!r} does not contain a benchmark "
                          f"record")

@@ -60,10 +60,8 @@ def is_dead_at_exits(program: Program, cfg: ControlFlowGraph,
     Walks forward from each exit target; a read before a write along any
     path means the register is live (conservatively including cycles).
     """
-    for _, exit_block in loop.exit_edges:
-        if not dead_from_block(program, cfg, exit_block, reg):
-            return False
-    return True
+    return all(dead_from_block(program, cfg, exit_block, reg)
+               for _, exit_block in loop.exit_edges)
 
 
 def dead_from_block(program: Program, cfg: ControlFlowGraph,
@@ -101,7 +99,5 @@ def instructions_between(program: Program, lo: int, hi: int) -> list[Instruction
 
 def contains_call_or_indirect(program: Program, indices: list[int]) -> bool:
     """Whether any instruction is a call / indirect jump (untransformable)."""
-    for index in indices:
-        if program.instructions[index].mnemonic in ("jal", "jalr", "jr"):
-            return True
-    return False
+    return any(program.instructions[index].mnemonic
+               in ("jal", "jalr", "jr") for index in indices)

@@ -27,8 +27,25 @@ from repro.asm.assembler import Program
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.loops import LoopForest
 from repro.core.config import ZolcConfig
+from repro.cpu.analysis.dataflow import written_registers
+from repro.cpu.ir import build_ir
 from repro.transform import analysis
 from repro.transform.patterns import LoopPattern
+
+
+def _writes_register(program: Program, indices: list[int],
+                     reg: int) -> bool:
+    """Whether any of the given text slots defines ``reg``.
+
+    Answered from the engine IR's def metadata — the same decode the
+    execution tiers lower from, so the legality decision and the
+    runtime agree by construction.  Programs without an IR (hand-built
+    sparse images) fall back to the Instruction-level scan.
+    """
+    ir = build_ir(program)
+    if ir is None:
+        return analysis.reg_written_in(program, indices, reg)
+    return reg in written_registers(ir, indices)
 
 
 @dataclass
@@ -175,7 +192,7 @@ def _reg_source_rejection(pattern: LoopPattern, program: Program,
                    analysis.loop_instruction_indices(program, cfg, loop)
                    if i not in pattern.deleted_indices]
     for source in sources:
-        if analysis.reg_written_in(program, own_indices, source.value):
+        if _writes_register(program, own_indices, source.value):
             return (f"loop@{loop.header}: trip/initial register "
                     f"r{source.value} is rewritten inside the loop itself",
                     False)
@@ -186,7 +203,7 @@ def _reg_source_rejection(pattern: LoopPattern, program: Program,
             program, cfg, ancestor)
             if i not in pattern.deleted_indices]
         for source in sources:
-            if analysis.reg_written_in(program, indices, source.value):
+            if _writes_register(program, indices, source.value):
                 if config.bound_reload:
                     return None, True
                 return (f"loop@{loop.header}: trip/initial register "

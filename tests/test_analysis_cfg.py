@@ -1,0 +1,154 @@
+"""CFG construction, dominators and natural loops over the engine IR."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu.analysis import (
+    build_cfg,
+    dominates,
+    dominators,
+    natural_loops,
+    reverse_postorder,
+)
+from repro.cpu.ir import build_ir
+
+LOOP_SOURCE = """
+    li   t0, 0
+    li   t1, 4
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    halt
+"""
+
+DIAMOND_SOURCE = """
+    li   t0, 1
+    beq  t0, zero, left
+    addi t1, t1, 1
+    j    join
+left:
+    addi t2, t2, 1
+join:
+    halt
+"""
+
+
+def _cfg(source, **kwargs):
+    program = assemble(source)
+    ir = build_ir(program)
+    assert ir is not None
+    return program, ir, build_cfg(ir, program.text_base,
+                                  program.entry_point(), **kwargs)
+
+
+class TestBlocks:
+    def test_branch_targets_and_falls_are_leaders(self):
+        program, ir, cfg = _cfg(LOOP_SOURCE)
+        base = program.text_base
+        # Blocks: [li, li], [addi, bne], [halt].
+        assert [(b.start, b.end) for b in cfg.blocks] == [
+            (0, 1), (2, 3), (4, 4)]
+        assert cfg.is_leader(base)
+        assert cfg.is_leader(base + 8)       # branch target `loop`
+        assert cfg.is_leader(base + 16)      # fall-through after bne
+        assert not cfg.is_leader(base + 4)
+
+    def test_every_slot_maps_to_its_block(self):
+        _, ir, cfg = _cfg(LOOP_SOURCE)
+        for slot in range(len(ir)):
+            block = cfg.blocks[cfg.block_of_slot[slot]]
+            assert block.start <= slot <= block.end
+
+    def test_branch_block_has_taken_and_fallthrough_edges(self):
+        _, _, cfg = _cfg(LOOP_SOURCE)
+        loop_block = cfg.blocks[1]
+        assert set(loop_block.succs) == {1, 2}   # itself + halt block
+        assert 1 in cfg.blocks[1].preds          # the back edge
+        assert cfg.blocks[2].succs == ()         # halt: no successors
+
+    def test_jump_has_target_only(self):
+        program, ir, cfg = _cfg(DIAMOND_SOURCE)
+        j_block = cfg.block_at(program.symbols["left"] - 4)
+        assert j_block is not None
+        join = cfg.block_at(program.symbols["join"])
+        assert j_block.succs == (join.bid,)
+
+    def test_watch_pcs_become_leaders(self):
+        program, ir, _ = _cfg(LOOP_SOURCE)
+        base = program.text_base
+        cfg = build_cfg(ir, base, watch_pcs=[base + 12])
+        assert cfg.is_leader(base + 12)
+
+    def test_indirect_jump_flagged(self):
+        _, _, cfg = _cfg("jr ra\nhalt\n")
+        assert cfg.blocks[0].has_indirect
+        assert cfg.blocks[0].succs == ()
+
+    def test_out_of_text_lookups_return_none(self):
+        program, _, cfg = _cfg(LOOP_SOURCE)
+        assert cfg.slot_of(program.text_base - 4) is None
+        assert cfg.slot_of(program.text_base + 2) is None
+        assert cfg.block_at(0xFFFF0000) is None
+
+    def test_empty_ir_rejected(self):
+        with pytest.raises(ValueError):
+            build_cfg((), 0)
+
+
+class TestDominators:
+    def test_diamond(self):
+        program, _, cfg = _cfg(DIAMOND_SOURCE)
+        idom = dominators(cfg)
+        entry = cfg.entry
+        join = cfg.block_at(program.symbols["join"])
+        left = cfg.block_at(program.symbols["left"])
+        # The entry dominates everything; neither arm dominates join.
+        assert idom[entry] == entry
+        assert dominates(idom, entry, join.bid)
+        assert not dominates(idom, left.bid, join.bid)
+        assert idom[join.bid] == entry
+
+    def test_rpo_starts_at_entry(self):
+        _, _, cfg = _cfg(DIAMOND_SOURCE)
+        assert reverse_postorder(cfg)[0] == cfg.entry
+
+
+class TestNaturalLoops:
+    def test_branch_back_edge_found(self):
+        program, _, cfg = _cfg(LOOP_SOURCE)
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        header = cfg.block_at(program.symbols["loop"])
+        assert loops[0].header == header.bid
+        assert loops[0].body == frozenset({header.bid})
+        assert loops[0].back_edges == ((header.bid, header.bid),)
+
+    def test_straightline_has_no_loops(self):
+        _, _, cfg = _cfg("li t0, 1\nhalt\n")
+        assert natural_loops(cfg) == ()
+
+    def test_trigger_edge_recovers_the_zolc_loop(self):
+        # Post-transform body: the latch branch is deleted, so the
+        # text falls straight through the trigger — without the
+        # controller's redirect edge there is no loop at all.
+        source = """
+            li   t0, 0
+body:
+            addi t0, t0, 1
+            addi t1, t1, 1
+trigger:
+            halt
+        """
+        program = assemble(source)
+        ir = build_ir(program)
+        base = program.text_base
+        body = program.symbols["body"]
+        trigger = program.symbols["trigger"]
+        bare = build_cfg(ir, base, watch_pcs=[trigger, body])
+        assert natural_loops(bare) == ()
+        cfg = build_cfg(ir, base, watch_pcs=[trigger, body],
+                        trigger_edges={trigger: body})
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        header = cfg.block_at(body)
+        assert loops[0].header == header.bid

@@ -1,0 +1,152 @@
+"""Dataflow analyses (def/use, reaching defs, liveness, memory)."""
+
+from repro.asm import assemble
+from repro.cpu.analysis import (
+    ACCESS_WIDTHS,
+    MemAccess,
+    block_def_use,
+    build_cfg,
+    live_memory,
+    live_registers,
+    memory_accesses,
+    reaching_definitions,
+    read_registers,
+    written_registers,
+)
+from repro.cpu.ir import build_ir
+from repro.isa.registers import register_index
+
+T0 = register_index("t0")
+T1 = register_index("t1")
+T2 = register_index("t2")
+A0 = register_index("a0")
+
+
+def _cfg(source):
+    program = assemble(source)
+    ir = build_ir(program)
+    assert ir is not None
+    return program, ir, build_cfg(ir, program.text_base,
+                                  program.entry_point())
+
+
+class TestDefUse:
+    def test_block_summary(self):
+        _, ir, cfg = _cfg("""
+            li   t0, 1
+            addi t1, t0, 2
+            add  t0, t1, t2
+            halt
+        """)
+        summary = block_def_use(cfg, ir)[0]
+        assert summary.defs == frozenset({T0, T1})
+        # t0 is defined before its first read: only t2 is exposed.
+        assert summary.uses == frozenset({T2})
+
+    def test_zero_register_never_counted(self):
+        _, ir, cfg = _cfg("add zero, t0, t1\nhalt\n")
+        summary = block_def_use(cfg, ir)[0]
+        assert 0 not in summary.defs
+        assert summary.uses == frozenset({T0, T1})
+
+    def test_written_and_read_helpers(self):
+        _, ir, _ = _cfg("""
+            li   t0, 1
+            sw   t1, 0(t2)
+            halt
+        """)
+        assert written_registers(ir, [0, 1]) == frozenset({T0})
+        assert read_registers(ir, [1]) == frozenset({T1, T2})
+
+
+class TestReachingDefinitions:
+    def test_branch_merges_definitions(self):
+        program, ir, cfg = _cfg("""
+            li   t0, 1
+            beq  t0, zero, other
+            li   t1, 2
+            j    join
+other:
+            li   t1, 3
+join:
+            halt
+        """)
+        rd = reaching_definitions(cfg, ir)
+        join = cfg.block_at(program.symbols["join"])
+        sites = rd.defs_reaching(join.bid, T1)
+        # Both `li t1` definitions reach the join.
+        assert {slot for slot, _ in sites} == {2, 4}
+
+    def test_redefinition_kills(self):
+        _, ir, cfg = _cfg("""
+            li   t0, 1
+            li   t0, 2
+            halt
+        """)
+        rd = reaching_definitions(cfg, ir)
+        assert rd.reach_out[0] == frozenset({(1, T0)})
+
+
+class TestLiveness:
+    def test_loop_keeps_counter_live(self):
+        program, ir, cfg = _cfg("""
+            li   t0, 4
+loop:
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            halt
+        """)
+        lv = live_registers(cfg, ir)
+        loop = cfg.block_at(program.symbols["loop"])
+        assert T0 in lv.live_in[loop.bid]
+        assert T0 in lv.live_out[loop.bid]   # live around the back edge
+
+    def test_dead_past_halt(self):
+        _, ir, cfg = _cfg("li t0, 1\nhalt\n")
+        lv = live_registers(cfg, ir)
+        assert lv.live_out[cfg.blocks[-1].bid] == frozenset()
+
+
+class TestMemoryAccesses:
+    def test_widths_and_kinds(self):
+        _, ir, _ = _cfg("""
+            lb   t0, 0(a0)
+            lhu  t1, 2(a0)
+            sw   t2, 4(a0)
+            halt
+        """)
+        accesses = memory_accesses(ir)
+        assert [(a.kind, a.width, a.base, a.offset) for a in accesses] \
+            == [("load", 1, A0, 0), ("load", 2, A0, 2),
+                ("store", 4, A0, 4)]
+        assert set(ACCESS_WIDTHS) == {
+            "lb", "lbu", "lh", "lhu", "lw", "sb", "sh", "sw"}
+
+    def test_overlap_needs_shared_base(self):
+        a = MemAccess(0, 0, "load", 4, A0, 0)
+        b = MemAccess(1, 4, "store", 4, A0, 4)
+        c = MemAccess(2, 8, "store", 4, T0, 0)
+        d = MemAccess(3, 12, "store", 2, A0, 2)
+        assert not a.overlaps(b)        # same base, disjoint ranges
+        assert a.overlaps(c)            # different bases: may alias
+        assert a.overlaps(d)            # bytes [2,4) overlap [0,4)
+
+    def test_subword_store_does_not_kill_word(self):
+        # sb covers one byte of the word a later lw reads: the word
+        # location must stay live through the store.
+        _, ir, cfg = _cfg("""
+            sb   t0, 0(a0)
+            lw   t1, 0(a0)
+            halt
+        """)
+        ml = live_memory(cfg, ir)
+        assert (A0, 0, 4) in ml.live_in[0]
+
+    def test_full_store_kills(self):
+        _, ir, cfg = _cfg("""
+            sw   t0, 0(a0)
+            lw   t1, 0(a0)
+            halt
+        """)
+        ml = live_memory(cfg, ir)
+        assert (A0, 0, 4) not in ml.live_in[0]

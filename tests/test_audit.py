@@ -1,0 +1,155 @@
+"""The generated-code auditor, including the tampering corpus.
+
+The negative tests corrupt one compiled artifact each — a register
+index in the emitted source (AU001), an addressing displacement
+(AU002), a predecoded per-op timing constant (AU003), a fault line map
+(AU004) — and assert the auditor reports it under the documented rule
+id.  Tampering works because the code caches never re-record on a hit,
+so a corrupted record survives a fresh ``audit_codegen`` pass.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu.analysis import audit_codegen, source_touches
+from repro.cpu.analysis.audit import expected_touches, span_starts
+from repro.cpu.engine.emit import codegen_records
+from repro.cpu.ir import build_ir, straightline_terms
+from repro.cpu.simulator import Simulator
+from repro.eval.check import check_kernel
+from repro.eval.machines import machine_registry
+from repro.workloads.suite import registry
+
+STRAIGHTLINE = """
+    li   t0, 5
+    addi t1, t0, 2
+    lw   t2, 0(a0)
+    sw   t2, 4(a0)
+    halt
+"""
+
+
+def _sim(source):
+    return Simulator(assemble(source))
+
+
+def _audited(sim, **kwargs):
+    return audit_codegen(sim, **kwargs)
+
+
+def _errors(findings):
+    return [d for d in findings if d.severity == "error"]
+
+
+def _first_region_key(program):
+    keys = [k for k in codegen_records(program) if k[0] == "region"]
+    assert keys
+    return keys[0]
+
+
+class TestSourceTouches:
+    def test_reads_writes_and_offsets(self):
+        src = ("_g[9] = (_g[8] + 2) & 0xFFFFFFFF\n"
+               "_a = (_g[4] + 12) & 0xFFFFF\n"
+               "_v = _m[_a]\n")
+        touches = source_touches(src)
+        assert touches.reg_reads == {8, 4}
+        assert touches.reg_writes == {9}
+        assert touches.mem_offsets == [12]
+
+    def test_dynamic_subscripts_skipped(self):
+        touches = source_touches("_g[_r] = 0\n_x = _g[_r]\n")
+        assert touches.reg_reads == set()
+        assert touches.reg_writes == set()
+
+
+class TestPositive:
+    def test_straightline_program_audits_clean(self):
+        findings = _audited(_sim(STRAIGHTLINE))
+        assert _errors(findings) == []
+
+    @pytest.mark.parametrize("machine_name",
+                             ["XRdefault", "ZOLClite", "ZOLCfull"])
+    def test_vec_sum_audits_clean(self, machine_name):
+        machine = machine_registry().get(machine_name)
+        findings = check_kernel(registry().get("vec_sum"), machine,
+                                audit=True)
+        assert _errors(findings) == []
+
+    def test_expected_touches_dead_write_rule(self):
+        # A non-memory op writing only r0 emits nothing, so the IR
+        # expectation must drop its reads too.
+        ir = build_ir(assemble("add zero, t0, t1\nhalt\n"))
+        expect = expected_touches(ir[:1], "chain", ())
+        assert expect.reg_reads == set()
+        assert expect.reg_writes == set()
+
+
+def _force_regions(sim):
+    """Audit once (must be clean) and return the program."""
+    findings = _audited(sim)
+    assert _errors(findings) == []
+    return sim.program
+
+
+class TestTampering:
+    def test_tampered_register_reported_au001(self):
+        sim = _sim(STRAIGHTLINE)
+        program = _force_regions(sim)
+        key = _first_region_key(program)
+        records = codegen_records(program)
+        record = records[key]
+        touched = source_touches(record.source)
+        victim = min(touched.reg_reads)
+        records[key] = record._replace(
+            source=record.source.replace(f"_g[{victim}]", "_g[30]"))
+        findings = _audited(sim)
+        assert any(d.rule == "AU001" for d in _errors(findings))
+
+    def test_tampered_offset_reported_au002(self):
+        sim = _sim(STRAIGHTLINE)
+        program = _force_regions(sim)
+        records = codegen_records(program)
+        for key, record in records.items():
+            if "+ 4)" in record.source:
+                records[key] = record._replace(
+                    source=record.source.replace("+ 4)", "+ 8)"))
+                break
+        else:
+            pytest.fail("no record with the expected displacement")
+        findings = _audited(sim)
+        assert any(d.rule == "AU002" for d in _errors(findings))
+
+    def test_tampered_timing_reported_au003(self):
+        sim = _sim(STRAIGHTLINE)
+        program = _force_regions(sim)
+        predecoded = sim._ensure_predecoded()
+        fn, base_cycles, uses, load_dest, taken = predecoded.ops[0]
+        predecoded.ops[0] = (fn, base_cycles + 3, uses, load_dest,
+                             taken)
+        findings = _audited(sim)
+        assert any(d.rule == "AU003" and "static timing" in d.message
+                   for d in _errors(findings))
+
+    def test_tampered_line_map_reported_au004(self):
+        sim = _sim(STRAIGHTLINE)
+        program = _force_regions(sim)
+        key = _first_region_key(program)
+        records = codegen_records(program)
+        record = records[key]
+        records[key] = record._replace(
+            line_member=record.line_member[:-1])
+        findings = _audited(sim)
+        assert any(d.rule == "AU004" for d in _errors(findings))
+
+
+class TestSpanCover:
+    def test_span_starts_partition_watched_text(self):
+        program = assemble(STRAIGHTLINE)
+        ir = build_ir(program)
+        base = program.text_base
+        watched = frozenset({base + 8})
+        terms = straightline_terms(ir, base, watched)
+        starts = span_starts(ir, base, watched, terms)
+        assert starts[0] == 0
+        assert base + 4 * starts[1] == base + 8  # watch splits here

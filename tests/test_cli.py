@@ -321,3 +321,53 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheck:
+    def test_single_kernel(self, capsys):
+        assert main(["check", "-k", "vec_sum", "-m", "ZOLClite"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 1 kernels x 1 machines" in out
+        assert "0 errors" in out
+
+    def test_audit_flag(self, capsys):
+        assert main(["check", "-k", "vec_sum", "-m", "ZOLCfull",
+                     "--audit-codegen"]) == 0
+        assert "(codegen audited)" in capsys.readouterr().out
+
+    def test_info_hidden_unless_verbose(self, capsys):
+        assert main(["check", "-k", "dct8x8", "-m", "ZOLCfull"]) == 0
+        out = capsys.readouterr().out
+        assert "[ZV003]" not in out
+        assert main(["check", "-k", "dct8x8", "-m", "ZOLCfull",
+                     "-v"]) == 0
+        assert "[ZV003]" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["check", "-k", "vec_sum", "-m", "ZOLClite",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernels"] == ["vec_sum"]
+        assert payload["machines"] == ["ZOLClite"]
+        assert payload["errors"] == 0
+        assert isinstance(payload["diagnostics"], list)
+
+    def test_out_file(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "diag.json"
+        assert main(["check", "-k", "vec_sum", "-m", "XRdefault",
+                     "-o", str(out_file)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        assert payload["errors"] == 0
+
+    def test_kernel_and_all_conflict(self, capsys):
+        assert main(["check", "-k", "vec_sum", "--all"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["check", "-k", "nope"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -199,3 +199,68 @@ loop:
                 continue
             for interior in range(idx, term):
                 assert base + 4 * interior + 4 != base + 8
+
+
+class TestUnavailableSentinel:
+    """Satellite: one unified no-IR signal for undecodable programs."""
+
+    def test_sparse_text_reports_reason(self):
+        from repro.cpu.ir import IRUnavailable, ir_failure
+
+        program = assemble("li t0, 1\nhalt\n")
+        program.instructions[1].address = program.text_base + 64
+        assert ir_failure(program) is None  # nothing cached yet
+        assert build_ir(program) is None
+        reason = ir_failure(program)
+        assert reason is not None and "dense" in reason
+        assert isinstance(program.__dict__["_engine_ir"], IRUnavailable)
+
+    def test_unknown_mnemonic_caches_instead_of_raising(self):
+        from repro.cpu.ir import ir_failure
+
+        program = assemble("li t0, 1\nhalt\n")
+        program.instructions[0].mnemonic = "frobnicate"
+        assert build_ir(program) is None
+        assert build_ir(program) is None  # cached, not re-raised
+        reason = ir_failure(program)
+        assert reason is not None and "frobnicate" in reason
+
+    def test_simulator_surfaces_the_reason(self):
+        program = assemble("li t0, 1\nhalt\n")
+        program.instructions[1].address = program.text_base + 64
+        sim = Simulator(program)
+        assert sim._ensure_predecoded() is False
+        assert "dense" in sim._predecode_failure
+
+    def test_slicing_the_sentinel_is_a_caller_bug(self):
+        with pytest.raises(SimulationError):
+            straightline_terms(None, 0, frozenset())
+
+    def test_decodable_program_has_no_failure(self):
+        from repro.cpu.ir import ir_failure
+
+        program = assemble("li t0, 1\nhalt\n")
+        assert build_ir(program) is not None
+        assert ir_failure(program) is None
+
+
+class TestDataflowFields:
+    """The defs/reads metadata the analysis layer consumes."""
+
+    def test_defs_exclude_r0_reads_keep_it(self):
+        ir = build_ir(assemble("add zero, zero, t1\nhalt\n"))
+        op = ir[0]
+        assert op.defs == frozenset()
+        assert op.reads == (0, 9)      # raw ISA order, r0 kept
+
+    def test_reads_keep_duplicates(self):
+        ir = build_ir(assemble("add t0, t1, t1\nhalt\n"))
+        assert ir[0].reads == (9, 9)
+        assert ir[0].uses == frozenset({9})
+
+    def test_defs_and_uses_match_instruction(self):
+        for program in _suite_programs():
+            ir = build_ir(program)
+            for op, inst in zip(ir, program.instructions):
+                assert op.defs == inst.defs()
+                assert op.uses == inst.uses()
