@@ -338,7 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--audit-codegen", action="store_true",
         help="also parse each tier's generated Python and cross-check "
-             "it against the IR (rules AU001-AU004)")
+             "it against the IR (rules AU001-AU005, including the "
+             "trace JIT's guard tables)")
     check_parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="also print info-severity findings")

@@ -10,11 +10,12 @@ The four modules layer bottom-up:
   reaching definitions, register liveness, and symbolic memory
   liveness with sub-word access widths;
 * :mod:`~repro.cpu.analysis.verify` — the rule-catalogue verifier
-  (ZV001–ZV005) that statically proves the invariants the engine
+  (ZV001–ZV006) that statically proves the invariants the engine
   tiers assume;
 * :mod:`~repro.cpu.analysis.audit` — the generated-code auditor
-  (AU001–AU004) that parses each tier's emitted Python with ``ast``
-  and cross-checks it against the IR.
+  (AU001–AU005) that parses each tier's emitted Python with ``ast``
+  and cross-checks it against the IR, including the trace JIT's
+  guard tables.
 
 The package stays inside the cpu layer: it consumes the IR and the
 engine's codegen records only.  Resolving a kernel's ZOLC labels into
@@ -26,6 +27,7 @@ transform layer) lives in :mod:`repro.eval.check`, as does the
 from repro.cpu.analysis.audit import (
     audit_codegen,
     audit_record,
+    audit_trace_record,
     expected_touches,
     source_touches,
 )
@@ -62,6 +64,7 @@ from repro.cpu.analysis.verify import (
     VerifyContext,
     WatchedLoop,
     chain_candidates,
+    trace_candidate_bodies,
     verify_program,
 )
 
@@ -83,6 +86,7 @@ __all__ = [
     "WatchedLoop",
     "audit_codegen",
     "audit_record",
+    "audit_trace_record",
     "block_def_use",
     "build_cfg",
     "chain_candidates",
@@ -97,6 +101,7 @@ __all__ = [
     "read_registers",
     "reverse_postorder",
     "source_touches",
+    "trace_candidate_bodies",
     "verify_program",
     "written_registers",
 ]

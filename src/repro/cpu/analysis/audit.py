@@ -20,10 +20,20 @@ AU003  the compiled :class:`~repro.cpu.engine.traced.TraceRegion`
        static load-use stalls.
 AU004  the fault-reconciliation line map is total: it covers every
        source line, maps every member ordinal, and is non-decreasing.
+AU005  a trace record's guard table matches the IR: replaying the
+       guard directions over the IR from the trace entry meets a
+       branch exactly where each guard sits (one guard per recorded
+       divergence), every side exit re-enters per-slot dispatch inside
+       the watched body, and the per-outcome step constants baked into
+       the chain driver equal the replay's member counts.
 
 Member ordinals emitted as fallback closures (``_h<k>(...)``) are
 opaque to the parser and are excluded from AU001/AU002 expectations
 (the record names them, so the exclusion is itself audited input).
+Trace records (kinds ``trace`` and ``trace_chain``) are not register
+/displacement audited — their member lowering is the region emitters'
+(AU001/AU002 cover the shared templates) — but their guard geometry
+and outcome accounting are AU005's.
 """
 
 from __future__ import annotations
@@ -281,6 +291,269 @@ def _audit_region_timing(sim: Simulator, ops: Sequence[IROp],
     return out
 
 
+def _replay_guards(ir: Sequence[IROp], base: int, entry_slot: int,
+                   trigger_pc: int, guards: Sequence[tuple]
+                   ) -> tuple[dict, list, list]:
+    """Replay a record's guard table over the IR (AU005).
+
+    Walks the trace tree the guard table describes — from the entry
+    slot, following each guard's hot direction and both arms of a
+    split (``hot is None``), taken arm first, matching the emitter's
+    pre-order — allocating outcome indices in the emitter's order.
+    Returns ``(escapes, leaves, problems)``: ``escapes`` maps guard
+    ordinal to ``(outcome index, steps retired before the guard)``,
+    ``leaves`` lists ``(outcome index, steps per iteration)`` per
+    chain leaf, and ``problems`` collects replay inconsistencies (the
+    walk meeting a branch with no guard, a guard sitting on the wrong
+    slot, a path leaving the text section or never reaching the
+    trigger).
+    """
+    n = len(ir)
+    escapes: dict[int, tuple[int, int]] = {}
+    leaves: list[tuple[int, int]] = []
+    problems: list[str] = []
+    cursor = [0, 0]  # next guard ordinal, next outcome index
+
+    def walk(slot: int, steps: int) -> None:
+        while not problems:
+            if steps > n:
+                problems.append(
+                    "replay exceeds the program length (the guard "
+                    "tree walks a cycle)")
+                return
+            op = ir[slot]
+            if op.is_branch:
+                if cursor[0] >= len(guards):
+                    problems.append(
+                        "replay reaches an unguarded branch at "
+                        f"{hex(op.address)}")
+                    return
+                idx = cursor[0]
+                _lineno, gslot, hot = guards[idx]
+                cursor[0] += 1
+                if gslot != slot:
+                    problems.append(
+                        f"guard {idx} sits on slot {gslot} but the "
+                        f"replay reaches the branch at slot {slot} "
+                        f"({hex(op.address)})")
+                    return
+                if hot is None:
+                    if op.target is None:
+                        problems.append(
+                            f"split guard {idx} on a branch with no "
+                            f"static target ({hex(op.address)})")
+                        return
+                    if op.target == trigger_pc:
+                        leaves.append((cursor[1], steps + 1))
+                        cursor[1] += 1
+                    else:
+                        offset = op.target - base
+                        if offset < 0 or offset & 3 \
+                                or offset >> 2 >= n:
+                            problems.append(
+                                f"split guard {idx} jumps out of the "
+                                f"text section ({hex(op.target)})")
+                            return
+                        walk(offset >> 2, steps + 1)
+                    next_pc = op.link
+                else:
+                    escapes[idx] = (cursor[1], steps)
+                    cursor[1] += 1
+                    next_pc = op.target if hot else op.link
+                    if next_pc is None:
+                        problems.append(
+                            f"guard {idx}'s hot direction has no "
+                            f"static target ({hex(op.address)})")
+                        return
+                steps += 1
+            elif op.mnemonic in ("j", "jal"):
+                if op.target is None:
+                    problems.append(
+                        f"jump with no static target at "
+                        f"{hex(op.address)} inside the trace")
+                    return
+                next_pc = op.target
+                steps += 1
+            elif op.can_transfer or op.is_zolc_init:
+                problems.append(
+                    f"untraceable member {op.mnemonic} at "
+                    f"{hex(op.address)} inside the trace")
+                return
+            else:
+                next_pc = op.link
+                steps += 1
+            if next_pc == trigger_pc:
+                leaves.append((cursor[1], steps))
+                cursor[1] += 1
+                return
+            offset = next_pc - base
+            if offset < 0 or offset & 3 or offset >> 2 >= n:
+                problems.append(
+                    f"path leaves the text section at {hex(next_pc)}")
+                return
+            slot = offset >> 2
+
+    walk(entry_slot, 0)
+    if not problems and cursor[0] != len(guards):
+        problems.append(
+            f"guard table records {len(guards)} divergences but the "
+            f"replay consumed {cursor[0]}")
+    return escapes, leaves, problems
+
+
+def _scan_blocks(node: ast.stmt) -> list[tuple[list, int | None]]:
+    """A statement's nested blocks with their owning-``if`` lineno.
+
+    Only an ``if``'s *body* is owned by it — the emitter places a
+    guard's escape there; ``else`` arms and loop/try bodies pass
+    ``None`` so their sites classify as leaves.
+    """
+    if isinstance(node, ast.If):
+        return [(node.body, node.lineno), (node.orelse, None)]
+    if isinstance(node, (ast.While, ast.For)):
+        return [(node.body, None), (node.orelse, None)]
+    if isinstance(node, ast.Try):
+        return ([(node.body, None), (node.orelse, None),
+                 (node.finalbody, None)]
+                + [(handler.body, None) for handler in node.handlers])
+    return []
+
+
+def _bump_sites(source: str) -> list[tuple[int | None, int, int]]:
+    """Outcome bumps in a chain source: ``(if lineno, k, steps)``.
+
+    A site is one ``_o<k> += 1`` statement; its steps delta is the
+    constant of the adjacent ``_steps += n`` (0 when elided).  The
+    first element is the lineno of the ``if`` whose body directly
+    holds the site — matching a guard's lineno classifies the site as
+    that guard's escape — or ``None`` at leaf/top-level placement.
+    """
+    sites: list[tuple[int | None, int, int]] = []
+
+    def scan(stmts: list, owner: int | None) -> None:
+        for i, node in enumerate(stmts):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id[:2] == "_o"
+                    and node.target.id[2:].isdigit()):
+                delta = 0
+                follow = stmts[i + 1] if i + 1 < len(stmts) else None
+                if (isinstance(follow, ast.AugAssign)
+                        and isinstance(follow.target, ast.Name)
+                        and follow.target.id == "_steps"
+                        and isinstance(follow.value, ast.Constant)):
+                    delta = follow.value.value
+                sites.append((owner, int(node.target.id[2:]), delta))
+            for block, block_owner in _scan_blocks(node):
+                scan(block, block_owner)
+
+    scan(ast.parse(source).body[0].body, None)
+    return sites
+
+
+def _return_sites(source: str) -> list[tuple[int | None, int]]:
+    """Outcome returns in a standalone trace source: ``(lineno, k)``."""
+    sites: list[tuple[int | None, int]] = []
+
+    def scan(stmts: list, owner: int | None) -> None:
+        for node in stmts:
+            if (isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Constant)
+                    and type(node.value.value) is int):
+                sites.append((owner, node.value.value))
+            for block, block_owner in _scan_blocks(node):
+                scan(block, block_owner)
+
+    scan(ast.parse(source).body[0].body, None)
+    return sites
+
+
+def audit_trace_record(record: CodegenRecord, ir: Sequence[IROp],
+                       base: int,
+                       trigger_pc: int) -> list[Diagnostic]:
+    """AU005 for one ``trace``/``trace_chain`` record against the IR."""
+    entry_pc = base + 4 * record.start
+    label = f"{record.kind} loop {record.loop_id} @ {hex(entry_pc)}"
+    out: list[Diagnostic] = []
+
+    def flag(message: str) -> None:
+        out.append(Diagnostic("AU005", "error", f"{label}: {message}",
+                              pc_lo=entry_pc, pc_hi=trigger_pc))
+
+    lines = record.source.splitlines()
+    n = len(ir)
+    for idx, (lineno, slot, hot) in enumerate(record.guards):
+        if not 0 <= slot < n or not ir[slot].is_branch:
+            flag(f"guard {idx} sits on slot {slot}, which is not a "
+                 "branch in the IR")
+            continue
+        if not (0 <= lineno < len(lines)
+                and lines[lineno].lstrip().startswith("if ")):
+            flag(f"guard {idx} points at source line {lineno}, which "
+                 "is not a conditional")
+        if lineno < len(record.line_member) \
+                and record.line_member[lineno] != slot:
+            flag(f"guard {idx} disagrees with the fault line map "
+                 f"(line {lineno} reconciles to member "
+                 f"{record.line_member[lineno]}, the guard says "
+                 f"slot {slot})")
+        pc = ir[slot].address
+        if hot is not None and not entry_pc <= pc < trigger_pc:
+            flag(f"guard {idx}'s side exit at {hex(pc)} lies outside "
+                 f"the watched body [{hex(entry_pc)}, "
+                 f"{hex(trigger_pc)})")
+    if out:
+        return out
+    escapes, leaves, problems = _replay_guards(
+        ir, base, record.start, trigger_pc, record.guards)
+    if problems:
+        for problem in problems:
+            flag(problem)
+        return out
+    # AST linenos are 1-based over the full source (the ``def`` line
+    # is 1); record linenos index ``splitlines()`` with the def at 0.
+    escape_guard = {lineno + 1: idx
+                    for idx, (lineno, _slot, hot)
+                    in enumerate(record.guards) if hot is not None}
+    if record.kind == "trace":
+        sites = _return_sites(record.source)
+        if sorted(k for _owner, k in sites) != \
+                list(range(len(escapes) + len(leaves))):
+            flag(f"outcome returns {sorted(k for _o, k in sites)} do "
+                 f"not enumerate the replay's "
+                 f"{len(escapes) + len(leaves)} outcomes")
+            return out
+        by_guard = {escape_guard[owner]: k for owner, k in sites
+                    if owner in escape_guard}
+        for idx, (k, _steps) in escapes.items():
+            if by_guard.get(idx) != k:
+                flag(f"guard {idx}'s escape returns outcome "
+                     f"{by_guard.get(idx)}, the replay allocates {k}")
+        return out
+    sites3 = _bump_sites(record.source)
+    seen: dict[int, tuple[int, int]] = {}
+    leaf_sites: list[tuple[int, int]] = []
+    for owner, k, delta in sites3:
+        idx = escape_guard.get(owner) if owner is not None else None
+        if idx is not None:
+            seen[idx] = (k, delta)
+        else:
+            leaf_sites.append((k, delta))
+    for idx, (k, steps) in sorted(escapes.items()):
+        got = seen.get(idx)
+        if got is None:
+            flag(f"guard {idx} has no outcome bump inside its "
+                 "escape arm")
+        elif got != (k, steps):
+            flag(f"guard {idx}'s side exit books outcome {got[0]} "
+                 f"with {got[1]} steps, the IR replay expects "
+                 f"outcome {k} with {steps} steps")
+    if sorted(leaf_sites) != sorted(leaves):
+        flag(f"leaf outcomes {sorted(leaf_sites)} do not match the "
+             f"IR replay's {sorted(leaves)} (outcome, steps) pairs")
+    return out
+
+
 def span_starts(ir: Sequence[IROp], base: int,
                 watched: frozenset[int],
                 terms: Sequence[int | None]) -> list[int]:
@@ -294,17 +567,33 @@ def span_starts(ir: Sequence[IROp], base: int,
             if terms[j] is not None and (j == 0 or unsafe(j - 1))]
 
 
+#: Step budget of the warm-up run that materialises trace records
+#: for AU005 (traces only compile once a path goes hot, so the audit
+#: must execute the program; suite kernels halt far below this).
+TRACE_AUDIT_BUDGET = 2_000_000
+
+
 def audit_codegen(sim: Simulator,
                   watched: frozenset[int] = frozenset(),
                   chains: Iterable[tuple[int, int, int]] = (),
-                  include_batch: bool = True) -> list[Diagnostic]:
+                  include_batch: bool = True,
+                  traces: Iterable[tuple[int, int, int]] = ()
+                  ) -> list[Diagnostic]:
     """Force codegen over the canonical span cover and audit it all.
 
     ``watched`` is the plan's next-pc watch set (it shapes the span
     slicing exactly as it does at run time); ``chains`` lists the
     ``(start slot, term slot, loop id)`` triples the traced tier would
     promote to loop-resident chains (see
-    :func:`repro.cpu.analysis.verify.chain_candidates`).
+    :func:`repro.cpu.analysis.verify.chain_candidates`); ``traces``
+    lists the ``(entry slot, trigger slot, loop id)`` triples of
+    multi-region watched bodies the trace JIT may promote (see
+    :func:`repro.cpu.analysis.verify.trace_candidate_bodies`).
+    Unlike regions and chains, trace codegen cannot be forced
+    statically — a trace exists only after its path went hot — so a
+    non-empty ``traces`` triggers one bounded warm-up run of ``sim``
+    before the AU005 pass; candidates that never promote are reported
+    as ``info``.
     """
     from repro.cpu.engine import batch as batch_mod
     from repro.cpu.engine import traced as traced_mod
@@ -352,4 +641,39 @@ def audit_codegen(sim: Simulator,
         record = codegen_records(program)[("chain", start, term,
                                            loop_id)]
         out.extend(audit_record(record, ir[start:term + 1]))
+    trace_rows = list(traces)
+    if trace_rows:
+        records = codegen_records(program)
+        if any(("trace", start, start, loop_id) not in records
+               for start, _tslot, loop_id in trace_rows):
+            try:
+                sim.run(max_steps=TRACE_AUDIT_BUDGET)
+            except SimulationError:
+                pass  # records up to the fault still audit
+        records = codegen_records(program)
+        for start, tslot, loop_id in trace_rows:
+            entry_pc = base + 4 * start
+            trigger_pc = base + 4 * tslot
+            record = records.get(("trace", start, start, loop_id))
+            if record is None:
+                out.append(Diagnostic(
+                    "AU005", "info",
+                    f"trace candidate loop {loop_id} at "
+                    f"{hex(entry_pc)} never promoted during the "
+                    "audit run, no guard code to audit",
+                    pc_lo=entry_pc, pc_hi=trigger_pc))
+                continue
+            out.extend(audit_trace_record(record, ir, base,
+                                          trigger_pc))
+            chain_rec = records.get(
+                ("trace_chain", start, start, loop_id))
+            if chain_rec is None:
+                out.append(Diagnostic(
+                    "AU005", "error",
+                    f"trace loop {loop_id} at {hex(entry_pc)} has no "
+                    "chain-driver record beside its trace record",
+                    pc_lo=entry_pc, pc_hi=trigger_pc))
+            else:
+                out.extend(audit_trace_record(chain_rec, ir, base,
+                                              trigger_pc))
     return out

@@ -58,6 +58,10 @@ RULES: dict[str, str] = {
              "the controller's index unit owns",
     "ZV005": "watched loop bodies without an entry record are "
              "single-entry regions",
+    "ZV006": "every divergence in a multi-region watched body is "
+             "guardable, guard side-exit targets are block leaders, "
+             "and no trace member writes a controller-owned index "
+             "register",
     "AU001": "registers touched by emitted code equal the IR operand "
              "sets of its region",
     "AU002": "memory offsets in emitted addressing code equal the IR "
@@ -66,6 +70,10 @@ RULES: dict[str, str] = {
              "op_base_cycles/op_taken_penalty totals",
     "AU004": "fault-reconciliation line maps are total over the "
              "emitted source and its member ordinals",
+    "AU005": "emitted trace guards match the IR: one guard per "
+             "recorded divergence, side-exit pcs inside the watched "
+             "body, and per-outcome step counts consistent with the "
+             "guard tree",
 }
 
 SEVERITIES = ("error", "warning", "info")
@@ -205,6 +213,7 @@ def verify_program(ir: Sequence[IROp], base: int,
         out.extend(check_chain_legality(ctx))
         out.extend(check_index_writes(ctx))
         out.extend(check_single_entry(ctx))
+        out.extend(check_trace_guards(ctx))
     return out
 
 
@@ -410,6 +419,91 @@ def check_chain_legality(ctx: VerifyContext) -> list[Diagnostic]:
                 f"{ctx.ir[term].mnemonic}, which can transfer control "
                 "(chain condition 3 violated)",
                 pc_lo=span[0], pc_hi=span[1]))
+    return out
+
+
+def trace_candidate_bodies(ctx: VerifyContext) -> list[
+        tuple[int, int, WatchedLoop]]:
+    """``(start slot, trigger slot, loop)`` for loops whose watched
+    body spans *multiple* regions — the guard-based trace JIT's domain
+    (the complement of :func:`chain_candidates` over resolvable
+    trigger-watched loops)."""
+    plan = ctx.plan
+    assert plan is not None
+    chained = {loop_id for _, _, loop_id in chain_candidates(ctx)}
+    out: list[tuple[int, int, WatchedLoop]] = []
+    for lp in plan.loops:
+        if lp.trigger_pc is None or lp.loop_id in chained:
+            continue
+        start = ctx.slot_of(lp.body_pc)
+        tslot = ctx.slot_of(lp.trigger_pc)
+        if start is None or tslot is None or tslot <= start:
+            continue
+        out.append((start, tslot, lp))
+    return out
+
+
+def check_trace_guards(ctx: VerifyContext) -> list[Diagnostic]:
+    """ZV006: multi-region bodies are guardable end to end.
+
+    For each loop body the trace JIT may record across: every
+    conditional branch (a divergence a guard must cover) has both
+    destinations — the taken target and the fall-through, whichever a
+    recorded path leaves through — resolving to CFG block leaders, so
+    a side exit always re-enters per-slot dispatch at a block boundary;
+    any indirect transfer (``jr``/``jalr``) is reported at info
+    severity (no guard can cover it — the body stays untraced, which
+    the recorder enforces dynamically); and, as for ZV004, no body
+    instruction writes an index register the controller owns (traces
+    replay body writes verbatim, so a program write would race the
+    inlined loop-back fire).
+    """
+    plan = ctx.plan
+    assert plan is not None
+    out: list[Diagnostic] = []
+    for start, tslot, lp in trace_candidate_bodies(ctx):
+        span = (ctx.ir[start].address, ctx.ir[tslot - 1].address)
+        owned = plan.owned_registers(lp.group)
+        for k in range(start, tslot):
+            op = ctx.ir[k]
+            if op.is_branch:
+                for dest, what in ((op.target, "taken target"),
+                                   (op.link, "fall-through")):
+                    if dest is None:
+                        continue
+                    if ctx.slot_of(dest) is None:
+                        out.append(Diagnostic(
+                            "ZV006", "error",
+                            f"guard {what} {hex(dest)} of "
+                            f"{op.mnemonic} at {hex(op.address)} is "
+                            f"outside the text image (loop "
+                            f"{lp.loop_id})",
+                            pc_lo=span[0], pc_hi=span[1]))
+                    elif not ctx.cfg.is_leader(dest):
+                        out.append(Diagnostic(
+                            "ZV006", "error",
+                            f"guard {what} {hex(dest)} of "
+                            f"{op.mnemonic} at {hex(op.address)} is "
+                            f"not a block leader: a side exit would "
+                            f"re-enter mid-block (loop {lp.loop_id})",
+                            pc_lo=span[0], pc_hi=span[1]))
+            elif op.can_transfer and op.target is None \
+                    and not op.is_zolc_init:
+                out.append(Diagnostic(
+                    "ZV006", "info",
+                    f"{op.mnemonic} at {hex(op.address)} is an "
+                    f"indirect transfer no guard can cover; loop "
+                    f"{lp.loop_id} stays untraced past it",
+                    pc_lo=span[0], pc_hi=span[1]))
+            hit = op.defs & owned
+            for reg in sorted(hit):
+                out.append(Diagnostic(
+                    "ZV006", "error",
+                    f"{op.mnemonic} at {hex(op.address)} writes "
+                    f"{register_name(reg)}, a controller-owned index "
+                    f"register, inside the traceable body of loop "
+                    f"{lp.loop_id}",
+                    pc_lo=span[0], pc_hi=span[1]))
     return out
 
 

@@ -77,6 +77,7 @@ from repro.cpu.engine.fast import (
     predecode,
     run_fast,
 )
+from repro.cpu.engine.trace import Trace, TraceOutcome, trace_table
 from repro.cpu.engine.traced import _NO_CHAIN, TraceRegion, run_traced
 
 __all__ = [
@@ -84,9 +85,12 @@ __all__ = [
     "OpFn",
     "OpMeta",
     "PredecodedProgram",
+    "Trace",
+    "TraceOutcome",
     "TraceRegion",
     "predecode",
     "run_batch",
     "run_fast",
     "run_traced",
+    "trace_table",
 ]

@@ -14,12 +14,19 @@ circular imports.
 
 from __future__ import annotations
 
+from itertools import count as _count
 from typing import Callable, NamedTuple
 
 from repro.cpu.ir import IROp
 
 #: Sentinel returned by the predecoded ``halt`` handler.
 HALT = object()
+
+#: Cheap per-process span identities, shared by fused regions and trace
+#: outcomes: the traced loop keys its per-run execution counts by this
+#: int (never by span content), so every batched artifact that retires
+#: a member list draws from the same sequence.
+SPAN_IDS = _count()
 
 #: A predecoded handler: ``fn(pc) -> None | int | HALT``.
 OpFn = Callable[[int], object]

@@ -172,6 +172,28 @@ def member_lines(op: IROp, ordinal: int, fallbacks: list[int]) -> list[str]:
     return [f"_h{ordinal}({op.address})"]
 
 
+def branch_cond_expr(op: IROp) -> str | None:
+    """The taken-condition expression of a conditional branch, or None.
+
+    The one place the branch comparison idiom exists: region/batch span
+    terminators bake it into the handler-protocol result, and trace
+    guards test it directly (taking the side exit when the hot
+    direction's condition fails).  ``dbne`` is excluded — its condition
+    reads the *decremented* counter, which the caller must materialise
+    first (it has a register side effect a pure guard cannot have).
+    """
+    rs, rt = op.rs, op.rt
+    B = 0x80000000
+    return {
+        "beq": f"_g[{rs}] == _g[{rt}]",
+        "bne": f"_g[{rs}] != _g[{rt}]",
+        "blez": f"(_g[{rs}] ^ {B}) <= {B}",
+        "bgtz": f"(_g[{rs}] ^ {B}) > {B}",
+        "bltz": f"(_g[{rs}] ^ {B}) < {B}",
+        "bgez": f"(_g[{rs}] ^ {B}) >= {B}",
+    }.get(op.mnemonic)
+
+
 def _return_result(expr: str) -> str:
     return f"return {expr}"
 
@@ -218,19 +240,10 @@ def term_lines(op: IROp, ordinal: int, fallbacks: list[int],
     """
     m = op.mnemonic
     rs, rt, rd = op.rs, op.rt, op.rd
-    B = 0x80000000
     if op.is_branch and m != "dbne":
-        target = op.target
-        cond = {
-            "beq": f"_g[{rs}] == _g[{rt}]",
-            "bne": f"_g[{rs}] != _g[{rt}]",
-            "blez": f"(_g[{rs}] ^ {B}) <= {B}",
-            "bgtz": f"(_g[{rs}] ^ {B}) > {B}",
-            "bltz": f"(_g[{rs}] ^ {B}) < {B}",
-            "bgez": f"(_g[{rs}] ^ {B}) >= {B}",
-        }.get(m)
+        cond = branch_cond_expr(op)
         if cond is not None:
-            return [result(f"{target} if {cond} else None")]
+            return [result(f"{op.target} if {cond} else None")]
     if m == "dbne":
         lines = [f"_v = (_g[{rs}] - 1) & {MASK32}"]
         if rs:
@@ -326,12 +339,20 @@ class CodegenRecord(NamedTuple):
     """
 
     kind: str                   # "region" | "chain" | "batch-span"
+                                # | "trace"
     start: int                  # first slot of the span
     term: int                   # terminator slot (inclusive)
     source: str                 # the compiled source text, verbatim
     line_member: tuple          # line index -> member ordinal | None
     fallbacks: tuple            # member ordinals emitted as _h<k> calls
     loop_id: int | None = None
+    #: Trace records only: one entry per emitted guard, as
+    #: ``(source line index, guarded slot, hot direction)`` — the hot
+    #: direction is ``True``/``False`` for a guard whose opposite side
+    #: side-exits, ``None`` for a spliced (bridged) two-sided guard.
+    #: The AU005 auditor re-derives each guard's expected condition
+    #: from the IR and compares it against the emitted source.
+    guards: tuple = ()
 
 
 def record_codegen(program, record: CodegenRecord) -> None:

@@ -1,0 +1,1163 @@
+"""Guard-based trace JIT: multi-region hot paths for branchy loops.
+
+The loop-resident chain tier (:mod:`repro.cpu.engine.traced`) only
+batches loops whose entire body is one straight-line region.  Branchy
+bodies (``me_fss``, ``vecmax_early``, ``viterbi``) fall back to
+per-region dispatch: every forward branch ends a region and pays one
+full engine-loop round trip.  This module records the *hot path*
+through such a body — across its forward branches — and lowers it to
+one generated Python function with inlined **guards** at every
+divergence point, RPython-style (minus machine code: traces are Python
+source like the megahandlers, compiled once and cached).
+
+Recording.  A ZOLC trigger whose fire redirect re-enters a natural
+loop (recovered by :func:`~repro.cpu.analysis.cfg.natural_loops` over
+the post-transform CFG, with the controller's redirect edges
+reinstated) makes that loop a *candidate*.  Once
+:data:`HOT_THRESHOLD` loop-back fires have been observed, the traced
+engine records one full iteration — the ``(slot, taken)`` outcome of
+every conditional branch between the loop entry and the next trigger
+fire — and the path is rebuilt from those events and lowered.  Any
+fire that is not the candidate's own direct loop-back ends the
+recording: an expiry or a fired exit/entry watch abandons it (the
+candidate re-arms, up to :data:`MAX_RETRIES` times); an indirect jump,
+``halt`` or ``mtz``/``mfz`` retired mid-recording kills the candidate
+for good.
+
+Guards.  A conditional branch on the hot path becomes a guard: the
+branch-condition expression (the one shared
+:func:`~repro.cpu.engine.emit.branch_cond_expr` idiom) is tested
+*before* the branch retires, and if the actual direction disagrees
+with the recorded one, the trace **side-exits**: it returns an outcome
+index whose statically precomputed deltas retire exactly the members
+*before* the guard, and the engine re-executes the branch itself on
+the per-region tier — so the side exit is architecturally exact
+(registers, memory, cycles, stats, controller counters), including
+``dbne``, whose counter decrement is only committed after its guard
+passes.  A guard whose opposite side turns hot
+(:data:`BRIDGE_THRESHOLD` side exits through it) gets a *bridge*
+recorded from the side exit to the next loop-back fire and spliced in:
+the trace is rebuilt from the merged path set, the once-guard becoming
+a two-sided split with both continuations inlined.
+
+Timing.  Every outcome — each leaf of the guard tree and each side
+exit — carries static ``(steps, cycles, stall, flush, taken)`` deltas
+accumulated along its exact path, so path-dependent timing stays
+bit-identical to ``step``; the only runtime timing check is the
+incoming load-use stall against the first member (same contract as
+fused regions).  Faults inside a trace reconcile through a line →
+pre-fault-state table, like region faults.  See DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from repro.cpu.analysis.cfg import build_cfg, natural_loops
+from repro.util.bitops import MASK32
+
+from repro.cpu.engine.dispatch import SPAN_IDS, PredecodedProgram
+from repro.cpu.engine.emit import (
+    REGION_HELPERS,
+    CodegenRecord,
+    branch_cond_expr,
+    member_lines,
+    record_codegen,
+    region_namespace,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.simulator import Simulator
+
+#: compile() filename marker for generated traces; fault reconciliation
+#: and the AU005 auditor recognise trace frames/records by it.
+TRACE_FILENAME = "<trace-jit>"
+
+#: compile() filename marker for generated trace *chain drivers* — the
+#: loop-resident variant of the same tree, with the fire epilogue
+#: inlined at every leaf.  Distinct from the region chain driver's
+#: ``<trace-chain>`` marker in :mod:`repro.cpu.engine.traced`.
+TRACE_CHAIN_FILENAME = "<trace-jit-chain>"
+
+#: Loop-back fires observed before a candidate records its hot path.
+HOT_THRESHOLD = 8
+#: Side exits through one guard before a bridge is recorded for it.
+BRIDGE_THRESHOLD = 8
+#: Maximum recorded paths (initial + bridges) per trace.
+MAX_PATHS = 8
+#: Maximum members along any single recorded path.
+MAX_MEMBERS = 96
+#: Maximum branch events per recording (runaway inner-cycle backstop).
+MAX_EVENTS = 128
+#: Abandoned recordings tolerated before a candidate / bridge is dead.
+MAX_RETRIES = 4
+
+
+class TraceOutcome(NamedTuple):
+    """One return value of a generated trace function.
+
+    The traced loop unpacks the whole record per execution, so the
+    field order is load-bearing.  ``members`` matches the region
+    member shape ``(slot, base_cycles, static_stall, load_dest)`` so
+    trace executions share the engine's retired-count expansion.
+    """
+
+    rid: int                    # span identity (shared with regions)
+    steps: int                  # members retired by this outcome
+    cycles: int                 # static cycle delta along the path
+    stall: int                  # static stall portion of cycles
+    flush: int                  # taken-branch flush portion of cycles
+    taken: int                  # taken branches retired
+    members: tuple              # (slot, base_cycles, stall, load_dest)
+    out_pending: int | None     # pending load dest after the outcome
+    is_exit: bool               # guard side exit (guard NOT retired)
+    pc: int                     # side exit: the guard's address;
+                                # leaf: the retiring member's address
+    prefix: tuple               # side exit: (slot, taken) branch
+                                # decisions before the guard — the
+                                # bridge recording's path prefix
+    key: tuple | None           # side exit: (guard slot, cold
+                                # direction) — stable across rebuilds
+
+
+class TraceCandidate:
+    """One trigger loop being profiled toward trace promotion."""
+
+    __slots__ = ("loop_id", "entry_slot", "entry_pc", "trigger_pc",
+                 "count", "fails", "dead")
+
+    def __init__(self, loop_id: int, entry_slot: int, entry_pc: int,
+                 trigger_pc: int) -> None:
+        self.loop_id = loop_id
+        self.entry_slot = entry_slot
+        self.entry_pc = entry_pc
+        self.trigger_pc = trigger_pc
+        self.count = 0          # loop-back fires observed
+        self.fails = 0          # abandoned recordings
+        self.dead = False
+
+
+class Trace:
+    """A compiled trace: the generated function plus its outcome table.
+
+    ``chain`` is the loop-resident driver — the same guard tree with
+    the trigger fire, index writes and loop-back test inlined at every
+    leaf, called as ``chain(fire_trigger, budget, cell)`` (everything
+    else binds as generated-function defaults).
+    """
+
+    __slots__ = ("fn", "chain", "outcomes", "first_uses", "max_steps",
+                 "loop_id", "entry_pc", "entry_slot", "trigger_pc",
+                 "line_fault", "line_member", "chain_line_fault",
+                 "fail", "bridge_fails", "no_bridge", "paths", "cand")
+
+    def __init__(self, fn, chain, outcomes: tuple,
+                 first_uses: frozenset[int], loop_id: int, entry_pc: int,
+                 entry_slot: int, trigger_pc: int, line_fault: tuple,
+                 line_member: tuple, chain_line_fault: tuple,
+                 paths: list, cand: TraceCandidate) -> None:
+        self.fn = fn
+        self.chain = chain
+        self.outcomes = outcomes
+        self.first_uses = first_uses
+        self.max_steps = max(o.steps for o in outcomes)
+        self.loop_id = loop_id
+        self.entry_pc = entry_pc
+        self.entry_slot = entry_slot
+        self.trigger_pc = trigger_pc
+        self.line_fault = line_fault
+        self.line_member = line_member
+        self.chain_line_fault = chain_line_fault
+        self.fail: dict = {}          # exit key -> side-exit count
+        self.bridge_fails: dict = {}  # exit key -> abandoned bridges
+        self.no_bridge: set = set()   # exit keys never to bridge
+        self.paths = paths            # recorded event tuples, in order
+        self.cand = cand
+
+
+class TraceTable:
+    """Per-plan-key trace state: the dense dispatch table + candidates."""
+
+    __slots__ = ("slots", "cands", "watched", "exit_pcs")
+
+    def __init__(self, slots: list, cands: dict,
+                 watched: frozenset[int],
+                 exit_pcs: frozenset[int]) -> None:
+        self.slots = slots      # dense: entry slot -> Trace | None
+        self.cands = cands      # loop_id -> TraceCandidate
+        self.watched = watched  # every watched next pc of the plan
+        self.exit_pcs = exit_pcs  # exit-watched branch pcs
+
+
+class TraceRecorder:
+    """One in-flight recording (initial path or bridge)."""
+
+    __slots__ = ("cand", "trace", "exit_key", "prefix", "events")
+
+    def __init__(self, cand: TraceCandidate, trace: Trace | None,
+                 exit_key: tuple | None, prefix: tuple) -> None:
+        self.cand = cand
+        self.trace = trace          # None for the initial recording
+        self.exit_key = exit_key    # None for the initial recording
+        self.prefix = prefix        # branch decisions before the guard
+        self.events: list = []      # recorded (slot, taken) decisions
+
+
+# ---------------------------------------------------------------------------
+# Candidate discovery
+# ---------------------------------------------------------------------------
+
+#: Program attribute caching candidate geometry per (plan key, fire
+#: targets): the CFG build, natural-loop detection and legality scan
+#: depend only on the program's IR and the plan's watch content, so
+#: every simulator of one program shares one discovery.
+_JIT_CANDS_ATTR = "_trace_jit_cands"
+
+
+def _candidate_geometry(program, ir, base: int, plan,
+                        watched: frozenset[int],
+                        trigger_edges: dict) -> tuple:
+    """Statically scope the plan's trigger loops to trace candidates.
+
+    A candidate is a trigger whose fire redirect heads a natural loop
+    of at least two basic blocks (branchy — single-block bodies are
+    the chain tier's job) whose body retires no ``mtz``/``mfz``, no
+    indirect jump or ``halt``, and contains no *foreign* watched
+    address — those would fire mid-trace, which a trace cannot model.
+    The loop's own trigger slot is exempt: it is the dead latch, and
+    arrival at it *ends* the iteration, so no trace path retires it
+    (loops sharing an entry pull the sibling's latch into the merged
+    natural-loop body, which must not disqualify the innermost).  The
+    trigger address itself must not double as an entry watch (the
+    trace fires ``fire_trigger`` directly at its chain leaf, exactly
+    as the per-slot path would after its entry watch declined).  An
+    outer ZOLC loop is rejected by the watched-address check (its body
+    contains the inner loop's trigger), so only innermost loops trace.
+
+    Returns ``(loop_id, entry_slot, entry_pc, trigger_pc)`` rows,
+    cached on the program object (the scan is pure in the IR and the
+    plan's watch/target content, which the cache key captures).
+    """
+    per_program = program.__dict__.get(_JIT_CANDS_ATTR)
+    if per_program is None:
+        per_program = program.__dict__[_JIT_CANDS_ATTR] = {}
+    key = (plan.key, tuple(sorted(trigger_edges.items())))
+    geometry = per_program.get(key)
+    if geometry is not None:
+        return geometry
+    cfg = build_cfg(ir, base, watch_pcs=watched,
+                    trigger_edges=trigger_edges)
+    by_header = {loop.header: loop for loop in natural_loops(cfg)}
+    entry_watch_pcs = {pc for pc, _ in plan.entries}
+    claimed: set[int] = set()
+    rows = []
+    for pc, loop_id in plan.triggers:
+        entry_pc = trigger_edges.get(pc)
+        if entry_pc is None or pc in entry_watch_pcs \
+                or entry_pc in watched:
+            continue
+        entry_slot = cfg.slot_of(entry_pc)
+        if entry_slot is None or entry_slot in claimed \
+                or not cfg.is_leader(entry_pc):
+            continue
+        loop = by_header.get(cfg.block_of_slot[entry_slot])
+        if loop is None:
+            continue
+        if len(loop.body) < 2:
+            # A single-block body falling through into its trigger is
+            # the chain tier's shape — nothing to guard.  A single
+            # block *ending in a conditional branch* (an early-exit
+            # latch, e.g. ``vecmax_early``) is trace territory: the
+            # hot path guards the exit branch and falls into the
+            # trigger.
+            if not ir[cfg.blocks[loop.header].end].is_branch:
+                continue
+        if ir[entry_slot].is_branch:
+            # A guard as the very first member could side-exit having
+            # retired nothing, which has no exact out-pending state.
+            continue
+        legal = True
+        for bid in loop.body:
+            block = cfg.blocks[bid]
+            for slot in range(block.start, block.end + 1):
+                op = ir[slot]
+                if (op.is_zolc_init
+                        or op.mnemonic in ("jr", "jalr", "halt")
+                        or (op.address not in (entry_pc, pc)
+                            and op.address in watched)):
+                    legal = False
+                    break
+            if not legal:
+                break
+        if not legal:
+            continue
+        claimed.add(entry_slot)
+        rows.append((loop_id, entry_slot, entry_pc, pc))
+    geometry = tuple(rows)
+    per_program[key] = geometry
+    return geometry
+
+
+def _discover(sim: "Simulator", predecoded: PredecodedProgram,
+              plan) -> TraceTable:
+    """Build the per-simulator trace table for one plan state.
+
+    The static scan lives in :func:`_candidate_geometry` (cached on
+    the program); this binds it to one simulator — fresh candidate
+    counters, and compiled traces instantiated straight from the
+    program's blueprint cache where a previous simulator already
+    recorded them.
+    """
+    ir = predecoded.ir
+    n = len(ir)
+    watched = frozenset(plan.watched_next_pcs()) if plan else frozenset()
+    exit_pcs = frozenset(pc for pc, _ in plan.exits) if plan \
+        else frozenset()
+    table = TraceTable([None] * n, {}, watched, exit_pcs)
+    fire_target = plan.fire_target if plan is not None else None
+    if fire_target is None or not ir:
+        return table
+    base = sim.program.text_base
+    trigger_edges: dict[int, int] = {}
+    for pc, loop_id in plan.triggers:
+        target = fire_target(loop_id)
+        if target is not None:
+            trigger_edges[pc] = target
+    if not trigger_edges:
+        return table
+    geometry = _candidate_geometry(sim.program, ir, base, plan, watched,
+                                   trigger_edges)
+    blueprints = sim.program.__dict__.get(_JIT_CODE_ATTR, {})
+    for loop_id, entry_slot, entry_pc, pc in geometry:
+        cand = TraceCandidate(loop_id, entry_slot, entry_pc, pc)
+        entry = blueprints.get(_blueprint_key(sim, table, cand))
+        if entry is not None:
+            # A previous simulator of this program already recorded and
+            # compiled this loop's trace: bind it now, skipping the
+            # profiling warm-up entirely.
+            table.slots[entry_slot] = _instantiate_trace(
+                sim, predecoded, entry, cand)
+        else:
+            table.cands[loop_id] = cand
+    return table
+
+
+def trace_table(sim: "Simulator", predecoded: PredecodedProgram,
+                plan) -> TraceTable:
+    """Resolve (or discover) the trace table for one plan state.
+
+    Cached on the simulator by the plan's watch-set content key, like
+    the region tables; cleared whenever the program is re-predecoded.
+    """
+    key = plan.key
+    table = sim._trace_jit_cache.get(key)
+    if table is None:
+        table = _discover(sim, predecoded, plan)
+        sim._trace_jit_cache[key] = table
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Path reconstruction and merging
+# ---------------------------------------------------------------------------
+
+def _walk(cand: TraceCandidate, table: TraceTable, ir, base: int,
+          n: int, events: tuple) -> list | None:
+    """Replay recorded branch events into a path item list.
+
+    Items: ``('m', slot)`` plain member, ``('j', slot)`` unconditional
+    jump, ``('g', slot, taken)`` conditional branch with its recorded
+    direction.  The path ends when a member's next pc is the trigger
+    address (the chain leaf).  ``None`` when the events are
+    inconsistent with the IR or the path is untraceable (a watched or
+    out-of-text address, a taken exit-watched branch — its fire must
+    stay on the per-slot path —, an indirect jump, a ZOLC port access,
+    or :data:`MAX_MEMBERS` overflow).
+    """
+    items: list = []
+    slot = cand.entry_slot
+    trigger_pc = cand.trigger_pc
+    watched = table.watched
+    exit_pcs = table.exit_pcs
+    ei = 0
+    n_events = len(events)
+    while True:
+        if len(items) >= MAX_MEMBERS:
+            return None
+        op = ir[slot]
+        m = op.mnemonic
+        if op.is_zolc_init or m in ("jr", "jalr", "halt"):
+            return None
+        if op.is_branch:
+            if ei >= n_events:
+                return None
+            eslot, taken = events[ei]
+            ei += 1
+            if eslot != slot or (taken and op.target is None):
+                return None
+            if taken and op.address in exit_pcs:
+                return None
+            items.append(("g", slot, taken))
+            next_pc = op.target if taken else op.link
+        elif m in ("j", "jal"):
+            if op.target is None:
+                return None
+            items.append(("j", slot))
+            next_pc = op.target
+        else:
+            items.append(("m", slot))
+            next_pc = op.link
+        if next_pc == trigger_pc:
+            return items if ei == n_events else None
+        if next_pc in watched:
+            return None
+        offset = next_pc - base
+        if offset < 0 or offset & 3 or offset >> 2 >= n:
+            return None
+        slot = offset >> 2
+
+
+def _merge(tree: list, path: list) -> list | None:
+    """Merge one plain path into a guard tree; ``None`` on mismatch.
+
+    A tree is an item list whose only compound node is a trailing
+    ``('split', slot, taken_subtree, fall_subtree)`` — everything
+    after a divergence lives inside the subtrees, so a split is always
+    the last element of its level.  Paths may only diverge at a
+    same-slot guard with opposite directions; any other divergence
+    (different slots, guard vs member) is unmergeable.
+    """
+    out: list = []
+    i = 0
+    while i < len(tree) and i < len(path):
+        ti = tree[i]
+        pi = path[i]
+        if ti == pi:
+            out.append(ti)
+            i += 1
+            continue
+        if ti[0] == "split":
+            if pi[0] == "g" and pi[1] == ti[1]:
+                if pi[2]:
+                    sub = _merge(ti[2], path[i + 1:])
+                    if sub is None:
+                        return None
+                    out.append(("split", ti[1], sub, ti[3]))
+                else:
+                    sub = _merge(ti[3], path[i + 1:])
+                    if sub is None:
+                        return None
+                    out.append(("split", ti[1], ti[2], sub))
+                return out
+            return None
+        if ti[0] == "g" and pi[0] == "g" and ti[1] == pi[1] \
+                and ti[2] != pi[2]:
+            rest_t = list(tree[i + 1:])
+            rest_p = list(path[i + 1:])
+            if ti[2]:
+                out.append(("split", ti[1], rest_t, rest_p))
+            else:
+                out.append(("split", ti[1], rest_p, rest_t))
+            return out
+        return None
+    return out if i == len(tree) and i == len(path) else None
+
+
+# ---------------------------------------------------------------------------
+# Lowering: guard tree -> generated Python source
+# ---------------------------------------------------------------------------
+
+class _TraceAbort(Exception):
+    """An untraceable construct surfaced during emission."""
+
+
+class _EmitCtx:
+    """Mutable emission state shared across the recursive tree walk.
+
+    One tree lowers twice: a *trace* pass (``chain is None``) that
+    allocates the outcome table, and a *chain* pass that re-walks the
+    identical tree — so guards, members and leaves reappear in the
+    same order and ``next_k`` re-derives each outcome index without
+    re-allocating.  ``chain`` carries the chain pass's static strings:
+    ``loop_id``, ``entry_pc`` and the counts-dict expression.
+    """
+
+    __slots__ = ("lines", "line_fault", "line_member", "outcomes",
+                 "sites", "guards", "ops", "ir", "base", "load_use",
+                 "ord", "chain", "next_k")
+
+    def __init__(self, ops, ir, base: int, load_use: int,
+                 chain: dict | None = None) -> None:
+        self.lines: list[str] = []
+        # Index 0 is the def line (tb_lineno is 1-based), like the
+        # region emitters' line_member convention.
+        self.line_fault: list = [None]
+        self.line_member: list = [None]
+        self.outcomes: list[TraceOutcome] = []
+        self.sites: list[tuple[int, int]] = []   # (_h ordinal, slot)
+        self.guards: list[tuple] = []            # (lineno, slot, hot)
+        self.ops = ops
+        self.ir = ir
+        self.base = base
+        self.load_use = load_use
+        self.ord = 0
+        self.chain = chain
+        self.next_k = 0
+
+
+def _snapshot(acc: list, fault_pc: int) -> tuple:
+    """The precomputed pre-fault state for a line: everything the
+    engine needs to retire the members before the faulting one."""
+    return (acc[0], acc[1], acc[2], acc[3], acc[4],
+            tuple(member[0] for member in acc[5]), acc[6], fault_pc)
+
+
+def _clone(acc: list) -> list:
+    return [acc[0], acc[1], acc[2], acc[3], acc[4], list(acc[5]),
+            acc[6], list(acc[7])]
+
+
+def _emit(ctx: _EmitCtx, depth: int, text: str, fault: tuple,
+          slot: int | None) -> int:
+    """Append one source line; returns its 0-based source line index."""
+    lineno = len(ctx.line_fault)
+    ctx.lines.append("    " * (depth + 1) + text)
+    ctx.line_fault.append(fault)
+    ctx.line_member.append(slot)
+    return lineno
+
+
+def _member_source(ctx: _EmitCtx, slot: int) -> list[str]:
+    """The member's statements, registering a fallback site if used."""
+    fb: list[int] = []
+    ordinal = ctx.ord
+    ctx.ord += 1
+    lines = member_lines(ctx.ir[slot], ordinal, fb)
+    if fb:
+        ctx.sites.append((ordinal, slot))
+    return lines
+
+
+def _static_stall(ctx: _EmitCtx, acc: list, uses) -> int:
+    """Load-use stall of the next member against the running pending
+    destination — static for every member but the first (whose stall
+    against the *incoming* pending is the one runtime timing check)."""
+    return ctx.load_use if acc[5] and acc[6] is not None \
+        and acc[6] in uses else 0
+
+
+def _retire(acc: list, slot: int, bc: int, ss: int,
+            load_dest: int | None, pen: int, taken: bool) -> None:
+    """Fold one retiring member into the accumulator."""
+    acc[0] += 1
+    acc[1] += bc + ss + (pen if taken else 0)
+    acc[2] += ss
+    if taken:
+        acc[3] += pen
+        acc[4] += 1
+    acc[5].append((slot, bc, ss, load_dest))
+    acc[6] = load_dest
+
+
+def _side_exit(ctx: _EmitCtx, acc: list, slot: int, cold: bool) -> int:
+    """Reserve the side-exit outcome for a guard; returns its index.
+
+    The chain pass walks the same tree in the same order, so it only
+    advances the index counter — the outcome already exists."""
+    k = ctx.next_k
+    ctx.next_k += 1
+    if ctx.chain is None:
+        op = ctx.ir[slot]
+        ctx.outcomes.append(TraceOutcome(
+            rid=next(SPAN_IDS), steps=acc[0], cycles=acc[1],
+            stall=acc[2], flush=acc[3], taken=acc[4],
+            members=tuple(acc[5]), out_pending=acc[6], is_exit=True,
+            pc=op.address, prefix=tuple(acc[7]), key=(slot, cold)))
+    return k
+
+
+def _emit_acc(ctx: _EmitCtx, acc: list, k: int, depth: int,
+              fault: tuple | None, slot: int | None) -> None:
+    """Chain pass: fold one outcome's static deltas into the running
+    totals (zero terms elided at generation time)."""
+    _emit(ctx, depth, f"_o{k} += 1", fault, slot)
+    for name, value in (("_steps", acc[0]), ("_cycles", acc[1]),
+                        ("_stall", acc[2]), ("_flush", acc[3]),
+                        ("_taken", acc[4])):
+        if value:
+            _emit(ctx, depth, f"{name} += {value}", fault, slot)
+
+
+def _emit_escape(ctx: _EmitCtx, acc: list, k: int, depth: int,
+                 fault: tuple, slot: int) -> None:
+    """The guard's cold direction.  The trace pass returns the
+    side-exit outcome index; the chain pass additionally folds the
+    exit's deltas and returns the full accounting tuple (the engine
+    re-executes the guard per-slot either way)."""
+    if ctx.chain is None:
+        _emit(ctx, depth, f"return {k}", fault, slot)
+        return
+    _emit_acc(ctx, acc, k, depth, fault, slot)
+    _emit(ctx, depth,
+          f"return ({ctx.chain['counts']}, _steps, _cycles, _stall, "
+          f"_flush, _taken, _fires, _iw, _out[{k}], None)",
+          fault, slot)
+
+
+def _emit_guard(ctx: _EmitCtx, acc: list, slot: int, hot: bool,
+                depth: int) -> None:
+    """One-sided guard: test the branch condition *before* retirement;
+    the cold direction returns the side-exit outcome (the branch does
+    not retire — the engine re-executes it per-slot), the hot direction
+    commits any side effect (``dbne``'s decrement) and retires."""
+    op = ctx.ir[slot]
+    _fn, bc, uses, _ld, pen = ctx.ops[slot]
+    ss = _static_stall(ctx, acc, uses)
+    fault = _snapshot(acc, op.address)
+    k = _side_exit(ctx, acc, slot, not hot)
+    if op.mnemonic == "dbne":
+        _emit(ctx, depth, f"_v = (_g[{op.rs}] - 1) & {MASK32}", fault,
+              slot)
+        lineno = _emit(ctx, depth, "if not _v:" if hot else "if _v:",
+                       fault, slot)
+        _emit_escape(ctx, acc, k, depth + 1, fault, slot)
+        for line in () if op.rs == 0 else (f"_g[{op.rs}] = _v",):
+            _emit(ctx, depth, line, fault, slot)
+    else:
+        cond = branch_cond_expr(op)
+        if cond is None:
+            raise _TraceAbort
+        lineno = _emit(ctx, depth,
+                       f"if not ({cond}):" if hot else f"if {cond}:",
+                       fault, slot)
+        _emit_escape(ctx, acc, k, depth + 1, fault, slot)
+    ctx.guards.append((lineno, slot, hot))
+    _retire(acc, slot, bc, ss, None, pen, hot)
+    acc[7].append((slot, hot))
+
+
+def _emit_tree(ctx: _EmitCtx, tree: list, acc: list,
+               depth: int) -> None:
+    """Recursively lower one tree level; leaves emit their outcome."""
+    for item in tree:
+        kind = item[0]
+        if kind == "m":
+            slot = item[1]
+            op = ctx.ir[slot]
+            _fn, bc, uses, ld, _pen = ctx.ops[slot]
+            ss = _static_stall(ctx, acc, uses)
+            fault = _snapshot(acc, op.address)
+            for line in _member_source(ctx, slot):
+                _emit(ctx, depth, line, fault, slot)
+            _retire(acc, slot, bc, ss, ld, 0, False)
+        elif kind == "j":
+            slot = item[1]
+            op = ctx.ir[slot]
+            _fn, bc, uses, _ld, pen = ctx.ops[slot]
+            ss = _static_stall(ctx, acc, uses)
+            if op.mnemonic == "jal":
+                _emit(ctx, depth, f"_g[31] = {op.link}",
+                      _snapshot(acc, op.address), slot)
+            _retire(acc, slot, bc, ss, None, pen, True)
+        elif kind == "g":
+            _emit_guard(ctx, acc, item[1], item[2], depth)
+        else:  # split: always the last item of its level
+            slot = item[1]
+            op = ctx.ir[slot]
+            _fn, bc, uses, _ld, pen = ctx.ops[slot]
+            ss = _static_stall(ctx, acc, uses)
+            fault = _snapshot(acc, op.address)
+            if op.mnemonic == "dbne":
+                _emit(ctx, depth, f"_v = (_g[{op.rs}] - 1) & {MASK32}",
+                      fault, slot)
+                # Both directions retire the branch: the decrement
+                # commits unconditionally, before the split.
+                if op.rs:
+                    _emit(ctx, depth, f"_g[{op.rs}] = _v", fault, slot)
+                test = "_v"
+            else:
+                test = branch_cond_expr(op)
+                if test is None:
+                    raise _TraceAbort
+            lineno = _emit(ctx, depth, f"if {test}:", fault, slot)
+            ctx.guards.append((lineno, slot, None))
+            taken_acc = _clone(acc)
+            _retire(taken_acc, slot, bc, ss, None, pen, True)
+            taken_acc[7].append((slot, True))
+            _emit_tree(ctx, item[2], taken_acc, depth + 1)
+            _emit(ctx, depth, "else:", fault, slot)
+            fall_acc = _clone(acc)
+            _retire(fall_acc, slot, bc, ss, None, pen, False)
+            fall_acc[7].append((slot, False))
+            _emit_tree(ctx, item[3], fall_acc, depth + 1)
+            return
+    # Leaf: the last member's next pc is the trigger address.
+    k = ctx.next_k
+    ctx.next_k += 1
+    last_slot = acc[5][-1][0]
+    if ctx.chain is None:
+        ctx.outcomes.append(TraceOutcome(
+            rid=next(SPAN_IDS), steps=acc[0], cycles=acc[1],
+            stall=acc[2], flush=acc[3], taken=acc[4],
+            members=tuple(acc[5]), out_pending=acc[6], is_exit=False,
+            pc=ctx.base + 4 * last_slot, prefix=(), key=None))
+        _emit(ctx, depth, f"return {k}", _snapshot(acc, ctx.base), None)
+        return
+    # Chain pass: the fire epilogue is inlined at the leaf — account
+    # the iteration, fire the trigger (``_leaf`` marks the in-fire
+    # window for the fault cell), apply the index writes and either
+    # loop back or return the terminating decision.  None of the
+    # post-fire lines can raise synchronously, so their fault entries
+    # stay ``None`` (reconciliation then lands on the loop entry with
+    # no pending load — exactly the post-fire architectural state).
+    ch = ctx.chain
+    _emit_acc(ctx, acc, k, depth, None, None)
+    # Loop-back fast path: with the engagement-hoisted record valid,
+    # un-cascaded and still looping back, the task-selection decision
+    # is exactly "bump the iteration counter, write the next index
+    # value" — inlined here, skipping the Decision allocation.  Expiry
+    # (and anything the prelude could not prove static) falls through
+    # to the real fire handler.  A halt observed after the fire leaves
+    # through the budget return: the caller re-enters per-slot at the
+    # loop entry and sees ``state.halted`` exactly as a terminating
+    # decision would have left it.
+    _emit(ctx, depth, "if _fast:", None, None)
+    _emit(ctx, depth + 1, "_done = _stat.iterations_done + 1", None,
+          None)
+    _emit(ctx, depth + 1, "if _done < _trips:", None, None)
+    _emit(ctx, depth + 2, "_stat.iterations_done = _done", None, None)
+    _emit(ctx, depth + 2, "_ctl.task_switches += 1", None, None)
+    _emit(ctx, depth + 2, "_fires += 1", None, None)
+    _emit(ctx, depth + 2, "_iw += 1", None, None)
+    _emit(ctx, depth + 2, "if _ir:", None, None)
+    _emit(ctx, depth + 3,
+          f"_g[_ir] = (_init + _done * _stride) & {MASK32}", None,
+          None)
+    _emit(ctx, depth + 2, "if _state.halted:", None, None)
+    _emit(ctx, depth + 3, "break", None, None)
+    _emit(ctx, depth + 2, "continue", None, None)
+    _emit(ctx, depth, f"_leaf = {k}", None, None)
+    _emit(ctx, depth, f"_d = _fire({ch['loop_id']})", None, None)
+    _emit(ctx, depth, "_leaf = -1", None, None)
+    _emit(ctx, depth, "_fires += 1", None, None)
+    _emit(ctx, depth, "_w = _d.index_writes", None, None)
+    _emit(ctx, depth, "if len(_w) == 1:", None, None)
+    _emit(ctx, depth + 1, "_r, _v = _w[0]", None, None)
+    _emit(ctx, depth + 1, "if _r:", None, None)
+    _emit(ctx, depth + 2, f"_g[_r] = _v & {MASK32}", None, None)
+    _emit(ctx, depth, "else:", None, None)
+    _emit(ctx, depth + 1, "for _r, _v in _w:", None, None)
+    _emit(ctx, depth + 2, "if _r:", None, None)
+    _emit(ctx, depth + 3, f"_g[_r] = _v & {MASK32}", None, None)
+    _emit(ctx, depth, "_iw += len(_w)", None, None)
+    _emit(ctx, depth,
+          f"if _d.next_pc != {ch['entry_pc']} or _state.halted:",
+          None, None)
+    _emit(ctx, depth + 1,
+          f"return ({ch['counts']}, _steps, _cycles, _stall, _flush, "
+          f"_taken, _fires, _iw, _out[{k}], _d)", None, None)
+    _emit(ctx, depth, "continue", None, None)
+
+
+#: Program attribute holding compiled trace blueprints, keyed by
+#: :func:`_blueprint_key` — the per-sim path profiles converge (one
+#: program, one data image), so later simulators of the same program
+#: instantiate traces at discovery time without re-recording.
+_JIT_CODE_ATTR = "_trace_jit_code"
+
+
+def _blueprint_key(sim: "Simulator", table: TraceTable,
+                   cand: TraceCandidate) -> tuple:
+    """Cache identity of a compiled trace blueprint.
+
+    Unlike region source, the blueprint's outcome/fault tables bake in
+    static cycle and stall deltas, so the pipeline config is part of
+    the key (a pipeline sweep compiles per configuration).
+    """
+    return (cand.loop_id, cand.entry_slot, cand.trigger_pc,
+            table.watched, table.exit_pcs, sim.timing.config)
+
+
+def _compile_trace(sim: "Simulator", predecoded: PredecodedProgram,
+                   table: TraceTable, cand: TraceCandidate,
+                   paths: list) -> tuple | None:
+    """Walk, merge and lower a path set into a trace blueprint.
+
+    Returns ``None`` when any path fails to replay against the IR or
+    the paths are unmergeable (divergence anywhere but a same-slot
+    guard) — the caller marks the candidate dead or the bridge
+    unbridgeable.  The record filed for AU005 uses ``term == start``
+    so a bridge rebuild overwrites its predecessor's entry.
+    """
+    ir = predecoded.ir
+    ops = predecoded.ops
+    base = sim.program.text_base
+    n = len(ops)
+    walked = []
+    for events in paths:
+        items = _walk(cand, table, ir, base, n, events)
+        if items is None:
+            return None
+        walked.append(items)
+    tree = walked[0]
+    for path in walked[1:]:
+        tree = _merge(tree, path)
+        if tree is None:
+            return None
+    load_use = sim.timing.config.load_use_stall
+    ctx = _EmitCtx(ops, ir, base, load_use)
+    try:
+        _emit_tree(ctx, tree, [0, 0, 0, 0, 0, [], None, []], 0)
+    except _TraceAbort:
+        return None
+    params = ", ".join(
+        f"{name}={name}"
+        for name in REGION_HELPERS
+        + tuple(f"_h{k}" for k, _ in ctx.sites))
+    src = f"def _trace({params}):\n" + "\n".join(ctx.lines)
+    code = compile(src, TRACE_FILENAME, "exec")
+    entry = (tuple(paths), code, tuple(ctx.sites), tuple(ctx.outcomes),
+             tuple(ctx.line_fault), tuple(ctx.line_member),
+             *_compile_chain(sim, ctx, tree, cand))
+    record_codegen(sim.program, CodegenRecord(
+        kind="trace", start=cand.entry_slot, term=cand.entry_slot,
+        source=src, line_member=entry[5],
+        fallbacks=tuple(k for k, _ in ctx.sites),
+        loop_id=cand.loop_id, guards=tuple(ctx.guards)))
+    return entry
+
+
+def _compile_chain(sim: "Simulator", ctx: _EmitCtx, tree: list,
+                   cand: TraceCandidate) -> tuple:
+    """Lower the merged tree a second time as the chain driver.
+
+    The generated function runs whole ``trace → fire → re-enter``
+    iterations without returning to the engine loop: per-outcome
+    counters and the accounting totals accumulate in locals, every
+    leaf fires the trigger and applies the index writes inline, and a
+    single zero-cost ``try`` publishes progress into the caller's
+    ``cell`` only when a fault unwinds (``_leaf >= 0`` flags a fault
+    raised by the fire itself, after the iteration retired whole).
+    Iterations always enter post-fire, so the incoming pending-load
+    check the standalone trace needs does not exist here — the
+    outcome constants are exact.  Returns ``(code, sites,
+    line_fault, line_member)`` blueprint fields; the outcome table
+    and fallback sites are identical to the trace pass's (same tree,
+    same walk order).
+    """
+    # Function-level import: repro.core's package __init__ imports the
+    # controller, which reaches back into repro.cpu.engine.
+    from repro.core.tables import FLAG_VALID
+
+    outcomes = ctx.outcomes
+    pairs = ", ".join(f"({k}, _o{k})" for k in range(len(outcomes)))
+    counts = ("{_k: _c for _k, _c in (" + pairs + ",) if _c}")
+    max_out = max(o.steps for o in outcomes)
+    cctx = _EmitCtx(ctx.ops, ctx.ir, ctx.base, ctx.load_use, chain={
+        "loop_id": cand.loop_id, "entry_pc": cand.entry_pc,
+        "counts": counts})
+    zeros = " = ".join(f"_o{k}" for k in range(len(outcomes)))
+    _emit(cctx, 0, f"{zeros} = 0", None, None)
+    _emit(cctx, 0,
+          "_steps = _cycles = _stall = _flush = _taken = "
+          "_fires = _iw = 0", None, None)
+    _emit(cctx, 0, "_leaf = -1", None, None)
+    # Engagement prelude: hoist the trigger loop's record and status
+    # out of the compiled fire handler (``_fire`` is the controller's
+    # bound method per the plan contract).  No ``mtz``/``mfz`` can
+    # retire inside a trace, so the record fields are frozen for the
+    # whole engagement; ``_fast`` proves the loop-back arm of
+    # ``decide()`` — valid record, direct loop-back to this entry, no
+    # valid descendants to re-initialise — can be inlined at the
+    # leaves.  Anything unexpected (a port whose handler is not the
+    # controller method) just disables the fast path.
+    loop_id = cand.loop_id
+    _emit(cctx, 0, "_fast = False", None, None)
+    _emit(cctx, 0, "try:", None, None)
+    _emit(cctx, 1, "_ctl = _fire.__self__", None, None)
+    _emit(cctx, 1, f"_rec = _ctl.tables.loops[{loop_id}]", None, None)
+    _emit(cctx, 1, f"_stat = _ctl.unit.status[{loop_id}]", None, None)
+    _emit(cctx, 1, "_trips = _rec.trips", None, None)
+    _emit(cctx, 1, "_init = _rec.initial", None, None)
+    _emit(cctx, 1, "_stride = _rec.step", None, None)
+    _emit(cctx, 1, "_ir = _rec.index_reg", None, None)
+    _emit(cctx, 1,
+          f"_fast = (bool(_rec.flags & {FLAG_VALID}) "
+          f"and _rec.body_pc == {cand.entry_pc} "
+          "and _fire.__func__ is _FT "
+          "and _ctl._decide.__func__ is _DEC)", None, None)
+    _emit(cctx, 1, "if _fast:", None, None)
+    _emit(cctx, 2, f"for _c in _ctl.unit.descendants({loop_id}):",
+          None, None)
+    _emit(cctx, 3,
+          f"if _ctl.tables.loops[_c].flags & {FLAG_VALID}:", None,
+          None)
+    _emit(cctx, 4, "_fast = False", None, None)
+    _emit(cctx, 4, "break", None, None)
+    _emit(cctx, 0, "except Exception:", None, None)
+    _emit(cctx, 1, "_fast = False", None, None)
+    _emit(cctx, 0, "try:", None, None)
+    _emit(cctx, 1, f"while _steps + {max_out} <= _budget:", None, None)
+    _emit_tree(cctx, tree, [0, 0, 0, 0, 0, [], None, []], 2)
+    _emit(cctx, 1,
+          f"return ({counts}, _steps, _cycles, _stall, _flush, "
+          f"_taken, _fires, _iw, None, None)", None, None)
+    _emit(cctx, 0, "except BaseException:", None, None)
+    _emit(cctx, 1,
+          f"_cell[:] = [{counts}, _steps, _cycles, _stall, _flush, "
+          f"_taken, _fires, _iw, _leaf >= 0, "
+          f"_out[_leaf] if _leaf >= 0 else None]", None, None)
+    _emit(cctx, 1, "raise", None, None)
+    params = ", ".join(
+        f"{name}={name}"
+        for name in REGION_HELPERS
+        + tuple(f"_h{k}" for k, _ in cctx.sites)
+        + ("_out", "_FT", "_DEC"))
+    src = (f"def _trace_chain(_fire, _budget, _cell, {params}):\n"
+           + "\n".join(cctx.lines))
+    code = compile(src, TRACE_CHAIN_FILENAME, "exec")
+    record_codegen(sim.program, CodegenRecord(
+        kind="trace_chain", start=cand.entry_slot,
+        term=cand.entry_slot, source=src,
+        line_member=tuple(cctx.line_member),
+        fallbacks=tuple(k for k, _ in cctx.sites),
+        loop_id=cand.loop_id, guards=tuple(cctx.guards)))
+    return (code, tuple(cctx.sites), tuple(cctx.line_fault),
+            tuple(cctx.line_member))
+
+
+def _instantiate_trace(sim: "Simulator", predecoded: PredecodedProgram,
+                       entry: tuple, cand: TraceCandidate) -> Trace:
+    """Bind a blueprint to one simulator's architectural state."""
+    (paths, code, sites, outcomes, line_fault, line_member,
+     chain_code, chain_sites, chain_line_fault, _chain_lm) = entry
+    ops = predecoded.ops
+    ns = region_namespace(sim)
+    for ordinal, slot in sites:
+        ns[f"_h{ordinal}"] = ops[slot][0]
+    exec(code, ns)
+    # Imported here, not at module level: repro.core.__init__ pulls in
+    # the controller, which reaches back into cpu.engine.
+    from repro.core.controller import ZolcController
+    from repro.core.task_select import TaskSelectionUnit
+    for ordinal, slot in chain_sites:
+        ns[f"_h{ordinal}"] = ops[slot][0]
+    ns["_out"] = outcomes
+    ns["_FT"] = ZolcController.fire_trigger
+    ns["_DEC"] = TaskSelectionUnit.decide
+    exec(chain_code, ns)
+    return Trace(ns["_trace"], ns["_trace_chain"], outcomes,
+                 ops[cand.entry_slot][2], cand.loop_id, cand.entry_pc,
+                 cand.entry_slot, cand.trigger_pc, line_fault,
+                 line_member, chain_line_fault, list(paths), cand)
+
+
+def build_trace(sim: "Simulator", predecoded: PredecodedProgram,
+                table: TraceTable, cand: TraceCandidate,
+                paths: list) -> Trace | None:
+    """Compile (or fetch) the blueprint for ``paths`` and bind it.
+
+    The compiled blueprint is cached on the program object — fresh
+    simulators of one program skip walk/merge/codegen entirely, and a
+    bridge splice (a grown path set) recompiles and overwrites it.
+    """
+    program = sim.program
+    per_program = program.__dict__.get(_JIT_CODE_ATTR)
+    if per_program is None:
+        per_program = program.__dict__[_JIT_CODE_ATTR] = {}
+    key = _blueprint_key(sim, table, cand)
+    entry = per_program.get(key)
+    if entry is None or entry[0] != tuple(paths):
+        entry = _compile_trace(sim, predecoded, table, cand, paths)
+        if entry is None:
+            return None
+        per_program[key] = entry
+    return _instantiate_trace(sim, predecoded, entry, cand)
+
+
+# ---------------------------------------------------------------------------
+# Recording hooks (called from the traced engine's dispatch loop)
+# ---------------------------------------------------------------------------
+
+def _kill_soft(rec: TraceRecorder) -> None:
+    """Abandon a recording without condemning its subject: the
+    iteration was unlucky (expiry, a fired exit/entry watch).  The
+    candidate/bridge re-arms, up to :data:`MAX_RETRIES` abandons."""
+    if rec.exit_key is None:
+        cand = rec.cand
+        cand.fails += 1
+        if cand.fails > MAX_RETRIES:
+            cand.dead = True
+        else:
+            cand.count = 0
+    else:
+        trace = rec.trace
+        fails = trace.bridge_fails.get(rec.exit_key, 0) + 1
+        trace.bridge_fails[rec.exit_key] = fails
+        if fails > MAX_RETRIES:
+            trace.no_bridge.add(rec.exit_key)
+        else:
+            trace.fail[rec.exit_key] = 0
+
+
+def _kill_hard(rec: TraceRecorder) -> None:
+    """A structurally untraceable construct retired mid-recording."""
+    if rec.exit_key is None:
+        rec.cand.dead = True
+    else:
+        rec.trace.no_bridge.add(rec.exit_key)
+
+
+def abandon_recording(rec: TraceRecorder) -> None:
+    """Soft-kill hook for fired exit/entry watches; returns ``None``
+    so the caller can rebind its recorder local in one statement."""
+    _kill_soft(rec)
+    return None
+
+
+def record_step(rec: TraceRecorder, op, taken: bool
+                ) -> TraceRecorder | None:
+    """Observe one retirement mid-recording.
+
+    Conditional branches append their ``(slot, taken)`` event — the
+    only dynamic information a path replay needs; anything a trace
+    cannot contain (indirect jump, ``halt``, port access) kills the
+    recording hard.  Returns the recorder, or ``None`` when killed.
+    """
+    if op.is_branch:
+        if len(rec.events) >= MAX_EVENTS:
+            _kill_hard(rec)
+            return None
+        rec.events.append((op.index, taken))
+        return rec
+    if op.is_zolc_init or op.mnemonic in ("jr", "jalr", "halt"):
+        _kill_hard(rec)
+        return None
+    return rec
+
+
+def note_fire(sim: "Simulator", predecoded: PredecodedProgram,
+              table: TraceTable, rec: TraceRecorder | None,
+              loop_id: int, decision) -> TraceRecorder | None:
+    """Post-``fire_trigger`` hook: finish a recording or profile one.
+
+    With a recorder active, any fire ends it: the candidate's own
+    direct loop-back completes the path (built, or spliced into the
+    existing trace); anything else abandons it.  Without one, a
+    loop-back fire advances the candidate's counter and starts the
+    initial recording at :data:`HOT_THRESHOLD`.  Returns the (new)
+    recorder state — recording always ends at a fire, so this is
+    either ``None`` or a freshly started initial recording.
+    """
+    if rec is None:
+        cand = table.cands.get(loop_id)
+        if (cand is None or cand.dead
+                or table.slots[cand.entry_slot] is not None
+                or decision.next_pc != cand.entry_pc):
+            return None
+        cand.count += 1
+        if cand.count < HOT_THRESHOLD:
+            return None
+        return TraceRecorder(cand, None, None, ())
+    cand = rec.cand
+    if loop_id != cand.loop_id or decision.next_pc != cand.entry_pc:
+        _kill_soft(rec)
+        return None
+    path = rec.prefix + tuple(rec.events)
+    old = rec.trace
+    if old is None:
+        trace = build_trace(sim, predecoded, table, cand, [path])
+        if trace is None:
+            cand.dead = True
+        else:
+            table.slots[cand.entry_slot] = trace
+        return None
+    if path in old.paths or len(old.paths) >= MAX_PATHS:
+        old.no_bridge.add(rec.exit_key)
+        return None
+    trace = build_trace(sim, predecoded, table, cand,
+                        old.paths + [path])
+    if trace is None:
+        old.no_bridge.add(rec.exit_key)
+    else:
+        trace.no_bridge |= old.no_bridge
+        table.slots[cand.entry_slot] = trace
+    return None
+
+
+def note_side_exit(trace: Trace, out: TraceOutcome,
+                   rec: TraceRecorder | None) -> TraceRecorder | None:
+    """Post-side-exit hook: profile the guard's cold direction.
+
+    At :data:`BRIDGE_THRESHOLD` exits through one guard (and no
+    recording in flight, bridging not forbidden for it, and path
+    headroom left) a bridge recording starts: its path prefix is the
+    outcome's branch-decision prefix, and its first recorded event
+    will be the guard itself, re-executed per-slot in its actual
+    (cold) direction.  Returns the (possibly new) recorder.
+    """
+    key = out.key
+    fails = trace.fail.get(key, 0) + 1
+    trace.fail[key] = fails
+    if (rec is None and fails >= BRIDGE_THRESHOLD
+            and key not in trace.no_bridge
+            and len(trace.paths) < MAX_PATHS
+            and not trace.cand.dead):
+        trace.fail[key] = 0
+        return TraceRecorder(trace.cand, trace, key, out.prefix)
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Execution: fault reconciliation
+# ---------------------------------------------------------------------------
+#
+# The loop-resident trace chain itself is *generated* per trace (see
+# :func:`_compile_chain` and ``Trace.chain``): one plain Python loop
+# executing whole ``trace → fire → re-enter`` iterations without
+# returning to the engine loop, until the fire decision stops looping
+# back, a guard side-exits, or the (watchdog-derived) step budget
+# cannot fit another worst-case iteration.  It is called as
+# ``chain(fire_trigger, budget, cell)`` and returns ``(counts, steps,
+# cycles, stall, flush, taken, fires, index_writes, last_outcome,
+# decision)`` — ``decision`` is ``None`` when the budget ran out or
+# ``last_outcome`` is a side exit; ``cell`` publishes the same
+# accounting (plus a fault-in-fire flag) only when a fault unwinds.
+
+
+def reconcile_trace_fault(exc: BaseException, trace: Trace,
+                          retired: list[int]) -> tuple:
+    """Account a fault raised inside a generated trace (or its chain).
+
+    Maps the generated frame's line number through the trace's
+    precomputed line → pre-fault-state table (the standalone trace's
+    and the chain driver's frames resolve against their own tables):
+    every member *before* the faulting one retires (``retired`` is
+    bumped in place) and the architectural pc lands on the faulting
+    member, exactly as the per-instruction engines leave it.  Returns
+    ``(steps, cycles, stall, flush, taken, out_pending, pc)``; with
+    ``steps == 0`` the caller must leave its pending state untouched.
+    """
+    fault = None
+    tb = exc.__traceback__
+    while tb is not None:
+        filename = tb.tb_frame.f_code.co_filename
+        if filename == TRACE_FILENAME:
+            line_fault = trace.line_fault
+        elif filename == TRACE_CHAIN_FILENAME:
+            line_fault = trace.chain_line_fault
+        else:
+            line_fault = None
+        if line_fault is not None:
+            line = tb.tb_lineno - 1
+            if 0 <= line < len(line_fault) \
+                    and line_fault[line] is not None:
+                fault = line_fault[line]
+        tb = tb.tb_next
+    if fault is None:
+        return (0, 0, 0, 0, 0, None, trace.entry_pc)
+    steps, cycles, stall, flush, taken, member_idxs, out_pending, pc = \
+        fault
+    for idx in member_idxs:
+        retired[idx] += 1
+    return steps, cycles, stall, flush, taken, out_pending, pc

@@ -32,13 +32,12 @@ the faulting instruction.  See DESIGN.md §8–§9.
 
 from __future__ import annotations
 
-from itertools import count as _count
 from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.cpu.exceptions import InvalidFetchError, WatchdogError
 from repro.cpu.ir import build_ir, straightline_terms
 
-from repro.cpu.engine.dispatch import HALT, PredecodedProgram
+from repro.cpu.engine.dispatch import HALT, SPAN_IDS, PredecodedProgram
 from repro.cpu.engine.emit import (
     REGION_HELPERS,
     CodegenRecord,
@@ -52,6 +51,14 @@ from repro.cpu.engine.fast import (
     _plan_dispatch_state,
     run_fast,
 )
+from repro.cpu.engine.trace import (
+    abandon_recording,
+    note_fire,
+    note_side_exit,
+    reconcile_trace_fault,
+    record_step,
+    trace_table,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cpu.simulator import Simulator
@@ -60,9 +67,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: recognises generated frames by it.
 _REGION_FILENAME = "<trace-region>"
 
-#: Cheap per-process region identities (the traced loop keys its
-#: per-run execution counts by this int, never by region content).
-_REGION_IDS = _count()
+#: Region identities draw from the engine-wide span-id sequence, shared
+#: with trace outcomes: the traced loop keys its per-run execution
+#: counts by this int (``rcounts``), so ids must never collide across
+#: artifact kinds.
+_REGION_IDS = SPAN_IDS
 
 
 class TraceRegion(NamedTuple):
@@ -298,6 +307,10 @@ def _chain_code(program, start: int, term: int, loop_id: int):
     entry = per_program.get((start, term, loop_id))
     if entry is not None:
         return entry
+    # Imported here, not at module level: repro.core.__init__ pulls in
+    # the controller, which reaches back into cpu.engine.
+    from repro.core.tables import FLAG_VALID
+
     base = program.text_base
     ir = build_ir(program)
     entry_pc = base + 4 * start
@@ -305,7 +318,37 @@ def _chain_code(program, start: int, term: int, loop_id: int):
     # the happy path stores nothing per iteration, and the except
     # blocks publish (bodies, fires, index writes) into the ``_c`` cell
     # only when a fault actually unwinds.
-    prologue = ["    _n = 0",
+    #
+    # The prelude hoists the trigger loop's record/status so the common
+    # loop-back fire inlines to a handful of int ops (the exact
+    # loop-back arm of ``TaskSelectionUnit.decide``).  Legal because no
+    # ``mtz``/``mfz`` can retire inside the chain, so the record is
+    # frozen for the duration of the call; any surprise (planless port,
+    # foreign fire handler, monkeypatched decision path — a patched
+    # plain function has no ``__func__``) falls back to the real
+    # ``_fire``.
+    prologue = ["    _fast = False",
+                "    try:",
+                "        _ctl = _fire.__self__",
+                f"        _rec = _ctl.tables.loops[{loop_id}]",
+                f"        _stat = _ctl.unit.status[{loop_id}]",
+                "        _trips = _rec.trips",
+                "        _init = _rec.initial",
+                "        _stride = _rec.step",
+                "        _ir = _rec.index_reg",
+                f"        _fast = (bool(_rec.flags & {FLAG_VALID}) "
+                f"and _rec.body_pc == {entry_pc} "
+                "and _fire.__func__ is _FT "
+                "and _ctl._decide.__func__ is _DEC)",
+                "        if _fast:",
+                f"            for _dc in _ctl.unit.descendants({loop_id}):",
+                f"                if _ctl.tables.loops[_dc].flags "
+                f"& {FLAG_VALID}:",
+                "                    _fast = False",
+                "                    break",
+                "    except Exception:",
+                "        _fast = False",
+                "    _n = 0",
                 "    _iw = 0",
                 "    while True:",
                 "        try:"]
@@ -323,6 +366,25 @@ def _chain_code(program, start: int, term: int, loop_id: int):
         "            _c[1] = _n",
         "            _c[2] = _iw",
         "            raise",
+        "        if _fast:",
+        "            try:",
+        "                _done = _stat.iterations_done + 1",
+        "                if _done < _trips:",
+        "                    _stat.iterations_done = _done",
+        "                    _ctl.task_switches += 1",
+        "                    if _ir:",
+        "                        _g[_ir] = (_init + _done * _stride)"
+        " & 4294967295",
+        "                    _n = _n + 1",
+        "                    _iw = _iw + 1",
+        "                    if _state.halted or _n >= _budget:",
+        "                        return _n, _iw, None",
+        "                    continue",
+        "            except BaseException:",
+        "                _c[0] = _n + 1",
+        "                _c[1] = _n",
+        "                _c[2] = _iw",
+        "                raise",
         "        try:",
         f"            _d = _fire({loop_id})",
         "        except BaseException:",
@@ -350,7 +412,8 @@ def _chain_code(program, start: int, term: int, loop_id: int):
     line_member += [None] * len(epilogue)
     params = ", ".join(
         f"{name}={name}"
-        for name in REGION_HELPERS + tuple(f"_h{k}" for k in fallbacks))
+        for name in REGION_HELPERS + tuple(f"_h{k}" for k in fallbacks)
+        + ("_FT", "_DEC"))
     src = f"def _chain(_budget, _c, _fire, {params}):\n" + "\n".join(lines)
     code = compile(src, _CHAIN_FILENAME, "exec")
     entry = (code, tuple(fallbacks), tuple(line_member))
@@ -396,7 +459,11 @@ def _resolve_chain(sim: "Simulator", predecoded: PredecodedProgram,
         return None
     code, fallbacks, line_member = _chain_code(
         sim.program, region.start_idx, region.term_idx, loop_id)
+    from repro.core.controller import ZolcController
+    from repro.core.task_select import TaskSelectionUnit
     ns = region_namespace(sim)
+    ns["_FT"] = ZolcController.fire_trigger
+    ns["_DEC"] = TaskSelectionUnit.decide
     for ordinal in fallbacks:
         ns[f"_h{ordinal}"] = predecoded.ops[region.start_idx
                                             + ordinal][0]
@@ -409,24 +476,37 @@ def _resolve_chain(sim: "Simulator", predecoded: PredecodedProgram,
 def _traced_dispatch_state(plan, sim: "Simulator",
                            predecoded: PredecodedProgram, n: int,
                            base: int, zolc, no_regions: list):
-    """`_plan_dispatch_state` plus the matching region table.
+    """`_plan_dispatch_state` plus the matching region + trace tables.
 
     While the port is active without a plan (arm-time writes pending),
     every retirement must reach ``on_retire``, so batching pauses: the
     all-``None`` ``no_regions`` table is served until the plan appears.
+    The same all-``None`` table stands in for the trace table whenever
+    there is no compiled plan (traces only exist against one — their
+    chain leaves fire the plan's trigger handler directly); ``jit`` is
+    the :class:`~repro.cpu.engine.trace.TraceTable` or ``None``.
     """
     (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger, zepoch,
      zactive) = _plan_dispatch_state(plan, sim, n, base, zolc)
     if znext is None and zactive:
         regions = no_regions
+        traces: list = no_regions
+        jit = None
     else:
         regions = _trace_regions(sim, predecoded, plan)
+        if plan is None or not sim._trace_jit_enabled:
+            traces = no_regions
+            jit = None
+        else:
+            jit = trace_table(sim, predecoded, plan)
+            traces = jit.slots
     return (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
-            zepoch, zactive, regions)
+            zepoch, zactive, regions, traces, jit)
 
 
 def run_traced(sim: "Simulator", max_steps: int,
-               predecoded: PredecodedProgram, chain: bool = True) -> None:
+               predecoded: PredecodedProgram, chain: bool = True,
+               jit: bool = True) -> None:
     """Trace-batched run loop: fused regions over the predecoded array.
 
     Retires *identical* (pc, regs, memory, cycles, stats, controller
@@ -446,7 +526,13 @@ def run_traced(sim: "Simulator", max_steps: int,
     all preserved per iteration).  The flag exists so the throughput
     benchmark can measure the unchained region tier; ``Simulator.run``
     always chains.
+
+    ``jit`` enables the guard-based trace JIT over branchy loop bodies
+    (:mod:`~repro.cpu.engine.trace`).  ``jit=False`` reproduces the
+    pre-trace loop-resident tier exactly — the benchmark's reference
+    column for the trace speedup gate; ``Simulator.run`` always JITs.
     """
+    sim._trace_jit_enabled = jit
     zolc = sim.zolc
     plan_fn = getattr(zolc, "zolc_plan", None) if zolc is not None else None
     if zolc is not None and plan_fn is None:
@@ -476,10 +562,15 @@ def run_traced(sim: "Simulator", max_steps: int,
     index_writes = 0
     task_switches = 0
     retired = [0] * n
-    rcounts: dict[int, int] = {}          # region rid -> executions
-    rmembers_by_id: dict[int, tuple] = {}  # region rid -> members
+    rcounts: dict[int, int] = {}          # span rid -> executions
+    rmembers_by_id: dict[int, tuple] = {}  # span rid -> members
     steps = 0
     halted = state.halted
+    # Trace-JIT state: the in-flight recording (if any) and the
+    # residency tallies published to the simulator at sync time.
+    jit_rec = None
+    trace_steps = 0
+    chain_steps = 0
 
     try:
       if plan_fn is None:
@@ -559,9 +650,10 @@ def run_traced(sim: "Simulator", max_steps: int,
         # -- plan-compiled ZOLC port ------------------------------------
         regs_write = state.regs.write
         zops = [meta.is_zolc_init for meta in metas]
+        irops = predecoded.ir
         no_regions: list = [None] * n
         (znext, zexit, zfar, fire_exit, fire_entry, fire_trigger,
-         zepoch, zactive, regions) = _traced_dispatch_state(
+         zepoch, zactive, regions, traces, jit) = _traced_dispatch_state(
             plan_fn(), sim, predecoded, n, base, zolc, no_regions)
         while not halted:
             if steps >= max_steps:
@@ -571,6 +663,208 @@ def run_traced(sim: "Simulator", max_steps: int,
             if offset < 0 or offset >= limit or offset & 3:
                 raise InvalidFetchError(pc)
             idx = offset >> 2
+            trace = traces[idx]
+            if (trace is not None and jit_rec is None
+                    and steps + trace.max_steps <= max_steps):
+                if chain:
+                    # Trace-resident from the entry slot: the generated
+                    # driver's first iteration IS the trace execution,
+                    # so there is no standalone execute-then-detect
+                    # round trip.  The driver assumes post-fire entry
+                    # (pending None); the caller settles the incoming
+                    # load-use hazard itself, charging it only if the
+                    # first member actually retired — exactly the
+                    # standalone accounting.
+                    stall0 = (load_use if pending is not None
+                              and pending in trace.first_uses else 0)
+                    cell: list = []
+                    try:
+                        (ccounts, csteps, ccycles, cstall, cflush,
+                         ctaken, cfires, ciw, last_rec,
+                         done) = trace.chain(
+                            fire_trigger, max_steps - steps, cell)
+                    except BaseException as exc:
+                        (ccounts, csteps, ccycles, cstall, cflush,
+                         ctaken, cfires, ciw, in_fire, last_rec) = cell
+                        for ck, cc in ccounts.items():
+                            crid = trace.outcomes[ck].rid
+                            ccount = rcounts.get(crid)
+                            if ccount is None:
+                                rcounts[crid] = cc
+                                rmembers_by_id[crid] = \
+                                    trace.outcomes[ck].members
+                            else:
+                                rcounts[crid] = ccount + cc
+                        steps += csteps
+                        cycles += ccycles + cfires * zolc_switch_extra
+                        stall += cstall
+                        flush += cflush
+                        taken_branches += ctaken
+                        task_switches += cfires
+                        index_writes += ciw
+                        trace_steps += csteps
+                        chain_steps += csteps
+                        if csteps and stall0:
+                            cycles += stall0
+                            stall += stall0
+                        if in_fire:
+                            # The fire itself raised: the last trace
+                            # execution retired whole; post-mortem pc
+                            # is its retiring member.
+                            pending = last_rec.out_pending
+                            pc = last_rec.pc
+                        else:
+                            # Fault inside a trace body.  Only the
+                            # very first iteration can carry incoming
+                            # pending; later ones enter post-fire.
+                            (fsteps, fcycles, fstall, fflush, ftaken,
+                             fpending, fpc) = reconcile_trace_fault(
+                                exc, trace, retired)
+                            if fsteps and not csteps and stall0:
+                                fcycles += stall0
+                                fstall += stall0
+                            steps += fsteps
+                            cycles += fcycles
+                            stall += fstall
+                            flush += fflush
+                            taken_branches += ftaken
+                            pending = (fpending if fsteps
+                                       else None if csteps else pending)
+                            pc = fpc
+                        raise
+                    for ck, cc in ccounts.items():
+                        crid = trace.outcomes[ck].rid
+                        ccount = rcounts.get(crid)
+                        if ccount is None:
+                            rcounts[crid] = cc
+                            rmembers_by_id[crid] = \
+                                trace.outcomes[ck].members
+                        else:
+                            rcounts[crid] = ccount + cc
+                    steps += csteps
+                    cycles += ccycles + cfires * zolc_switch_extra
+                    stall += cstall
+                    flush += cflush
+                    taken_branches += ctaken
+                    task_switches += cfires
+                    index_writes += ciw
+                    trace_steps += csteps
+                    chain_steps += csteps
+                    if csteps and stall0:
+                        cycles += stall0
+                        stall += stall0
+                    halted = state.halted
+                    if done is None:
+                        if last_rec is not None and last_rec.is_exit:
+                            # The guard did not retire: the engine
+                            # re-executes the branch per-slot at its
+                            # own address, watches and all — the side
+                            # exit is architecturally exact.
+                            pending = last_rec.out_pending
+                            jit_rec = note_side_exit(trace, last_rec,
+                                                     jit_rec)
+                            pc = last_rec.pc
+                            continue
+                        # Watchdog budget exhausted after a loop-back
+                        # fire: per-slot dispatch finishes the tail
+                        # exactly from the loop entry.
+                        pending = None
+                        pc = trace.entry_pc
+                        continue
+                    pending = None
+                    if done.next_pc is None:
+                        # Expiry: the only decision that can disarm.
+                        plan = plan_fn()
+                        if plan is None or plan.epoch != zepoch:
+                            (znext, zexit, zfar, fire_exit, fire_entry,
+                             fire_trigger, zepoch, zactive, regions,
+                             traces, jit) = _traced_dispatch_state(
+                                plan, sim, predecoded, n, base, zolc,
+                                no_regions)
+                            jit_rec = None
+                        pc = trace.trigger_pc
+                    else:
+                        # Cascade redirect (or halted mid loop-back):
+                        # the plan is still valid.
+                        pc = done.next_pc
+                    continue
+                # Unchained traced mode: one standalone trace
+                # execution, then the generic fire protocol.
+                try:
+                    k = trace.fn()
+                except BaseException as exc:
+                    (fsteps, fcycles, fstall, fflush, ftaken,
+                     fpending, fpc) = reconcile_trace_fault(
+                        exc, trace, retired)
+                    if fsteps:
+                        if pending is not None \
+                                and pending in trace.first_uses:
+                            fcycles += load_use
+                            fstall += load_use
+                        pending = fpending
+                    steps += fsteps
+                    cycles += fcycles
+                    stall += fstall
+                    flush += fflush
+                    taken_branches += ftaken
+                    pc = fpc
+                    raise
+                (rid, rsteps, rcycles, rstall, rflush, rtaken,
+                 rmembers, out_pending, is_exit, rpc, _rprefix,
+                 _rkey) = trace.outcomes[k]
+                if pending is not None and pending in trace.first_uses:
+                    cycles += load_use
+                    stall += load_use
+                steps += rsteps
+                cycles += rcycles
+                stall += rstall
+                flush += rflush
+                taken_branches += rtaken
+                trace_steps += rsteps
+                count = rcounts.get(rid)
+                if count is None:
+                    rcounts[rid] = 1
+                    rmembers_by_id[rid] = rmembers
+                else:
+                    rcounts[rid] = count + 1
+                pending = out_pending
+                if is_exit:
+                    # The guard did not retire: the engine re-executes
+                    # the branch per-slot at its own address, watches
+                    # and all — the side exit is architecturally exact.
+                    jit_rec = note_side_exit(trace, trace.outcomes[k],
+                                             jit_rec)
+                    pc = rpc
+                    continue
+                # Chain leaf: the last retired member fell through (or
+                # branched) into the trigger watch.  Mirror the
+                # per-slot fire semantics with pc at the retiring
+                # member, so a fire fault post-mortems there.
+                pc = rpc
+                decision = fire_trigger(trace.loop_id)
+                writes = decision.index_writes
+                if writes:
+                    for reg, value in writes:
+                        regs_write(reg, value)
+                    index_writes += len(writes)
+                task_switches += 1
+                pending = None
+                cycles += zolc_switch_extra
+                halted = state.halted
+                if decision.next_pc is None:
+                    # Expiry: the only decision that can disarm.
+                    plan = plan_fn()
+                    if plan is None or plan.epoch != zepoch:
+                        (znext, zexit, zfar, fire_exit, fire_entry,
+                         fire_trigger, zepoch, zactive, regions,
+                         traces, jit) = _traced_dispatch_state(
+                            plan, sim, predecoded, n, base, zolc,
+                            no_regions)
+                        jit_rec = None
+                    pc = trace.trigger_pc
+                    continue
+                pc = decision.next_pc
+                continue
             region = regions[idx]
             if region is not None:
                 if region.__class__ is int:
@@ -621,6 +915,12 @@ def run_traced(sim: "Simulator", max_steps: int,
                         taken_branches += 1
                         cycles += term_penalty
                         flush += term_penalty
+                    if jit_rec is not None:
+                        # Region interiors are straight-line, so the
+                        # terminator is the only slot whose outcome a
+                        # path recording needs.
+                        jit_rec = record_step(jit_rec, irops[term_idx],
+                                              taken)
                     # Terminator watch dispatch: the same contract as the
                     # single-slot path below, with pc := term_pc.  The
                     # region's interior slots are unwatched by
@@ -636,6 +936,9 @@ def run_traced(sim: "Simulator", max_steps: int,
                                 if record_id is not None:
                                     fired = fire_exit(record_id, next_pc,
                                                       True)
+                                    if fired and jit_rec is not None:
+                                        jit_rec = abandon_recording(
+                                            jit_rec)
                             if not fired:
                                 noffset = next_pc - base
                                 if 0 <= noffset < limit and not noffset & 3:
@@ -649,9 +952,19 @@ def run_traced(sim: "Simulator", max_steps: int,
                                     if entry_id is not None:
                                         fired = fire_entry(entry_id,
                                                            term_pc, next_pc)
+                                        if fired and jit_rec is not None:
+                                            jit_rec = abandon_recording(
+                                                jit_rec)
                                     if not fired and trigger_loop is not None:
                                         fired = True
                                         decision = fire_trigger(trigger_loop)
+                                        if jit is not None and (
+                                                jit_rec is not None
+                                                or jit.cands):
+                                            jit_rec = note_fire(
+                                                sim, predecoded, jit,
+                                                jit_rec, trigger_loop,
+                                                decision)
                                         writes = decision.index_writes
                                         if writes:
                                             for reg, value in writes:
@@ -670,12 +983,14 @@ def run_traced(sim: "Simulator", max_steps: int,
                                                 (znext, zexit, zfar,
                                                  fire_exit, fire_entry,
                                                  fire_trigger, zepoch,
-                                                 zactive, regions) = \
+                                                 zactive, regions,
+                                                 traces, jit) = \
                                                     _traced_dispatch_state(
                                                         plan, sim,
                                                         predecoded, n,
                                                         base, zolc,
                                                         no_regions)
+                                                jit_rec = None
                                         else:
                                             next_pc = decision.next_pc
                                             if (chain and chain_ok
@@ -746,12 +1061,16 @@ def run_traced(sim: "Simulator", max_steps: int,
                                         task_switches += iters
                                         index_writes += ciw
                                         rcounts[rid] += iters
+                                        chain_steps += iters * size
                                     if done is None:
                                         # Watchdog budget exhausted
-                                        # mid-loop: back to the region
-                                        # entry, per-slot dispatch
-                                        # finishes the tail exactly.
+                                        # (or halted on an inlined
+                                        # loop-back fire): back to the
+                                        # region entry, per-slot
+                                        # dispatch finishes the tail
+                                        # exactly.
                                         next_pc = base + 4 * _start
+                                        halted = state.halted
                                     elif done.next_pc is not None:
                                         # Chain left through a cascade
                                         # redirect (or halted mid
@@ -768,11 +1087,13 @@ def run_traced(sim: "Simulator", max_steps: int,
                                             (znext, zexit, zfar,
                                              fire_exit, fire_entry,
                                              fire_trigger, zepoch,
-                                             zactive, regions) = \
+                                             zactive, regions,
+                                             traces, jit) = \
                                                 _traced_dispatch_state(
                                                     plan, sim,
                                                     predecoded, n, base,
                                                     zolc, no_regions)
+                                            jit_rec = None
                         else:
                             # mtz/mfz terminator: full oracle path, then
                             # re-sync plan + regions.
@@ -790,10 +1111,11 @@ def run_traced(sim: "Simulator", max_steps: int,
                             plan = plan_fn()
                             if plan is None or plan.epoch != zepoch:
                                 (znext, zexit, zfar, fire_exit, fire_entry,
-                                 fire_trigger, zepoch, zactive, regions) = \
-                                    _traced_dispatch_state(
-                                        plan, sim, predecoded, n, base,
-                                        zolc, no_regions)
+                                 fire_trigger, zepoch, zactive, regions,
+                                 traces, jit) = _traced_dispatch_state(
+                                    plan, sim, predecoded, n, base,
+                                    zolc, no_regions)
+                                jit_rec = None
                     elif term_zolc:
                         # No plan, port inactive until this very mtz/mfz
                         # may have armed it: offer the retirement, then
@@ -812,10 +1134,11 @@ def run_traced(sim: "Simulator", max_steps: int,
                         plan = plan_fn()
                         if plan is not None or zactive or zolc.active:
                             (znext, zexit, zfar, fire_exit, fire_entry,
-                             fire_trigger, zepoch, zactive, regions) = \
-                                _traced_dispatch_state(
-                                    plan, sim, predecoded, n, base,
-                                    zolc, no_regions)
+                             fire_trigger, zepoch, zactive, regions,
+                             traces, jit) = _traced_dispatch_state(
+                                plan, sim, predecoded, n, base,
+                                zolc, no_regions)
+                            jit_rec = None
                     pc = next_pc
                     continue
             # -- single-slot path (identical to run_fast's plan loop) ---
@@ -841,6 +1164,8 @@ def run_traced(sim: "Simulator", max_steps: int,
                 cycles += taken_penalty
                 flush += taken_penalty
             pending = load_dest
+            if jit_rec is not None:
+                jit_rec = record_step(jit_rec, irops[idx], taken)
             if znext is not None:
                 if halted:
                     pass
@@ -850,6 +1175,8 @@ def run_traced(sim: "Simulator", max_steps: int,
                         record_id = zexit[idx]
                         if record_id is not None:
                             fired = fire_exit(record_id, next_pc, True)
+                            if fired and jit_rec is not None:
+                                jit_rec = abandon_recording(jit_rec)
                     if not fired:
                         noffset = next_pc - base
                         if 0 <= noffset < limit and not noffset & 3:
@@ -862,9 +1189,17 @@ def run_traced(sim: "Simulator", max_steps: int,
                             entry_id, trigger_loop = watch
                             if entry_id is not None:
                                 fired = fire_entry(entry_id, pc, next_pc)
+                                if fired and jit_rec is not None:
+                                    jit_rec = abandon_recording(jit_rec)
                             if not fired and trigger_loop is not None:
                                 fired = True
                                 decision = fire_trigger(trigger_loop)
+                                if jit is not None and (
+                                        jit_rec is not None
+                                        or jit.cands):
+                                    jit_rec = note_fire(
+                                        sim, predecoded, jit, jit_rec,
+                                        trigger_loop, decision)
                                 writes = decision.index_writes
                                 if writes:
                                     for reg, value in writes:
@@ -884,11 +1219,13 @@ def run_traced(sim: "Simulator", max_steps: int,
                                             or plan.epoch != zepoch:
                                         (znext, zexit, zfar, fire_exit,
                                          fire_entry, fire_trigger,
-                                         zepoch, zactive, regions) = \
+                                         zepoch, zactive, regions,
+                                         traces, jit) = \
                                             _traced_dispatch_state(
                                                 plan, sim, predecoded,
                                                 n, base, zolc,
                                                 no_regions)
+                                        jit_rec = None
                     if fired:
                         halted = state.halted
                 else:
@@ -904,10 +1241,12 @@ def run_traced(sim: "Simulator", max_steps: int,
                     plan = plan_fn()
                     if plan is None or plan.epoch != zepoch:
                         (znext, zexit, zfar, fire_exit, fire_entry,
-                         fire_trigger, zepoch, zactive, regions) = \
+                         fire_trigger, zepoch, zactive, regions,
+                         traces, jit) = \
                             _traced_dispatch_state(plan, sim, predecoded,
                                                    n, base, zolc,
                                                    no_regions)
+                        jit_rec = None
             elif zactive or zops[idx]:
                 if not halted and zolc.active:
                     action = zolc.on_retire(pc, next_pc, taken=taken)
@@ -924,9 +1263,11 @@ def run_traced(sim: "Simulator", max_steps: int,
                 plan = plan_fn()
                 if plan is not None or zactive or zolc.active:
                     (znext, zexit, zfar, fire_exit, fire_entry,
-                     fire_trigger, zepoch, zactive, regions) = \
+                     fire_trigger, zepoch, zactive, regions,
+                     traces, jit) = \
                         _traced_dispatch_state(plan, sim, predecoded, n,
                                                base, zolc, no_regions)
+                    jit_rec = None
             pc = next_pc
     finally:
         state.pc = pc
@@ -940,6 +1281,11 @@ def run_traced(sim: "Simulator", max_steps: int,
         stats.flush_cycles = flush
         stats.zolc_index_writes += index_writes
         stats.zolc_task_switches += task_switches
+        # Residency tallies live on the Simulator, NOT in Stats: the
+        # 5-way harness pins Stats bit-identity across engines, and
+        # only the traced tier can be resident.
+        sim.trace_resident_steps += trace_steps
+        sim.chain_resident_steps += chain_steps
         for rid, count in rcounts.items():
             for idx, _cycles, _stall, _dest in rmembers_by_id[rid]:
                 retired[idx] += count

@@ -5,8 +5,8 @@ not import: it resolves a prepared kernel's ZOLC programming
 (:class:`~repro.core.init_seq.ZolcProgramSpec` label records) through
 the program's symbol table into the verifier's
 :class:`~repro.cpu.analysis.verify.StaticZolcPlan`, runs the verifier
-rules (ZV001–ZV005) and optionally the generated-code auditor
-(AU001–AU004) for every requested kernel × machine, and aggregates the
+rules (ZV001–ZV006) and optionally the generated-code auditor
+(AU001–AU005) for every requested kernel × machine, and aggregates the
 structured diagnostics into one JSON-able report.
 """
 
@@ -22,6 +22,7 @@ from repro.cpu.analysis.verify import (
     VerifyContext,
     WatchedLoop,
     chain_candidates,
+    trace_candidate_bodies,
     verify_program,
 )
 from repro.cpu.ir import build_ir, ir_failure
@@ -107,11 +108,14 @@ def check_kernel(kernel: Kernel, machine: MachineSpec,
         ctx = VerifyContext(ir=ir, base=base, entry_pc=entry,
                             plan=plan)
         chains = chain_candidates(ctx) if plan is not None else []
+        traces = ([(start, tslot, lp.loop_id)
+                   for start, tslot, lp in trace_candidate_bodies(ctx)]
+                  if plan is not None else [])
         watched = (plan.watched_next_pcs() if plan is not None
                    else frozenset())
         sim = prepared.make_simulator()
         findings.extend(audit_codegen(sim, watched=watched,
-                                      chains=chains))
+                                      chains=chains, traces=traces))
     return [d.tagged(kernel.name, machine.name) for d in findings]
 
 

@@ -1,0 +1,99 @@
+"""Per-kernel trace/chain residency report.
+
+Runs each requested kernel on every ZOLC machine under the default
+traced tier and reports the fraction of retired instructions executed
+inside a compiled trace and inside a loop-resident chain — the
+coverage counters behind the trace JIT's "branchy bodies go
+loop-resident too" claim (DESIGN.md §12).  The CI ``check`` job runs
+``python -m repro.eval.residency --out residency.json`` over the
+branchy kernel set and uploads the JSON as an artifact; the same
+numbers ride the committed bench record (``BENCH_throughput.json``,
+``zolc.residency``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.eval.machines import machine_registry
+from repro.workloads.suite import registry
+
+#: Kernels whose watched loop bodies contain forward branches — the
+#: trace JIT's target set and the default report scope.
+BRANCHY_KERNELS = ("me_fss", "me_tss", "vecmax_early", "viterbi",
+                   "bubble_sort")
+
+#: The three ZOLC machine variants of the bench matrix.
+ZOLC_MACHINE_NAMES = ("uZOLC", "ZOLClite", "ZOLCfull")
+
+
+def residency_report(kernel_names: tuple[str, ...] = BRANCHY_KERNELS,
+                     machine_names: tuple[str, ...] = ZOLC_MACHINE_NAMES,
+                     max_steps: int = 10_000_000) -> dict[str, dict]:
+    """``kernel@machine`` → instruction counts and residency shares."""
+    kernels = registry()
+    machines = machine_registry()
+    report: dict[str, dict] = {}
+    for name in kernel_names:
+        source = kernels.get(name).source
+        for machine_name in machine_names:
+            machine = machines.get(machine_name)
+            sim = machine.prepare(source).make_simulator()
+            sim.run(max_steps=max_steps, engine="traced")
+            total = sim.stats.instructions or 1
+            report[f"{name}@{machine_name}"] = {
+                "instructions": sim.stats.instructions,
+                "trace_resident_steps": sim.trace_resident_steps,
+                "chain_resident_steps": sim.chain_resident_steps,
+                "trace_residency":
+                    round(sim.trace_resident_steps / total, 3),
+                "chain_residency":
+                    round(sim.chain_resident_steps / total, 3),
+            }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.residency",
+        description="per-kernel trace/chain residency on the ZOLC "
+                    "machines (traced tier)")
+    parser.add_argument(
+        "-k", "--kernel", action="append", metavar="NAME",
+        help="kernel(s) to measure (repeatable; default: the branchy "
+             f"set {', '.join(BRANCHY_KERNELS)})")
+    parser.add_argument(
+        "-o", "--out", metavar="FILE",
+        help="also write the JSON report to FILE")
+    parser.add_argument(
+        "--require-nonzero", action="store_true",
+        help="exit 1 if any kernel reports zero combined trace+chain "
+             "residency on every ZOLC machine (the CI coverage gate; "
+             "per-kernel, not per-cell — the smaller controller "
+             "variants legitimately lack the resources to transform "
+             "some loops)")
+    args = parser.parse_args(argv)
+    names = tuple(args.kernel) if args.kernel else BRANCHY_KERNELS
+    report = residency_report(names)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.require_nonzero:
+        dead = [name for name in names
+                if not any(row["trace_resident_steps"]
+                           or row["chain_resident_steps"]
+                           for cell, row in report.items()
+                           if cell.startswith(f"{name}@"))]
+        if dead:
+            print("zero trace/chain residency on every ZOLC machine: "
+                  + ", ".join(dead), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

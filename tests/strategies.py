@@ -136,13 +136,21 @@ def _body_op(draw, pool):
 
 @st.composite
 def _body(draw, pool, label_counter, min_size=0, max_size=4):
-    """A straight-line body, optionally with one forward skip branch."""
+    """A loop body with randomized forward-only control flow.
+
+    Four shapes, all terminating by construction (every branch is
+    forward): straight-line, a single skip over the tail, an if/else
+    diamond (the fall-through arm rejoins over the else arm through an
+    always-taken forward branch), and two nested skips.  The branchy
+    shapes are what the guard-based trace JIT records multi-region
+    traces across, so the 5-way fuzz drives guards, side exits and
+    bridge traces on every machine it samples.
+    """
     lines = draw(st.lists(_body_op(pool), min_size=min_size,
                           max_size=max_size))
-    if len(lines) >= 2 and draw(st.booleans()):
-        # Forward-only skip over the tail of the body: terminates by
-        # construction, and exercises in-loop control flow under the
-        # ZOLC transform's conservative matcher.
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 1 and len(lines) >= 2:
+        # Forward-only skip over the tail of the body.
         label = f"skip{label_counter[0]}"
         label_counter[0] += 1
         cut = draw(st.integers(min_value=1, max_value=len(lines) - 1))
@@ -152,6 +160,38 @@ def _body(draw, pool, label_counter, min_size=0, max_size=4):
                  + [f"        {op} {a}, {b}, {label}"]
                  + lines[cut:]
                  + [f"{label}:"])
+    elif shape == 2 and len(lines) >= 2:
+        # if/else diamond: both arms retire different suffixes, and the
+        # then-arm leaves through an unconditional forward branch.
+        n = label_counter[0]
+        label_counter[0] += 1
+        cut = draw(st.integers(min_value=1, max_value=len(lines) - 1))
+        a, b = draw(_temps), draw(_temps)
+        op = draw(st.sampled_from(["beq", "bne"]))
+        lines = ([f"        {op} {a}, {b}, else{n}"]
+                 + lines[:cut]
+                 + [f"        beq  zero, zero, join{n}",
+                    f"else{n}:"]
+                 + lines[cut:]
+                 + [f"join{n}:"])
+    elif shape == 3 and len(lines) >= 3:
+        # Two nested skips: the outer branch jumps past the inner
+        # branch's join point.
+        n = label_counter[0]
+        label_counter[0] += 2
+        c1 = draw(st.integers(min_value=1, max_value=len(lines) - 2))
+        c2 = draw(st.integers(min_value=c1 + 1, max_value=len(lines) - 1))
+        a, b = draw(_temps), draw(_temps)
+        c, d = draw(_temps), draw(_temps)
+        op1 = draw(st.sampled_from(["beq", "bne"]))
+        op2 = draw(st.sampled_from(["beq", "bne"]))
+        lines = ([f"        {op1} {a}, {b}, skip{n}"]
+                 + lines[:c1]
+                 + [f"        {op2} {c}, {d}, skip{n + 1}"]
+                 + lines[c1:c2]
+                 + [f"skip{n + 1}:"]
+                 + lines[c2:]
+                 + [f"skip{n}:"])
     return lines
 
 
@@ -168,12 +208,29 @@ def _nest(draw, depth, level, label_counter):
     pool = TEMPS + COUNTERS[:level + 1]
     lines = [f"        li   {counter}, 0", f"{label}:"]
     lines += draw(_body(pool, label_counter, min_size=1))
+    # Occasional data-dependent early exit past the latch: a forward
+    # branch leaving the loop mid-body (a ZOLC exit-branch shape; only
+    # ever shortens the run, so termination is preserved).  Innermost
+    # level only — an always-taken exit in an outer body would skip the
+    # inner loops' arming preambles, and the re-arm suite asserts that
+    # transformed nests actually drive the controller.
+    if (level + 1 >= depth
+            and draw(st.integers(min_value=0, max_value=3)) == 0):
+        early = f"break{label_counter[0]}"
+        label_counter[0] += 1
+        a, b = draw(_temps), draw(_temps)
+        op = draw(st.sampled_from(["beq", "bne"]))
+        lines.append(f"        {op} {a}, {b}, {early}")
+    else:
+        early = None
     if level + 1 < depth:
         lines += draw(_nest(depth, level + 1, label_counter))
         lines += draw(_body(pool, label_counter))
     lines += [f"        addi {counter}, {counter}, 1",
               f"        slti at, {counter}, {trips}",
               f"        bne  at, zero, {label}"]
+    if early is not None:
+        lines.append(f"{early}:")
     return lines
 
 

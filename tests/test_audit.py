@@ -3,20 +3,29 @@
 The negative tests corrupt one compiled artifact each — a register
 index in the emitted source (AU001), an addressing displacement
 (AU002), a predecoded per-op timing constant (AU003), a fault line map
-(AU004) — and assert the auditor reports it under the documented rule
-id.  Tampering works because the code caches never re-record on a hit,
-so a corrupted record survives a fresh ``audit_codegen`` pass.
+(AU004), a trace guard table or its baked step constants (AU005) — and
+assert the auditor reports it under the documented rule id.  Tampering
+works because the code caches never re-record on a hit, so a corrupted
+record survives a fresh ``audit_codegen`` pass.
 """
 
 import pytest
 
 from repro.asm import assemble
 from repro.cpu.analysis import audit_codegen, source_touches
-from repro.cpu.analysis.audit import expected_touches, span_starts
+from repro.cpu.analysis.audit import (
+    audit_trace_record,
+    expected_touches,
+    span_starts,
+)
+from repro.cpu.analysis.verify import (
+    VerifyContext,
+    trace_candidate_bodies,
+)
 from repro.cpu.engine.emit import codegen_records
 from repro.cpu.ir import build_ir, straightline_terms
 from repro.cpu.simulator import Simulator
-from repro.eval.check import check_kernel
+from repro.eval.check import check_kernel, static_plan
 from repro.eval.machines import machine_registry
 from repro.workloads.suite import registry
 
@@ -141,6 +150,82 @@ class TestTampering:
             line_member=record.line_member[:-1])
         findings = _audited(sim)
         assert any(d.rule == "AU004" for d in _errors(findings))
+
+
+def _trace_audit(kernel_name="me_fss", machine_name="ZOLClite"):
+    """Audit one branchy kernel's traces; returns the working state."""
+    machine = machine_registry().get(machine_name)
+    prepared = machine.prepare(registry().get(kernel_name).source)
+    program = prepared.program
+    ir = build_ir(program)
+    base = program.text_base
+    plan = static_plan(prepared)
+    ctx = VerifyContext(ir=ir, base=base,
+                        entry_pc=program.entry_point(), plan=plan)
+    rows = [(start, tslot, lp.loop_id)
+            for start, tslot, lp in trace_candidate_bodies(ctx)]
+    sim = prepared.make_simulator()
+    findings = audit_codegen(sim, watched=plan.watched_next_pcs(),
+                             traces=rows)
+    return program, ir, base, rows, findings
+
+
+class TestTraceAudit:
+    def test_branchy_kernel_traces_audit_clean(self):
+        program, _ir, _base, rows, findings = _trace_audit()
+        assert rows, "me_fss has no multi-region watched body"
+        assert _errors(findings) == []
+        kinds = {k[0] for k in codegen_records(program)}
+        assert {"trace", "trace_chain"} <= kinds, (
+            "the audit warm-up run promoted no trace")
+
+    def test_check_kernel_audits_branchy_kernel_clean(self):
+        machine = machine_registry().get("ZOLCfull")
+        findings = check_kernel(registry().get("me_fss"), machine,
+                                audit=True)
+        assert _errors(findings) == []
+
+    def test_tampered_guard_slot_reported_au005(self):
+        program, ir, base, rows, findings = _trace_audit()
+        assert _errors(findings) == []
+        records = codegen_records(program)
+        for start, tslot, loop_id in rows:
+            record = records.get(("trace", start, start, loop_id))
+            if record is None:
+                continue
+            # Point the first guard at the entry slot, which the
+            # candidate geometry guarantees is not a branch.
+            lineno, _slot, hot = record.guards[0]
+            bent = ((lineno, start, hot),) + record.guards[1:]
+            findings = audit_trace_record(
+                record._replace(guards=bent), ir, base,
+                base + 4 * tslot)
+            assert any(d.rule == "AU005" for d in _errors(findings))
+            return
+        pytest.fail("no trace record to tamper with")
+
+    def test_tampered_step_constant_reported_au005(self):
+        import re
+
+        program, ir, base, rows, findings = _trace_audit()
+        assert _errors(findings) == []
+        records = codegen_records(program)
+        for start, tslot, loop_id in rows:
+            record = records.get(("trace_chain", start, start,
+                                  loop_id))
+            if record is None:
+                continue
+            source, hits = re.subn(
+                r"_steps \+= (\d+)",
+                lambda m: f"_steps += {int(m.group(1)) + 1}",
+                record.source, count=1)
+            assert hits == 1, "chain source bakes no step constant"
+            findings = audit_trace_record(
+                record._replace(source=source), ir, base,
+                base + 4 * tslot)
+            assert any(d.rule == "AU005" for d in _errors(findings))
+            return
+        pytest.fail("no trace-chain record to tamper with")
 
 
 class TestSpanCover:

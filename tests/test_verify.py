@@ -76,8 +76,8 @@ def _errors(findings):
 class TestDiagnostic:
     def test_rule_catalogue_is_complete(self):
         assert set(RULES) == {"ZV001", "ZV002", "ZV003", "ZV004",
-                              "ZV005", "AU001", "AU002", "AU003",
-                              "AU004"}
+                              "ZV005", "ZV006", "AU001", "AU002",
+                              "AU003", "AU004", "AU005"}
         assert SEVERITIES == ("error", "warning", "info")
 
     def test_unknown_rule_rejected(self):
