@@ -7,6 +7,8 @@ Commands::
     compare KERNEL              run one kernel on all five machines
     figure2 [-j N]              regenerate Figure 2 (the headline result)
     experiment PLAN             run a declarative plan file (JSON/TOML)
+    serve [--port N]            serve plans over HTTP (jobs + event streams)
+    submit PLAN [--url U]       submit a plan to a running service
     resources                   regenerate the storage/area tables (E3/E4)
     timing                      regenerate the cycle-time report (E5)
     check [--kernel K|--all] [-m MACHINE] [--audit-codegen]
@@ -29,6 +31,7 @@ default everywhere) resolves to the loop-resident ``traced`` tier;
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -44,6 +47,7 @@ from repro.eval.report import (
     render_timing_report,
 )
 from repro.eval.runner import run_kernel
+from repro.service.client import ServiceError
 from repro.workloads.api import KernelCheckError
 from repro.workloads.suite import registry
 
@@ -136,6 +140,78 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                       engine=engine)
     _emit(args, result.to_dict(), result.render())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.backends import BatchBackend, ProcessBackend
+    from repro.service import JobManager, start_in_thread
+
+    jobs = _parse_jobs(args.jobs) if args.jobs is not None else None
+    if args.backend == "process":
+        # Persistent pool: workers survive across jobs, so their
+        # prepared-kernel / generated-code caches stay warm — a warm
+        # worker re-simulating a known (kernel, machine) pair
+        # recompiles nothing.
+        backend = ProcessBackend(jobs=jobs, persistent=True)
+    elif args.backend == "batch":
+        backend = BatchBackend()
+    else:
+        backend = "serial"
+    manager = JobManager(store=None if args.no_cache else args.store,
+                         backend=backend)
+    handle = start_in_thread(manager, args.host, args.port)
+    print(f"repro serve listening on {handle.url} "
+          f"(store: {'disabled' if args.no_cache else args.store}, "
+          f"backend: {args.backend})")
+    try:
+        handle.join()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        handle.stop()
+        manager.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    path = Path(args.plan)
+    fmt = path.suffix.lower().lstrip(".")
+    if fmt not in ("json", "toml"):
+        raise ValueError(f"plan file {path.name!r} must end in .json "
+                         "or .toml")
+    client = ServiceClient(args.url)
+    quiet = args.json or args.quiet
+
+    with contextlib.ExitStack() as stack:
+        events_log = stack.enter_context(
+            open(args.events_out, "w")) if args.events_out else None
+
+        def on_event(event: dict) -> None:
+            if events_log is not None:
+                events_log.write(json.dumps(event) + "\n")
+            if quiet:
+                return
+            if event.get("event") == "cell":
+                axes = event.get("axes") or {}
+                detail = "".join(f" {k}={v}" for k, v in axes.items())
+                print(f"  {event['source']:<12} {event['kernel']} on "
+                      f"{event['machine']}{detail}")
+            else:
+                print(f"  job {event['event']}")
+
+        payload = client.run(path.read_text(), fmt, on_event=on_event)
+    counts = payload["events"]
+    summary = ", ".join(f"{counts.get(s, 0)} {s}" for s in
+                        ("simulated", "cached", "deduplicated", "failed"))
+    lines = [f"job {payload['job']}"
+             f"{' (coalesced with an in-flight twin)' if payload['coalesced'] else ''}"
+             f": {payload['state']} ({summary})"]
+    if payload["error"]:
+        lines.append(f"  error: {payload['error']}")
+    _emit(args, payload, "\n".join(lines))
+    return 0 if payload["state"] == "done" else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -322,6 +398,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
+    serve_parser = sub.add_parser(
+        "serve", help="serve experiment plans over HTTP")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port (default: 8765; 0 binds an "
+                                   "ephemeral port)")
+    serve_parser.add_argument(
+        "-b", "--backend", choices=("process", "serial", "batch"),
+        default="process",
+        help="execution backend for every job (default: process — a "
+             "persistent warm worker pool)")
+    serve_parser.add_argument(
+        "-j", "--jobs", default=None, metavar="N",
+        help="process-backend workers (0/default = one per CPU; "
+             "invalid values exit 1)")
+    serve_parser.add_argument(
+        "--store", default="results", metavar="DIR",
+        help="result-store directory shared by every job "
+             "(default: results)")
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result store (every job re-simulates)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a plan to a running repro serve")
+    submit_parser.add_argument("plan", help="path to PLAN.{json,toml}")
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765", metavar="URL",
+        help="service base URL (default: http://127.0.0.1:8765)")
+    submit_parser.add_argument(
+        "--events-out", default=None, metavar="FILE",
+        help="also write the raw NDJSON event stream to FILE")
+    submit_parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the per-cell event lines")
+    _add_output_flags(submit_parser)
+    submit_parser.set_defaults(func=_cmd_submit)
+
     check_parser = sub.add_parser(
         "check", help="statically verify kernels (and audit codegen)")
     check_parser.add_argument(
@@ -386,6 +502,9 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -27,14 +27,16 @@ The stable surface every study goes through::
 
 from repro.experiments.backends import (
     BACKENDS,
+    BatchBackend,
     Cell,
+    CellCallback,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
     get_backend,
 )
 from repro.experiments.result import ExperimentResult
-from repro.experiments.runner import run_experiment, run_plan
+from repro.experiments.runner import plan_cell_keys, run_experiment, run_plan
 from repro.experiments.spec import (
     ExperimentSpec,
     PlanError,
@@ -46,7 +48,9 @@ from repro.experiments.store import ResultStore, cell_key
 
 __all__ = [
     "BACKENDS",
+    "BatchBackend",
     "Cell",
+    "CellCallback",
     "ExecutionBackend",
     "ExperimentResult",
     "ExperimentSpec",
@@ -59,6 +63,7 @@ __all__ = [
     "get_backend",
     "load_plan",
     "parse_plan",
+    "plan_cell_keys",
     "run_experiment",
     "run_plan",
 ]

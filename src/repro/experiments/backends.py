@@ -8,22 +8,39 @@ implementations ship today — in-process :class:`SerialBackend`,
 :mod:`repro.cpu.engine`) — and the :class:`ExecutionBackend` protocol
 is the seam future PRs plug sharded or remote execution into.
 
+The seam is *incremental*: ``run_cells`` accepts an optional
+``on_result`` callback invoked exactly once per finished cell — with
+the cell's index and its :class:`RunResult`, or the exception that
+felled it — *before* the call returns or raises.  That is what lets
+the experiment runner persist every completed cell even when a later
+cell faults, and what the service layer's per-cell progress stream
+consumes.  Callback order is completion order (deterministic for the
+serial backend, nondeterministic under a process pool); the returned
+list is always in cell order.
+
 Machines travel inside the cell by value (specs are picklable data), so
 the process backend runs *any* machine, including ad-hoc ZOLC variants
 that are in no registry.  Kernels resolve by name in the worker because
 golden-model checks are closures and do not pickle.
+
+``jobs`` follows one convention everywhere (the ``get_backend`` name
+path and direct construction agree): ``None``/``0`` means one worker
+per CPU, ``1`` runs serially, ``n`` uses ``n`` workers, and negative
+values are rejected.  Backends that cannot use workers (serial, batch)
+never accept them silently — the runner warns.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.eval.machines import MachineSpec
-from repro.eval.runner import RunResult, run_kernel
+from repro.eval.runner import RunResult
 
 
 @dataclass(frozen=True)
@@ -42,23 +59,76 @@ class Cell:
     engine: str = "auto"
 
 
+#: Per-cell completion callback: ``(index, outcome)`` where ``outcome``
+#: is the cell's :class:`RunResult` or the exception that felled it.
+CellCallback = Callable[[int, "RunResult | BaseException"], None]
+
+
 @runtime_checkable
 class ExecutionBackend(Protocol):
     """Anything that can run experiment cells."""
 
     name: str
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
-        """Measure every cell, returning results in cell order."""
+    def run_cells(self, cells: Sequence[Cell],
+                  on_result: CellCallback | None = None) -> list[RunResult]:
+        """Measure every cell, returning results in cell order.
+
+        ``on_result`` is called exactly once per finished cell, as it
+        finishes; a failing cell is reported to the callback and then
+        raised (after every already-finished cell has been reported).
+        """
         ...
+
+
+# -- per-process warm kernel cache ------------------------------------
+#
+# ``prepare`` (assemble + transform) is identical for every cell that
+# shares a (machine, kernel source), and the generated region/trace
+# code the engine tiers compile is cached *on the prepared program* —
+# so memoizing the prepared kernel per process is what keeps a
+# persistent pool's workers warm across jobs: the second job that
+# touches a (kernel, machine) pair a worker has seen recompiles
+# nothing.  (Sharing one prepared program across simulators is the
+# batch backend's existing, fuzz-guarded contract.)  The cache is
+# bounded because a long-lived service sees arbitrarily many ad-hoc
+# machine variants.
+
+_PREPARE_CACHE: dict = {}
+_PREPARE_CACHE_LIMIT = 128
+
+
+def _prepare_cached(machine: MachineSpec, kernel_name: str, source: str):
+    key = (machine, kernel_name, source)
+    prepared = _PREPARE_CACHE.get(key)
+    if prepared is None:
+        prepared = machine.prepare(source)
+        if len(_PREPARE_CACHE) >= _PREPARE_CACHE_LIMIT:
+            _PREPARE_CACHE.pop(next(iter(_PREPARE_CACHE)))
+        _PREPARE_CACHE[key] = prepared
+    return prepared
 
 
 def _run_cell(cell: Cell) -> RunResult:
     from repro.workloads.suite import registry
 
     kernel = registry().get(cell.kernel_name)
-    return run_kernel(kernel, cell.machine, pipeline=cell.pipeline,
-                      max_steps=cell.max_steps, engine=cell.engine)
+    prepared = _prepare_cached(cell.machine, kernel.name, kernel.source)
+    simulator = prepared.make_simulator(pipeline=cell.pipeline)
+    simulator.run(max_steps=cell.max_steps, engine=cell.engine)
+    kernel.check(simulator)  # raises KernelCheckError on mismatch
+    stats = simulator.stats
+    return RunResult(
+        kernel_name=kernel.name,
+        machine_name=cell.machine.name,
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        stats=stats,
+        verified=True,
+        transformed_loops=prepared.transformed_loops,
+        zolc_init_instructions=stats.zolc_init_instructions,
+        zolc_task_switches=stats.zolc_task_switches,
+    )
 
 
 class SerialBackend:
@@ -66,35 +136,116 @@ class SerialBackend:
 
     name = "serial"
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
-        return [_run_cell(cell) for cell in cells]
+    def run_cells(self, cells: Sequence[Cell],
+                  on_result: CellCallback | None = None) -> list[RunResult]:
+        results: list[RunResult] = []
+        for index, cell in enumerate(cells):
+            try:
+                result = _run_cell(cell)
+            except BaseException as exc:
+                if on_result is not None:
+                    on_result(index, exc)
+                raise
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
 
 
 class ProcessBackend:
     """Fan cells out over a process pool.
 
-    ``jobs`` follows the suite-runner convention: ``None``/``1`` means
-    one worker per CPU is *not* implied — it degrades to serial —
-    while ``0`` uses one worker per CPU and ``n`` uses ``n`` workers.
+    ``jobs``: ``None``/``0`` uses one worker per CPU, ``1`` degrades to
+    serial, ``n`` uses ``n`` workers — the same convention
+    ``get_backend("process", jobs=...)`` applies, so the name path and
+    direct construction always agree.
+
+    ``persistent=True`` keeps the pool alive across ``run_cells``
+    calls (until :meth:`close`), which is what keeps worker processes
+    — and their per-process prepared-kernel / generated-code caches —
+    warm across service jobs: a warm worker re-simulating a known
+    (kernel, machine) pair recompiles nothing.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int | None = 0):
+    def __init__(self, jobs: int | None = None, persistent: bool = False):
         if jobs is not None and jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.jobs = jobs
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
-        jobs = self.jobs
-        if jobs is None:
-            jobs = 1
-        elif jobs == 0:
-            jobs = os.cpu_count() or 1
-        if jobs <= 1 or len(cells) <= 1:
-            return SerialBackend().run_cells(cells)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            return list(pool.map(_run_cell, cells))
+    def worker_count(self) -> int:
+        """The effective pool size ``jobs`` resolves to."""
+        if self.jobs is None or self.jobs == 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+    def _get_pool(self, span: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = self.worker_count()
+            context = None
+            if self.persistent:
+                # Persistent pools live inside the service process,
+                # which owns live HTTP connections.  Fork-started
+                # workers inherit every open fd — including in-flight
+                # event-stream sockets — so a long-lived worker keeps a
+                # closed connection from ever reaching EOF on the
+                # client.  Spawn-started workers inherit nothing; the
+                # interpreter start cost is paid once per worker for
+                # the pool's whole lifetime.
+                context = multiprocessing.get_context("spawn")
+            else:
+                workers = min(workers, span)
+            self._pool = ProcessPoolExecutor(max_workers=workers,
+                                             mp_context=context)
+        return self._pool
+
+    def run_cells(self, cells: Sequence[Cell],
+                  on_result: CellCallback | None = None) -> list[RunResult]:
+        if not self.persistent and (self.worker_count() <= 1
+                                    or len(cells) <= 1):
+            return SerialBackend().run_cells(cells, on_result)
+        pool = self._get_pool(len(cells) or 1)
+        try:
+            futures = {pool.submit(_run_cell, cell): index
+                       for index, cell in enumerate(cells)}
+            results: list[RunResult | None] = [None] * len(cells)
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    result = future.result()
+                except BaseException as exc:
+                    # First observed failure wins: cancel what has not
+                    # started, report the failing cell, raise.  Cells
+                    # that already completed were reported as they
+                    # landed — that is the crash-safety contract.
+                    for other in futures:
+                        other.cancel()
+                    if on_result is not None:
+                        on_result(index, exc)
+                    raise
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+            return results  # type: ignore[return-value]
+        finally:
+            if not self.persistent:
+                self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; persistent pools only grow
+        again on the next ``run_cells``)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class BatchBackend:
@@ -115,17 +266,22 @@ class BatchBackend:
     so groups smaller than ``min_group`` cells run through the scalar
     per-cell path instead — the measured N=1 batch/serial ratio was
     0.53 before this routing.
+
+    ``on_result`` fires per cell as its *group* completes (lockstep
+    cells finish together); group order follows first appearance in
+    ``cells``.
     """
 
     name = "batch"
 
     def __init__(self, jobs: int | None = None, min_group: int = 4):
         # `jobs` is accepted for `get_backend` symmetry; batching is
-        # in-process.
+        # in-process, and the runner warns when workers were requested.
         self.jobs = jobs
         self.min_group = min_group
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+    def run_cells(self, cells: Sequence[Cell],
+                  on_result: CellCallback | None = None) -> list[RunResult]:
         from repro.cpu.engine import run_batch
         from repro.workloads.suite import registry
 
@@ -138,17 +294,37 @@ class BatchBackend:
         for (kernel_name, machine, max_steps), indices in groups.items():
             if len(indices) < self.min_group:
                 for index in indices:
-                    results[index] = _run_cell(cells[index])
+                    try:
+                        results[index] = _run_cell(cells[index])
+                    except BaseException as exc:
+                        if on_result is not None:
+                            on_result(index, exc)
+                        raise
+                    if on_result is not None:
+                        on_result(index, results[index])
                 continue
             kernel = reg.get(kernel_name)
-            prepared = machine.prepare(kernel.source)
-            sims = [prepared.make_simulator(pipeline=cells[i].pipeline)
-                    for i in indices]
-            for error in run_batch(sims, max_steps):
-                if error is not None:
-                    raise error
+            try:
+                prepared = machine.prepare(kernel.source)
+                sims = [prepared.make_simulator(pipeline=cells[i].pipeline)
+                        for i in indices]
+                for error in run_batch(sims, max_steps):
+                    if error is not None:
+                        raise error
+            except BaseException as exc:
+                if on_result is not None:
+                    # The lockstep group fails as one: every member
+                    # cell is reported against the same fault.
+                    for index in indices:
+                        on_result(index, exc)
+                raise
             for index, sim in zip(indices, sims):
-                kernel.check(sim)  # raises KernelCheckError on mismatch
+                try:
+                    kernel.check(sim)  # raises KernelCheckError on mismatch
+                except BaseException as exc:
+                    if on_result is not None:
+                        on_result(index, exc)
+                    raise
                 stats = sim.stats
                 results[index] = RunResult(
                     kernel_name=kernel.name,
@@ -161,6 +337,8 @@ class BatchBackend:
                     zolc_init_instructions=stats.zolc_init_instructions,
                     zolc_task_switches=stats.zolc_task_switches,
                 )
+                if on_result is not None:
+                    on_result(index, results[index])
         return results
 
 
@@ -172,12 +350,17 @@ BACKENDS = {
 
 
 def get_backend(name: str, jobs: int | None = None) -> ExecutionBackend:
-    """Instantiate a backend by name (``jobs`` applies to ``process``)."""
+    """Instantiate a backend by name.
+
+    ``jobs`` is forwarded to backends that take it (``process``,
+    ``batch``); the batch backend cannot use workers, and the runner
+    warns when a plan or caller asked for them anyway.
+    """
     try:
         factory = BACKENDS[name]
     except KeyError:
         raise KeyError(f"unknown backend {name!r}; known: "
                        f"{', '.join(sorted(BACKENDS))}") from None
-    if factory is ProcessBackend:
-        return ProcessBackend(jobs=0 if jobs is None else jobs)
-    return factory()
+    if factory is SerialBackend:
+        return SerialBackend()
+    return factory(jobs=jobs)

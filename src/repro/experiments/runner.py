@@ -3,17 +3,30 @@
 :func:`run_experiment` expands an :class:`ExperimentSpec` into its grid
 cells, serves what it can from the :class:`ResultStore`, hands the rest
 to an :class:`ExecutionBackend`, and returns a tidy
-:class:`ExperimentResult`.  ``figure2``, the ablation sweeps and the
-CLI are all thin consumers of this function.
+:class:`ExperimentResult`.  ``figure2``, the ablation sweeps, the CLI
+and the ``repro serve`` service are all thin consumers of this
+function.
+
+Persistence is *incremental*: every cell is saved to the store the
+moment its result arrives from the backend (via the backend's
+``on_result`` seam), so a fault or Ctrl-C in cell 99 of 100 loses one
+cell, not the run.  The optional ``progress`` callback receives one
+event dict per planned cell — ``source`` is ``cached`` / ``simulated``
+/ ``deduplicated`` / ``failed``, mirroring :class:`ExperimentResult`
+sources — which is the contract the service's NDJSON event stream
+forwards verbatim.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.eval.runner import RunResult
 from repro.experiments.backends import (
+    BatchBackend,
     Cell,
     ExecutionBackend,
     SerialBackend,
@@ -22,6 +35,9 @@ from repro.experiments.backends import (
 from repro.experiments.result import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore, cell_key
+
+#: Per-cell progress callback; receives event dicts (see module docs).
+ProgressCallback = Callable[[dict], None]
 
 
 @dataclass(frozen=True)
@@ -57,6 +73,16 @@ def _plan_cells(spec: ExperimentSpec) -> list[_PlannedCell]:
     return planned
 
 
+def plan_cell_keys(spec: ExperimentSpec) -> list[str]:
+    """The content-addressed store keys of every planned cell.
+
+    The sorted, deduplicated key set identifies *what a plan measures*
+    independently of host-side choices (backend, jobs, engine), which
+    is what the service's single-flight deduplication hashes.
+    """
+    return [item.key for item in _plan_cells(spec)]
+
+
 def _record_for(planned: _PlannedCell, measurement: dict,
                 spec: ExperimentSpec) -> dict:
     record = {"kernel": planned.cell.kernel_name,
@@ -76,24 +102,58 @@ def _measurement(result: RunResult) -> dict:
     return record
 
 
+def _event(planned: _PlannedCell, source: str, **extra) -> dict:
+    """One progress event (the service streams these as NDJSON)."""
+    event = {"event": "cell",
+             "kernel": planned.cell.kernel_name,
+             "machine": planned.cell.machine.name,
+             "source": source,
+             "key": planned.key}
+    if planned.axes:
+        event["axes"] = dict(planned.axes)
+    event["repeat"] = planned.repeat
+    event.update(extra)
+    return event
+
+
+def _accepts_on_result(backend: ExecutionBackend) -> bool:
+    """Whether ``backend.run_cells`` implements the incremental seam.
+
+    Backends predating the seam (no ``on_result`` parameter) still
+    work: results are persisted after the batch returns, at the old
+    all-or-nothing granularity.
+    """
+    try:
+        signature = inspect.signature(backend.run_cells)
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "on_result" in signature.parameters
+
+
 def run_experiment(spec: ExperimentSpec,
                    backend: ExecutionBackend | str | None = None,
                    jobs: int | None = None,
                    store: ResultStore | str | Path | None = None,
-                   engine: str | None = None) -> ExperimentResult:
+                   engine: str | None = None,
+                   progress: ProgressCallback | None = None
+                   ) -> ExperimentResult:
     """Run (or replay) every cell of ``spec``.
 
     ``backend`` is a backend instance or name (``"serial"`` /
-    ``"process"``; ``jobs`` configures the latter); ``None`` defers to
-    the spec's own ``backend`` / ``jobs`` choice, so a plan file can
-    declare how it wants to run and a caller (e.g. the CLI's
-    ``--backend`` / ``--jobs`` flags) can still override it.  ``store``
-    enables the content-addressed result cache: cells whose key is
-    already stored are *not* re-simulated.  ``None`` disables caching.
-    ``engine`` overrides the spec's simulator engine the same way
-    (validated like every other engine choice: an unknown name raises
-    :class:`ValueError` before anything runs); engines are
-    bit-identical, so the override never affects cache identity.
+    ``"process"`` / ``"batch"``; ``jobs`` configures the process
+    backend); ``None`` defers to the spec's own ``backend`` / ``jobs``
+    choice, so a plan file can declare how it wants to run and a caller
+    (e.g. the CLI's ``--backend`` / ``--jobs`` flags) can still
+    override it.  ``store`` enables the content-addressed result cache:
+    cells whose key is already stored are *not* re-simulated, and every
+    freshly simulated cell is persisted the moment it completes.
+    ``None`` disables caching.  ``engine`` overrides the spec's
+    simulator engine the same way (validated like every other engine
+    choice: an unknown name raises :class:`ValueError` before anything
+    runs); engines are bit-identical, so the override never affects
+    cache identity.  ``progress`` receives one per-cell event dict as
+    each cell resolves (cached cells first, then simulated cells in
+    completion order, then deduplicated repeats).
     """
     if engine is not None and engine != spec.engine:
         from dataclasses import replace
@@ -105,13 +165,18 @@ def run_experiment(spec: ExperimentSpec,
         backend = spec.backend
     if jobs is None:
         jobs = spec.jobs
-    if jobs not in (None, 1) and (backend == "serial"
-                                  or isinstance(backend, SerialBackend)):
+    if jobs not in (None, 1) and (backend in ("serial", "batch")
+                                  or isinstance(backend,
+                                                (SerialBackend,
+                                                 BatchBackend))):
         # Mirrors run_suite's convention: asking for workers on a
-        # backend that cannot use them is flagged, never silent.
+        # backend that cannot use them is flagged, never silent.  The
+        # batch backend runs in-process too — its parallelism is
+        # lockstep cells, not worker processes.
         import warnings
+        name = backend if isinstance(backend, str) else backend.name
         warnings.warn(
-            f"jobs={jobs} ignored: the serial backend runs in-process "
+            f"jobs={jobs} ignored: the {name} backend runs in-process "
             "(pick --backend process, or drop the explicit backend so "
             "--jobs implies it)", RuntimeWarning, stacklevel=2)
     if isinstance(backend, str):
@@ -134,12 +199,35 @@ def run_experiment(spec: ExperimentSpec,
     unique: dict[str, _PlannedCell] = {}
     for item in to_run:
         unique.setdefault(item.key, item)
-    results = backend.run_cells([item.cell for item in unique.values()])
+    if progress is not None:
+        for item in planned:
+            if item.key in cached:
+                progress(_event(item, "cached"))
+
+    ordered = list(unique.values())
     fresh: dict[str, dict] = {}
-    for item, run_result in zip(unique.values(), results):
-        fresh[item.key] = _measurement(run_result)
+
+    def _on_result(index: int, outcome: RunResult | BaseException) -> None:
+        item = ordered[index]
+        if isinstance(outcome, BaseException):
+            if progress is not None:
+                progress(_event(item, "failed", error=str(outcome)))
+            return
+        fresh[item.key] = _measurement(outcome)
         if store is not None:
+            # Persist as results arrive: a fault in a later cell (or a
+            # Ctrl-C) never discards completed measurements.
             store.save(item.key, fresh[item.key])
+        if progress is not None:
+            progress(_event(item, "simulated"))
+
+    if _accepts_on_result(backend):
+        backend.run_cells([item.cell for item in ordered],
+                          on_result=_on_result)
+    else:  # legacy backend: batch-at-the-end persistence
+        results = backend.run_cells([item.cell for item in ordered])
+        for index, run_result in enumerate(results):
+            _on_result(index, run_result)
 
     out = ExperimentResult(name=spec.name,
                            axes=tuple(axis.name for axis in spec.sweep))
@@ -149,6 +237,8 @@ def run_experiment(spec: ExperimentSpec,
             source = "deduplicated" if item.key in simulated_keys \
                 else "simulated"
             simulated_keys.add(item.key)
+            if progress is not None and source == "deduplicated":
+                progress(_event(item, "deduplicated"))
             out.add(_record_for(item, fresh[item.key], spec), source)
         else:
             out.add(_record_for(item, cached[item.key], spec), "cached")
@@ -159,7 +249,8 @@ def run_plan(path: str | Path,
              backend: ExecutionBackend | str | None = None,
              jobs: int | None = None,
              store: ResultStore | str | Path | None = None,
-             engine: str | None = None) -> ExperimentResult:
+             engine: str | None = None,
+             progress: ProgressCallback | None = None) -> ExperimentResult:
     """Load a plan file and run it (the ``repro experiment`` command).
 
     ``backend=None`` / ``jobs=None`` / ``engine=None`` honour the
@@ -169,7 +260,7 @@ def run_plan(path: str | Path,
     from repro.experiments.spec import load_plan
 
     return run_experiment(load_plan(path), backend=backend, jobs=jobs,
-                          store=store, engine=engine)
+                          store=store, engine=engine, progress=progress)
 
 
-__all__ = ["run_experiment", "run_plan", "SerialBackend"]
+__all__ = ["run_experiment", "run_plan", "plan_cell_keys", "SerialBackend"]

@@ -15,18 +15,26 @@ and CI all share measurements across processes.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.eval.machines import MachineSpec
+from repro.experiments.result import MEASUREMENT_COLUMNS
 
 #: Bump to invalidate every stored cell when the record layout changes.
 STORE_VERSION = 1
 
 DEFAULT_STORE_ROOT = Path("results")
+
+#: Per-process counter distinguishing concurrent writers in one process
+#: (the pid alone distinguishes processes).
+_tmp_serial = itertools.count()
 
 
 def cell_key(kernel_name: str, kernel_source: str, machine: MachineSpec,
@@ -56,23 +64,43 @@ class ResultStore:
         return self.root / key[:2] / f"{key}.json"
 
     def load(self, key: str) -> dict | None:
-        """The stored record for ``key``, or ``None`` on a miss."""
+        """The stored record for ``key``, or ``None`` on a miss.
+
+        A record that does not parse, is not a mapping, or is missing
+        any required measurement column is treated as a miss — a torn
+        or truncated cell (e.g. from a crashed writer) is re-simulated
+        and rewritten, never served.
+        """
         path = self._path(key)
         try:
             text = path.read_text()
         except OSError:
             return None
         try:
-            return json.loads(text)
+            record = json.loads(text)
         except json.JSONDecodeError:
             return None  # a corrupt cell is a miss; it will be rewritten
+        if not isinstance(record, dict) or \
+                any(column not in record for column in MEASUREMENT_COLUMNS):
+            return None  # incomplete cells are misses too
+        return record
 
     def save(self, key: str, record: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record, sort_keys=True, indent=None))
-        tmp.replace(path)  # atomic on POSIX: concurrent runs never tear
+        # Each writer stages into its *own* tmp file (pid + per-process
+        # counter) before the atomic rename: concurrent savers of one
+        # key — repeated plan runs, service jobs, pool workers — never
+        # interleave writes into a shared staging path, so a reader
+        # only ever observes a complete record (last rename wins, and
+        # every record for a key is identical by construction).
+        tmp = path.parent / f"{key}.{os.getpid()}.{next(_tmp_serial)}.tmp"
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True, indent=None))
+            os.replace(tmp, path)  # atomic on POSIX: readers never tear
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)  # only survives a failed write/rename
 
     def __len__(self) -> int:
         if not self.root.is_dir():

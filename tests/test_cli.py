@@ -285,6 +285,72 @@ class TestErrorHandling:
         assert "golden check failed" in err and "output mismatch" in err
 
 
+class TestServeSubmit:
+    def _plan(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"name": "t", "kernels": ["vec_sum"],'
+                        ' "machines": ["XRdefault"]}')
+        return plan
+
+    @pytest.fixture()
+    def service_url(self, tmp_path):
+        from repro.service import JobManager, start_in_thread
+
+        manager = JobManager(store=tmp_path / "results", backend="serial")
+        handle = start_in_thread(manager)
+        try:
+            yield handle.url
+        finally:
+            handle.stop()
+            manager.close()
+
+    def test_submit_twice_second_fully_cached(self, capsys, tmp_path,
+                                              service_url):
+        import json
+        plan = self._plan(tmp_path)
+        events_log = tmp_path / "events.ndjson"
+        assert main(["submit", str(plan), "--url", service_url,
+                     "--events-out", str(events_log), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["state"] == "done"
+        assert first["events"] == {"simulated": 1}
+        lines = [json.loads(line) for line in
+                 events_log.read_text().splitlines()]
+        assert lines[-1]["event"] == "done"
+        assert main(["submit", str(plan), "--url", service_url,
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["events"] == {"cached": 1}  # zero simulations
+        assert second["result"]["records"] == first["result"]["records"]
+
+    def test_submit_text_report(self, capsys, tmp_path, service_url):
+        plan = self._plan(tmp_path)
+        assert main(["submit", str(plan), "--url", service_url]) == 0
+        out = capsys.readouterr().out
+        assert "simulated    vec_sum on XRdefault" in out
+        assert "1 simulated, 0 cached" in out
+
+    def test_submit_unreachable_service_exits_one(self, capsys, tmp_path):
+        plan = self._plan(tmp_path)
+        assert main(["submit", str(plan),
+                     "--url", "http://127.0.0.1:9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_bad_plan_suffix_exits_one(self, capsys, tmp_path,
+                                              service_url):
+        plan = tmp_path / "plan.yaml"
+        plan.write_text("{}")
+        assert main(["submit", str(plan), "--url", service_url]) == 1
+        assert "must end in" in capsys.readouterr().err
+
+    def test_submit_invalid_plan_body_exits_one(self, capsys, tmp_path,
+                                                service_url):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        assert main(["submit", str(plan), "--url", service_url]) == 1
+        assert "400" in capsys.readouterr().err
+
+
 class TestReports:
     def test_resources(self, capsys):
         assert main(["resources"]) == 0

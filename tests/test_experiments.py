@@ -239,10 +239,13 @@ class TestResultStore:
         assert len({base, *variants}) == len(variants) + 1
 
     def test_save_load_round_trip(self, tmp_path):
+        from repro.experiments.result import MEASUREMENT_COLUMNS
+
+        record = {column: 7 for column in MEASUREMENT_COLUMNS}
         store = ResultStore(tmp_path)
         assert store.load("ab" * 32) is None
-        store.save("ab" * 32, {"cycles": 7})
-        assert store.load("ab" * 32) == {"cycles": 7}
+        store.save("ab" * 32, record)
+        assert store.load("ab" * 32) == record
         assert len(store) == 1
 
     def test_corrupt_cell_is_a_miss(self, tmp_path):
@@ -250,6 +253,14 @@ class TestResultStore:
         store.save("cd" * 32, {"cycles": 1})
         next(tmp_path.glob("*/*.json")).write_text("{truncated")
         assert store.load("cd" * 32) is None
+
+    def test_incomplete_cell_is_a_miss(self, tmp_path):
+        # A record missing required measurement columns (e.g. from a
+        # writer that died mid-record under the old shared-tmp scheme)
+        # is re-simulated, never served.
+        store = ResultStore(tmp_path)
+        store.save("ef" * 32, {"cycles": 1})
+        assert store.load("ef" * 32) is None
 
 
 class TestRunExperiment:
@@ -424,6 +435,103 @@ class TestRunExperiment:
         calls = spy_run_traced(monkeypatch)
         run_plan(plan)
         assert calls and all(calls)
+
+
+class TestIncrementalPersistence:
+    """A fault late in a run must not discard completed cells."""
+
+    def test_crash_keeps_completed_cells(self, tmp_path, monkeypatch):
+        import repro.experiments.backends as backends_module
+
+        real = backends_module._run_cell
+        completed = []
+
+        def flaky(cell):
+            if len(completed) == 2:
+                raise RuntimeError("crash in cell 3 of 4")
+            completed.append(cell.kernel_name)
+            return real(cell)
+
+        monkeypatch.setattr(backends_module, "_run_cell", flaky)
+        with pytest.raises(RuntimeError, match="crash in cell 3"):
+            run_experiment(small_spec(), store=tmp_path)
+        # The two cells that finished were persisted as they arrived.
+        assert len(ResultStore(tmp_path)) == 2
+        # The rerun resumes: only the lost cells re-simulate.
+        monkeypatch.setattr(backends_module, "_run_cell", real)
+        resumed = run_experiment(small_spec(), store=tmp_path)
+        assert resumed.simulated == 2 and resumed.cached == 2
+        # And the final records match a clean run.
+        assert resumed.records == run_experiment(small_spec()).records
+
+    def test_failed_cell_emits_failed_event(self, tmp_path, monkeypatch):
+        import repro.experiments.backends as backends_module
+
+        def exploding(cell):
+            raise RuntimeError("sim fault")
+
+        monkeypatch.setattr(backends_module, "_run_cell", exploding)
+        events = []
+        with pytest.raises(RuntimeError, match="sim fault"):
+            run_experiment(small_spec(kernels=("vec_sum",),
+                                      machines=(XR_DEFAULT,)),
+                           store=tmp_path, progress=events.append)
+        assert [e["source"] for e in events] == ["failed"]
+        assert "sim fault" in events[0]["error"]
+
+    def test_legacy_backend_without_on_result_still_persists(
+            self, tmp_path):
+        from repro.experiments.backends import _run_cell
+
+        class LegacyBackend:
+            name = "legacy"
+
+            def run_cells(self, cells):  # no on_result parameter
+                return [_run_cell(cell) for cell in cells]
+
+        result = run_experiment(small_spec(), backend=LegacyBackend(),
+                                store=tmp_path)
+        assert result.simulated == 4
+        assert len(ResultStore(tmp_path)) == 4
+        rerun = run_experiment(small_spec(), store=tmp_path)
+        assert rerun.simulated == 0 and rerun.cached == 4
+
+
+class TestProgressEvents:
+    """The per-cell event contract the service streams as NDJSON."""
+
+    def test_every_planned_cell_gets_one_event(self, tmp_path):
+        spec = small_spec(repeats=2)  # 8 planned cells, 4 unique
+        events = []
+        run_experiment(spec, store=tmp_path, progress=events.append)
+        sources = [e["source"] for e in events]
+        assert sources.count("simulated") == 4
+        assert sources.count("deduplicated") == 4
+        assert all(e["event"] == "cell" and e["key"] for e in events)
+        rerun_events = []
+        run_experiment(spec, store=tmp_path,
+                       progress=rerun_events.append)
+        assert [e["source"] for e in rerun_events] == ["cached"] * 8
+
+    def test_events_carry_identity_columns(self):
+        spec = small_spec(kernels=("vec_sum",), machines=(XR_DEFAULT,),
+                          sweep=(SweepAxis("branch_penalty", (0, 2)),))
+        events = []
+        run_experiment(spec, progress=events.append)
+        assert {e["axes"]["branch_penalty"] for e in events} == {0, 2}
+        assert all(e["kernel"] == "vec_sum"
+                   and e["machine"] == "XRdefault"
+                   and e["repeat"] == 0 for e in events)
+
+    def test_batch_backend_streams_events_too(self, tmp_path):
+        spec = small_spec(kernels=("vec_sum",), machines=(M_ZOLC_LITE,),
+                          sweep=(SweepAxis("branch_penalty",
+                                           (0, 1, 2, 3)),))
+        events = []
+        result = run_experiment(spec, backend="batch", store=tmp_path,
+                                progress=events.append)
+        assert result.simulated == 4
+        assert [e["source"] for e in events] == ["simulated"] * 4
 
 
 class TestRunPlan:

@@ -1,0 +1,111 @@
+"""Concurrent writers never tear the content-addressed store.
+
+The bugfix under test: every saver stages into its *own* tmp file
+(pid + per-process counter) before the atomic rename, so N processes
+hammering one key can never interleave writes into a shared staging
+path and promote a torn JSON file — and ``load`` treats any record
+missing required measurement columns as a miss, so even a hypothetical
+partial file is re-simulated, never served.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor, wait
+
+import pytest
+
+from repro.experiments.result import MEASUREMENT_COLUMNS
+from repro.experiments.store import ResultStore
+
+KEY = "ab" * 32
+
+#: A record carrying every required measurement column.
+FULL_RECORD = {column: index for index, column in
+               enumerate(MEASUREMENT_COLUMNS)}
+
+
+def _record(tag: int) -> dict:
+    # Same shape, different payload per writer, so torn interleavings
+    # (were they possible) would be observable as parse/shape errors.
+    return {**FULL_RECORD, "cycles": tag, "padding": "x" * 512}
+
+
+def _hammer(root, salt: int, rounds: int) -> int:
+    store = ResultStore(root)
+    for index in range(rounds):
+        store.save(KEY, _record(salt * rounds + index))
+    return rounds
+
+
+class TestConcurrentWriters:
+    def test_hammer_same_key_every_observed_file_parses(self, tmp_path):
+        writers, rounds = 4, 40
+        store = ResultStore(tmp_path)
+        path = store._path(KEY)
+        observed = 0
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            futures = [pool.submit(_hammer, tmp_path, salt, rounds)
+                       for salt in range(writers)]
+            # Read continuously while the writers race: every observed
+            # file content must be one complete record.
+            while not all(future.done() for future in futures):
+                try:
+                    text = path.read_text()
+                except OSError:
+                    continue
+                record = json.loads(text)  # a torn file raises here
+                assert set(MEASUREMENT_COLUMNS) <= set(record)
+                observed += 1
+            wait(futures)
+            assert sum(future.result() for future in futures) \
+                == writers * rounds
+        # The final state parses and loads, and no staging files leak.
+        final = store.load(KEY)
+        assert final is not None and final["padding"] == "x" * 512
+        leftovers = [p.name for p in path.parent.iterdir()
+                     if p.name != path.name]
+        assert leftovers == []
+        assert observed > 0  # the race was actually exercised
+
+    def test_concurrent_saves_of_distinct_keys(self, tmp_path):
+        # Distinct keys in one shard directory: mkdir/rename races are
+        # benign and every cell lands complete.
+        store = ResultStore(tmp_path)
+        keys = [f"ab{index:02x}" + "c" * 60 for index in range(8)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            list(pool.map(_save_one, [(tmp_path, key) for key in keys]))
+        for key in keys:
+            assert store.load(key) == _record(7)
+        assert len(store) == len(keys)
+
+
+def _save_one(task) -> None:
+    root, key = task
+    ResultStore(root).save(key, _record(7))
+
+
+class TestLoadValidation:
+    def test_full_record_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(KEY, FULL_RECORD)
+        assert store.load(KEY) == FULL_RECORD
+
+    @pytest.mark.parametrize("column", ["cycles", "verified",
+                                        "stall_cycles"])
+    def test_record_missing_a_measurement_column_is_a_miss(
+            self, tmp_path, column):
+        store = ResultStore(tmp_path)
+        partial = dict(FULL_RECORD)
+        del partial[column]
+        store.save(KEY, partial)
+        assert store.load(KEY) is None
+
+    def test_non_mapping_record_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store._path(KEY).parent.mkdir(parents=True)
+        store._path(KEY).write_text(json.dumps([1, 2, 3]))
+        assert store.load(KEY) is None
+
+    def test_extra_columns_are_preserved(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(KEY, {**FULL_RECORD, "note": "kept"})
+        assert store.load(KEY)["note"] == "kept"
