@@ -9,6 +9,8 @@ Commands::
     experiment PLAN             run a declarative plan file (JSON/TOML)
     serve [--port N]            serve plans over HTTP (jobs + event streams)
     submit PLAN [--url U]       submit a plan to a running service
+    synth {list,describe,emit}  seeded synthetic kernel corpora
+    soak [--budget-seconds N]   budgeted differential engine soak
     resources                   regenerate the storage/area tables (E3/E4)
     timing                      regenerate the cycle-time report (E5)
     check [--kernel K|--all] [-m MACHINE] [--audit-codegen]
@@ -47,6 +49,7 @@ from repro.eval.report import (
     render_timing_report,
 )
 from repro.eval.runner import run_kernel
+from repro.experiments.config import RunConfig
 from repro.service.client import ServiceError
 from repro.workloads.api import KernelCheckError
 from repro.workloads.suite import registry
@@ -82,7 +85,8 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     kernel = registry().get(args.kernel)
     machine = machine_by_name(args.machine)
-    result = run_kernel(kernel, machine, engine=_parse_engine(args.engine))
+    result = run_kernel(kernel, machine,
+                        RunConfig(engine=_parse_engine(args.engine)))
     lines = [f"{kernel.name} on {machine.name}: verified={result.verified}",
              f"  cycles        {result.cycles}",
              f"  instructions  {result.instructions}",
@@ -124,39 +128,46 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_plan
 
-    store = None if args.no_cache else args.store
     # --jobs / --engine are parsed here (not by an argparse type= /
     # choices=) so an invalid value exits 1 through main()'s ValueError
     # handler, like every other bad input to this command.
     jobs = _parse_jobs(args.jobs) if args.jobs is not None else None
     engine = _parse_engine(args.engine) if args.engine is not None else None
-    # None defers to the plan's own backend/jobs/engine keys; explicit
-    # flags override the plan.  Asking for workers without naming a
-    # backend implies the process backend (mirroring `figure2 --jobs`).
+    # Unset RunConfig fields defer to the plan's own backend/jobs/
+    # engine keys; explicit flags override the plan.  Asking for
+    # workers without naming a backend implies the process backend
+    # (mirroring `figure2 --jobs`).
     backend = args.backend
     if backend is None and jobs is not None and jobs != 1:
         backend = "process"
-    result = run_plan(args.plan, backend=backend, jobs=jobs, store=store,
-                      engine=engine)
+    config = RunConfig(engine=engine, backend=backend, jobs=jobs,
+                       store=args.store,
+                       cache=False if args.no_cache else None)
+    result = run_plan(args.plan, config)
     _emit(args, result.to_dict(), result.render())
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.experiments.backends import BatchBackend, ProcessBackend
+    from repro.experiments.backends import (
+        BatchBackend,
+        ProcessBackend,
+        SerialBackend,
+    )
     from repro.service import JobManager, start_in_thread
 
     jobs = _parse_jobs(args.jobs) if args.jobs is not None else None
+    config = RunConfig(jobs=jobs)
     if args.backend == "process":
         # Persistent pool: workers survive across jobs, so their
         # prepared-kernel / generated-code caches stay warm — a warm
         # worker re-simulating a known (kernel, machine) pair
         # recompiles nothing.
-        backend = ProcessBackend(jobs=jobs, persistent=True)
+        backend = ProcessBackend(persistent=True, config=config)
     elif args.backend == "batch":
-        backend = BatchBackend()
+        backend = BatchBackend(config=config)
     else:
-        backend = "serial"
+        backend = SerialBackend()
     manager = JobManager(store=None if args.no_cache else args.store,
                          backend=backend)
     handle = start_in_thread(manager, args.host, args.port)
@@ -183,6 +194,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                          "or .toml")
     client = ServiceClient(args.url)
     quiet = args.json or args.quiet
+    run_config = {}
+    if args.engine is not None:
+        run_config["engine"] = _parse_engine(args.engine)
+    if args.jobs is not None:
+        run_config["jobs"] = _parse_jobs(args.jobs)
+    if args.backend is not None:
+        run_config["backend"] = args.backend
 
     with contextlib.ExitStack() as stack:
         events_log = stack.enter_context(
@@ -201,7 +219,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             else:
                 print(f"  job {event['event']}")
 
-        payload = client.run(path.read_text(), fmt, on_event=on_event)
+        payload = client.run(path.read_text(), fmt, on_event=on_event,
+                             run_config=run_config or None)
     counts = payload["events"]
     summary = ", ".join(f"{counts.get(s, 0)} {s}" for s in
                         ("simulated", "cached", "deduplicated", "failed"))
@@ -212,6 +231,94 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         lines.append(f"  error: {payload['error']}")
     _emit(args, payload, "\n".join(lines))
     return 0 if payload["state"] == "done" else 1
+
+
+def _cmd_synth_list(args: argparse.Namespace) -> int:
+    from repro.synth import FAMILIES
+    from repro.synth.draw import GENERATOR_VERSION
+
+    lines = [f"{'family':<17} description"]
+    lines.append("-" * 72)
+    lines.extend(f"{fam.name:<17} {fam.description}"
+                 for fam in FAMILIES.values())
+    lines.append("")
+    lines.append("address a corpus as synth:<family>:<seed>:<count> "
+                 "(plans, check, soak)")
+    payload = {
+        "generator": f"repro.synth v{GENERATOR_VERSION}",
+        "families": [{"name": fam.name, "description": fam.description,
+                      "machine_pool": list(fam.machine_pool)}
+                     for fam in FAMILIES.values()],
+    }
+    _emit(args, payload, "\n".join(lines))
+    return 0
+
+
+def _cmd_synth_describe(args: argparse.Namespace) -> int:
+    from repro.synth import family, generate_kernel
+
+    fam = family(args.family)  # unknown names exit 2 via KeyError
+    sample = generate_kernel(fam.name, 0, 0)
+    knobs = fam.knobs.to_dict()
+    lines = [f"{fam.name}: {fam.description}",
+             f"  machine pool   {', '.join(fam.machine_pool)}",
+             f"  pipeline       "
+             f"{'randomized' if fam.randomize_pipeline else 'default'}",
+             "  knobs:"]
+    lines.extend(f"    {key:<15} {value}" for key, value in knobs.items())
+    lines.append(f"  member 0 at seed 0: {len(sample.source.splitlines())} "
+                 f"source lines on {sample.machine.name}")
+    lines.append(f"  selector example: synth:{fam.name}:0:10")
+    payload = {"family": fam.name, "description": fam.description,
+               "machine_pool": list(fam.machine_pool),
+               "randomize_pipeline": fam.randomize_pipeline,
+               "knobs": knobs,
+               "sample": sample.provenance}
+    _emit(args, payload, "\n".join(lines))
+    return 0
+
+
+def _cmd_synth_emit(args: argparse.Namespace) -> int:
+    from repro.synth import emit_corpus, parse_selector
+
+    spec = parse_selector(args.selector)  # bad selectors exit 1
+    manifest = emit_corpus(spec, args.dir)
+    _emit(args, manifest,
+          f"wrote {spec.count} kernels + manifest.json to {args.dir}")
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.synth import FAMILY_NAMES, family
+    from repro.synth.soak import run_soak
+
+    families = tuple(args.family) or FAMILY_NAMES
+    for name in families:
+        family(name)  # unknown names exit 2 via KeyError
+    progress = None if (args.quiet or args.json) else print
+    report = run_soak(
+        budget_seconds=args.budget_seconds,
+        seed=args.seed,
+        families=families,
+        max_kernels=args.max_kernels,
+        min_kernels=args.min_kernels,
+        regressions_dir=args.regressions_dir,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    lines = [f"soaked {report.kernels_run} kernels in "
+             f"{report.elapsed_seconds:.1f}s (seed {report.seed}, "
+             f"engines {'/'.join(report.engines)})"]
+    lines.append("  per family: " + " ".join(
+        f"{name}={count}" for name, count in report.per_family.items()))
+    lines.append(f"  mismatches: {len(report.failures)}")
+    for failure in report.failures:
+        lines.append(f"  MISMATCH {failure.kernel_name} "
+                     f"engine={failure.engine}")
+        lines.append(f"    shrunk to {failure.shrunk_name} "
+                     f"-> {failure.regression_path}")
+    _emit(args, report.to_dict(), "\n".join(lines))
+    return 0 if report.ok else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -433,16 +540,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", default=None, metavar="FILE",
         help="also write the raw NDJSON event stream to FILE")
     submit_parser.add_argument(
+        "-b", "--backend", choices=("serial", "process", "batch"),
+        default=None,
+        help="per-job backend override (rides in the /v1 submit "
+             "body's run_config; JSON plans only)")
+    submit_parser.add_argument(
+        "-j", "--jobs", default=None, metavar="N",
+        help="per-job worker-count override (invalid values exit 1)")
+    submit_parser.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="per-job engine override (auto/fast/traced/batch/step)")
+    submit_parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress the per-cell event lines")
     _add_output_flags(submit_parser)
     submit_parser.set_defaults(func=_cmd_submit)
 
+    synth_parser = sub.add_parser(
+        "synth", help="seeded synthetic kernel corpora")
+    synth_sub = synth_parser.add_subparsers(dest="action", required=True)
+    synth_list = synth_sub.add_parser("list", help="list corpus families")
+    _add_output_flags(synth_list)
+    synth_list.set_defaults(func=_cmd_synth_list)
+    synth_describe = synth_sub.add_parser(
+        "describe", help="show one family's knobs and bindings")
+    synth_describe.add_argument("family", help="corpus family name")
+    _add_output_flags(synth_describe)
+    synth_describe.set_defaults(func=_cmd_synth_describe)
+    synth_emit = synth_sub.add_parser(
+        "emit", help="write a corpus as .s files + manifest.json")
+    synth_emit.add_argument(
+        "selector", help="corpus selector: synth:<family>:<seed>:<count>")
+    synth_emit.add_argument("dir", help="output directory")
+    _add_output_flags(synth_emit)
+    synth_emit.set_defaults(func=_cmd_synth_emit)
+
+    soak_parser = sub.add_parser(
+        "soak", help="budgeted differential soak over the synth corpus")
+    soak_parser.add_argument(
+        "--budget-seconds", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock discovery budget (default: 60)")
+    soak_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="corpus seed every family streams from (default: 0)")
+    soak_parser.add_argument(
+        "--family", action="append", metavar="NAME", default=[],
+        help="corpus family to soak (repeatable; default: all families, "
+             "round-robin)")
+    soak_parser.add_argument(
+        "--min-kernels", type=int, default=0, metavar="N",
+        help="keep soaking past the budget until N kernels ran")
+    soak_parser.add_argument(
+        "--max-kernels", type=int, default=None, metavar="N",
+        help="stop after N kernels even with budget left")
+    soak_parser.add_argument(
+        "--regressions-dir", default=str(Path("tests") / "regressions"),
+        metavar="DIR",
+        help="where shrunk reproducers get pinned "
+             "(default: tests/regressions)")
+    soak_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="pin failing kernels as-is instead of minimizing them")
+    soak_parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-interval progress lines")
+    _add_output_flags(soak_parser)
+    soak_parser.set_defaults(func=_cmd_soak)
+
     check_parser = sub.add_parser(
         "check", help="statically verify kernels (and audit codegen)")
     check_parser.add_argument(
         "-k", "--kernel", action="append", metavar="NAME", default=[],
-        help="kernel(s) to check (repeatable; default: the whole suite)")
+        help="kernel(s) to check (repeatable; accepts "
+             "synth:<family>:<seed>:<count> selectors; default: the "
+             "whole suite)")
     check_parser.add_argument(
         "--all", action="store_true",
         help="check the whole suite (the default; conflicts with "

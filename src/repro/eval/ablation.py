@@ -83,8 +83,10 @@ def _axis_sweep(name: str, axis_name: str, axis_fields: tuple[str, ...],
                 zolc_machine: MachineSpec, parameter_name: str,
                 store=None) -> SweepResult:
     """Run one pipeline-axis sweep through the experiment API."""
+    from repro.experiments.config import RunConfig
     from repro.experiments.runner import run_experiment
     from repro.experiments.spec import ExperimentSpec, SweepAxis
+    from repro.experiments.store import ResultStore
 
     spec = ExperimentSpec(
         name=name,
@@ -93,7 +95,9 @@ def _axis_sweep(name: str, axis_name: str, axis_fields: tuple[str, ...],
         sweep=(SweepAxis(name=axis_name, values=values,
                          fields=axis_fields),),
     )
-    experiment = run_experiment(spec, store=store)
+    store_instance = store if isinstance(store, ResultStore) else None
+    config = RunConfig(store=None if store_instance else store)
+    experiment = run_experiment(spec, config, store=store_instance)
     result = SweepResult(name=name, parameter_name=parameter_name,
                          kernel_names=kernel_names)
     for value in values:

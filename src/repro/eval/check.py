@@ -154,9 +154,17 @@ class CheckReport:
 def run_check(kernel_names: list[str] | None = None,
               machine_names: list[str] | None = None,
               audit: bool = False) -> CheckReport:
-    """Check kernels × machines (defaults: whole suite × registry)."""
+    """Check kernels × machines (defaults: whole suite × registry).
+
+    ``kernel_names`` accepts the shared selector grammar (``@figure2``,
+    ``@all``, ``synth:<family>:<seed>:<count>``, bare names), so
+    synthesized corpora flow through the static verifier too.
+    """
+    from repro.workloads.suite import expand_kernel_selectors
+
     reg = registry()
-    kernels = ([reg.get(name) for name in kernel_names]
+    kernels = ([reg.get(name)
+                for name in expand_kernel_selectors(kernel_names)]
                if kernel_names else reg.all())
     machines = ([machine_registry().get(name)
                  for name in machine_names]

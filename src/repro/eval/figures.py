@@ -142,11 +142,16 @@ def figure2(pipeline: PipelineConfig | None = None,
     directory or :class:`ResultStore`) serves unchanged cells from the
     result cache.
     """
+    from repro.experiments.config import RunConfig
     from repro.experiments.runner import run_experiment
+    from repro.experiments.store import ResultStore
 
     backend = "serial" if jobs is None or jobs == 1 else "process"
-    result = run_experiment(figure2_spec(pipeline), backend=backend,
-                            jobs=jobs, store=store)
+    store_instance = store if isinstance(store, ResultStore) else None
+    config = RunConfig(backend=backend, jobs=jobs,
+                       store=None if store_instance else store)
+    result = run_experiment(figure2_spec(pipeline), config,
+                            store=store_instance)
     return figure2_from_result(result)
 
 

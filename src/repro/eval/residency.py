@@ -32,11 +32,18 @@ ZOLC_MACHINE_NAMES = ("uZOLC", "ZOLClite", "ZOLCfull")
 def residency_report(kernel_names: tuple[str, ...] = BRANCHY_KERNELS,
                      machine_names: tuple[str, ...] = ZOLC_MACHINE_NAMES,
                      max_steps: int = 10_000_000) -> dict[str, dict]:
-    """``kernel@machine`` → instruction counts and residency shares."""
+    """``kernel@machine`` → instruction counts and residency shares.
+
+    ``kernel_names`` accepts the shared selector grammar, so residency
+    can be measured over synthesized corpora
+    (``-k synth:branchy:0:25``) as well as suite kernels.
+    """
+    from repro.workloads.suite import expand_kernel_selectors
+
     kernels = registry()
     machines = machine_registry()
     report: dict[str, dict] = {}
-    for name in kernel_names:
+    for name in expand_kernel_selectors(kernel_names):
         source = kernels.get(name).source
         for machine_name in machine_names:
             machine = machines.get(machine_name)
@@ -83,7 +90,11 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
     if args.require_nonzero:
-        dead = [name for name in names
+        # Derive the kernel set from the report keys: ``names`` may
+        # hold group/corpus selectors, which expand inside
+        # residency_report.
+        measured = sorted({cell.rsplit("@", 1)[0] for cell in report})
+        dead = [name for name in measured
                 if not any(row["trace_resident_steps"]
                            or row["chain_resident_steps"]
                            for cell, row in report.items()

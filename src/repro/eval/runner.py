@@ -23,12 +23,16 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.cpu.simulator import DEFAULT_MAX_STEPS
 from repro.cpu.tracing import Stats
 from repro.eval.machines import MachineSpec
 from repro.workloads.api import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import RunConfig
 
 
 @dataclass
@@ -104,21 +108,35 @@ class SuiteResult:
 
 
 def run_kernel(kernel: Kernel, machine: MachineSpec,
+               config: "RunConfig | None" = None,
                pipeline: PipelineConfig | None = None,
-               max_steps: int = DEFAULT_MAX_STEPS,
-               engine: str = "auto") -> RunResult:
+               max_steps: int | None = None,
+               engine: str | None = None) -> RunResult:
     """Prepare, simulate and verify one kernel on one machine.
 
-    ``engine`` selects the simulator's execution strategy (``"auto"`` /
-    ``"fast"`` / ``"traced"`` / ``"batch"`` / ``"step"``, where
-    ``"auto"`` — the default — resolves to the loop-resident traced
-    tier, and ``"batch"`` is the N-cell lockstep tier the batch
-    execution backend drives); engines are bit-identical, so the
-    choice affects host time only, never the measurement.
+    Host-side choices ride in ``config`` (a
+    :class:`~repro.experiments.config.RunConfig`): ``pipeline`` (timing
+    parameters), ``max_steps`` (step budget, default
+    ``DEFAULT_MAX_STEPS``) and ``engine`` (``"auto"`` / ``"fast"`` /
+    ``"traced"`` / ``"batch"`` / ``"step"``, where ``"auto"`` — the
+    default — resolves to the loop-resident traced tier); engines are
+    bit-identical, so the choice affects host time only, never the
+    measurement.  The pre-``RunConfig`` ``pipeline`` / ``max_steps`` /
+    ``engine`` kwargs still work behind a :class:`DeprecationWarning`.
     """
+    from repro.experiments.config import RunConfig, warn_legacy_kwargs
+
+    if isinstance(config, PipelineConfig) and pipeline is None:
+        # Legacy positional pipeline in the old third-argument slot.
+        config, pipeline = None, config
+    legacy = warn_legacy_kwargs("run_kernel", pipeline=pipeline,
+                                max_steps=max_steps, engine=engine)
+    config = (config or RunConfig()).override(**legacy)
     prepared = machine.prepare(kernel.source)
-    simulator = prepared.make_simulator(pipeline=pipeline)
-    simulator.run(max_steps=max_steps, engine=engine)
+    simulator = prepared.make_simulator(pipeline=config.pipeline)
+    simulator.run(max_steps=(config.max_steps if config.max_steps
+                             is not None else DEFAULT_MAX_STEPS),
+                  engine=config.engine or "auto")
     kernel.check(simulator)  # raises KernelCheckError on mismatch
     stats = simulator.stats
     return RunResult(
@@ -134,18 +152,18 @@ def run_kernel(kernel: Kernel, machine: MachineSpec,
     )
 
 
-def _run_pair(task: tuple[str, MachineSpec, PipelineConfig | None, int]
-              ) -> RunResult:
+def _run_pair(task) -> RunResult:
     """Process-pool worker: resolve the kernel by name and run one pair.
 
-    The machine arrives by value (specs are picklable data), so ad-hoc
-    ZOLC variants work in workers without registry membership.
+    The machine arrives by value (specs are picklable data) and the
+    host-side choices as one picklable ``RunConfig``, so ad-hoc ZOLC
+    variants work in workers without registry membership.
     """
-    kernel_name, machine, pipeline, max_steps = task
+    kernel_name, machine, config = task
     from repro.workloads.suite import registry
 
     kernel = registry().get(kernel_name)
-    return run_kernel(kernel, machine, pipeline=pipeline, max_steps=max_steps)
+    return run_kernel(kernel, machine, config)
 
 
 def _resolve_jobs(jobs: int | None) -> int:
@@ -167,23 +185,39 @@ def _kernels_resolvable(kernels: list[Kernel]) -> bool:
 
 
 def run_suite(kernels: list[Kernel], machines: list[MachineSpec],
+              config: "RunConfig | None" = None,
               pipeline: PipelineConfig | None = None,
               jobs: int | None = None,
-              max_steps: int = DEFAULT_MAX_STEPS) -> SuiteResult:
+              max_steps: int | None = None) -> SuiteResult:
     """Run every kernel on every machine.
 
-    ``jobs`` selects the parallelism: ``None``/1 runs in-process, ``n``
-    uses ``n`` worker processes, ``0`` uses one per CPU (negative values
-    are rejected).  Machines ship to workers by value; kernels that are
-    not registry members cannot be shipped and force a serial run (a
-    ``RuntimeWarning`` flags the ignored ``jobs``).
+    ``config.jobs`` selects the parallelism: ``None``/1 runs
+    in-process, ``n`` uses ``n`` worker processes, ``0`` uses one per
+    CPU (negative values are rejected).  Machines ship to workers by
+    value; kernels that are not registry members cannot be shipped and
+    force a serial run (a ``RuntimeWarning`` flags the ignored jobs).
+    The pre-``RunConfig`` ``pipeline`` / ``jobs`` / ``max_steps``
+    kwargs still work behind a :class:`DeprecationWarning`.
     """
-    jobs = _resolve_jobs(jobs)
+    from repro.experiments.config import RunConfig, warn_legacy_kwargs
+
+    if isinstance(config, PipelineConfig) and pipeline is None:
+        config, pipeline = None, config
+    legacy = warn_legacy_kwargs("run_suite", pipeline=pipeline,
+                                jobs=jobs, max_steps=max_steps)
+    config = (config or RunConfig()).override(**legacy)
+    jobs = _resolve_jobs(config.jobs)
     pairs = [(kernel, machine) for kernel in kernels for machine in machines]
     suite = SuiteResult()
     if jobs > 1 and len(pairs) > 1:
         if _kernels_resolvable(kernels):
-            tasks = [(kernel.name, machine, pipeline, max_steps)
+            # Workers re-resolve the kernel by name and run with the
+            # measurement-relevant subset of the config (jobs is a
+            # host-pool choice, already consumed here).
+            cell_config = RunConfig(pipeline=config.pipeline,
+                                    max_steps=config.max_steps,
+                                    engine=config.engine)
+            tasks = [(kernel.name, machine, cell_config)
                      for kernel, machine in pairs]
             with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
                 for result in pool.map(_run_pair, tasks):
@@ -193,7 +227,9 @@ def run_suite(kernels: list[Kernel], machines: list[MachineSpec],
             f"jobs={jobs} ignored: suite contains ad-hoc kernels that are "
             "not registry members and cannot be shipped to workers; "
             "running serially", RuntimeWarning, stacklevel=2)
+    cell_config = RunConfig(pipeline=config.pipeline,
+                            max_steps=config.max_steps,
+                            engine=config.engine)
     for kernel, machine in pairs:
-        suite.add(run_kernel(kernel, machine, pipeline=pipeline,
-                             max_steps=max_steps))
+        suite.add(run_kernel(kernel, machine, cell_config))
     return suite

@@ -2,17 +2,19 @@
 
 The stable surface every study goes through::
 
-    from repro.experiments import ExperimentSpec, run_experiment
+    from repro.experiments import ExperimentSpec, RunConfig, run_experiment
 
     spec = ExperimentSpec(
         name="demo",
-        kernels=("@figure2",),
+        kernels=("@figure2", "synth:branchy:0:8"),
         machines=(machine_by_name("XRdefault"), machine_by_name("ZOLClite")),
     )
-    result = run_experiment(spec, backend="process", jobs=0,
-                            store="results")
+    result = run_experiment(spec, RunConfig(backend="process", jobs=0,
+                                            store="results"))
     print(result.render())
 
+* :mod:`repro.experiments.config` — :class:`RunConfig`, the one
+  mergeable value for every host-side execution choice;
 * :mod:`repro.experiments.spec` — declarative, serializable plans
   (JSON/TOML plan files, sweep axes, kernel selectors);
 * :mod:`repro.experiments.backends` — the :class:`ExecutionBackend`
@@ -35,6 +37,7 @@ from repro.experiments.backends import (
     SerialBackend,
     get_backend,
 )
+from repro.experiments.config import RunConfig
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import plan_cell_keys, run_experiment, run_plan
 from repro.experiments.spec import (
@@ -57,6 +60,7 @@ __all__ = [
     "PlanError",
     "ProcessBackend",
     "ResultStore",
+    "RunConfig",
     "SerialBackend",
     "SweepAxis",
     "cell_key",

@@ -36,11 +36,20 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.eval.machines import MachineSpec
 from repro.eval.runner import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import RunConfig
 
 
 @dataclass(frozen=True)
@@ -169,7 +178,10 @@ class ProcessBackend:
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None, persistent: bool = False):
+    def __init__(self, jobs: int | None = None, persistent: bool = False,
+                 config: "RunConfig | None" = None):
+        if jobs is None and config is not None:
+            jobs = config.jobs
         if jobs is not None and jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.jobs = jobs
@@ -274,9 +286,12 @@ class BatchBackend:
 
     name = "batch"
 
-    def __init__(self, jobs: int | None = None, min_group: int = 4):
+    def __init__(self, jobs: int | None = None, min_group: int = 4,
+                 config: "RunConfig | None" = None):
         # `jobs` is accepted for `get_backend` symmetry; batching is
         # in-process, and the runner warns when workers were requested.
+        if jobs is None and config is not None:
+            jobs = config.jobs
         self.jobs = jobs
         self.min_group = min_group
 
@@ -349,13 +364,23 @@ BACKENDS = {
 }
 
 
-def get_backend(name: str, jobs: int | None = None) -> ExecutionBackend:
-    """Instantiate a backend by name.
+def get_backend(name: str | None = None, jobs: int | None = None,
+                config: "RunConfig | None" = None) -> ExecutionBackend:
+    """Instantiate a backend by name (or from a :class:`RunConfig`).
 
-    ``jobs`` is forwarded to backends that take it (``process``,
-    ``batch``); the batch backend cannot use workers, and the runner
-    warns when a plan or caller asked for them anyway.
+    ``name`` defaults to ``config.backend`` (and then ``"serial"``);
+    ``jobs`` defaults to ``config.jobs`` and is forwarded to backends
+    that take it (``process``, ``batch``) — the batch backend cannot
+    use workers, and the runner warns when a plan or caller asked for
+    them anyway.
     """
+    if config is not None:
+        if name is None:
+            name = config.backend
+        if jobs is None:
+            jobs = config.jobs
+    if name is None:
+        name = "serial"
     try:
         factory = BACKENDS[name]
     except KeyError:

@@ -1,0 +1,182 @@
+"""Unified run configuration: one object for every host-side choice.
+
+Historically each entry point threaded its own subset of per-call
+kwargs — ``run_kernel(engine=...)``, ``run_suite(jobs=...)``,
+``run_experiment(backend=..., jobs=..., store=..., engine=...)`` — and
+every new knob meant touching every layer.  :class:`RunConfig` replaces
+the threading: one frozen dataclass carrying the *plain-data* execution
+choices (engine, backend name, jobs, max_steps, pipeline, store path +
+cache flag), consumed by ``run_kernel`` / ``run_suite`` /
+``run_experiment`` / ``run_plan``, the CLI commands, the service's
+job-submit body and backend construction.
+
+Two principles:
+
+* **Plain data only.**  Live objects stay dedicated parameters on the
+  entry points (a constructed :class:`ExecutionBackend`, an open
+  :class:`ResultStore`, a ``progress`` callback) — they are dependency
+  injection, not configuration, and they do not serialize.
+* **``None`` means defer.**  Every field defaults to ``None`` (or the
+  tri-state ``cache``), meaning "use the next layer's choice" — the
+  plan's own keys, then the historical defaults.  Merging two configs
+  is therefore field-wise "override wins where set".
+
+The legacy kwargs keep working on every entry point through a
+deprecation shim (:func:`warn_legacy_kwargs`); tests pin the warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.cpu.pipeline import PipelineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.store import ResultStore
+
+#: RunConfig fields a *plan file* or *service submit body* may set —
+#: host-execution choices.  ``pipeline`` belongs to the plan itself
+#: (it is part of cache identity), and ``store``/``cache`` are local
+#: filesystem choices that make no sense shipped in a plan.
+PLAN_RUN_CONFIG_FIELDS = ("engine", "backend", "jobs", "max_steps")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Host-side execution choices, as one mergeable value.
+
+    Every field ``None`` (the default) defers to the consumer's next
+    layer — a plan's own ``backend``/``jobs``/``engine`` keys, or the
+    historical per-API defaults — so ``RunConfig()`` is always a safe
+    "no opinion" value.
+    """
+
+    #: Simulator engine (``auto``/``fast``/``traced``/``batch``/
+    #: ``step``); engines are bit-identical, so this only affects host
+    #: time.
+    engine: str | None = None
+    #: Execution backend *name* (``serial``/``process``/``batch``).
+    #: Constructed backend instances stay a dependency-injection
+    #: parameter on the entry points.
+    backend: str | None = None
+    #: Worker count: ``0`` = one per CPU, ``1`` = serial, ``n`` = n.
+    jobs: int | None = None
+    #: Per-run step budget.
+    max_steps: int | None = None
+    #: Pipeline timing override (part of measurement identity).
+    pipeline: PipelineConfig | None = None
+    #: Result-store directory.  An open :class:`ResultStore` instance
+    #: stays a dependency-injection parameter on the entry points.
+    store: str | None = None
+    #: Tri-state cache switch: ``False`` bypasses the store entirely
+    #: (the CLI's ``--no-cache``), ``True``/``None`` use it when given.
+    cache: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None:
+            from repro.cpu.simulator import ENGINES
+
+            if self.engine not in ENGINES:
+                raise ValueError(f"unknown engine {self.engine!r}; "
+                                 f"known: {', '.join(ENGINES)}")
+        if self.backend is not None:
+            from repro.experiments.backends import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; known: "
+                    f"{', '.join(sorted(BACKENDS))}")
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError(
+                f"max_steps must be >= 1, got {self.max_steps}")
+        if isinstance(self.store, Path):
+            object.__setattr__(self, "store", str(self.store))
+
+    # -- merging -------------------------------------------------------
+
+    def override(self, **choices) -> "RunConfig":
+        """A copy with the given non-``None`` choices replacing mine."""
+        set_choices = {key: value for key, value in choices.items()
+                       if value is not None}
+        return replace(self, **set_choices) if set_choices else self
+
+    def merged_over(self, base: "RunConfig") -> "RunConfig":
+        """Field-wise merge: my set fields win, ``base`` fills the rest."""
+        return base.override(
+            **{f.name: getattr(self, f.name) for f in fields(self)})
+
+    # -- resolution ----------------------------------------------------
+
+    def resolved_store(self) -> "ResultStore | None":
+        """The result store these choices select (``None`` = no cache)."""
+        if self.cache is False or self.store is None:
+            return None
+        from repro.experiments.store import ResultStore
+
+        return ResultStore(self.store)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if f.name == "pipeline":
+                from dataclasses import asdict
+
+                value = asdict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  allowed: tuple[str, ...] | None = None) -> "RunConfig":
+        """Parse a ``run_config`` mapping (plan files, submit bodies).
+
+        ``allowed`` restricts the accepted keys — plans and service
+        submissions pass :data:`PLAN_RUN_CONFIG_FIELDS`, rejecting
+        local-filesystem and measurement-identity fields with a clear
+        error instead of silently honouring them server-side.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"run_config must be a mapping, "
+                             f"got {type(data).__name__}")
+        known = tuple(f.name for f in fields(cls))
+        accepted = allowed if allowed is not None else known
+        bad = set(data) - set(accepted)
+        if bad:
+            raise ValueError(
+                f"unknown run_config key(s): {', '.join(sorted(bad))} "
+                f"(accepted: {', '.join(accepted)})")
+        values = dict(data)
+        if isinstance(values.get("pipeline"), dict):
+            values["pipeline"] = PipelineConfig(**values["pipeline"])
+        if values.get("jobs") is not None:
+            values["jobs"] = int(values["jobs"])
+        if values.get("max_steps") is not None:
+            values["max_steps"] = int(values["max_steps"])
+        return cls(**values)
+
+
+def warn_legacy_kwargs(api: str, **supplied) -> dict:
+    """Deprecation shim for the pre-``RunConfig`` kwargs.
+
+    Returns the non-``None`` subset of ``supplied`` (ready to fold into
+    a config via :meth:`RunConfig.override`) and emits one
+    :class:`DeprecationWarning` naming them when any were given.
+    """
+    set_kwargs = {key: value for key, value in supplied.items()
+                  if value is not None}
+    if set_kwargs:
+        warnings.warn(
+            f"{api}: the {', '.join(sorted(set_kwargs))} keyword(s) are "
+            f"deprecated; pass config=RunConfig(...) instead",
+            DeprecationWarning, stacklevel=3)
+    return set_kwargs

@@ -131,6 +131,7 @@ def _accepts_on_result(backend: ExecutionBackend) -> bool:
 
 
 def run_experiment(spec: ExperimentSpec,
+                   config: "RunConfig | None" = None,
                    backend: ExecutionBackend | str | None = None,
                    jobs: int | None = None,
                    store: ResultStore | str | Path | None = None,
@@ -139,32 +140,80 @@ def run_experiment(spec: ExperimentSpec,
                    ) -> ExperimentResult:
     """Run (or replay) every cell of ``spec``.
 
-    ``backend`` is a backend instance or name (``"serial"`` /
-    ``"process"`` / ``"batch"``; ``jobs`` configures the process
-    backend); ``None`` defers to the spec's own ``backend`` / ``jobs``
-    choice, so a plan file can declare how it wants to run and a caller
-    (e.g. the CLI's ``--backend`` / ``--jobs`` flags) can still
-    override it.  ``store`` enables the content-addressed result cache:
-    cells whose key is already stored are *not* re-simulated, and every
-    freshly simulated cell is persisted the moment it completes.
-    ``None`` disables caching.  ``engine`` overrides the spec's
-    simulator engine the same way (validated like every other engine
-    choice: an unknown name raises :class:`ValueError` before anything
-    runs); engines are bit-identical, so the override never affects
-    cache identity.  ``progress`` receives one per-cell event dict as
-    each cell resolves (cached cells first, then simulated cells in
-    completion order, then deduplicated repeats).
-    """
-    if engine is not None and engine != spec.engine:
-        from dataclasses import replace
+    Host-side choices ride in ``config`` (a
+    :class:`~repro.experiments.config.RunConfig`): backend name, jobs,
+    engine, store directory and cache flag, plus ``max_steps`` /
+    ``pipeline`` overrides folded into the spec (re-running its
+    validation).  Every unset field defers to the spec's own
+    ``backend`` / ``jobs`` / ``engine`` keys, so a plan file can
+    declare how it wants to run and a caller (e.g. the CLI flags) can
+    still override it.  The store is the content-addressed result
+    cache: cells whose key is already stored are *not* re-simulated,
+    and every freshly simulated cell is persisted the moment it
+    completes; no store means no caching.  Engines are bit-identical,
+    so the engine choice never affects cache identity.
 
-        # replace() re-runs the spec's __post_init__ validation, so an
-        # unknown engine fails with the same message a plan file gets.
-        spec = replace(spec, engine=engine)
-    if backend is None:
-        backend = spec.backend
-    if jobs is None:
-        jobs = spec.jobs
+    Live objects stay dependency-injection parameters, undeprecated: a
+    constructed backend instance (``backend=``), an open
+    :class:`ResultStore` (``store=``) and the ``progress`` callback
+    (one per-cell event dict as each cell resolves — cached cells
+    first, then simulated cells in completion order, then deduplicated
+    repeats).  The pre-``RunConfig`` string/number kwargs (``backend``
+    as a name, ``jobs``, ``store`` as a path, ``engine``) still work
+    behind a :class:`DeprecationWarning`.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.config import RunConfig, warn_legacy_kwargs
+
+    if config is not None and not isinstance(config, RunConfig):
+        # Legacy positional backend (name or instance) in the old
+        # second-argument slot.
+        if backend is None and (isinstance(config, str)
+                                or hasattr(config, "run_cells")):
+            config, backend = None, config
+        else:
+            raise TypeError(f"config must be a RunConfig, "
+                            f"got {type(config).__name__}")
+    backend_instance: ExecutionBackend | None = None
+    legacy: dict = {}
+    if backend is not None:
+        if isinstance(backend, str):
+            legacy["backend"] = backend
+        else:
+            backend_instance = backend
+    if jobs is not None:
+        legacy["jobs"] = jobs
+    if engine is not None:
+        legacy["engine"] = engine
+    store_instance: ResultStore | None = None
+    if store is not None:
+        if isinstance(store, ResultStore):
+            store_instance = store
+        else:
+            legacy["store"] = str(store)
+    legacy = warn_legacy_kwargs("run_experiment", **legacy)
+    config = (config or RunConfig()).override(**legacy)
+
+    # Fold measurement-affecting overrides into the spec: replace()
+    # re-runs __post_init__ validation, so an unknown engine fails with
+    # the same message a plan file gets.
+    spec_overrides = {
+        name: value for name, value in (
+            ("engine", config.engine),
+            ("max_steps", config.max_steps),
+            ("pipeline", config.pipeline))
+        if value is not None and value != getattr(spec, name)}
+    if spec_overrides:
+        spec = replace(spec, **spec_overrides)
+    backend = backend_instance if backend_instance is not None \
+        else (config.backend or spec.backend)
+    jobs = config.jobs if config.jobs is not None else spec.jobs
+    if config.cache is False:
+        store = None
+    else:
+        store = store_instance if store_instance is not None \
+            else config.resolved_store()
     if jobs not in (None, 1) and (backend in ("serial", "batch")
                                   or isinstance(backend,
                                                 (SerialBackend,
@@ -181,8 +230,6 @@ def run_experiment(spec: ExperimentSpec,
             "--jobs implies it)", RuntimeWarning, stacklevel=2)
     if isinstance(backend, str):
         backend = get_backend(backend, jobs=jobs)
-    if store is not None and not isinstance(store, ResultStore):
-        store = ResultStore(store)
 
     planned = _plan_cells(spec)
     cached: dict[str, dict] = {}
@@ -246,6 +293,7 @@ def run_experiment(spec: ExperimentSpec,
 
 
 def run_plan(path: str | Path,
+             config: "RunConfig | None" = None,
              backend: ExecutionBackend | str | None = None,
              jobs: int | None = None,
              store: ResultStore | str | Path | None = None,
@@ -253,14 +301,16 @@ def run_plan(path: str | Path,
              progress: ProgressCallback | None = None) -> ExperimentResult:
     """Load a plan file and run it (the ``repro experiment`` command).
 
-    ``backend=None`` / ``jobs=None`` / ``engine=None`` honour the
-    plan's own ``backend``, ``jobs`` and ``engine`` keys; explicit
-    values override the plan.
+    Unset ``config`` fields honour the plan's own ``backend``,
+    ``jobs`` and ``engine`` keys (and its ``run_config`` section);
+    set fields override the plan.  The legacy kwargs pass through
+    :func:`run_experiment`'s deprecation shim.
     """
     from repro.experiments.spec import load_plan
 
-    return run_experiment(load_plan(path), backend=backend, jobs=jobs,
-                          store=store, engine=engine, progress=progress)
+    return run_experiment(load_plan(path), config, backend=backend,
+                          jobs=jobs, store=store, engine=engine,
+                          progress=progress)
 
 
 __all__ = ["run_experiment", "run_plan", "plan_cell_keys", "SerialBackend"]

@@ -8,9 +8,11 @@ plan files (:func:`load_plan`, :meth:`ExperimentSpec.to_json`), which is
 what makes every study in the repo reproducible from a checked-in file
 instead of bespoke driver code.
 
-Kernel selectors are registry names, plus two group selectors:
-``"@figure2"`` (the paper's 12 benchmarks, in figure order) and
-``"@all"`` (every registered kernel).  Machines are
+Kernel selectors are registry names, plus group selectors:
+``"@figure2"`` (the paper's 12 benchmarks, in figure order), ``"@all"``
+(every registered kernel) and ``"synth:<family>:<seed>:<count>"`` (the
+first ``count`` members of a synthesized corpus — see
+:mod:`repro.synth.corpus`).  Machines are
 :class:`~repro.eval.machines.MachineSpec` values — registry names or
 inline definitions, including custom ZOLC variants.
 
@@ -139,23 +141,15 @@ class ExperimentSpec:
     # -- grid expansion ------------------------------------------------
 
     def kernel_names(self) -> list[str]:
-        """Expand kernel selectors against the workload registry."""
-        from repro.workloads.suite import FIGURE2_BENCHMARKS, registry
+        """Expand kernel selectors against the workload registry.
 
-        reg = registry()
-        out: list[str] = []
-        for selector in self.kernels:
-            if selector == "@figure2":
-                names: tuple[str, ...] = FIGURE2_BENCHMARKS
-            elif selector == "@all":
-                names = tuple(reg.names())
-            else:
-                reg.get(selector)  # raises KeyError with the known names
-                names = (selector,)
-            for name in names:
-                if name not in out:
-                    out.append(name)
-        return out
+        Selector grammar (``@figure2``, ``@all``,
+        ``synth:<family>:<seed>:<count>``, bare names) lives in
+        :func:`repro.workloads.suite.expand_kernel_selectors`.
+        """
+        from repro.workloads.suite import expand_kernel_selectors
+
+        return expand_kernel_selectors(self.kernels)
 
     def axis_points(self) -> list[dict[str, int]]:
         """Cross-product of the sweep axes as ``{axis: value}`` dicts."""
@@ -202,9 +196,32 @@ class ExperimentSpec:
                             f"got {type(data).__name__}")
         unknown = set(data) - {"name", "kernels", "machines", "pipeline",
                                "sweep", "repeats", "max_steps",
-                               "backend", "jobs", "engine"}
+                               "backend", "jobs", "engine", "run_config"}
         if unknown:
             raise PlanError(f"unknown plan keys: {', '.join(sorted(unknown))}")
+        # A plan may group its host-side choices under one "run_config"
+        # mapping (the same shape the service's submit body accepts).
+        # Fields it sets fold into the plan's own keys; setting a key
+        # both ways is ambiguous and rejected.
+        run_config = {}
+        if "run_config" in data:
+            from repro.experiments.config import (
+                PLAN_RUN_CONFIG_FIELDS,
+                RunConfig,
+            )
+
+            try:
+                parsed = RunConfig.from_dict(data["run_config"],
+                                             allowed=PLAN_RUN_CONFIG_FIELDS)
+            except ValueError as exc:
+                raise PlanError(f"bad plan run_config: {exc}") from exc
+            run_config = {key: value
+                          for key, value in parsed.to_dict().items()}
+            doubled = sorted(set(run_config) & set(data))
+            if doubled:
+                raise PlanError(
+                    "plan sets key(s) both top-level and in run_config: "
+                    + ", ".join(doubled))
         try:
             kernel_entries = data["kernels"]
             machine_entries = data["machines"]
@@ -222,7 +239,7 @@ class ExperimentSpec:
             pipeline = PipelineConfig(**data.get("pipeline", {}))
             sweep = tuple(SweepAxis.from_dict(axis)
                           for axis in data.get("sweep", ()))
-            jobs = data.get("jobs")
+            jobs = data.get("jobs", run_config.get("jobs"))
             return cls(
                 name=data.get("name", "experiment"),
                 kernels=kernels,
@@ -230,10 +247,12 @@ class ExperimentSpec:
                 pipeline=pipeline,
                 sweep=sweep,
                 repeats=int(data.get("repeats", 1)),
-                max_steps=int(data.get("max_steps", DEFAULT_MAX_STEPS)),
-                backend=data.get("backend"),
+                max_steps=int(data.get(
+                    "max_steps",
+                    run_config.get("max_steps", DEFAULT_MAX_STEPS))),
+                backend=data.get("backend", run_config.get("backend")),
                 jobs=None if jobs is None else int(jobs),
-                engine=data.get("engine", "auto"),
+                engine=data.get("engine", run_config.get("engine", "auto")),
             )
         except (TypeError, ValueError, KeyError) as exc:
             raise PlanError(f"bad plan: {exc}") from exc

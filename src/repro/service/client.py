@@ -4,6 +4,11 @@
 submit a plan body, follow the NDJSON event stream line by line, fetch
 the tidy result.  One :class:`http.client.HTTPConnection` per request
 (the server closes connections after each response).
+
+The client speaks the versioned ``/v1`` API and transparently follows
+the server's ``308 Permanent Redirect`` answers (which is how an old
+unversioned path keeps working), so it interoperates with both
+surfaces.
 """
 
 from __future__ import annotations
@@ -15,6 +20,12 @@ from urllib.parse import urlsplit
 
 #: Content types the server uses to pick a plan parser.
 PLAN_CONTENT_TYPES = {"json": "application/json", "toml": "application/toml"}
+
+#: Redirect statuses the client follows (both preserve method + body).
+_REDIRECTS = (307, 308)
+
+#: Redirect-chain cap; the service only ever needs one hop.
+_MAX_REDIRECTS = 4
 
 
 class ServiceError(RuntimeError):
@@ -31,7 +42,8 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Talk to one ``repro serve`` instance."""
 
-    def __init__(self, url: str, timeout: float = 60.0):
+    def __init__(self, url: str, timeout: float = 60.0,
+                 api: str = "/v1"):
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ValueError(f"unsupported service URL scheme "
@@ -39,13 +51,23 @@ class ServiceClient:
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.timeout = timeout
+        self.api = api.rstrip("/")
 
     def _request(self, method: str, path: str, body: bytes | None = None,
                  content_type: str | None = None) -> HTTPResponse:
-        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         headers = {"Content-Type": content_type} if content_type else {}
-        conn.request(method, path, body=body, headers=headers)
-        return conn.getresponse()
+        for _ in range(_MAX_REDIRECTS):
+            conn = HTTPConnection(self.host, self.port,
+                                  timeout=self.timeout)
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            location = response.getheader("Location")
+            if response.status not in _REDIRECTS or not location:
+                return response
+            response.read()
+            response.close()
+            path = location
+        raise ServiceError(response.status, "redirect loop")
 
     def _json(self, method: str, path: str, body: bytes | None = None,
               content_type: str | None = None,
@@ -64,19 +86,38 @@ class ServiceClient:
     # -- the job API ---------------------------------------------------
 
     def health(self) -> dict:
-        return self._json("GET", "/healthz")
+        return self._json("GET", f"{self.api}/healthz")
 
-    def submit(self, plan_text: str, fmt: str = "json") -> dict:
-        """POST a plan body; returns the submission payload (job id)."""
+    def submit(self, plan_text: str, fmt: str = "json",
+               run_config: dict | None = None) -> dict:
+        """POST a plan body; returns the submission payload (job id).
+
+        ``run_config`` (engine/backend/jobs/max_steps — a dict or a
+        :class:`~repro.experiments.config.RunConfig`) rides along as
+        per-job host-side overrides, wrapped with the plan in the
+        ``/v1`` JSON submit envelope; it requires a JSON plan body.
+        """
         try:
             content_type = PLAN_CONTENT_TYPES[fmt]
         except KeyError:
             raise ValueError(f"unknown plan format {fmt!r} "
                              "(use json or toml)") from None
-        return self._json("POST", "/jobs", plan_text.encode(), content_type)
+        body = plan_text.encode()
+        if run_config is not None:
+            if fmt != "json":
+                raise ValueError("run_config requires a JSON plan body")
+            if hasattr(run_config, "to_dict"):
+                run_config = run_config.to_dict()
+            try:
+                plan = json.loads(plan_text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON plan: {exc}") from None
+            body = json.dumps({"plan": plan,
+                               "run_config": run_config}).encode()
+        return self._json("POST", f"{self.api}/jobs", body, content_type)
 
     def status(self, job_id: str) -> dict:
-        return self._json("GET", f"/jobs/{job_id}")
+        return self._json("GET", f"{self.api}/jobs/{job_id}")
 
     def events(self, job_id: str) -> Iterator[dict]:
         """Follow the job's NDJSON stream, yielding one dict per event.
@@ -84,7 +125,7 @@ class ServiceClient:
         The stream ends with the job's terminal ``done`` / ``failed``
         event; iterating to exhaustion therefore waits for the job.
         """
-        response = self._request("GET", f"/jobs/{job_id}/events")
+        response = self._request("GET", f"{self.api}/jobs/{job_id}/events")
         if response.status != 200:
             raw = response.read().decode("utf-8", errors="replace")
             response.close()
@@ -106,17 +147,20 @@ class ServiceClient:
 
     def result(self, job_id: str) -> dict:
         """The finished job's result payload (raises on a failed job)."""
-        return self._json("GET", f"/jobs/{job_id}/result", ok=(200,))
+        return self._json("GET", f"{self.api}/jobs/{job_id}/result",
+                          ok=(200,))
 
     def run(self, plan_text: str, fmt: str = "json",
-            on_event=None) -> dict:
+            on_event=None, run_config: dict | None = None) -> dict:
         """Submit, follow to completion, return the summary payload.
 
-        ``on_event`` observes every raw event dict as it streams.
-        Returns ``{"job", "coalesced", "state", "events": {source:
-        count}, "result": <records payload> | None, "error": ...}``.
+        ``on_event`` observes every raw event dict as it streams;
+        ``run_config`` passes per-job overrides through
+        :meth:`submit`.  Returns ``{"job", "coalesced", "state",
+        "events": {source: count}, "result": <records payload> |
+        None, "error": ...}``.
         """
-        submission = self.submit(plan_text, fmt)
+        submission = self.submit(plan_text, fmt, run_config=run_config)
         job_id = submission["job"]
         counts: dict[str, int] = {}
         state, error = "running", None

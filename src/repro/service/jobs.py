@@ -20,8 +20,9 @@ import itertools
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.experiments.config import RunConfig
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import plan_cell_keys, run_experiment
 from repro.experiments.spec import ExperimentSpec
@@ -54,6 +55,8 @@ class Job:
     name: str
     fingerprint: str
     spec: ExperimentSpec
+    #: Per-job host-side overrides (the submit body's ``run_config``).
+    config: RunConfig | None = None
     state: str = "pending"
     events: list[dict] = field(default_factory=list)
     result: ExperimentResult | None = None
@@ -95,7 +98,8 @@ class JobManager:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, spec: ExperimentSpec) -> tuple[Job, bool]:
+    def submit(self, spec: ExperimentSpec,
+               config: RunConfig | None = None) -> tuple[Job, bool]:
         """Register ``spec`` and start it; returns ``(job, coalesced)``.
 
         An identical plan already pending/running is *not* re-run: the
@@ -104,7 +108,17 @@ class JobManager:
         coalesce — a re-submission becomes a new job, whose cells are
         served from the store (the second run of any plan is 100%
         ``cached``).
+
+        ``config`` carries per-job host-side overrides (the submit
+        body's ``run_config``).  A ``max_steps`` override changes what
+        the plan measures, so it is folded into the spec *before*
+        fingerprinting — two submissions that measure different things
+        never coalesce; engine/backend/jobs overrides are host-side
+        only and coalesce freely.
         """
+        if config is not None and config.max_steps is not None \
+                and config.max_steps != spec.max_steps:
+            spec = replace(spec, max_steps=config.max_steps)
         fingerprint = plan_fingerprint(spec)
         with self._lock:
             if self._closed:
@@ -113,7 +127,8 @@ class JobManager:
             if active is not None:
                 return self._jobs[active], True
             job = Job(id=f"j{next(self._serial):04d}-{fingerprint[:8]}",
-                      name=spec.name, fingerprint=fingerprint, spec=spec)
+                      name=spec.name, fingerprint=fingerprint, spec=spec,
+                      config=config)
             self._jobs[job.id] = job
             self._inflight[fingerprint] = job.id
         self._pool.submit(self._run, job)
@@ -131,9 +146,12 @@ class JobManager:
                 job.events.append(event)
                 self._lock.notify_all()
 
+        config = RunConfig(jobs=self.jobs)
+        if job.config is not None:
+            config = job.config.merged_over(config)
         try:
-            result = self._runner(job.spec, backend=self.backend,
-                                  jobs=self.jobs, store=self.store,
+            result = self._runner(job.spec, config=config,
+                                  backend=self.backend, store=self.store,
                                   progress=progress)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")

@@ -9,13 +9,24 @@ requests, serializes JSON and follows event buffers, bridging into the
 manager's blocking long-poll via ``run_in_executor`` so a slow
 simulation never stalls other connections.
 
-Routes::
+The API is versioned under ``/v1``::
 
-    GET  /healthz             liveness + job counts
-    POST /jobs                submit a plan body (json or toml)
-    GET  /jobs/<id>           job status summary
-    GET  /jobs/<id>/events    NDJSON per-cell progress stream
-    GET  /jobs/<id>/result    the tidy result records
+    GET  /v1/healthz             liveness + job counts
+    POST /v1/jobs                submit a plan body (json or toml)
+    GET  /v1/jobs/<id>           job status summary
+    GET  /v1/jobs/<id>/events    NDJSON per-cell progress stream
+    GET  /v1/jobs/<id>/result    the tidy result records
+
+Unversioned paths (the pre-``/v1`` surface) answer ``308 Permanent
+Redirect`` to their ``/v1`` twin — 308 preserves the method and body,
+so an old client POSTing a plan to ``/jobs`` lands correctly after one
+hop.  :class:`~repro.service.client.ServiceClient` follows these and
+defaults to ``/v1``.
+
+A JSON submit body may be a bare plan, or an envelope ``{"plan":
+{...}, "run_config": {...}}`` whose ``run_config`` maps onto a per-job
+:class:`~repro.experiments.config.RunConfig` (the same restricted key
+set plan files accept: engine, backend, jobs, max_steps).
 """
 
 from __future__ import annotations
@@ -26,8 +37,12 @@ import json
 import threading
 from http import HTTPStatus
 
-from repro.experiments.spec import PlanError, parse_plan
+from repro.experiments.config import PLAN_RUN_CONFIG_FIELDS, RunConfig
+from repro.experiments.spec import ExperimentSpec, PlanError, parse_plan
 from repro.service.jobs import JobManager
+
+#: The current (only) API version prefix.
+API_PREFIX = "/v1"
 
 #: Largest accepted plan body; a plan file is small by construction.
 MAX_BODY = 1 << 20
@@ -86,6 +101,13 @@ class ReproService:
     # -- routing -------------------------------------------------------
 
     async def _route(self, method, path, headers, body, writer) -> None:
+        if path != API_PREFIX and not path.startswith(API_PREFIX + "/"):
+            # The pre-/v1 surface: one permanent redirect to the
+            # versioned twin.  308 (not 301) so a POSTed plan body
+            # survives the hop.
+            await _redirect(writer, API_PREFIX + path)
+            return
+        path = path[len(API_PREFIX):] or "/"
         if path == "/healthz" and method == "GET":
             await _send_json(writer, HTTPStatus.OK,
                              {"ok": True, **self.manager.jobs_summary()})
@@ -117,7 +139,8 @@ class ReproService:
     async def _submit(self, headers, body, writer) -> None:
         fmt = "toml" if "toml" in headers.get("content-type", "") else "json"
         try:
-            spec = parse_plan(body.decode("utf-8", errors="replace"), fmt)
+            spec, config = _parse_submission(
+                body.decode("utf-8", errors="replace"), fmt)
         except PlanError as exc:
             await _send_json(writer, HTTPStatus.BAD_REQUEST,
                              {"error": str(exc)})
@@ -126,7 +149,7 @@ class ReproService:
         loop = asyncio.get_running_loop()
         try:
             job, coalesced = await loop.run_in_executor(
-                None, self.manager.submit, spec)
+                None, self.manager.submit, spec, config)
         except (KeyError, ValueError, RuntimeError) as exc:
             await _send_json(writer, HTTPStatus.BAD_REQUEST,
                              {"error": str(exc)})
@@ -134,8 +157,8 @@ class ReproService:
         await _send_json(writer, HTTPStatus.ACCEPTED, {
             "job": job.id, "name": job.name, "state": job.state,
             "coalesced": coalesced,
-            "events": f"/jobs/{job.id}/events",
-            "result": f"/jobs/{job.id}/result",
+            "events": f"{API_PREFIX}/jobs/{job.id}/events",
+            "result": f"{API_PREFIX}/jobs/{job.id}/result",
         })
 
     async def _stream_events(self, job, writer) -> None:
@@ -165,6 +188,50 @@ class ReproService:
             # Not terminal yet: report status, client may poll or
             # follow the event stream to completion first.
             await _send_json(writer, HTTPStatus.ACCEPTED, job.summary())
+
+
+def _parse_submission(text: str,
+                      fmt: str) -> tuple[ExperimentSpec, RunConfig | None]:
+    """Parse a submit body into a spec plus optional per-job config.
+
+    A JSON body holding a ``"plan"`` key is the envelope form:
+    ``{"plan": {...}, "run_config": {...}}``.  Anything else — a bare
+    JSON plan, or any TOML body — parses as a plan directly (a plan's
+    own ``run_config`` section still works; it folds into the spec).
+    """
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"invalid JSON plan: {exc}") from None
+        if isinstance(data, dict) and "plan" in data:
+            unknown = set(data) - {"plan", "run_config"}
+            if unknown:
+                raise PlanError("unknown submit key(s): "
+                                + ", ".join(sorted(unknown)))
+            spec = ExperimentSpec.from_dict(data["plan"])
+            config = None
+            if "run_config" in data:
+                try:
+                    config = RunConfig.from_dict(
+                        data["run_config"], allowed=PLAN_RUN_CONFIG_FIELDS)
+                except ValueError as exc:
+                    raise PlanError(f"bad run_config: {exc}") from exc
+            return spec, config
+        return ExperimentSpec.from_dict(data), None
+    return parse_plan(text, fmt), None
+
+
+async def _redirect(writer, location: str) -> None:
+    body = (json.dumps({"redirect": location}) + "\n").encode()
+    status = HTTPStatus.PERMANENT_REDIRECT
+    head = [f"HTTP/1.1 {status.value} {status.phrase}",
+            f"Location: {location}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    await writer.drain()
 
 
 def _head(status: HTTPStatus, content_type: str,

@@ -1,0 +1,81 @@
+"""The randomness seam the corpus generators are written against.
+
+Every generator in :mod:`repro.synth.generators` takes a ``Draw`` —
+three primitive decisions (an integer in a range, a choice from a
+sequence, a variable-length list) — instead of calling a random source
+directly.  Two drivers implement the protocol:
+
+* :class:`SeededDraw` wraps :class:`random.Random` seeded from a
+  *string* (CPython hashes str/bytes seeds through SHA-512, so the
+  stream is stable across processes and interpreter runs — no
+  ``PYTHONHASHSEED`` dependence).  This is the corpus driver: the same
+  ``(family, seed, index)`` always produces the same kernel, on any
+  machine, which is the reproducibility contract ``repro synth``
+  manifests and soak regressions rely on.
+* the Hypothesis adapter in :mod:`repro.synth.strategies` maps the same
+  three primitives onto ``draw(st.integers(...))`` /
+  ``draw(st.sampled_from(...))``, so the fuzz suites explore the *same
+  kernel space* the corpus enumerates — one generator body, two
+  drivers, zero drift.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Bump when a generator change alters what any (family, seed, index)
+#: produces; part of every kernel's provenance record.
+GENERATOR_VERSION = 1
+
+
+class Draw(Protocol):
+    """The three primitive decisions generators are allowed to make."""
+
+    def integer(self, low: int, high: int) -> int:
+        """One integer in ``[low, high]`` (both ends inclusive)."""
+        ...
+
+    def choice(self, options: Sequence[T]) -> T:
+        """One element of ``options``."""
+        ...
+
+    def list_of(self, item: Callable[["Draw"], T],
+                min_size: int, max_size: int) -> list[T]:
+        """Between ``min_size`` and ``max_size`` drawn items."""
+        ...
+
+
+class SeededDraw:
+    """Deterministic :class:`Draw` over a string-seeded PRNG."""
+
+    def __init__(self, seed: str):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def integer(self, low: int, high: int) -> int:
+        if low > high:
+            raise ValueError(f"empty integer range [{low}, {high}]")
+        return self._rng.randint(low, high)
+
+    def choice(self, options: Sequence[T]) -> T:
+        if not options:
+            raise ValueError("choice() from an empty sequence")
+        return options[self._rng.randrange(len(options))]
+
+    def list_of(self, item: Callable[[Draw], T],
+                min_size: int, max_size: int) -> list[T]:
+        return [item(self) for _ in range(self.integer(min_size, max_size))]
+
+
+def kernel_stream_seed(family: str, seed: int, index: int) -> str:
+    """The PRNG seed string for one corpus member.
+
+    Includes :data:`GENERATOR_VERSION` so provenance records can state
+    exactly which generator produced a kernel, and indexes the stream
+    per kernel so corpus membership is random-access: kernel ``i`` of a
+    corpus never depends on kernels ``0..i-1`` having been generated.
+    """
+    return f"repro.synth/v{GENERATOR_VERSION}/{family}/{seed}/{index}"

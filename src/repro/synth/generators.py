@@ -1,0 +1,373 @@
+"""Kernel generators, written against the :class:`~repro.synth.draw.Draw` seam.
+
+This is the single definition of the generated-kernel space: the fuzz
+suites (through the Hypothesis adapter in :mod:`repro.synth.strategies`)
+and the seeded corpus API (:mod:`repro.synth.corpus`) both call these
+functions, so the two can never drift apart.
+
+The structured kernels are sequential nests of counted loops in the
+canonical shape the ZOLC transform recognises (``addi i,i,1; slti
+at,i,N; bne at,zero,header``) with randomized straight-line bodies (ALU
+ops + loads/stores into a scratch array) and forward-only control flow
+(skips, if/else diamonds, nested skips, data-dependent early exits).
+Every generated program terminates by construction: the only backward
+branches are the counted-loop latches.
+
+All shape decisions flow through :class:`ShapeKnobs` — the knob set is
+what corpus families preset and what the soak harness's auto-shrinker
+reduces along when a differential failure needs a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.synth.draw import Draw
+
+# ---------------------------------------------------------------------------
+# Straight-line ALU programs (the original test_differential space)
+# ---------------------------------------------------------------------------
+
+#: Register pool kept small so instructions interact.
+REGS = ("t0", "t1", "t2", "t3")
+REG_INDEX = {"t0": 8, "t1": 9, "t2": 10, "t3": 11}
+
+RR_OPS = ("add", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+          "mul", "mulh")
+SHIFT_OPS = ("sll", "srl", "sra")
+IMM_OPS = ("addi", "slti", "sltiu")
+UIMM_OPS = ("andi", "ori", "xori")
+
+
+def alu_instruction(d: Draw) -> tuple:
+    """One random ALU instruction as a ``(kind, op, rd, rs, rt, imm)``
+    tuple (see :func:`render_alu_program` for the rendering)."""
+    kind = d.integer(0, 3)
+    rd, rs, rt = d.choice(REGS), d.choice(REGS), d.choice(REGS)
+    if kind == 0:
+        return ("rr", d.choice(RR_OPS), rd, rs, rt, 0)
+    if kind == 1:
+        return ("shift", d.choice(SHIFT_OPS), rd, rs, 0, d.integer(0, 31))
+    if kind == 2:
+        return ("imm", d.choice(IMM_OPS), rd, rs, 0,
+                d.integer(-(2**15), 2**15 - 1))
+    return ("uimm", d.choice(UIMM_OPS), rd, rs, 0, d.integer(0, 2**16 - 1))
+
+
+def reg_seed_values(d: Draw) -> list[int]:
+    """Full-range 32-bit seed values, one per pool register."""
+    return [d.integer(-(2**31), 2**31 - 1) for _ in REGS]
+
+
+def render_alu_program(program_spec, seeds) -> str:
+    """Render an :func:`alu_instruction` list into assembly source."""
+    lines = []
+    for reg, seed in zip(REGS, seeds):
+        lines.append(f"        li   {reg}, {seed}")
+    for kind, op, rd, rs, rt, imm in program_spec:
+        if kind == "rr":
+            lines.append(f"        {op} {rd}, {rs}, {rt}")
+        elif kind == "shift":
+            lines.append(f"        {op} {rd}, {rs}, {imm}")
+        else:
+            lines.append(f"        {op} {rd}, {rs}, {imm}")
+    lines.append("        halt")
+    return "\n".join(lines) + "\n"
+
+
+def alu_program(d: Draw, min_ops: int = 1, max_ops: int = 24) -> str:
+    """A complete straight-line ALU program (seeds + ops + halt)."""
+    spec = d.list_of(alu_instruction, min_ops, max_ops)
+    return render_alu_program(spec, reg_seed_values(d))
+
+
+# ---------------------------------------------------------------------------
+# Structured loop-nest kernels
+# ---------------------------------------------------------------------------
+
+#: One induction counter per nesting level (never touched by bodies).
+COUNTERS = ("t0", "t1", "t2")
+#: Body scratch registers.
+TEMPS = ("s0", "s1", "s2", "s3")
+#: Base address register for the scratch data array.
+BASE_REG = "t8"
+#: Scratch array size in words.
+SCRATCH_WORDS = 16
+
+BODY_RR_OPS = ("add", "sub", "and", "or", "xor", "slt", "mul")
+
+#: Word-aligned offsets into the scratch array (the baseline stride
+#: pool; every access width is word-aligned, so halves stay aligned).
+WORD_OFFSETS = tuple(4 * i for i in range(SCRATCH_WORDS))
+
+#: Irregular-but-legal stride pools: non-contiguous offsets that still
+#: respect each access width's alignment within the scratch array.
+IRREGULAR_WORD_OFFSETS = (0, 4, 12, 20, 36, 44, 52, 60)
+IRREGULAR_HALF_OFFSETS = (0, 2, 6, 10, 18, 26, 38, 46, 54, 62)
+IRREGULAR_BYTE_OFFSETS = (0, 1, 3, 5, 7, 11, 13, 19, 23, 29, 31, 37,
+                          41, 43, 47, 53, 59, 61, 63)
+
+#: Body-op kinds (indices into the dispatch in :func:`body_op`):
+#: 0 rr-ALU, 1 addi, 2 logical-imm, 3 lw, 4 sub-word load,
+#: 5 sub-word store, 6 sw.
+ALL_OP_KINDS = (0, 1, 2, 3, 4, 5, 6)
+
+#: Body control-flow shapes: 0 straight-line, 1 forward skip,
+#: 2 if/else diamond, 3 two nested skips.
+ALL_BODY_SHAPES = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class ShapeKnobs:
+    """Every dimension of the generated-kernel space, as plain data.
+
+    The defaults reproduce the fuzz suites' historical distribution;
+    corpus families override them (see :mod:`repro.synth.corpus`), and
+    the soak shrinker reduces them field by field when minimizing a
+    failing kernel.  Instances serialize through :meth:`to_dict` /
+    :meth:`from_dict` so provenance records and regression manifests
+    can pin the exact knob values that produced a kernel.
+    """
+
+    min_nests: int = 1
+    max_nests: int = 2
+    min_depth: int = 1
+    max_depth: int = 3
+    min_body_ops: int = 1
+    max_body_ops: int = 4
+    min_trips: int = 1
+    max_trips: int = 8
+    #: Body-op kind pool; repetition weights a kind (sub-word-heavy
+    #: families repeat kinds 4/5).
+    op_kinds: tuple[int, ...] = ALL_OP_KINDS
+    #: Allowed body control-flow shapes (weighted by repetition).
+    body_shapes: tuple[int, ...] = ALL_BODY_SHAPES
+    #: 1-in-``early_exit_den`` innermost loops get a data-dependent
+    #: early exit; 0 disables them, 1 forces one on every candidate.
+    early_exit_den: int = 4
+    #: Stride pools per access width.
+    word_offsets: tuple[int, ...] = WORD_OFFSETS
+    half_offsets: tuple[int, ...] = WORD_OFFSETS
+    byte_offsets: tuple[int, ...] = WORD_OFFSETS
+
+    def __post_init__(self) -> None:
+        for name in ("op_kinds", "body_shapes", "word_offsets",
+                     "half_offsets", "byte_offsets"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if not (1 <= self.min_nests <= self.max_nests):
+            raise ValueError("need 1 <= min_nests <= max_nests")
+        if not (1 <= self.min_depth <= self.max_depth <= len(COUNTERS)):
+            raise ValueError(
+                f"need 1 <= min_depth <= max_depth <= {len(COUNTERS)}")
+        if not (1 <= self.min_body_ops <= self.max_body_ops):
+            raise ValueError("need 1 <= min_body_ops <= max_body_ops")
+        if not (1 <= self.min_trips <= self.max_trips):
+            raise ValueError("need 1 <= min_trips <= max_trips")
+        if self.early_exit_den < 0:
+            raise ValueError("early_exit_den must be >= 0")
+        for name in ("op_kinds", "body_shapes"):
+            pool = getattr(self, name)
+            if not pool:
+                raise ValueError(f"{name} must not be empty")
+        unknown_kinds = set(self.op_kinds) - set(ALL_OP_KINDS)
+        if unknown_kinds:
+            raise ValueError(f"unknown op kinds: {sorted(unknown_kinds)}")
+        unknown_shapes = set(self.body_shapes) - set(ALL_BODY_SHAPES)
+        if unknown_shapes:
+            raise ValueError(
+                f"unknown body shapes: {sorted(unknown_shapes)}")
+        for name in ("word_offsets", "half_offsets", "byte_offsets"):
+            align = {"word_offsets": 4, "half_offsets": 2,
+                     "byte_offsets": 1}[name]
+            for offset in getattr(self, name):
+                if not (0 <= offset <= 4 * SCRATCH_WORDS - align):
+                    raise ValueError(
+                        f"{name}: offset {offset} outside the scratch "
+                        "array")
+                if offset % align:
+                    raise ValueError(
+                        f"{name}: offset {offset} breaks {align}-byte "
+                        "alignment")
+
+    def to_dict(self) -> dict:
+        return {f.name: list(v) if isinstance(v := getattr(self, f.name),
+                                              tuple) else v
+                for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShapeKnobs":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown shape knobs: {', '.join(sorted(unknown))}")
+        return cls(**{key: tuple(value) if isinstance(value, list)
+                      else value for key, value in data.items()})
+
+
+def body_op(d: Draw, pool: tuple[str, ...], knobs: ShapeKnobs) -> str:
+    """One straight-line body instruction over ``pool`` source regs."""
+    kind = d.choice(knobs.op_kinds)
+    if kind == 0:
+        return (f"        {d.choice(BODY_RR_OPS)} {d.choice(TEMPS)}, "
+                f"{d.choice(pool)}, {d.choice(pool)}")
+    if kind == 1:
+        return (f"        addi {d.choice(TEMPS)}, {d.choice(pool)}, "
+                f"{d.integer(-64, 64)}")
+    if kind == 2:
+        op = d.choice(("andi", "ori", "xori"))
+        return (f"        {op} {d.choice(TEMPS)}, {d.choice(pool)}, "
+                f"{d.integer(0, 255)}")
+    if kind == 3:
+        return (f"        lw   {d.choice(TEMPS)}, "
+                f"{d.choice(knobs.word_offsets)}({BASE_REG})")
+    if kind == 4:
+        # Sub-word loads: the traced tier inlines their sign/zero
+        # widening against the raw memory buffer, so generated bodies
+        # must cover every flavour.
+        op = d.choice(("lb", "lbu", "lh", "lhu"))
+        offsets = knobs.byte_offsets if op in ("lb", "lbu") \
+            else knobs.half_offsets
+        return (f"        {op}  {d.choice(TEMPS)}, "
+                f"{d.choice(offsets)}({BASE_REG})")
+    if kind == 5:
+        op = d.choice(("sb", "sh"))
+        offsets = knobs.byte_offsets if op == "sb" else knobs.half_offsets
+        return (f"        {op}   {d.choice(TEMPS)}, "
+                f"{d.choice(offsets)}({BASE_REG})")
+    return (f"        sw   {d.choice(TEMPS)}, "
+            f"{d.choice(knobs.word_offsets)}({BASE_REG})")
+
+
+def body(d: Draw, pool: tuple[str, ...], label_counter: list[int],
+         knobs: ShapeKnobs, min_size: int = 0) -> list[str]:
+    """A loop body with randomized forward-only control flow.
+
+    Four shapes, all terminating by construction (every branch is
+    forward): straight-line, a single skip over the tail, an if/else
+    diamond (the fall-through arm rejoins over the else arm through an
+    always-taken forward branch), and two nested skips.  The branchy
+    shapes are what the guard-based trace JIT records multi-region
+    traces across.  A drawn shape whose size precondition fails (e.g.
+    a diamond over a one-line body) degrades to straight-line, exactly
+    like the historical Hypothesis strategy.
+    """
+    # The knob floor applies to required bodies (a loop's own body,
+    # min_size=1); the optional glue bodies between and after nests may
+    # still come out empty, like the historical strategy.
+    floor = max(min_size, knobs.min_body_ops) if min_size else 0
+    lines = d.list_of(lambda dd: body_op(dd, pool, knobs),
+                      floor, max(floor, knobs.max_body_ops))
+    shape = d.choice(knobs.body_shapes)
+    if shape == 1 and len(lines) >= 2:
+        # Forward-only skip over the tail of the body.
+        label = f"skip{label_counter[0]}"
+        label_counter[0] += 1
+        cut = d.integer(1, len(lines) - 1)
+        a, b = d.choice(TEMPS), d.choice(TEMPS)
+        op = d.choice(("beq", "bne"))
+        lines = (lines[:cut]
+                 + [f"        {op} {a}, {b}, {label}"]
+                 + lines[cut:]
+                 + [f"{label}:"])
+    elif shape == 2 and len(lines) >= 2:
+        # if/else diamond: both arms retire different suffixes, and the
+        # then-arm leaves through an unconditional forward branch.
+        n = label_counter[0]
+        label_counter[0] += 1
+        cut = d.integer(1, len(lines) - 1)
+        a, b = d.choice(TEMPS), d.choice(TEMPS)
+        op = d.choice(("beq", "bne"))
+        lines = ([f"        {op} {a}, {b}, else{n}"]
+                 + lines[:cut]
+                 + [f"        beq  zero, zero, join{n}",
+                    f"else{n}:"]
+                 + lines[cut:]
+                 + [f"join{n}:"])
+    elif shape == 3 and len(lines) >= 3:
+        # Two nested skips: the outer branch jumps past the inner
+        # branch's join point.
+        n = label_counter[0]
+        label_counter[0] += 2
+        c1 = d.integer(1, len(lines) - 2)
+        c2 = d.integer(c1 + 1, len(lines) - 1)
+        a, b = d.choice(TEMPS), d.choice(TEMPS)
+        c, e = d.choice(TEMPS), d.choice(TEMPS)
+        op1 = d.choice(("beq", "bne"))
+        op2 = d.choice(("beq", "bne"))
+        lines = ([f"        {op1} {a}, {b}, skip{n}"]
+                 + lines[:c1]
+                 + [f"        {op2} {c}, {e}, skip{n + 1}"]
+                 + lines[c1:c2]
+                 + [f"skip{n + 1}:"]
+                 + lines[c2:]
+                 + [f"skip{n}:"])
+    return lines
+
+
+def nest(d: Draw, depth: int, level: int, label_counter: list[int],
+         knobs: ShapeKnobs) -> list[str]:
+    """One counted loop at ``level`` with ``depth - level`` levels below."""
+    counter = COUNTERS[level]
+    # Up to 8 trips by default: uZOLC's legality rule only converts
+    # immediate-trip loops of >= 7 iterations (the init sequence must
+    # amortise), so the upper range keeps single-shot controllers in
+    # the generated space.
+    trips = d.integer(knobs.min_trips, knobs.max_trips)
+    label = f"loop{label_counter[0]}"
+    label_counter[0] += 1
+    pool = TEMPS + COUNTERS[:level + 1]
+    lines = [f"        li   {counter}, 0", f"{label}:"]
+    lines += body(d, pool, label_counter, knobs, min_size=1)
+    # Occasional data-dependent early exit past the latch: a forward
+    # branch leaving the loop mid-body (a ZOLC exit-branch shape; only
+    # ever shortens the run, so termination is preserved).  Innermost
+    # level only — an always-taken exit in an outer body would skip the
+    # inner loops' arming preambles, and the re-arm fuzz suite asserts
+    # that transformed nests actually drive the controller.
+    early = None
+    if (level + 1 >= depth and knobs.early_exit_den
+            and d.integer(0, knobs.early_exit_den - 1) == 0):
+        early = f"break{label_counter[0]}"
+        label_counter[0] += 1
+        a, b = d.choice(TEMPS), d.choice(TEMPS)
+        op = d.choice(("beq", "bne"))
+        lines.append(f"        {op} {a}, {b}, {early}")
+    if level + 1 < depth:
+        lines += nest(d, depth, level + 1, label_counter, knobs)
+        lines += body(d, pool, label_counter, knobs)
+    lines += [f"        addi {counter}, {counter}, 1",
+              f"        slti at, {counter}, {trips}",
+              f"        bne  at, zero, {label}"]
+    if early is not None:
+        lines.append(f"{early}:")
+    return lines
+
+
+def loop_nest_kernel(d: Draw, knobs: ShapeKnobs | None = None) -> str:
+    """A random structured kernel: sequential nests of counted loops.
+
+    Shapes match the transform's ``up_count_slt`` idiom, so ZOLC
+    machines drive the generated loops in hardware; multiple sequential
+    nests make single-shot controllers (uZOLC) re-arm mid-run.
+    """
+    knobs = knobs or ShapeKnobs()
+    label_counter = [0]
+    nests = d.integer(knobs.min_nests, knobs.max_nests)
+    lines = ["        .data",
+             "scratch: .word " + ", ".join("0" for _ in
+                                           range(SCRATCH_WORDS)),
+             "        .text",
+             "main:"]
+    for temp in TEMPS:
+        lines.append(f"        li   {temp}, {d.integer(-1000, 1000)}")
+    lines.append(f"        la   {BASE_REG}, scratch")
+    for _ in range(nests):
+        depth = d.integer(knobs.min_depth, knobs.max_depth)
+        lines += nest(d, depth, 0, label_counter, knobs)
+        lines += body(d, TEMPS, label_counter, knobs)
+    # Make every temp architecturally observable through memory too.
+    for i, temp in enumerate(TEMPS):
+        lines.append(f"        sw   {temp}, {4 * i}({BASE_REG})")
+    lines.append("        halt")
+    return "\n".join(lines) + "\n"

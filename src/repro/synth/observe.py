@@ -1,0 +1,45 @@
+"""The shared definition of "bit-identical" for differential runs.
+
+Every consumer that compares two simulators — the Hypothesis fuzz
+suites, the trace-JIT suite, and the ``repro soak`` loop — observes
+runs through these three helpers, so there is exactly one notion of
+engine agreement in the tree:
+
+* :func:`state_tuple` — architectural and statistical state;
+* :func:`memory_image` — the full memory contents;
+* :func:`controller_tuple` — ZOLC-internal counters (task switches,
+  entry/exit events, arm count, per-status iteration counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+
+def state_tuple(sim):
+    """Everything architecturally and statistically observable."""
+    return (sim.state.pc, sim.state.halted, sim.state.regs.snapshot(),
+            asdict(sim.stats), sim.timing.stall_cycles,
+            sim.timing.flush_cycles, sim.timing._pending_load_dest)
+
+
+def memory_image(sim) -> bytes:
+    """The full simulated memory contents."""
+    return sim.memory.load_block(0, sim.memory.size)
+
+
+def controller_tuple(sim):
+    """Controller-internal counters the differential suites pin down."""
+    zolc = sim.zolc
+    while hasattr(zolc, "inner"):      # unwrap PlanlessZolcPort adapters
+        zolc = zolc.inner
+    if zolc is None or not hasattr(zolc, "task_switches"):
+        return None
+    return (zolc.task_switches, zolc.exit_events, zolc.entry_events,
+            zolc.arm_count,
+            [s.iterations_done for s in zolc.unit.status])
+
+
+def observe(sim):
+    """One comparable record of a finished run."""
+    return (state_tuple(sim), memory_image(sim), controller_tuple(sim))

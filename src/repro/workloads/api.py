@@ -88,6 +88,9 @@ class KernelRegistry:
     """Named collection of kernels (the benchmark suite)."""
 
     kernels: dict[str, Kernel] = field(default_factory=dict)
+    #: Generated ``synth:`` kernels, cached separately so they never
+    #: pollute :meth:`names` / :meth:`all` (and thus ``@all``).
+    _synth_cache: dict[str, Kernel] = field(default_factory=dict)
 
     def register(self, kernel: Kernel) -> Kernel:
         if kernel.name in self.kernels:
@@ -99,9 +102,26 @@ class KernelRegistry:
         try:
             return self.kernels[name]
         except KeyError:
-            raise KeyError(
-                f"unknown kernel {name!r}; available: "
-                f"{', '.join(sorted(self.kernels))}") from None
+            pass
+        if name.startswith("synth:"):
+            # Synthesized corpus members resolve by name on demand:
+            # generation is string-seeded and deterministic, so any
+            # process (including pool workers) regenerates the same
+            # kernel from the name alone.
+            cached = self._synth_cache.get(name)
+            if cached is None:
+                from repro.synth.corpus import (
+                    generate_kernel,
+                    parse_kernel_name,
+                )
+
+                cached = generate_kernel(
+                    *parse_kernel_name(name)).as_kernel()
+                self._synth_cache[name] = cached
+            return cached
+        raise KeyError(
+            f"unknown kernel {name!r}; available: "
+            f"{', '.join(sorted(self.kernels))}") from None
 
     def names(self) -> list[str]:
         return sorted(self.kernels)

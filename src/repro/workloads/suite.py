@@ -80,3 +80,37 @@ def figure2_kernels() -> list[Kernel]:
     """The 12 benchmarks of Figure 2, in order."""
     reg = registry()
     return [reg.get(name) for name in FIGURE2_BENCHMARKS]
+
+
+def expand_kernel_selectors(selectors) -> list[str]:
+    """Expand kernel selectors into concrete kernel names, de-duplicated.
+
+    The one definition of selector grammar, shared by experiment plans,
+    ``repro check`` and residency reporting:
+
+    * ``@figure2`` — the paper's 12 benchmarks, in figure order;
+    * ``@all`` — every registered kernel;
+    * ``synth:<family>:<seed>:<count>`` — the first ``count`` members of
+      a synthesized corpus (each expands to a ``synth:<family>:<seed>:
+      <index>`` member name, resolvable by :meth:`KernelRegistry.get`);
+    * anything else — a registry kernel name (validated here, so typos
+      fail at plan level with the known-name list).
+    """
+    reg = registry()
+    out: list[str] = []
+    for selector in selectors:
+        if selector == "@figure2":
+            names: tuple[str, ...] = FIGURE2_BENCHMARKS
+        elif selector == "@all":
+            names = tuple(reg.names())
+        elif selector.startswith("synth:"):
+            from repro.synth.corpus import parse_selector
+
+            names = tuple(parse_selector(selector).kernel_names())
+        else:
+            reg.get(selector)  # raises KeyError with the known names
+            names = (selector,)
+        for name in names:
+            if name not in out:
+                out.append(name)
+    return out

@@ -1,338 +1,36 @@
-"""Reusable Hypothesis strategies for differential testing.
+"""Shared Hypothesis strategies — a thin re-export.
 
-One home for every generator the differential suites share:
-
-* :func:`alu_instructions` / :func:`render_alu_program` — random
-  straight-line ALU programs (the original ``test_differential``
-  strategies, extracted so the engine suites can reuse them);
-* :func:`loop_nest_kernels` — random *structured* kernels: nested
-  counted loops in the canonical shapes the ZOLC transform recognises
-  (``addi i,i,1; slti at,i,N; bne at,zero,header``), with randomized
-  straight-line bodies (ALU + loads/stores into a scratch array) and
-  optional forward skip branches.  Multiple sequential nests force
-  mid-run re-arms on single-shot controllers.  Every generated program
-  terminates by construction: the only backward branches are the
-  counted-loop latches;
-* :func:`pipeline_configs` — randomized :class:`PipelineConfig` timing
-  parameters;
-* :func:`machines` — the five paper machines as sampled specs.
-
-Shared observation helpers (:func:`state_tuple`,
-:func:`controller_tuple`, :func:`memory_image`) live here too, so every
-suite pins the *same* definition of "bit-identical".
+The generator bodies and observation helpers historically lived here;
+they are now product code under :mod:`repro.synth` (written against the
+``Draw`` seam, so the seeded corpus and the property suites explore the
+same kernel space) and :mod:`repro.synth.strategies` drives them with
+Hypothesis.  This module only re-exports that surface so existing
+``from strategies import ...`` lines keep working.
 """
 
-from __future__ import annotations
-
-from dataclasses import asdict
-
-from hypothesis import strategies as st
-
-from repro.cpu.pipeline import PipelineConfig
-from repro.eval.machines import ALL_MACHINES
-
-# ---------------------------------------------------------------------------
-# Straight-line ALU programs
-# ---------------------------------------------------------------------------
-
-#: Register pool kept small so instructions interact.
-REGS = ["t0", "t1", "t2", "t3"]
-REG_INDEX = {"t0": 8, "t1": 9, "t2": 10, "t3": 11}
-
-rr_ops = st.sampled_from(
-    ["add", "sub", "and", "or", "xor", "nor", "slt", "sltu", "mul", "mulh"])
-shift_ops = st.sampled_from(["sll", "srl", "sra"])
-imm_ops = st.sampled_from(["addi", "slti", "sltiu"])
-uimm_ops = st.sampled_from(["andi", "ori", "xori"])
-alu_regs = st.sampled_from(REGS)
-
-#: Full-range 32-bit register seed values.
-reg_seeds = st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1),
-                     min_size=4, max_size=4)
-
-
-@st.composite
-def alu_instructions(draw):
-    """One random ALU instruction as a ``(kind, op, rd, rs, rt, imm)``
-    tuple (see :func:`render_alu_program` for the rendering)."""
-    kind = draw(st.integers(min_value=0, max_value=3))
-    rd, rs, rt = draw(alu_regs), draw(alu_regs), draw(alu_regs)
-    if kind == 0:
-        return ("rr", draw(rr_ops), rd, rs, rt, 0)
-    if kind == 1:
-        return ("shift", draw(shift_ops), rd, rs, 0,
-                draw(st.integers(min_value=0, max_value=31)))
-    if kind == 2:
-        return ("imm", draw(imm_ops), rd, rs, 0,
-                draw(st.integers(min_value=-(2**15), max_value=2**15 - 1)))
-    return ("uimm", draw(uimm_ops), rd, rs, 0,
-            draw(st.integers(min_value=0, max_value=2**16 - 1)))
-
-
-def render_alu_program(program_spec, seeds) -> str:
-    """Render an :func:`alu_instructions` list into assembly source."""
-    lines = []
-    for reg, seed in zip(REGS, seeds):
-        lines.append(f"        li   {reg}, {seed}")
-    for kind, op, rd, rs, rt, imm in program_spec:
-        if kind == "rr":
-            lines.append(f"        {op} {rd}, {rs}, {rt}")
-        elif kind == "shift":
-            lines.append(f"        {op} {rd}, {rs}, {imm}")
-        else:
-            lines.append(f"        {op} {rd}, {rs}, {imm}")
-    lines.append("        halt")
-    return "\n".join(lines) + "\n"
-
-
-# ---------------------------------------------------------------------------
-# Structured loop-nest kernels
-# ---------------------------------------------------------------------------
-
-#: One induction counter per nesting level (never touched by bodies).
-COUNTERS = ("t0", "t1", "t2")
-#: Body scratch registers.
-TEMPS = ("s0", "s1", "s2", "s3")
-#: Base address register for the scratch data array.
-BASE_REG = "t8"
-#: Scratch array size in words.
-SCRATCH_WORDS = 16
-
-_body_rr = st.sampled_from(["add", "sub", "and", "or", "xor", "slt", "mul"])
-_temps = st.sampled_from(TEMPS)
-_offsets = st.sampled_from([4 * i for i in range(SCRATCH_WORDS)])
-
-
-@st.composite
-def _body_op(draw, pool):
-    """One straight-line body instruction over ``pool`` source regs."""
-    src = st.sampled_from(pool)
-    kind = draw(st.integers(min_value=0, max_value=6))
-    if kind == 0:
-        return (f"        {draw(_body_rr)} {draw(_temps)}, "
-                f"{draw(src)}, {draw(src)}")
-    if kind == 1:
-        imm = draw(st.integers(min_value=-64, max_value=64))
-        return f"        addi {draw(_temps)}, {draw(src)}, {imm}"
-    if kind == 2:
-        imm = draw(st.integers(min_value=0, max_value=255))
-        op = draw(st.sampled_from(["andi", "ori", "xori"]))
-        return f"        {op} {draw(_temps)}, {draw(src)}, {imm}"
-    if kind == 3:
-        return f"        lw   {draw(_temps)}, {draw(_offsets)}({BASE_REG})"
-    if kind == 4:
-        # Sub-word loads: the traced tier inlines their sign/zero
-        # widening against the raw memory buffer, so generated bodies
-        # must cover every flavour (word offsets keep halves aligned).
-        op = draw(st.sampled_from(["lb", "lbu", "lh", "lhu"]))
-        return (f"        {op}  {draw(_temps)}, "
-                f"{draw(_offsets)}({BASE_REG})")
-    if kind == 5:
-        op = draw(st.sampled_from(["sb", "sh"]))
-        return (f"        {op}   {draw(_temps)}, "
-                f"{draw(_offsets)}({BASE_REG})")
-    return f"        sw   {draw(_temps)}, {draw(_offsets)}({BASE_REG})"
-
-
-@st.composite
-def _body(draw, pool, label_counter, min_size=0, max_size=4):
-    """A loop body with randomized forward-only control flow.
-
-    Four shapes, all terminating by construction (every branch is
-    forward): straight-line, a single skip over the tail, an if/else
-    diamond (the fall-through arm rejoins over the else arm through an
-    always-taken forward branch), and two nested skips.  The branchy
-    shapes are what the guard-based trace JIT records multi-region
-    traces across, so the 5-way fuzz drives guards, side exits and
-    bridge traces on every machine it samples.
-    """
-    lines = draw(st.lists(_body_op(pool), min_size=min_size,
-                          max_size=max_size))
-    shape = draw(st.integers(min_value=0, max_value=3))
-    if shape == 1 and len(lines) >= 2:
-        # Forward-only skip over the tail of the body.
-        label = f"skip{label_counter[0]}"
-        label_counter[0] += 1
-        cut = draw(st.integers(min_value=1, max_value=len(lines) - 1))
-        a, b = draw(_temps), draw(_temps)
-        op = draw(st.sampled_from(["beq", "bne"]))
-        lines = (lines[:cut]
-                 + [f"        {op} {a}, {b}, {label}"]
-                 + lines[cut:]
-                 + [f"{label}:"])
-    elif shape == 2 and len(lines) >= 2:
-        # if/else diamond: both arms retire different suffixes, and the
-        # then-arm leaves through an unconditional forward branch.
-        n = label_counter[0]
-        label_counter[0] += 1
-        cut = draw(st.integers(min_value=1, max_value=len(lines) - 1))
-        a, b = draw(_temps), draw(_temps)
-        op = draw(st.sampled_from(["beq", "bne"]))
-        lines = ([f"        {op} {a}, {b}, else{n}"]
-                 + lines[:cut]
-                 + [f"        beq  zero, zero, join{n}",
-                    f"else{n}:"]
-                 + lines[cut:]
-                 + [f"join{n}:"])
-    elif shape == 3 and len(lines) >= 3:
-        # Two nested skips: the outer branch jumps past the inner
-        # branch's join point.
-        n = label_counter[0]
-        label_counter[0] += 2
-        c1 = draw(st.integers(min_value=1, max_value=len(lines) - 2))
-        c2 = draw(st.integers(min_value=c1 + 1, max_value=len(lines) - 1))
-        a, b = draw(_temps), draw(_temps)
-        c, d = draw(_temps), draw(_temps)
-        op1 = draw(st.sampled_from(["beq", "bne"]))
-        op2 = draw(st.sampled_from(["beq", "bne"]))
-        lines = ([f"        {op1} {a}, {b}, skip{n}"]
-                 + lines[:c1]
-                 + [f"        {op2} {c}, {d}, skip{n + 1}"]
-                 + lines[c1:c2]
-                 + [f"skip{n + 1}:"]
-                 + lines[c2:]
-                 + [f"skip{n}:"])
-    return lines
-
-
-@st.composite
-def _nest(draw, depth, level, label_counter):
-    """One counted loop at ``level`` with ``depth - level`` levels below."""
-    counter = COUNTERS[level]
-    # Up to 8 trips: uZOLC's legality rule only converts immediate-trip
-    # loops of >= 7 iterations (the init sequence must amortise), so the
-    # upper range keeps single-shot controllers in the fuzzed space.
-    trips = draw(st.integers(min_value=1, max_value=8))
-    label = f"loop{label_counter[0]}"
-    label_counter[0] += 1
-    pool = TEMPS + COUNTERS[:level + 1]
-    lines = [f"        li   {counter}, 0", f"{label}:"]
-    lines += draw(_body(pool, label_counter, min_size=1))
-    # Occasional data-dependent early exit past the latch: a forward
-    # branch leaving the loop mid-body (a ZOLC exit-branch shape; only
-    # ever shortens the run, so termination is preserved).  Innermost
-    # level only — an always-taken exit in an outer body would skip the
-    # inner loops' arming preambles, and the re-arm suite asserts that
-    # transformed nests actually drive the controller.
-    if (level + 1 >= depth
-            and draw(st.integers(min_value=0, max_value=3)) == 0):
-        early = f"break{label_counter[0]}"
-        label_counter[0] += 1
-        a, b = draw(_temps), draw(_temps)
-        op = draw(st.sampled_from(["beq", "bne"]))
-        lines.append(f"        {op} {a}, {b}, {early}")
-    else:
-        early = None
-    if level + 1 < depth:
-        lines += draw(_nest(depth, level + 1, label_counter))
-        lines += draw(_body(pool, label_counter))
-    lines += [f"        addi {counter}, {counter}, 1",
-              f"        slti at, {counter}, {trips}",
-              f"        bne  at, zero, {label}"]
-    if early is not None:
-        lines.append(f"{early}:")
-    return lines
-
-
-@st.composite
-def loop_nest_kernels(draw, max_nests=2, max_depth=3):
-    """A random structured kernel: sequential nests of counted loops.
-
-    Shapes match the transform's ``up_count_slt`` idiom, so ZOLC
-    machines drive the generated loops in hardware; two sequential
-    nests make single-shot controllers (uZOLC) re-arm mid-run.
-    """
-    label_counter = [0]
-    nests = draw(st.integers(min_value=1, max_value=max_nests))
-    lines = ["        .data",
-             "scratch: .word " + ", ".join("0" for _ in
-                                           range(SCRATCH_WORDS)),
-             "        .text",
-             "main:"]
-    for temp in TEMPS:
-        seed = draw(st.integers(min_value=-1000, max_value=1000))
-        lines.append(f"        li   {temp}, {seed}")
-    lines.append(f"        la   {BASE_REG}, scratch")
-    for _ in range(nests):
-        depth = draw(st.integers(min_value=1, max_value=max_depth))
-        lines += draw(_nest(depth, 0, label_counter))
-        lines += draw(_body(TEMPS, label_counter))
-    # Make every temp architecturally observable through memory too.
-    for i, temp in enumerate(TEMPS):
-        lines.append(f"        sw   {temp}, {4 * i}({BASE_REG})")
-    lines.append("        halt")
-    return "\n".join(lines) + "\n"
-
-
-# ---------------------------------------------------------------------------
-# Machines and pipelines
-# ---------------------------------------------------------------------------
-
-def machines() -> st.SearchStrategy:
-    """One of the five paper machines (specs are plain data)."""
-    return st.sampled_from(ALL_MACHINES)
-
-
-@st.composite
-def pipeline_configs(draw):
-    """Randomized pipeline timing parameters (all fields small)."""
-    return PipelineConfig(
-        branch_penalty=draw(st.integers(min_value=0, max_value=3)),
-        jump_register_penalty=draw(st.integers(min_value=0, max_value=3)),
-        hwloop_penalty=draw(st.integers(min_value=0, max_value=2)),
-        load_use_stall=draw(st.integers(min_value=0, max_value=2)),
-        mul_extra_cycles=draw(st.integers(min_value=0, max_value=2)),
-        zolc_switch_cycles=draw(st.integers(min_value=0, max_value=2)),
-    )
-
-
-# ---------------------------------------------------------------------------
-# Engine-resolution spy
-# ---------------------------------------------------------------------------
-
-def spy_run_traced(monkeypatch):
-    """Wrap ``repro.cpu.simulator.run_traced``, recording each call.
-
-    Returns the list the spy appends to (one ``chain`` flag per call),
-    so auto-resolution tests across the suite share one definition of
-    the traced entry point's call shape.
-    """
-    import repro.cpu.simulator as simulator_module
-
-    calls = []
-    real = simulator_module.run_traced
-
-    def spy(sim, max_steps, predecoded, chain=True):
-        calls.append(chain)
-        return real(sim, max_steps, predecoded, chain=chain)
-
-    monkeypatch.setattr(simulator_module, "run_traced", spy)
-    return calls
-
-
-# ---------------------------------------------------------------------------
-# Observation helpers: the shared definition of "bit-identical"
-# ---------------------------------------------------------------------------
-
-def state_tuple(sim):
-    """Everything architecturally and statistically observable."""
-    return (sim.state.pc, sim.state.halted, sim.state.regs.snapshot(),
-            asdict(sim.stats), sim.timing.stall_cycles,
-            sim.timing.flush_cycles, sim.timing._pending_load_dest)
-
-
-def memory_image(sim) -> bytes:
-    """The full simulated memory contents."""
-    return sim.memory.load_block(0, sim.memory.size)
-
-
-def controller_tuple(sim):
-    """Controller-internal counters the differential suites pin down."""
-    zolc = sim.zolc
-    while hasattr(zolc, "inner"):      # unwrap PlanlessZolcPort adapters
-        zolc = zolc.inner
-    if zolc is None or not hasattr(zolc, "task_switches"):
-        return None
-    return (zolc.task_switches, zolc.exit_events, zolc.entry_events,
-            zolc.arm_count,
-            [s.iterations_done for s in zolc.unit.status])
+from repro.synth.strategies import (  # noqa: F401
+    BASE_REG,
+    COUNTERS,
+    REG_INDEX,
+    REGS,
+    SCRATCH_WORDS,
+    TEMPS,
+    HypothesisDraw,
+    ShapeKnobs,
+    alu_instructions,
+    alu_regs,
+    controller_tuple,
+    family_kernels,
+    imm_ops,
+    loop_nest_kernels,
+    machines,
+    memory_image,
+    pipeline_configs,
+    reg_seeds,
+    render_alu_program,
+    rr_ops,
+    shift_ops,
+    spy_run_traced,
+    state_tuple,
+    uimm_ops,
+)

@@ -132,8 +132,9 @@ class TestExperimentCommand:
         assert "2 cells" in out and "vec_sum" in out
 
     def _fake_run_plan(self, monkeypatch, seen):
-        def fake_run_plan(plan, backend, jobs, store, engine=None):
-            seen.update(backend=backend, jobs=jobs, engine=engine)
+        def fake_run_plan(plan, config):
+            seen.update(backend=config.backend, jobs=config.jobs,
+                        engine=config.engine)
 
             class Empty:
                 def to_dict(self):

@@ -1,0 +1,63 @@
+"""Replay every pinned soak regression, forever.
+
+``repro soak`` pins each shrunk differential failure under
+``tests/regressions/`` as a self-contained ``.s`` + manifest pair;
+this suite replays every checked-in pair through all of its manifest's
+engines and asserts bit-identical observations — so a fixed bug stays
+fixed without the generator, the corpus or any seeds in the loop.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.pipeline import PipelineConfig
+from repro.eval.machines import MachineSpec
+from repro.synth import generate_kernel
+from repro.synth.observe import observe
+from repro.synth.soak import write_regression
+
+REGRESSIONS_DIR = Path(__file__).parent / "regressions"
+
+MANIFESTS = sorted(REGRESSIONS_DIR.glob("*.json"))
+
+
+def replay(manifest_path: Path) -> None:
+    """Assert every engine in the manifest observes identical state."""
+    manifest = json.loads(manifest_path.read_text())
+    source = (manifest_path.parent / manifest["source_file"]).read_text()
+    machine = MachineSpec.from_dict(manifest["machine"])
+    pipeline = PipelineConfig(**manifest["pipeline"])
+    prepared = machine.prepare(source)
+    observations = {}
+    for engine in manifest["engines"]:
+        sim = prepared.make_simulator(pipeline=pipeline)
+        sim.run(max_steps=manifest["max_steps"], engine=engine)
+        observations[engine] = observe(sim)
+    reference_engine = manifest["engines"][0]
+    reference = observations[reference_engine]
+    for engine, observation in observations.items():
+        assert observation == reference, (
+            f"{manifest['kernel']}: {engine} diverged from "
+            f"{reference_engine} (regressed: {manifest_path.name})")
+
+
+@pytest.mark.parametrize("manifest_path", MANIFESTS,
+                         ids=lambda path: path.stem)
+def test_pinned_regression_replays_bit_identical(manifest_path):
+    replay(manifest_path)
+
+
+def test_replay_harness_accepts_a_fresh_pin(tmp_path):
+    """The pin→replay loop round-trips even with no checked-in pairs."""
+    kernel = generate_kernel("rearm_storm", 0, 0)
+    manifest_path = write_regression(kernel, "traced", tmp_path)
+    replay(manifest_path)
+
+
+def test_every_source_file_is_claimed_by_a_manifest():
+    claimed = {json.loads(path.read_text())["source_file"]
+               for path in MANIFESTS}
+    on_disk = {path.name for path in REGRESSIONS_DIR.glob("*.s")}
+    assert on_disk <= claimed  # orphans mean a broken pin

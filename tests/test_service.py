@@ -8,11 +8,12 @@ the same stdlib client `repro submit` uses.
 
 import json
 import threading
+from http.client import HTTPConnection
 
 import pytest
 
 from repro.eval.machines import M_ZOLC_LITE, XR_DEFAULT
-from repro.experiments import ExperimentSpec
+from repro.experiments import ExperimentSpec, RunConfig
 from repro.service import (
     JobManager,
     ServiceClient,
@@ -77,7 +78,7 @@ class TestJobManager:
             started.set()
             assert gate.wait(timeout=60)
             from repro.experiments import run_experiment
-            return run_experiment(spec, backend="serial",
+            return run_experiment(spec, RunConfig(backend="serial"),
                                   store=kwargs.get("store"),
                                   progress=kwargs.get("progress"))
 
@@ -211,7 +212,7 @@ class TestResultBeforeDone:
             started.set()
             assert gate.wait(timeout=60)
             from repro.experiments import run_experiment
-            return run_experiment(spec, backend="serial")
+            return run_experiment(spec, RunConfig(backend="serial"))
 
         manager = JobManager(store=tmp_path, runner=gated_runner)
         handle = start_in_thread(manager)
@@ -247,6 +248,98 @@ class TestResultBeforeDone:
         finally:
             handle.stop()
             manager.close()
+
+
+class TestJobManagerRunConfig:
+    def test_per_job_config_merges_over_manager_defaults(self, tmp_path):
+        captured = {}
+
+        def capturing_runner(spec, **kwargs):
+            captured.update(kwargs)
+            from repro.experiments import run_experiment
+            return run_experiment(spec, RunConfig(),
+                                  store=kwargs.get("store"))
+
+        with JobManager(store=tmp_path, jobs=3,
+                        runner=capturing_runner) as manager:
+            job, _ = manager.submit(tiny_spec(), RunConfig(engine="step"))
+            manager.wait(job.id, timeout=60)
+        config = captured["config"]
+        assert config.engine == "step"  # the submit body's choice...
+        assert config.jobs == 3  # ...over the manager's standing default
+
+    def test_max_steps_override_changes_the_fingerprint(self, tmp_path):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def gated_runner(spec, **kwargs):
+            started.set()
+            assert gate.wait(timeout=60)
+            from repro.experiments import run_experiment
+            return run_experiment(spec, RunConfig(),
+                                  store=kwargs.get("store"))
+
+        with JobManager(store=tmp_path, runner=gated_runner) as manager:
+            base, _ = manager.submit(tiny_spec())
+            assert started.wait(timeout=60)
+            twin, twin_coalesced = manager.submit(
+                tiny_spec(), RunConfig(engine="fast"))
+            deeper, deeper_coalesced = manager.submit(
+                tiny_spec(), RunConfig(max_steps=500))
+            gate.set()
+            manager.wait(base.id, timeout=60)
+            manager.wait(deeper.id, timeout=60)
+        # Host-side overrides coalesce freely; a max_steps override
+        # changes what the plan measures, so it never does.
+        assert twin_coalesced and twin.id == base.id
+        assert not deeper_coalesced and deeper.id != base.id
+        assert deeper.spec.max_steps == 500
+
+
+class TestV1Api:
+    def test_unversioned_path_redirects_permanently(self, service):
+        conn = HTTPConnection(service.host, service.port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 308
+            assert response.getheader("Location") == "/v1/healthz"
+            assert json.loads(response.read())["redirect"] == "/v1/healthz"
+        finally:
+            conn.close()
+
+    def test_legacy_unversioned_client_still_works(self, service):
+        legacy = ServiceClient(f"{service.host}:{service.port}", api="")
+        payload = legacy.run(tiny_spec().to_json(), "json")
+        assert payload["state"] == "done"
+        assert payload["result"]["records"]
+
+    def test_submit_envelope_with_run_config(self, service):
+        payload = service.run(tiny_spec().to_json(), "json",
+                              run_config={"engine": "step"})
+        assert payload["state"] == "done"
+        assert payload["events"] == {"simulated": 1}
+
+    def test_run_config_accepts_a_runconfig_object(self, service):
+        submission = service.submit(tiny_spec().to_json(), "json",
+                                    run_config=RunConfig(engine="step"))
+        list(service.events(submission["job"]))
+        assert service.status(submission["job"])["state"] == "done"
+
+    def test_bad_run_config_key_is_400(self, service):
+        with pytest.raises(ServiceError, match="unknown run_config key"):
+            service.submit(tiny_spec().to_json(), "json",
+                           run_config={"store": "elsewhere"})
+
+    def test_unknown_envelope_key_is_400(self, service):
+        body = json.dumps({"plan": json.loads(tiny_spec().to_json()),
+                           "extra": 1}).encode()
+        with pytest.raises(ServiceError, match="400"):
+            service._json("POST", "/v1/jobs", body, "application/json")
+
+    def test_run_config_requires_a_json_plan(self, service):
+        with pytest.raises(ValueError, match="JSON plan body"):
+            service.submit('name = "x"', "toml", run_config={"jobs": 2})
 
 
 class TestServiceClientUrl:

@@ -1,0 +1,164 @@
+"""The seeded corpus API: determinism, families, names, integration.
+
+The contract under test is :mod:`repro.synth.corpus`: the same
+``(family, seed, index)`` triplet produces the same kernel anywhere
+(that is what lets plans, workers and regression manifests address
+corpus members by name), families bias the kernel space the way their
+descriptions claim, and the workload registry resolves ``synth:``
+names without polluting the curated suite.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentSpec, RunConfig, run_experiment
+from repro.eval.machines import machine_by_name
+from repro.synth import (
+    FAMILIES,
+    FAMILY_NAMES,
+    CorpusSpec,
+    emit_corpus,
+    generate,
+    generate_kernel,
+    is_synth_name,
+    kernel_name,
+    parse_kernel_name,
+    parse_selector,
+)
+from repro.workloads.suite import expand_kernel_selectors, registry
+
+
+class TestDeterminism:
+    def test_same_triplet_is_bit_identical(self):
+        a = generate_kernel("baseline", 7, 3)
+        b = generate_kernel("baseline", 7, 3)
+        assert a.source == b.source
+        assert a.machine == b.machine
+        assert a.pipeline == b.pipeline
+        assert a == b
+
+    def test_random_access_matches_enumeration(self):
+        corpus = generate(CorpusSpec(family="branchy", seed=1, count=5))
+        assert corpus[4] == generate_kernel("branchy", 1, 4)
+
+    def test_indices_and_seeds_vary_the_stream(self):
+        base = generate_kernel("baseline", 0, 0)
+        assert generate_kernel("baseline", 0, 1).source != base.source
+        assert generate_kernel("baseline", 1, 0).source != base.source
+
+    def test_provenance_pins_the_source_digest(self):
+        import hashlib
+
+        kernel = generate_kernel("subword", 2, 2)
+        digest = hashlib.sha256(kernel.source.encode()).hexdigest()
+        assert kernel.provenance["source_sha256"] == digest
+        assert kernel.provenance["family"] == "subword"
+        assert kernel.provenance["knobs"] == kernel.knobs.to_dict()
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_every_family_generates_halting_kernels(self, family_name):
+        kernel = generate_kernel(family_name, 0, 0)
+        prepared = kernel.machine.prepare(kernel.source)
+        sim = prepared.make_simulator(pipeline=kernel.pipeline)
+        sim.run(max_steps=200_000, engine="step")
+        assert sim.state.halted
+
+    def test_rearm_storm_binds_controller_machines(self):
+        pool = FAMILIES["rearm_storm"].machine_pool
+        assert all(machine_by_name(name).kind == "zolc" for name in pool)
+        for index in range(8):
+            kernel = generate_kernel("rearm_storm", 0, index)
+            assert kernel.machine.name in pool
+
+    def test_family_knob_presets_reach_the_generator(self):
+        kernel = generate_kernel("deep_nest", 0, 0)
+        assert kernel.knobs == FAMILIES["deep_nest"].knobs
+        assert kernel.knobs.min_depth == 3
+
+
+class TestNamesAndSelectors:
+    def test_kernel_name_roundtrip(self):
+        name = kernel_name("branchy", 4, 9)
+        assert name == "synth:branchy:4:9"
+        assert parse_kernel_name(name) == ("branchy", 4, 9)
+        assert is_synth_name(name) and not is_synth_name("vec_sum")
+
+    def test_selector_expands_to_member_names(self):
+        spec = parse_selector("synth:baseline:2:3")
+        assert spec == CorpusSpec(family="baseline", seed=2, count=3)
+        assert spec.kernel_names() == [
+            "synth:baseline:2:0", "synth:baseline:2:1", "synth:baseline:2:2"]
+        assert spec.selector == "synth:baseline:2:3"
+
+    @pytest.mark.parametrize("bad", [
+        "synth:baseline:2",            # wrong arity
+        "synth:baseline:2:3:4",        # wrong arity
+        "synth:baseline:x:3",          # non-integer seed
+    ])
+    def test_malformed_selectors_raise(self, bad):
+        with pytest.raises(ValueError, match="bad synth"):
+            parse_selector(bad)
+
+    def test_unknown_family_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known:"):
+            parse_selector("synth:nope:0:1")
+
+
+class TestRegistryIntegration:
+    def test_registry_resolves_synth_names_lazily(self):
+        reg = registry()
+        kernel = reg.get("synth:baseline:0:0")
+        assert kernel.category == "synthetic"
+        assert json.loads(kernel.notes)["family"] == "baseline"
+        # cached: the same object comes back
+        assert reg.get("synth:baseline:0:0") is kernel
+
+    def test_synth_members_do_not_pollute_the_suite(self):
+        reg = registry()
+        reg.get("synth:baseline:0:1")
+        assert not any(is_synth_name(name) for name in reg.names())
+
+    def test_expand_kernel_selectors_mixes_grammars(self):
+        names = expand_kernel_selectors(["vec_sum", "synth:branchy:0:2"])
+        assert names == ["vec_sum", "synth:branchy:0:0", "synth:branchy:0:1"]
+
+    def test_expansion_deduplicates_preserving_order(self):
+        names = expand_kernel_selectors(
+            ["synth:branchy:0:2", "synth:branchy:0:1"])
+        assert names == ["synth:branchy:0:0", "synth:branchy:0:1"]
+
+
+class TestEmit:
+    def test_emit_writes_sources_and_manifest(self, tmp_path):
+        spec = CorpusSpec(family="irregular_stride", seed=3, count=2)
+        manifest = emit_corpus(spec, tmp_path)
+        on_disk = json.loads((tmp_path / "manifest.json").read_text())
+        assert on_disk == manifest
+        assert manifest["selector"] == "synth:irregular_stride:3:2"
+        assert len(manifest["kernels"]) == 2
+        for member, kernel in zip(manifest["kernels"], generate(spec)):
+            assert member["name"] == kernel.name
+            assert (tmp_path / member["file"]).read_text() == kernel.source
+
+
+class TestPlanEndToEnd:
+    def test_experiment_runs_a_synth_selector_through_the_store(
+            self, tmp_path):
+        spec = ExperimentSpec(
+            name="synth-e2e",
+            kernels=("synth:baseline:0:2",),
+            machines=(machine_by_name("XRdefault"),
+                      machine_by_name("ZOLClite")),
+        )
+        config = RunConfig(store=str(tmp_path / "store"))
+        result = run_experiment(spec, config)
+        kernels = {record["kernel"] for record in result.records}
+        assert kernels == {"synth:baseline:0:0", "synth:baseline:0:1"}
+        assert result.simulated == 4 and result.cached == 0
+        again = run_experiment(spec, config)
+        assert again.cached == 4 and again.simulated == 0
+        assert [r["cycles"] for r in again.records] \
+            == [r["cycles"] for r in result.records]
